@@ -1,0 +1,63 @@
+"""Shared benchmark plumbing.
+
+Every module here regenerates one of the paper's tables or figures.  The
+simulation-backed figures share one result cache on disk (populated on the
+first run; see ``repro.experiments.cache``), so the whole harness can be run
+module-by-module without re-simulating.
+
+Reports are printed (visible with ``pytest -s``) *and* written under
+``.repro-results/reports/`` so the regenerated figures survive the run.
+
+Scale comes from ``REPRO_SCALE`` (small / default / large).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cache import cache_dir
+from repro.experiments.scales import active_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return active_scale()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report block and persist it to .repro-results/reports/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        directory = cache_dir() / "reports"
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def single_suite(scale):
+    """The 10x2 single-size result grid (Figures 9-12, hit-rate parity)."""
+    from repro.experiments.single_size import run_single_size_suite
+
+    return run_single_size_suite(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def multi_suite(scale):
+    """The 3x3 multi-size result grid (Figures 13-15)."""
+    from repro.experiments.multi_size import run_multi_size_suite
+
+    return run_multi_size_suite(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def opcost_samples():
+    """The Figure 7/8 per-operation cost sweep (measured once per session)."""
+    from repro.experiments.opcost_exp import run_opcost_sweep
+
+    return run_opcost_sweep(ops=20_000)

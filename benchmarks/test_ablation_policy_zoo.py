@@ -1,0 +1,128 @@
+"""A-4 — ablation: the policy zoo on hit rate vs total recomputation cost.
+
+The related-work framing (Section 7), quantified: policies that chase hit
+ratio (2Q, ARC, LRU-K, CLOCK) do not minimize cost; the GreedyDual family
+trades a sliver of hit rate for most of the cost; the clairvoyant bounds
+bracket everyone.
+"""
+
+import pytest
+
+from repro.core import (
+    ARCPolicy,
+    CAMPPolicy,
+    ClockPolicy,
+    GDPQPolicy,
+    GDSFPolicy,
+    GDWheelPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    PolicyEntry,
+    RandomPolicy,
+    TwoQPolicy,
+    simulate_belady,
+    simulate_cost_aware_offline,
+)
+from repro.experiments.report import render_table
+from repro.workloads import SINGLE_SIZE_WORKLOADS, Trace
+
+CAPACITY = 2_000
+NUM_KEYS = 8_000
+NUM_REQUESTS = 80_000
+
+POLICIES = [
+    ("lru", LRUPolicy),
+    ("clock", ClockPolicy),
+    ("random", lambda: RandomPolicy(seed=1)),
+    ("2q", lambda: TwoQPolicy(capacity=CAPACITY)),
+    ("arc", lambda: ARCPolicy(capacity=CAPACITY)),
+    ("lru-2", lambda: LRUKPolicy(k=2)),
+    ("gd-wheel", GDWheelPolicy),
+    ("gd-pq", GDPQPolicy),
+    ("gdsf", GDSFPolicy),
+    ("camp", lambda: CAMPPolicy(use_size=False)),
+]
+
+_shared = {}
+
+
+def fixture_trace():
+    if "trace" not in _shared:
+        workload = SINGLE_SIZE_WORKLOADS["1"].materialize(NUM_KEYS, seed=31)
+        _shared["trace"] = Trace.from_workload(workload, NUM_REQUESTS)
+    return _shared["trace"]
+
+
+def run_policy(factory):
+    trace = fixture_trace()
+    policy = factory()
+    cached, hits, total_cost = {}, 0, 0
+    for key_id, cost, size in trace:
+        entry = cached.get(key_id)
+        if entry is not None:
+            hits += 1
+            policy.touch(entry)
+            continue
+        total_cost += cost
+        if len(cached) >= CAPACITY:
+            victim = policy.select_victim()
+            del cached[victim.key]
+        entry = PolicyEntry(key=key_id, size=size)
+        cached[key_id] = entry
+        policy.insert(entry, cost)
+    return hits / len(trace), total_cost
+
+
+@pytest.mark.parametrize("name,factory", POLICIES)
+def test_policy(benchmark, name, factory):
+    hit_rate, total_cost = benchmark.pedantic(
+        lambda: run_policy(factory), rounds=1, iterations=1
+    )
+    _shared.setdefault("results", {})[name] = (hit_rate, total_cost)
+    assert 0.5 < hit_rate < 1.0
+
+
+def test_policy_zoo_report(emit, benchmark):
+    results = {}
+    for name, factory in POLICIES:
+        results[name] = _shared.get("results", {}).get(name) or run_policy(factory)
+    trace = fixture_trace()
+    cost_of = lambda key_id: int(trace.costs[key_id])
+    key_list = trace.key_ids.tolist()
+    belady = benchmark.pedantic(
+        lambda: simulate_belady(key_list, CAPACITY, cost_of),
+        rounds=1,
+        iterations=1,
+    )
+    offline = simulate_cost_aware_offline(key_list, CAPACITY, cost_of)
+
+    rows = [
+        [name, hit * 100, cost]
+        for name, (hit, cost) in sorted(results.items(), key=lambda kv: kv[1][1])
+    ]
+    rows.append(["belady (offline)", belady.hit_rate * 100, belady.total_miss_cost])
+    rows.append(
+        ["cost-greedy (offline)", offline.hit_rate * 100, offline.total_miss_cost]
+    )
+    emit(
+        "ablation_policy_zoo",
+        render_table(
+            ["policy", "hit rate %", "total miss cost"],
+            rows,
+            title="A-4: policy zoo on the baseline workload "
+            f"({NUM_REQUESTS:,} requests, capacity {CAPACITY:,})",
+        ),
+    )
+
+    # the cost-aware family beats every cost-oblivious policy on cost...
+    oblivious_best = min(
+        results[name][1] for name in ("lru", "clock", "random", "2q", "arc", "lru-2")
+    )
+    for name in ("gd-wheel", "gd-pq"):
+        assert results[name][1] < oblivious_best
+    # ...even though hit-ratio-oriented policies win on hit rate
+    assert max(
+        results[name][0] for name in ("2q", "arc", "lru-2")
+    ) > results["gd-wheel"][0]
+    # and the clairvoyant cost bound is below everyone
+    assert offline.total_miss_cost <= min(r[1] for r in results.values())

@@ -1,0 +1,38 @@
+"""A-5 — ablation: single cost-aware pool vs Facebook-style static pools.
+
+Quantifies Section 2.2's argument: static cost-partitioned pools sized by
+"prior usage analysis" waste memory when the workload mix shifts, while a
+single pool with cost-aware replacement re-arbitrates continuously.
+"""
+
+from repro.cluster import pooling_report, run_pooling_comparison
+
+_results = {}
+
+
+def get_results():
+    if not _results:
+        _results["r"] = run_pooling_comparison()
+    return _results["r"]
+
+
+def test_pooling_comparison(benchmark, emit):
+    results = benchmark.pedantic(get_results, rounds=1, iterations=1)
+    emit("ablation_pooling", pooling_report(results))
+
+    single = results["single-gdwheel"]
+    parts = results["partitioned-lru"]
+
+    # same-memory single cost-aware pool wins overall...
+    assert single.total_cost < parts.total_cost
+
+    # ...and the static partition's disadvantage explodes after the mix
+    # shifts away from what it was provisioned for
+    gap1 = parts.phases[0].total_recomputation_cost / max(
+        single.phases[0].total_recomputation_cost, 1
+    )
+    gap2 = parts.phases[1].total_recomputation_cost / max(
+        single.phases[1].total_recomputation_cost, 1
+    )
+    assert gap2 > gap1
+    assert gap2 > 2.0  # the shifted phase is where partitioning really loses

@@ -1,0 +1,98 @@
+"""A-1 — ablation: wheel geometry (NQ x NW) sensitivity.
+
+Two claims to verify:
+
+1. **Decisions are geometry-invariant** as long as the wheels cover the
+   workload's cost range: a 2x256 wheel, a 3x16 wheel, and a 2x32 wheel
+   (capacity 1023 >= 450) must produce the same total recomputation cost
+   as GD-PQ on the same trace.
+2. **Cost of the structure varies mildly with geometry** — more wheels
+   mean more migrations; more queues mean longer empty-slot scans.  The
+   bench records evict+insert timing per geometry.
+"""
+
+import pytest
+
+from repro.core import GDPQPolicy, GDWheelPolicy, PolicyEntry
+from repro.experiments.report import render_table
+from repro.workloads import SINGLE_SIZE_WORKLOADS, Trace
+
+GEOMETRIES = [(256, 2), (32, 2), (16, 3), (8, 4), (4, 5)]
+
+_trace_cache = {}
+
+
+def baseline_trace():
+    if "trace" not in _trace_cache:
+        workload = SINGLE_SIZE_WORKLOADS["1"].materialize(4_000, seed=21)
+        _trace_cache["trace"] = (workload, Trace.from_workload(workload, 40_000))
+    return _trace_cache["trace"]
+
+
+def run_policy(policy, trace, capacity=900):
+    entries, total_cost, hits = {}, 0, 0
+    for key_id, cost, _ in trace:
+        entry = entries.get(key_id)
+        if entry is not None:
+            hits += 1
+            policy.touch(entry)
+            continue
+        total_cost += cost
+        if len(policy) >= capacity:
+            victim = policy.select_victim()
+            del entries[victim.key]
+        entry = PolicyEntry(key=key_id)
+        entries[key_id] = entry
+        policy.insert(entry, cost)
+    return total_cost, hits
+
+
+@pytest.mark.parametrize("nq,nw", GEOMETRIES)
+def test_geometry_invariant_decisions(benchmark, nq, nw):
+    assert nq**nw - 1 >= 450, "geometry must cover the workload cost range"
+    _workload, trace = baseline_trace()
+
+    def run():
+        return run_policy(GDWheelPolicy(num_queues=nq, num_wheels=nw), trace)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = run_policy(GDPQPolicy(), trace)
+    assert result == expected, f"geometry {nq}x{nw} diverged from GD-PQ"
+
+
+def test_geometry_structure_cost_report(emit, benchmark):
+    _workload, trace = baseline_trace()
+    import time
+
+    benchmark.pedantic(
+        lambda: run_policy(GDWheelPolicy(num_queues=256, num_wheels=2), trace),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for nq, nw in GEOMETRIES:
+        policy = GDWheelPolicy(num_queues=nq, num_wheels=nw)
+        started = time.perf_counter()
+        total_cost, hits = run_policy(policy, trace)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [
+                f"{nq}x{nw}",
+                policy.max_cost,
+                total_cost,
+                policy.total_migrations,
+                elapsed * 1e9 / len(trace),
+            ]
+        )
+    emit(
+        "ablation_wheel_geometry",
+        render_table(
+            ["geometry", "max cost", "total miss cost", "migrations", "ns/request"],
+            rows,
+            title="A-1: wheel geometry ablation (identical decisions, varying structure work)",
+        ),
+    )
+    # all geometries agree on the decisions...
+    assert len({r[2] for r in rows}) == 1
+    # ...but deeper hierarchies migrate more
+    migrations = {r[0]: r[3] for r in rows}
+    assert migrations["4x5"] > migrations["256x2"]

@@ -1,0 +1,50 @@
+"""E-F11 — Figure 11: 99th percentile read access latency, 10 workloads.
+
+Paper shape: GD-Wheel's p99 stays low (<= 1364 µs on grouped-cost
+workloads, 4136 µs on the random-cost workload) while LRU's p99 swings
+wildly (up to 14476 µs on workload 5); avg reduction 69%, max 85%.
+"""
+
+from repro.experiments.single_size import comparisons, fig11_report
+from repro.sim.latency import PAPER_LATENCY_MODEL
+
+
+def test_fig11_tail_latency(single_suite, emit, benchmark):
+    comps = benchmark.pedantic(
+        lambda: comparisons(single_suite), rounds=1, iterations=1
+    )
+    emit("fig11", fig11_report(comps))
+    by_id = {c.workload_id: c for c in comps}
+
+    # baseline-band workloads (80% cheap keys): GD-Wheel's p99 is a
+    # *low-band* miss -- no larger than the paper's 1364 µs bound
+    # (= hit + up to 30 cost units)
+    for wid in ("1", "6", "7", "8", "9", "10"):
+        assert by_id[wid].candidate.p99_latency_us <= PAPER_LATENCY_MODEL.read_latency_us(30), wid
+
+    # RUBiS/TPC-W LRU tails reach deep into the mid/high bands (their key
+    # populations are mid/high-heavy)
+    for wid in ("2", "3"):
+        assert by_id[wid].baseline.p99_latency_us > PAPER_LATENCY_MODEL.read_latency_us(100), wid
+
+    # GD-Wheel's tail is strictly better on every cost-varied workload
+    for wid in ("1", "2", "3", "5", "6", "7", "8", "9", "10"):
+        assert (
+            by_id[wid].candidate.p99_latency_us
+            < by_id[wid].baseline.p99_latency_us
+        ), wid
+
+    # random-cost workload: both tails are misses but GD-Wheel's are far
+    # cheaper (paper: 4136 µs vs 14476 µs)
+    assert (
+        by_id["5"].candidate.p99_latency_us
+        < 0.6 * by_id["5"].baseline.p99_latency_us
+    )
+
+    # uniform-cost control unchanged
+    assert abs(by_id["4"].tail_reduction_pct) < 5
+
+    varied = [c for c in comps if c.workload_id != "4"]
+    avg = sum(c.tail_reduction_pct for c in varied) / len(varied)
+    assert avg > 35  # paper: 69%; tail percentiles sit on band edges at
+    # simulation scale, so the magnitude (not the decimal) is the check

@@ -1,0 +1,44 @@
+"""E-F12 — Figure 12: CDF of recomputation costs, baseline workload.
+
+Paper shape: under GD-Wheel essentially *all* misses fall in the lowest
+cost band (10-30), while LRU's misses spread across all three bands in
+roughly the key-population proportions.
+"""
+
+from repro.experiments.single_size import (
+    fig12_cdfs,
+    fig12_group_shares,
+    fig12_report,
+)
+
+
+def test_fig12_cost_cdf(single_suite, emit, benchmark):
+    shares = benchmark.pedantic(
+        lambda: fig12_group_shares(single_suite, "1"), rounds=1, iterations=1
+    )
+    emit("fig12", fig12_report(single_suite, "1"))
+
+    wheel = shares["gd-wheel"].shares
+    lru = shares["lru"].shares
+
+    # GD-Wheel: all (or nearly all) misses in the cheapest band
+    assert wheel[0] > 0.97
+    assert wheel[2] < 0.01
+
+    # LRU: misses leak into mid and high bands roughly like the population
+    assert lru[1] > 0.05
+    assert lru[2] > 0.01
+
+    # CDFs are well-formed and GD-Wheel's saturates far earlier
+    cdfs = fig12_cdfs(single_suite, "1")
+    wheel_cdf, lru_cdf = cdfs["gd-wheel"], cdfs["lru"]
+    assert wheel_cdf[-1][1] == 1.0 and lru_cdf[-1][1] == 1.0
+
+    def fraction_at(series, cost):
+        best = 0.0
+        for x, y in series:
+            if x <= cost:
+                best = y
+        return best
+
+    assert fraction_at(wheel_cdf, 30) > fraction_at(lru_cdf, 30)

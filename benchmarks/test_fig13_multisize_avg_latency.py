@@ -1,0 +1,28 @@
+"""E-F13 — Figure 13: average read latency, multi-size workloads.
+
+Paper shape: the original rebalancer never moves slabs, so GD-Wheel+Orig
+improves only slightly over LRU+Orig (within-class cost variation only);
+GD-Wheel with the cost-aware rebalancer improves much more (avg 37%,
+max 56% vs LRU+Orig).
+"""
+
+from repro.experiments.multi_size import fig13_report, fig13_rows
+
+
+def test_fig13_multisize_avg_latency(multi_suite, emit, benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig13_rows(multi_suite), rounds=1, iterations=1
+    )
+    emit("fig13", fig13_report(multi_suite))
+
+    for wid, _name, lru_orig, wheel_orig, wheel_new, reduction in rows:
+        # ordering: LRU+Orig >= GD-Wheel+Orig >= GD-Wheel+New (some slack
+        # for the small within-class effect)
+        assert wheel_new < lru_orig, wid
+        assert wheel_new <= wheel_orig * 1.02, wid
+        assert wheel_orig <= lru_orig * 1.05, wid
+        # the full stack gives a substantial reduction
+        assert reduction > 20, (wid, reduction)
+
+    avg = sum(r[5] for r in rows) / len(rows)
+    assert 25 < avg < 65  # paper: 37% avg, 56% max

@@ -1,0 +1,40 @@
+"""E-F14 — Figure 14: normalized total recomputation cost, multi-size.
+
+Paper shape: LRU+Orig = 100; GD-Wheel+Orig achieves a modest reduction
+(within-class cost variation only — the 10-30 / 120-180 / 350-450 spread
+*within* each band); GD-Wheel+New cuts cost by 68% on average, up to 79%.
+Also: the original rebalancer moves zero slabs.
+"""
+
+from repro.experiments.multi_size import fig14_report, fig14_rows, slab_moves_report
+
+
+def test_fig14_multisize_cost(multi_suite, emit, benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig14_rows(multi_suite), rounds=1, iterations=1
+    )
+    emit("fig14", fig14_report(multi_suite) + "\n\n" + slab_moves_report(multi_suite))
+
+    for wid, _name, lru_norm, wheel_orig_norm, wheel_new_norm, reduction in rows:
+        assert lru_norm == 100.0
+        # GD-Wheel alone helps somewhat but not dramatically
+        assert wheel_orig_norm <= 100.0 + 3.0, wid
+        # the combined stack dominates
+        assert wheel_new_norm < wheel_orig_norm, wid
+        assert reduction > 40, (wid, reduction)
+
+    # the original rebalancer must not move slabs under LRU during the
+    # measurement phase (the paper's Section 6.4.2 observation).  That
+    # claim is about sustained load: at the reduced `small` scale some
+    # class can post a zero-eviction window by chance, so the strict zero
+    # only applies from the default scale up; a handful of moves are
+    # tolerated otherwise (and always for GD-Wheel's protected classes).
+    strict = scale.num_requests >= 100_000
+    for (wid, label), result in multi_suite.items():
+        if label == "LRU+Orig" and strict:
+            assert result.store_stats["slab_moves"] == 0, (wid, label)
+        elif label.endswith("Orig"):
+            assert result.store_stats["slab_moves"] <= 20, (wid, label)
+
+    avg = sum(r[5] for r in rows) / len(rows)
+    assert avg > 50  # paper: 68%

@@ -1,0 +1,34 @@
+"""E-F15 — Figure 15: 99th percentile read latency, multi-size workloads.
+
+Paper shape: GD-Wheel+New reduces p99 by 73% on average (max 83%); on
+workload 1 GD-Wheel alone already fixes the tail (80% of keys live in the
+cheapest class), while workloads 2 and 3 need the rebalancer for the full
+improvement.
+"""
+
+from repro.experiments.multi_size import fig15_report, fig15_rows
+
+
+def test_fig15_multisize_tail(multi_suite, emit, benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: fig15_rows(multi_suite), rounds=1, iterations=1
+    )
+    emit("fig15", fig15_report(multi_suite))
+
+    for wid, _name, lru_orig, wheel_orig, wheel_new, reduction in rows:
+        assert wheel_new < lru_orig, wid
+        assert reduction > 20, (wid, reduction)
+
+    by_id = {r[0]: r for r in rows}
+    # workload 1: GD-Wheel alone already captures most of the tail win --
+    # 80% of keys live in the cheapest slab class (paper's observation).
+    # The effect needs sustained load; below the default scale only the
+    # weak ordering is required.
+    _, _, lru1, wheel_orig1, wheel_new1, _ = by_id["1"]
+    if scale.num_requests >= 100_000:
+        assert wheel_orig1 < 0.85 * lru1
+    assert wheel_orig1 <= lru1
+    assert wheel_new1 <= wheel_orig1
+
+    avg = sum(r[5] for r in rows) / len(rows)
+    assert avg > 40  # paper: 73%; band-edge effects cap this at sim scale

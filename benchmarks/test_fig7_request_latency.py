@@ -1,0 +1,81 @@
+"""E-F7 — Figure 7: average GET/SET request latencies vs cache size.
+
+The paper's shape: GET latency is flat for every policy (the replacement
+update happens after the response); SET latency is flat for LRU and
+GD-Wheel but grows with cache size for GD-PQ (O(log n) priority queue).
+"""
+
+import pytest
+
+from repro.core import GDPQPolicy, GDWheelPolicy, LRUPolicy
+from repro.experiments.opcost_exp import DEFAULT_SIZES, fig7_report, fig7_rows
+from repro.sim.opcost import measure_policy_opcost
+
+SMALL, LARGE = DEFAULT_SIZES[0], DEFAULT_SIZES[-1]
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("lru", LRUPolicy),
+        ("gd-wheel", lambda: GDWheelPolicy(num_queues=256, num_wheels=2)),
+        ("gd-pq", GDPQPolicy),
+    ],
+)
+def test_set_side_policy_work(benchmark, name, factory):
+    """pytest-benchmark measurement of one evict+insert at the largest
+    cache size — the SET-latency component Figure 7 varies."""
+    policy = factory()
+    entries = []
+    from repro.core import PolicyEntry
+
+    for i in range(LARGE):
+        entry = PolicyEntry(key=i)
+        policy.insert(entry, (i * 37) % 450 + 1)
+        entries.append(entry)
+    counter = [LARGE]
+
+    def evict_insert():
+        policy.select_victim()
+        entry = PolicyEntry(key=counter[0])
+        counter[0] += 1
+        policy.insert(entry, (counter[0] * 37) % 450 + 1)
+
+    benchmark(evict_insert)
+
+
+def test_fig7_shape_and_report(opcost_samples, emit, benchmark):
+    def build():
+        return fig7_rows(opcost_samples)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig7", fig7_report(opcost_samples))
+
+    by_cell = {(r[0], r[2]): r for r in rows}
+    sizes = sorted({r[2] for r in rows})
+
+    # GET latency is identical across policies and sizes (the replacement
+    # update happens after the response is sent)
+    gets = {r[3] for r in rows}
+    assert len(gets) == 1
+
+    # At every cache size, GD-PQ's SET-side replacement work clearly
+    # exceeds GD-Wheel's and LRU's (the paper's level separation)
+    for size in sizes:
+        pq = by_cell[("gd-pq", size)][5]
+        assert pq > 1.2 * by_cell[("gd-wheel", size)][5], size
+        assert pq > 1.2 * by_cell[("lru", size)][5], size
+
+    # GD-PQ grows across the 64x span; LRU and GD-Wheel stay flat (within
+    # a noise band).  Compare the two largest against the two smallest to
+    # damp residual jitter.
+    def band(policy):
+        work = [by_cell[(policy, s)][5] for s in sizes]
+        small = (work[0] + work[1]) / 2
+        large = (work[-2] + work[-1]) / 2
+        return large / small
+
+    assert band("gd-pq") > 1.0
+    # flat == within a +-60% noise band across a 64x size span
+    assert 0.4 < band("gd-wheel") < 1.6
+    assert 0.4 < band("lru") < 1.6

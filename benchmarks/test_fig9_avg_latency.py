@@ -1,0 +1,37 @@
+"""E-F9 — Figure 9: average application read access latency, 10 workloads.
+
+Paper shape: GD-Wheel reduces the average read latency on every workload
+with cost variation (avg 33%, max 53%); workload 4 (uniform cost) shows no
+difference; size-varied workloads (6-9) and the coarse-cost workload (10)
+improve about as much as the baseline.
+"""
+
+from repro.experiments.single_size import comparisons, fig9_report
+
+
+def test_fig9_average_latency(single_suite, emit, benchmark):
+    comps = benchmark.pedantic(
+        lambda: comparisons(single_suite), rounds=1, iterations=1
+    )
+    emit("fig9", fig9_report(comps))
+    by_id = {c.workload_id: c for c in comps}
+    assert len(by_id) == 10
+
+    # cost-varied workloads improve substantially
+    for wid in ("1", "2", "3", "5", "6", "7", "8", "9", "10"):
+        assert by_id[wid].latency_reduction_pct > 10, wid
+
+    # workload 4 (same cost for everything): no benefit to cost-awareness
+    assert abs(by_id["4"].latency_reduction_pct) < 5
+
+    # value size doesn't change the story (workloads 6-9 vs baseline 1)
+    baseline = by_id["1"].latency_reduction_pct
+    for wid in ("6", "7", "8", "9"):
+        assert abs(by_id[wid].latency_reduction_pct - baseline) < 20
+
+    # cost precision doesn't change the story (workload 10 vs 1)
+    assert abs(by_id["10"].latency_reduction_pct - baseline) < 12
+
+    # the paper's aggregate: average reduction around a third
+    avg = sum(c.latency_reduction_pct for c in comps) / len(comps)
+    assert 20 < avg < 55

@@ -1,0 +1,76 @@
+"""E-EQ (performance side) — microbenchmarks of the three GreedyDual
+implementations plus LRU: touch cost and evict+insert cost at two resident
+sizes.  GD-Wheel's advantage over GD-PQ is the whole point of the paper.
+"""
+
+import pytest
+
+from repro.core import GDPQPolicy, GDWheelPolicy, LRUPolicy, NaiveGreedyDual, PolicyEntry
+
+SIZES = (4_000, 64_000)
+
+
+def _filled(factory, n, seed=17):
+    policy = factory()
+    entries = []
+    for i in range(n):
+        entry = PolicyEntry(key=i)
+        policy.insert(entry, (i * 37) % 450 + 1)
+        entries.append(entry)
+    return policy, entries
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("lru", LRUPolicy),
+        ("gd-wheel", lambda: GDWheelPolicy(num_queues=256, num_wheels=2)),
+        ("gd-pq", GDPQPolicy),
+    ],
+)
+def test_touch(benchmark, name, factory, size):
+    policy, entries = _filled(factory, size)
+    state = [0]
+
+    def touch():
+        state[0] = (state[0] + 7919) % size  # pseudo-random walk
+        policy.touch(entries[state[0]])
+
+    benchmark(touch)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("lru", LRUPolicy),
+        ("gd-wheel", lambda: GDWheelPolicy(num_queues=256, num_wheels=2)),
+        ("gd-pq", GDPQPolicy),
+    ],
+)
+def test_evict_insert(benchmark, name, factory, size):
+    policy, _ = _filled(factory, size)
+    counter = [size]
+
+    def evict_insert():
+        policy.select_victim()
+        entry = PolicyEntry(key=counter[0])
+        counter[0] += 1
+        policy.insert(entry, (counter[0] * 37) % 450 + 1)
+
+    benchmark(evict_insert)
+
+
+def test_naive_greedydual_eviction_is_linear(benchmark):
+    """The O(n) strawman, for scale: one eviction walks every entry."""
+    policy, _ = _filled(NaiveGreedyDual, 4_000)
+    counter = [4_000]
+
+    def evict_insert():
+        policy.select_victim()
+        entry = PolicyEntry(key=counter[0])
+        counter[0] += 1
+        policy.insert(entry, (counter[0] * 37) % 450 + 1)
+
+    benchmark(evict_insert)

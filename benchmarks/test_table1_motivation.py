@@ -1,0 +1,16 @@
+"""E-T1 — Table 1: the motivating RUBiS/TPC-W miss-cost variation."""
+
+from repro.experiments import motivation
+
+
+def test_table1_motivation(benchmark, emit):
+    rows = benchmark(motivation.table1_rows)
+    assert len(rows) == 6
+    ratios = motivation.cost_ratios()
+    # the paper's "about a factor of twenty" spread
+    assert 15 < ratios["RUBiS"] < 35
+    assert 15 < ratios["TPC-W"] < 35
+    emit(
+        "table1",
+        motivation.table1_report() + "\n\n" + motivation.band_ratio_report(),
+    )

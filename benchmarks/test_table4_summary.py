@@ -1,0 +1,57 @@
+"""E-T4 — Table 4: the summary of avg/max reductions, measured vs paper."""
+
+from repro.experiments.multi_size import CONFIGURATIONS
+from repro.experiments.single_size import comparisons
+from repro.experiments.summary import PAPER_TABLE4, table4_report
+from repro.sim.metrics import reduction_percent
+
+import numpy as np
+
+
+def _measured(single_suite, multi_suite):
+    single_comps = comparisons(single_suite)
+    m_lat, m_tail, m_cost = [], [], []
+    for wid in sorted({k[0] for k in multi_suite}):
+        base = multi_suite[(wid, CONFIGURATIONS[0][0])]
+        best = multi_suite[(wid, "GD-Wheel+New")]
+        m_lat.append(reduction_percent(base.average_latency_us, best.average_latency_us))
+        m_tail.append(reduction_percent(base.p99_latency_us, best.p99_latency_us))
+        m_cost.append(
+            reduction_percent(
+                base.total_recomputation_cost, best.total_recomputation_cost
+            )
+        )
+
+    def agg(values):
+        return {"avg": float(np.mean(values)), "max": float(np.max(values))}
+
+    return {
+        "single": {
+            "avg_lat": agg([c.latency_reduction_pct for c in single_comps]),
+            "tail_lat": agg([c.tail_reduction_pct for c in single_comps]),
+            "cost": agg([c.cost_reduction_pct for c in single_comps]),
+        },
+        "multiple": {
+            "avg_lat": agg(m_lat),
+            "tail_lat": agg(m_tail),
+            "cost": agg(m_cost),
+        },
+    }
+
+
+def test_table4_summary(single_suite, multi_suite, emit, benchmark):
+    measured = benchmark.pedantic(
+        lambda: _measured(single_suite, multi_suite), rounds=1, iterations=1
+    )
+    emit("table4", table4_report(measured))
+
+    # Shape check: every measured cell within a tolerance band of the
+    # paper's number.  The substrate is a simulator, so we require the same
+    # magnitude, not the same decimal: +-18 points for average latency and
+    # cost, +-30 for tail latency (p99 sits on cost-band edges, so it is
+    # the most scale-sensitive of the three metrics).
+    for (study, stat), paper in PAPER_TABLE4.items():
+        got = measured[study]
+        assert abs(got["avg_lat"][stat] - paper["avg_lat"]) < 18, (study, stat)
+        assert abs(got["tail_lat"][stat] - paper["tail_lat"]) < 30, (study, stat)
+        assert abs(got["cost"][stat] - paper["cost"]) < 18, (study, stat)

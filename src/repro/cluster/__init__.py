@@ -1,0 +1,26 @@
+"""Multi-store layer: consistent hashing, pools, and the Section 2.2
+pool-partitioning experiment (single cost-aware pool vs static pools)."""
+
+from repro.cluster.consistent import ConsistentHashRing
+from repro.cluster.experiment import (
+    PoolingPhaseResult,
+    PoolingResult,
+    pooling_report,
+    run_pooling_comparison,
+)
+from repro.cluster.pool import (
+    CostPartitionedPools,
+    StorePool,
+    make_uniform_pool,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "CostPartitionedPools",
+    "PoolingPhaseResult",
+    "PoolingResult",
+    "StorePool",
+    "make_uniform_pool",
+    "pooling_report",
+    "run_pooling_comparison",
+]

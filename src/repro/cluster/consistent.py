@@ -1,0 +1,90 @@
+"""Consistent hashing — how memcached clients spread keys over servers.
+
+The paper's introduction frames memory-based key-value stores as
+"combining the distributed memory of different machines into a single,
+large pool"; the client-side mechanism behind that is a ketama-style
+consistent hash ring.  Each node contributes many virtual points on a ring
+keyed by a hash; a key routes to the first point clockwise from its own
+hash, so adding or removing a node only remaps ~1/n of the key space.
+
+Implemented with md5 (ketama's choice) over ``node:replica`` labels and
+binary search over the sorted point list.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _ring_hash(data: bytes) -> int:
+    """32-bit ketama point: the top 4 bytes of md5."""
+    digest = hashlib.md5(data).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class ConsistentHashRing:
+    """A ketama-style ring mapping keys to node names."""
+
+    def __init__(self, nodes: Sequence[str] = (), replicas: int = 100) -> None:
+        """
+        Args:
+            nodes: initial node names.
+            replicas: virtual points per node (ketama uses 100-200; more
+                points = smoother balance, slower mutation).
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._nodes: Dict[str, None] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._hashes = [h for h, _ in self._points]
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already in ring")
+        self._nodes[node] = None
+        for replica in range(self.replicas):
+            label = f"{node}:{replica}".encode()
+            self._points.append((_ring_hash(label), node))
+        self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not in ring")
+        del self._nodes[node]
+        self._points = [(h, n) for h, n in self._points if n != node]
+        self._rebuild()
+
+    def node_for(self, key: bytes) -> Optional[str]:
+        """The node owning ``key``, or None if the ring is empty."""
+        if not self._points:
+            return None
+        point = _ring_hash(key)
+        index = bisect.bisect_right(self._hashes, point)
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._points[index][1]
+
+    def distribution(self, keys: Sequence[bytes]) -> Dict[str, int]:
+        """How many of ``keys`` land on each node (balance diagnostics)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            node = self.node_for(key)
+            if node is not None:
+                counts[node] += 1
+        return counts

@@ -1,0 +1,214 @@
+"""A-5: static cost-partitioned pools vs a single cost-aware pool.
+
+Section 2.2 of the paper describes Facebook's workaround for recomputation
+cost variation under cost-oblivious replacement: split the fleet into
+separate pools per cost class, sized by prior usage analysis.  The paper's
+criticism: "If the workload characteristics change over time, such
+partitioning may result in inefficient usage of memory.  It could be more
+efficient to maintain a single pool and make replacement decisions based
+on the recomputation cost variations."
+
+This experiment quantifies that argument.  Two cache organizations with
+the *same total memory*:
+
+* **partitioned-lru** — three LRU pools, one per cost band, sized for the
+  phase-1 mix (the "prior usage analysis").
+* **single-gdwheel** — one consistent-hashed pool of GD-Wheel stores.
+
+The workload runs in two phases: phase 1 uses the baseline cost mix the
+partitioning was provisioned for; in phase 2 the mix shifts toward
+mid/high-cost keys (a new working set with different proportions).  The
+static partition cannot re-provision; GD-Wheel re-arbitrates per eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import GDWheelPolicy, LRUPolicy
+from repro.cluster.pool import (
+    CostPartitionedPools,
+    StorePool,
+    make_uniform_pool,
+)
+from repro.workloads.costs import GroupedCosts, cost_groups
+from repro.workloads.sizes import FixedSize
+from repro.workloads.ycsb import WorkloadSpec
+
+#: cost bands shared by both phases (the paper's baseline bands)
+BANDS = ((10, 30), (120, 180), (350, 450))
+
+#: phase-1 mix: the paper's baseline 80/15/5
+PHASE1_PROPORTIONS = (0.80, 0.15, 0.05)
+#: phase-2 mix: expensive computations become much more common
+PHASE2_PROPORTIONS = (0.30, 0.40, 0.30)
+
+#: static pool shares, provisioned for phase 1 (generous to the pricey
+#: bands, as a cost-conscious operator would size them)
+PARTITION_SHARES = (0.50, 0.30, 0.20)
+
+
+def _spec(proportions: Tuple[float, float, float], name: str) -> WorkloadSpec:
+    groups = cost_groups(
+        (BANDS[0][0], BANDS[0][1], proportions[0]),
+        (BANDS[1][0], BANDS[1][1], proportions[1]),
+        (BANDS[2][0], BANDS[2][1], proportions[2]),
+    )
+    return WorkloadSpec(
+        workload_id=f"pooling-{name}",
+        name=name,
+        costs=GroupedCosts(groups, name),
+        sizes=FixedSize(256),
+    )
+
+
+@dataclass
+class PoolingPhaseResult:
+    phase: str
+    requests: int
+    hits: int
+    total_recomputation_cost: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class PoolingResult:
+    organization: str
+    phases: List[PoolingPhaseResult]
+
+    @property
+    def total_cost(self) -> int:
+        return sum(p.total_recomputation_cost for p in self.phases)
+
+
+def _drive_phase(
+    get: Callable,
+    set_: Callable,
+    workload,
+    num_requests: int,
+    phase: str,
+) -> PoolingPhaseResult:
+    """Warmup the phase's universe, then run the cache-aside loop."""
+    for key_id in workload.warmup_order(seed=11).tolist():
+        set_(
+            workload.key_bytes(key_id),
+            workload.value_of(key_id),
+            workload.cost_of(key_id),
+        )
+    hits = total_cost = 0
+    for key_id in workload.sample_requests(num_requests).tolist():
+        key = workload.key_bytes(key_id)
+        cost = workload.cost_of(key_id)
+        if get(key, cost) is not None:
+            hits += 1
+        else:
+            total_cost += cost
+            set_(key, workload.value_of(key_id), cost)
+    return PoolingPhaseResult(
+        phase=phase,
+        requests=num_requests,
+        hits=hits,
+        total_recomputation_cost=total_cost,
+    )
+
+
+def run_pooling_comparison(
+    total_memory: int = 4 * 1024 * 1024,
+    stores_per_pool: int = 2,
+    num_keys_per_phase: int = 16_000,
+    num_requests: int = 60_000,
+    slab_size: int = 64 * 1024,
+    seed: int = 5,
+) -> Dict[str, PoolingResult]:
+    """Run both organizations through both phases; same memory, same load."""
+    phase_specs = [
+        ("phase1-baseline-mix", _spec(PHASE1_PROPORTIONS, "phase1"), seed),
+        ("phase2-shifted-mix", _spec(PHASE2_PROPORTIONS, "phase2"), seed + 1),
+    ]
+    results: Dict[str, PoolingResult] = {}
+
+    # --- organization 1: single pool, GD-Wheel inside every store ------------
+    single = make_uniform_pool(
+        num_stores=stores_per_pool,
+        memory_limit_each=total_memory // stores_per_pool,
+        policy_factory=GDWheelPolicy,
+        slab_size=slab_size,
+    )
+    phases = []
+    for phase_name, spec, phase_seed in phase_specs:
+        workload = spec.materialize(num_keys_per_phase, seed=phase_seed)
+        phases.append(
+            _drive_phase(
+                get=lambda key, cost: single.get(key),
+                set_=lambda key, value, cost: single.set(key, value, cost=cost),
+                workload=workload,
+                num_requests=num_requests,
+                phase=phase_name,
+            )
+        )
+    results["single-gdwheel"] = PoolingResult(
+        organization="single-gdwheel", phases=phases
+    )
+
+    # --- organization 2: static cost-partitioned LRU pools --------------------
+    band_pools = []
+    for band_idx, share in enumerate(PARTITION_SHARES):
+        memory = max(int(total_memory * share), slab_size * stores_per_pool)
+        pool = make_uniform_pool(
+            num_stores=stores_per_pool,
+            memory_limit_each=memory // stores_per_pool,
+            policy_factory=LRUPolicy,
+            slab_size=slab_size,
+            name_prefix=f"band{band_idx}-node",
+        )
+        band_pools.append((BANDS[band_idx][1], pool))
+    partitioned = CostPartitionedPools(band_pools)
+    phases = []
+    for phase_name, spec, phase_seed in phase_specs:
+        workload = spec.materialize(num_keys_per_phase, seed=phase_seed)
+        phases.append(
+            _drive_phase(
+                get=partitioned.get,
+                set_=lambda key, value, cost: partitioned.set(
+                    key, value, cost=cost
+                ),
+                workload=workload,
+                num_requests=num_requests,
+                phase=phase_name,
+            )
+        )
+    results["partitioned-lru"] = PoolingResult(
+        organization="partitioned-lru", phases=phases
+    )
+    return results
+
+
+def pooling_report(results: Dict[str, PoolingResult]) -> str:
+    from repro.experiments.report import render_table
+
+    rows = []
+    for organization, result in sorted(results.items()):
+        for phase in result.phases:
+            rows.append(
+                [
+                    organization,
+                    phase.phase,
+                    phase.hit_rate * 100,
+                    phase.total_recomputation_cost,
+                ]
+            )
+        rows.append([organization, "TOTAL", "", result.total_cost])
+    return render_table(
+        ["organization", "phase", "hit rate %", "recomputation cost"],
+        rows,
+        title=(
+            "A-5: single GD-Wheel pool vs static cost-partitioned LRU pools "
+            "(same total memory, shifting mix)"
+        ),
+    )

@@ -1,0 +1,122 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+
+Another hit-ratio-oriented, cost-oblivious baseline from the paper's related
+work (Section 7), used in the policy-zoo ablation.  ARC splits the cache
+into a recency list T1 and a frequency list T2, with ghost key lists B1/B2
+remembering what was recently evicted from each; hits in the ghost lists
+adaptively move the target size ``p`` of T1.
+
+ARC needs the cache capacity (in entries) to size its ghost lists and run
+its adaptation rule; replacement decisions otherwise plug into the standard
+policy interface (``select_victim`` implements ARC's REPLACE subroutine).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.core.intrusive import IntrusiveList
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+_T1 = 1
+_T2 = 2
+
+
+class ARCPolicy(ReplacementPolicy):
+    """Adaptive Replacement Cache over intrusive lists + ghost key dicts."""
+
+    name = "arc"
+    cost_aware = False
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._t1 = IntrusiveList()
+        self._t2 = IntrusiveList()
+        self._b1: "OrderedDict[object, None]" = OrderedDict()
+        self._b2: "OrderedDict[object, None]" = OrderedDict()
+        self._p = 0.0  # adaptive target size of T1
+
+    @property
+    def p(self) -> float:
+        """Current adaptive target for |T1| (observability)."""
+        return self._p
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        key = entry.key
+        if key is not None and key in self._b1:
+            # Case II: ghost hit in B1 — grow p, promote to T2.
+            delta = max(len(self._b2) / max(len(self._b1), 1), 1.0)
+            self._p = min(self._p + delta, float(self.capacity))
+            del self._b1[key]
+            entry.policy_slot = _T2
+            self._t2.push_head(entry)
+        elif key is not None and key in self._b2:
+            # Case III: ghost hit in B2 — shrink p, promote to T2.
+            delta = max(len(self._b1) / max(len(self._b2), 1), 1.0)
+            self._p = max(self._p - delta, 0.0)
+            del self._b2[key]
+            entry.policy_slot = _T2
+            self._t2.push_head(entry)
+        else:
+            # Case IV: brand-new key goes to T1; trim ghost lists to ARC's
+            # bounds (|T1|+|B1| <= c, total directory <= 2c).
+            if len(self._t1) + len(self._b1) >= self.capacity:
+                if self._b1:
+                    self._b1.popitem(last=False)
+            elif (
+                len(self._t1) + len(self._t2) + len(self._b1) + len(self._b2)
+                >= 2 * self.capacity
+            ):
+                if self._b2:
+                    self._b2.popitem(last=False)
+            entry.policy_slot = _T1
+            self._t1.push_head(entry)
+
+    def touch(self, entry: PolicyEntry) -> None:
+        # Case I: real hit — move to MRU of T2.
+        if entry.policy_slot == _T1:
+            self._t1.remove(entry)
+        else:
+            self._t2.remove(entry)
+        entry.policy_slot = _T2
+        self._t2.push_head(entry)
+
+    def remove(self, entry: PolicyEntry) -> None:
+        if entry.policy_slot == _T1:
+            self._t1.remove(entry)
+        else:
+            self._t2.remove(entry)
+        entry.policy_slot = None
+
+    def select_victim(self) -> PolicyEntry:
+        """ARC's REPLACE: evict from T1 if it exceeds its target, else T2."""
+        if not self._t1 and not self._t2:
+            raise EvictionError("ARC tracks no entries")
+        from_t1 = bool(self._t1) and (
+            len(self._t1) > self._p or not self._t2
+        )
+        if from_t1:
+            victim: PolicyEntry = self._t1.pop_tail()  # type: ignore[assignment]
+            ghosts = self._b1
+        else:
+            victim = self._t2.pop_tail()  # type: ignore[assignment]
+            ghosts = self._b2
+        victim.policy_slot = None
+        if victim.key is not None:
+            ghosts[victim.key] = None
+            ghosts.move_to_end(victim.key)
+        return victim
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        for node in self._t1:
+            yield node  # type: ignore[misc]
+        for node in self._t2:
+            yield node  # type: ignore[misc]

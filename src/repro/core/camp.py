@@ -1,0 +1,178 @@
+"""CAMP — Cost Adaptive Multi-queue eviction Policy (Ghandeharizadeh et al.).
+
+CAMP (Middleware'14) is the closest related work the paper compares against
+conceptually (Section 7): it *approximates* GreedyDual-Size for key-value
+stores.  Key-value pairs are grouped into LRU queues by their cost-to-size
+ratio *rounded to a fixed precision*, so the number of distinct queues is
+bounded; a small heap over the queue heads finds the global minimum-priority
+item in O(log #queues).
+
+Rounding keeps the top ``precision`` significant bits of the integer ratio:
+``round_ratio(r) = (r >> s) << s`` where ``s = bit_length(r) - precision``
+(0 when the ratio is already short).  Because the priority of successive
+entries in one queue is non-decreasing (the global inflation value L only
+grows and the rounded ratio is fixed per queue), only queue heads can be the
+global minimum — that is CAMP's core observation.
+
+Unlike GD-Wheel, CAMP's decisions only approximate GreedyDual; the ablation
+bench shows where the approximation costs it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.intrusive import IntrusiveList
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+
+def round_ratio(ratio: int, precision: int) -> int:
+    """Keep the top ``precision`` significant bits of ``ratio``."""
+    if ratio <= 0:
+        return 0
+    shift = max(ratio.bit_length() - precision, 0)
+    return (ratio >> shift) << shift
+
+
+class _CampQueue:
+    """One LRU queue of entries sharing a rounded cost/size ratio."""
+
+    __slots__ = ("ratio", "items", "heap_slot")
+
+    def __init__(self, ratio: int) -> None:
+        self.ratio = ratio
+        self.items = IntrusiveList()
+        # Lazy heap slot: [head_priority, tiebreak_seq, queue-or-None]
+        self.heap_slot: Optional[list] = None
+
+    def head_priority(self) -> Optional[int]:
+        tail = self.items.tail  # oldest entry = candidate
+        if tail is None:
+            return None
+        entry: PolicyEntry = tail  # type: ignore[assignment]
+        return entry.policy_h
+
+
+class CAMPPolicy(ReplacementPolicy):
+    """CAMP: rounded cost/size ratio queues + heap of queue candidates."""
+
+    name = "camp"
+    cost_aware = True
+
+    def __init__(self, precision: int = 4, use_size: bool = True) -> None:
+        """
+        Args:
+            precision: significant bits kept when rounding ratios; CAMP's
+                paper shows small values (3-5) suffice.
+            use_size: divide cost by entry size (CAMP's default).  With
+                False, CAMP approximates plain GreedyDual, which makes it
+                directly comparable to GD-Wheel in single-slab-class setups.
+        """
+        if precision < 1:
+            raise ValueError("precision must be >= 1")
+        self.precision = precision
+        self.use_size = use_size
+        self._queues: Dict[int, _CampQueue] = {}
+        self._heap: List[list] = []
+        self._count = 0
+        self._inflation = 0
+        self._seq = 0  # heap tie-break so queue objects are never compared
+
+    @property
+    def inflation(self) -> int:
+        return self._inflation
+
+    def _ratio(self, entry: PolicyEntry) -> int:
+        raw = entry.cost
+        if self.use_size:
+            raw = (raw * 1024) // max(entry.size, 1)  # fixed-point cost/size
+        return round_ratio(raw, self.precision)
+
+    def _enqueue(self, entry: PolicyEntry) -> None:
+        ratio = self._ratio(entry)
+        entry.policy_h = self._inflation + ratio
+        queue = self._queues.get(ratio)
+        if queue is None:
+            queue = _CampQueue(ratio)
+            self._queues[ratio] = queue
+        queue.items.push_head(entry)
+        entry.policy_ref = queue
+        self._schedule(queue)
+
+    def _schedule(self, queue: _CampQueue) -> None:
+        """(Re)insert the queue into the candidate heap keyed by its head."""
+        priority = queue.head_priority()
+        if priority is None:
+            if queue.heap_slot is not None:
+                queue.heap_slot[2] = None
+                queue.heap_slot = None
+            return
+        slot = queue.heap_slot
+        if slot is not None and slot[0] == priority:
+            return  # candidate unchanged
+        if slot is not None:
+            slot[2] = None  # lazy-delete the stale slot
+        self._seq += 1
+        fresh = [priority, self._seq, queue]
+        queue.heap_slot = fresh
+        heapq.heappush(self._heap, fresh)
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        self._enqueue(entry)
+        self._count += 1
+
+    def _queue_of(self, entry: PolicyEntry) -> _CampQueue:
+        queue = entry.policy_ref
+        if not isinstance(queue, _CampQueue):
+            raise ValueError("entry is not tracked by this policy")
+        return queue
+
+    def touch(self, entry: PolicyEntry) -> None:
+        queue = self._queue_of(entry)
+        queue.items.remove(entry)
+        self._schedule(queue)
+        self._enqueue(entry)
+
+    def remove(self, entry: PolicyEntry) -> None:
+        queue = self._queue_of(entry)
+        queue.items.remove(entry)
+        entry.policy_ref = None
+        self._count -= 1
+        self._schedule(queue)
+
+    def select_victim(self) -> PolicyEntry:
+        while self._heap:
+            slot = heapq.heappop(self._heap)
+            queue = slot[2]
+            if queue is None:
+                continue
+            queue.heap_slot = None
+            priority = queue.head_priority()
+            if priority is None:
+                continue
+            if priority != slot[0]:
+                # Head changed since scheduling; re-schedule and retry.
+                self._schedule(queue)
+                continue
+            victim: PolicyEntry = queue.items.pop_tail()  # type: ignore[assignment]
+            victim.policy_ref = None
+            self._count -= 1
+            self._inflation = victim.policy_h
+            self._schedule(queue)
+            return victim
+        raise EvictionError("CAMP tracks no entries")
+
+    def __len__(self) -> int:
+        return self._count
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        for queue in self._queues.values():
+            for node in queue.items:
+                yield node  # type: ignore[misc]
+
+    def num_queues(self) -> int:
+        """Number of live (non-empty) ratio queues."""
+        return sum(1 for q in self._queues.values() if q.items)

@@ -1,0 +1,81 @@
+"""CLOCK — the one-bit approximation of LRU used by MemC3.
+
+Fan et al. (NSDI'13) replaced memcached's LRU lists with a CLOCK policy to
+improve space efficiency and concurrency; the paper cites it as one of the
+constant-time, cost-oblivious policies GD-Wheel competes with.
+
+Entries sit in a circular list.  Each entry carries a reference bit (stored
+in ``policy_slot``).  A reuse sets the bit; the victim search sweeps a hand
+around the circle, clearing set bits and evicting the first entry whose bit
+is already clear.  A single sweep step is O(1); a full victim search is
+amortized O(1) because each cleared bit was paid for by the touch that set
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.intrusive import IntrusiveList, IntrusiveNode
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance CLOCK over an intrusive list treated as a ring.
+
+    The intrusive list's head is "just behind the hand": the hand examines
+    the tail, and surviving entries are rotated to the head with their bit
+    cleared.
+    """
+
+    name = "clock"
+    cost_aware = False
+
+    def __init__(self) -> None:
+        self._ring = IntrusiveList()
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        entry.policy_slot = 1  # new entries get one free pass, like MemC3
+        self._ring.push_head(entry)
+
+    def touch(self, entry: PolicyEntry) -> None:
+        # CLOCK's whole point: a reuse only flips a bit, no list surgery.
+        entry.policy_slot = 1
+
+    def remove(self, entry: PolicyEntry) -> None:
+        self._ring.remove(entry)
+
+    def select_victim(self) -> PolicyEntry:
+        if not self._ring:
+            raise EvictionError("CLOCK ring is empty")
+        # Bounded by 2n sweeps in the worst case; amortized O(1) per evict.
+        while True:
+            node = self._ring.tail
+            assert node is not None
+            entry: PolicyEntry = node  # type: ignore[assignment]
+            if entry.policy_slot:
+                entry.policy_slot = 0
+                self._ring.move_to_head(entry)
+            else:
+                self._ring.remove(entry)
+                return entry
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        return iter(self._ring)  # type: ignore[return-value]
+
+    def peek_victim(self) -> Optional[PolicyEntry]:
+        """First clear-bit entry scanning from the hand; non-destructive."""
+        node: Optional[IntrusiveNode] = self._ring.tail
+        while node is not None:
+            entry: PolicyEntry = node  # type: ignore[assignment]
+            if not entry.policy_slot:
+                return entry
+            node = node._prev
+        # Everyone referenced: the current tail will be the eventual victim
+        # only after a full clearing sweep; report the tail.
+        return self._ring.tail  # type: ignore[return-value]

@@ -1,0 +1,148 @@
+"""GD-PQ — Cao & Irani's O(log n) GreedyDual implementation.
+
+This reproduces the comparator the paper calls GD-PQ (Section 6): a single
+priority queue over all cached entries plus a global *inflation value* ``L``.
+On insertion or reuse, ``H(p) = L + c(p)``; on eviction the minimum-``H``
+entry goes (ties broken least-recently-used first) and ``L`` is advanced to
+its ``H``.
+
+The priority queue is a binary heap with *lazy deletion*: a touch or remove
+marks the entry's current heap slot stale and (for touches) pushes a fresh
+one.  Stale slots are discarded when they surface at the top.  To keep the
+heap from growing without bound under touch-heavy workloads, the heap is
+compacted once the stale fraction passes a threshold — the amortized cost
+stays O(log n) per operation.
+
+Cao & Irani note that a real implementation must occasionally rescan the
+queue to deflate ``L`` before it overflows its integer type; Python integers
+never overflow, but the paper's complexity argument (and our Figure-7 bench)
+depends on that machinery existing, so an optional ``inflation_limit``
+triggers the same O(n) deflation rescan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional
+
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+# A heap slot: [H, recency sequence, entry-or-None].  Slot is "stale" when the
+# entry field is None or no longer points back at this slot.
+_SlotType = list
+
+
+class GDPQPolicy(ReplacementPolicy):
+    """GreedyDual via a lazy-deletion binary heap and inflation value L."""
+
+    name = "gd-pq"
+    cost_aware = True
+
+    def __init__(
+        self,
+        inflation_limit: Optional[int] = None,
+        compact_ratio: float = 2.0,
+    ) -> None:
+        """
+        Args:
+            inflation_limit: if set, deflate priorities with an O(n) rescan
+                whenever ``L`` reaches this value (models integer overflow
+                handling in the C implementation).
+            compact_ratio: rebuild the heap when it holds more than
+                ``compact_ratio`` times as many slots as live entries.
+        """
+        if compact_ratio < 1.0:
+            raise ValueError("compact_ratio must be >= 1.0")
+        self._heap: List[_SlotType] = []
+        self._live = 0
+        self._seq = 0
+        self._inflation = 0  # the global L
+        self._inflation_limit = inflation_limit
+        self._compact_ratio = compact_ratio
+        #: number of O(n) deflation rescans performed (observable in tests)
+        self.deflation_count = 0
+
+    @property
+    def inflation(self) -> int:
+        """Current global inflation value L."""
+        return self._inflation
+
+    def _push(self, entry: PolicyEntry) -> None:
+        self._seq += 1
+        entry.policy_seq = self._seq
+        slot: _SlotType = [entry.policy_h, self._seq, entry]
+        entry.policy_ref = slot
+        heapq.heappush(self._heap, slot)
+
+    def _invalidate(self, entry: PolicyEntry) -> None:
+        slot = entry.policy_ref
+        if slot is None or slot[2] is not entry:
+            raise ValueError("entry is not tracked by this policy")
+        slot[2] = None
+        entry.policy_ref = None
+
+    def _maybe_compact(self) -> None:
+        if len(self._heap) > self._compact_ratio * max(self._live, 16):
+            self._heap = [slot for slot in self._heap if slot[2] is not None]
+            heapq.heapify(self._heap)
+
+    def _maybe_deflate(self) -> None:
+        if self._inflation_limit is None or self._inflation < self._inflation_limit:
+            return
+        # The O(n) rescan Cao & Irani describe: subtract L from every live
+        # priority and rebuild the queue.
+        delta = self._inflation
+        self._inflation = 0
+        self.deflation_count += 1
+        fresh: List[_SlotType] = []
+        for slot in self._heap:
+            entry = slot[2]
+            if entry is None:
+                continue
+            entry.policy_h = max(0, entry.policy_h - delta)
+            slot[0] = entry.policy_h
+            fresh.append(slot)
+        heapq.heapify(fresh)
+        self._heap = fresh
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        entry.policy_h = self._inflation + cost
+        self._push(entry)
+        self._live += 1
+
+    def touch(self, entry: PolicyEntry) -> None:
+        self._invalidate(entry)
+        entry.policy_h = self._inflation + entry.cost
+        self._push(entry)
+        self._maybe_compact()
+
+    def remove(self, entry: PolicyEntry) -> None:
+        self._invalidate(entry)
+        self._live -= 1
+        self._maybe_compact()
+
+    def select_victim(self) -> PolicyEntry:
+        while self._heap:
+            slot = heapq.heappop(self._heap)
+            entry = slot[2]
+            if entry is None:
+                continue
+            entry.policy_ref = None
+            self._live -= 1
+            self._inflation = entry.policy_h
+            self._maybe_deflate()
+            return entry
+        raise EvictionError("GD-PQ tracks no entries")
+
+    def __len__(self) -> int:
+        return self._live
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        return iter([slot[2] for slot in self._heap if slot[2] is not None])
+
+    def peek_victim(self) -> Optional[PolicyEntry]:
+        while self._heap and self._heap[0][2] is None:
+            heapq.heappop(self._heap)
+        return self._heap[0][2] if self._heap else None

@@ -1,0 +1,138 @@
+"""GreedyDual-Size and GDSF — the size-aware GreedyDual variants.
+
+Cao & Irani's *GreedyDual-Size* (GDS) sets ``H = L + cost/size`` so that,
+between two equally expensive objects, the larger one is evicted first.
+The Squid variant *GDSF* (GreedyDual-Size-Frequency) additionally scales by
+an access-frequency count: ``H = L + frequency * cost / size``.
+
+The paper deliberately does *not* use size in GD-Wheel because memcached's
+slab classes already segregate sizes (Section 7), but both variants are
+implemented here for the related-work ablation bench
+(``benchmarks/test_ablation_policy_zoo.py``).
+
+Priorities are floats, so the wheel trick does not apply; like GD-PQ these
+use a lazy-deletion binary heap with a global inflation value.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional
+
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+_SlotType = list
+
+
+class _HeapGreedyDual(ReplacementPolicy):
+    """Shared heap machinery for float-priority GreedyDual variants."""
+
+    cost_aware = True
+
+    def __init__(self, compact_ratio: float = 2.0) -> None:
+        self._heap: List[_SlotType] = []
+        self._live = 0
+        self._seq = 0
+        self._inflation = 0.0
+        self._compact_ratio = compact_ratio
+
+    def _priority(self, entry: PolicyEntry) -> float:
+        raise NotImplementedError
+
+    @property
+    def inflation(self) -> float:
+        return self._inflation
+
+    def _push(self, entry: PolicyEntry) -> None:
+        self._seq += 1
+        entry.policy_seq = self._seq
+        entry.policy_h = self._inflation + self._priority(entry)
+        slot: _SlotType = [entry.policy_h, self._seq, entry]
+        entry.policy_ref = slot
+        heapq.heappush(self._heap, slot)
+
+    def _invalidate(self, entry: PolicyEntry) -> None:
+        slot = entry.policy_ref
+        if slot is None or slot[2] is not entry:
+            raise ValueError("entry is not tracked by this policy")
+        slot[2] = None
+        entry.policy_ref = None
+
+    def _maybe_compact(self) -> None:
+        if len(self._heap) > self._compact_ratio * max(self._live, 16):
+            self._heap = [s for s in self._heap if s[2] is not None]
+            heapq.heapify(self._heap)
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        self._prepare_insert(entry)
+        self._push(entry)
+        self._live += 1
+
+    def _prepare_insert(self, entry: PolicyEntry) -> None:
+        """Hook for subclasses (e.g. frequency reset)."""
+
+    def touch(self, entry: PolicyEntry) -> None:
+        self._invalidate(entry)
+        self._prepare_touch(entry)
+        self._push(entry)
+        self._maybe_compact()
+
+    def _prepare_touch(self, entry: PolicyEntry) -> None:
+        """Hook for subclasses (e.g. frequency bump)."""
+
+    def remove(self, entry: PolicyEntry) -> None:
+        self._invalidate(entry)
+        self._live -= 1
+        self._maybe_compact()
+
+    def select_victim(self) -> PolicyEntry:
+        while self._heap:
+            slot = heapq.heappop(self._heap)
+            entry = slot[2]
+            if entry is None:
+                continue
+            entry.policy_ref = None
+            self._live -= 1
+            self._inflation = entry.policy_h
+            return entry
+        raise EvictionError(f"{self.name} tracks no entries")
+
+    def __len__(self) -> int:
+        return self._live
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        return iter([s[2] for s in self._heap if s[2] is not None])
+
+    def peek_victim(self) -> Optional[PolicyEntry]:
+        while self._heap and self._heap[0][2] is None:
+            heapq.heappop(self._heap)
+        return self._heap[0][2] if self._heap else None
+
+
+class GDSPolicy(_HeapGreedyDual):
+    """GreedyDual-Size: ``H = L + cost / size``."""
+
+    name = "gds"
+
+    def _priority(self, entry: PolicyEntry) -> float:
+        return entry.cost / max(entry.size, 1)
+
+
+class GDSFPolicy(_HeapGreedyDual):
+    """GDSF (Squid): ``H = L + frequency * cost / size``.
+
+    The access-frequency count is kept in ``policy_slot``.
+    """
+
+    name = "gdsf"
+
+    def _prepare_insert(self, entry: PolicyEntry) -> None:
+        entry.policy_slot = 1
+
+    def _prepare_touch(self, entry: PolicyEntry) -> None:
+        entry.policy_slot = (entry.policy_slot or 1) + 1
+
+    def _priority(self, entry: PolicyEntry) -> float:
+        return (entry.policy_slot or 1) * entry.cost / max(entry.size, 1)

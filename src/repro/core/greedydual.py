@@ -1,0 +1,79 @@
+"""Young's original GreedyDual algorithm with O(n) evictions.
+
+This is the textbook formulation (Section 3.1 of the paper): on insertion or
+reuse of ``p``, set ``H(p) = c(p)``; on eviction, evict the entry with the
+minimum ``H`` (breaking ties toward the least recently used) and subtract
+that minimum from every remaining entry's ``H``.
+
+It is hopeless as a production policy — an eviction walks every cached entry
+— but it is the cleanest possible *oracle*: GD-PQ and GD-Wheel must make
+exactly the same eviction decisions, and the equivalence tests in
+``tests/core/test_equivalence.py`` check all three against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+
+class NaiveGreedyDual(ReplacementPolicy):
+    """Reference GreedyDual with explicit per-eviction H deflation."""
+
+    name = "gd-naive"
+    cost_aware = True
+
+    def __init__(self) -> None:
+        self._entries: List[PolicyEntry] = []
+        self._seq = 0  # recency stamp for tie-breaking
+
+    def _stamp(self, entry: PolicyEntry) -> None:
+        self._seq += 1
+        entry.policy_seq = self._seq
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        entry.policy_h = cost
+        self._stamp(entry)
+        entry.policy_slot = len(self._entries)
+        self._entries.append(entry)
+
+    def touch(self, entry: PolicyEntry) -> None:
+        entry.policy_h = entry.cost
+        self._stamp(entry)
+
+    def remove(self, entry: PolicyEntry) -> None:
+        idx = entry.policy_slot
+        if not isinstance(idx, int) or idx >= len(self._entries) or self._entries[idx] is not entry:
+            raise ValueError("entry is not tracked by this policy")
+        last = self._entries.pop()
+        if last is not entry:
+            self._entries[idx] = last
+            last.policy_slot = idx
+        entry.policy_slot = None
+
+    def select_victim(self) -> PolicyEntry:
+        if not self._entries:
+            raise EvictionError("GreedyDual tracks no entries")
+        # Minimum H; ties broken by *oldest* recency stamp (LRU), matching
+        # Algorithm 1's "evict the least recently used object in M".
+        victim = min(self._entries, key=lambda e: (e.policy_h, e.policy_seq))
+        h_min = victim.policy_h
+        self.remove(victim)
+        if h_min:
+            for entry in self._entries:
+                entry.policy_h -= h_min
+        return victim
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        return iter(list(self._entries))
+
+    def peek_victim(self) -> Optional[PolicyEntry]:
+        if not self._entries:
+            return None
+        return min(self._entries, key=lambda e: (e.policy_h, e.policy_seq))

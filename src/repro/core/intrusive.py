@@ -1,0 +1,160 @@
+"""Intrusive doubly-linked list used by every replacement policy.
+
+Replacement policies need O(1) removal of an arbitrary element given a
+reference to it (e.g. when a cached item is reused or deleted).  A normal
+``collections.deque`` or ``list`` cannot do that, so — exactly like memcached's
+``item`` struct with its ``prev``/``next`` pointers — list membership is
+*intrusive*: the links live on the node itself.
+
+``IntrusiveNode`` is intended to be embedded (by inheritance or composition)
+in whatever object a policy tracks.  A node may belong to at most one
+``IntrusiveList`` at a time; the owning list is recorded on the node so that
+misuse (double-insertion, removing from the wrong list) raises instead of
+silently corrupting the structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class IntrusiveNode:
+    """A node that can be linked into exactly one :class:`IntrusiveList`."""
+
+    __slots__ = ("_prev", "_next", "_list")
+
+    def __init__(self) -> None:
+        self._prev: Optional[IntrusiveNode] = None
+        self._next: Optional[IntrusiveNode] = None
+        self._list: Optional[IntrusiveList] = None
+
+    @property
+    def linked(self) -> bool:
+        """Whether this node currently belongs to a list."""
+        return self._list is not None
+
+    @property
+    def owner(self) -> Optional["IntrusiveList"]:
+        """The list this node belongs to, or ``None``."""
+        return self._list
+
+
+class IntrusiveList:
+    """A doubly-linked list of :class:`IntrusiveNode` with O(1) unlink.
+
+    The list keeps an explicit length so ``len()`` is O(1).  Head is the most
+    recently pushed side (``push_head``); tail is the eviction side for the
+    LRU-flavoured uses throughout this package.
+    """
+
+    __slots__ = ("_head", "_tail", "_size")
+
+    def __init__(self) -> None:
+        self._head: Optional[IntrusiveNode] = None
+        self._tail: Optional[IntrusiveNode] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def head(self) -> Optional[IntrusiveNode]:
+        return self._head
+
+    @property
+    def tail(self) -> Optional[IntrusiveNode]:
+        return self._tail
+
+    def push_head(self, node: IntrusiveNode) -> None:
+        """Insert ``node`` at the head (most-recent end)."""
+        if node._list is not None:
+            raise ValueError("node is already linked into a list")
+        node._list = self
+        node._prev = None
+        node._next = self._head
+        if self._head is not None:
+            self._head._prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+        self._size += 1
+
+    def push_tail(self, node: IntrusiveNode) -> None:
+        """Insert ``node`` at the tail (least-recent end)."""
+        if node._list is not None:
+            raise ValueError("node is already linked into a list")
+        node._list = self
+        node._next = None
+        node._prev = self._tail
+        if self._tail is not None:
+            self._tail._next = node
+        self._tail = node
+        if self._head is None:
+            self._head = node
+        self._size += 1
+
+    def remove(self, node: IntrusiveNode) -> None:
+        """Unlink ``node`` from this list in O(1)."""
+        if node._list is not self:
+            raise ValueError("node does not belong to this list")
+        if node._prev is not None:
+            node._prev._next = node._next
+        else:
+            self._head = node._next
+        if node._next is not None:
+            node._next._prev = node._prev
+        else:
+            self._tail = node._prev
+        node._prev = None
+        node._next = None
+        node._list = None
+        self._size -= 1
+
+    def pop_tail(self) -> Optional[IntrusiveNode]:
+        """Remove and return the tail node, or ``None`` if empty."""
+        node = self._tail
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def pop_head(self) -> Optional[IntrusiveNode]:
+        """Remove and return the head node, or ``None`` if empty."""
+        node = self._head
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def move_to_head(self, node: IntrusiveNode) -> None:
+        """Move an already-linked node to the head of this list."""
+        self.remove(node)
+        self.push_head(node)
+
+    def __iter__(self) -> Iterator[IntrusiveNode]:
+        """Iterate head → tail.  Do not mutate the list while iterating."""
+        node = self._head
+        while node is not None:
+            nxt = node._next
+            yield node
+            node = nxt
+
+    def iter_tail(self) -> Iterator[IntrusiveNode]:
+        """Iterate tail → head.  Do not mutate the list while iterating."""
+        node = self._tail
+        while node is not None:
+            prv = node._prev
+            yield node
+            node = prv
+
+    def drain(self) -> Iterator[IntrusiveNode]:
+        """Pop nodes head-first until empty, yielding each.
+
+        Safe to use while relinking the yielded nodes into other lists
+        (the node is already unlinked when yielded).
+        """
+        while self._head is not None:
+            node = self._head
+            self.remove(node)
+            yield node

@@ -1,0 +1,53 @@
+"""Least-Recently-Used replacement — memcached's default policy.
+
+Memcached keeps one LRU queue per slab class and evicts from the tail
+(Section 4.2 of the paper).  Insertions and reuses move the entry to the
+head; every operation is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.intrusive import IntrusiveList
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU over an intrusive doubly-linked list."""
+
+    name = "lru"
+    cost_aware = False
+
+    def __init__(self) -> None:
+        self._queue = IntrusiveList()
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        self._queue.push_head(entry)
+
+    def touch(self, entry: PolicyEntry) -> None:
+        self._queue.move_to_head(entry)
+
+    def remove(self, entry: PolicyEntry) -> None:
+        self._queue.remove(entry)
+
+    def select_victim(self) -> PolicyEntry:
+        victim = self._queue.pop_tail()
+        if victim is None:
+            raise EvictionError("LRU queue is empty")
+        return victim  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        return iter(self._queue)  # type: ignore[return-value]
+
+    def peek_victim(self) -> Optional[PolicyEntry]:
+        return self._queue.tail  # type: ignore[return-value]
+
+    def iter_tail(self) -> Iterator[PolicyEntry]:
+        """Iterate from the eviction end; used by expiry scans."""
+        return self._queue.iter_tail()  # type: ignore[return-value]

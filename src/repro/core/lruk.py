@@ -1,0 +1,108 @@
+"""LRU-K (O'Neil, O'Neil & Weikum, SIGMOD'93).
+
+The last of the hit-ratio-oriented related-work baselines (Section 7).
+LRU-K evicts the entry whose K-th most recent reference is furthest in the
+past; entries referenced fewer than K times are the first to go (their K-th
+reference time is treated as minus infinity), ordered among themselves by
+their most recent reference.
+
+Implemented with a lazy-deletion heap keyed by
+``(kth_recent_time, last_time)`` — the same technique as GD-PQ, so an
+operation is O(log n).  The per-entry reference history (a bounded tuple of
+the last K access times) lives in ``policy_slot``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+_NEVER = -1  # earlier than any real timestamp
+
+
+class LRUKPolicy(ReplacementPolicy):
+    """LRU-K via a lazy-deletion heap over (K-th recent, most recent) times."""
+
+    name = "lru-k"
+    cost_aware = False
+
+    def __init__(self, k: int = 2, compact_ratio: float = 2.0) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._heap: List[list] = []
+        self._live = 0
+        self._clock = 0
+        self._compact_ratio = compact_ratio
+
+    def _key(self, history: Tuple[int, ...]) -> Tuple[int, int]:
+        kth = history[0] if len(history) == self.k else _NEVER
+        return (kth, history[-1])
+
+    def _push(self, entry: PolicyEntry) -> None:
+        kth, last = self._key(entry.policy_slot)
+        slot = [kth, last, entry]
+        entry.policy_ref = slot
+        heapq.heappush(self._heap, slot)
+
+    def _invalidate(self, entry: PolicyEntry) -> None:
+        slot = entry.policy_ref
+        if slot is None or slot[2] is not entry:
+            raise ValueError("entry is not tracked by this policy")
+        slot[2] = None
+        entry.policy_ref = None
+
+    def _maybe_compact(self) -> None:
+        if len(self._heap) > self._compact_ratio * max(self._live, 16):
+            self._heap = [s for s in self._heap if s[2] is not None]
+            heapq.heapify(self._heap)
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        entry.policy_slot = (self._tick(),)
+        self._push(entry)
+        self._live += 1
+
+    def touch(self, entry: PolicyEntry) -> None:
+        self._invalidate(entry)
+        history: Tuple[int, ...] = entry.policy_slot
+        history = (history + (self._tick(),))[-self.k :]
+        entry.policy_slot = history
+        self._push(entry)
+        self._maybe_compact()
+
+    def remove(self, entry: PolicyEntry) -> None:
+        self._invalidate(entry)
+        entry.policy_slot = None
+        self._live -= 1
+        self._maybe_compact()
+
+    def select_victim(self) -> PolicyEntry:
+        while self._heap:
+            slot = heapq.heappop(self._heap)
+            entry = slot[2]
+            if entry is None:
+                continue
+            entry.policy_ref = None
+            entry.policy_slot = None
+            self._live -= 1
+            return entry
+        raise EvictionError("LRU-K tracks no entries")
+
+    def __len__(self) -> int:
+        return self._live
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        return iter([s[2] for s in self._heap if s[2] is not None])
+
+    def peek_victim(self) -> Optional[PolicyEntry]:
+        while self._heap and self._heap[0][2] is None:
+            heapq.heappop(self._heap)
+        return self._heap[0][2] if self._heap else None

@@ -1,0 +1,59 @@
+"""Random replacement — one of Redis's ``maxmemory`` eviction options.
+
+The paper cites Redis's random eviction as the other constant-time,
+cost-oblivious policy in production key-value stores.  We keep a dense array
+of tracked entries plus each entry's index (in ``policy_slot``) so that
+insert, touch, remove, and victim selection are all O(1) (removal uses the
+swap-with-last trick).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random eviction with O(1) operations."""
+
+    name = "random"
+    cost_aware = False
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._entries: List[PolicyEntry] = []
+        self._rng = random.Random(seed)
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        entry.policy_slot = len(self._entries)
+        self._entries.append(entry)
+
+    def touch(self, entry: PolicyEntry) -> None:
+        # Random replacement is recency-oblivious; nothing to do.
+        pass
+
+    def remove(self, entry: PolicyEntry) -> None:
+        idx = entry.policy_slot
+        if not isinstance(idx, int) or idx >= len(self._entries) or self._entries[idx] is not entry:
+            raise ValueError("entry is not tracked by this policy")
+        last = self._entries.pop()
+        if last is not entry:
+            self._entries[idx] = last
+            last.policy_slot = idx
+        entry.policy_slot = None
+
+    def select_victim(self) -> PolicyEntry:
+        if not self._entries:
+            raise EvictionError("random policy tracks no entries")
+        victim = self._entries[self._rng.randrange(len(self._entries))]
+        self.remove(victim)
+        return victim
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        return iter(list(self._entries))

@@ -1,0 +1,102 @@
+"""2Q replacement (Johnson & Shasha, VLDB'94) — a hit-ratio-oriented baseline.
+
+The paper's related work (Section 7) lists 2Q among the policies that chase
+hit ratio while ignoring cost; the policy-zoo ablation bench uses it to show
+that a better hit ratio does not imply a lower total recomputation cost.
+
+This is the "full" 2Q: a FIFO probation queue *A1in*, a ghost key queue
+*A1out* remembering recently evicted probation keys, and a main LRU queue
+*Am*.  A reference whose key is remembered in A1out is promoted straight to
+Am (it proved itself "hot").  Unlike the GreedyDual family, 2Q needs to know
+the cache capacity to size its queues; ``capacity`` is in entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.core.intrusive import IntrusiveList
+from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+
+_A1IN = 1
+_AM = 2
+
+
+class TwoQPolicy(ReplacementPolicy):
+    """2Q with A1in/A1out/Am; queue membership kept in ``policy_slot``."""
+
+    name = "2q"
+    cost_aware = False
+
+    def __init__(self, capacity: int, kin: float = 0.25, kout: float = 0.5) -> None:
+        """
+        Args:
+            capacity: cache capacity in entries (sizes the internal queues).
+            kin: A1in target size as a fraction of capacity.
+            kout: A1out ghost-key count as a fraction of capacity.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._kin = max(1, int(capacity * kin))
+        self._kout = max(1, int(capacity * kout))
+        self._a1in = IntrusiveList()
+        self._am = IntrusiveList()
+        self._a1out: "OrderedDict[object, None]" = OrderedDict()
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        self.check_cost(cost)
+        entry.cost = cost
+        if entry.key is not None and entry.key in self._a1out:
+            del self._a1out[entry.key]
+            entry.policy_slot = _AM
+            self._am.push_head(entry)
+        else:
+            entry.policy_slot = _A1IN
+            self._a1in.push_head(entry)
+
+    def touch(self, entry: PolicyEntry) -> None:
+        if entry.policy_slot == _AM:
+            self._am.move_to_head(entry)
+        # A1in entries are deliberately not reordered: 2Q uses the FIFO pass
+        # through A1in to filter one-hit wonders.
+
+    def remove(self, entry: PolicyEntry) -> None:
+        if entry.policy_slot == _AM:
+            self._am.remove(entry)
+        else:
+            self._a1in.remove(entry)
+        entry.policy_slot = None
+
+    def _remember_ghost(self, key: object) -> None:
+        if key is None:
+            return
+        self._a1out[key] = None
+        self._a1out.move_to_end(key)
+        while len(self._a1out) > self._kout:
+            self._a1out.popitem(last=False)
+
+    def select_victim(self) -> PolicyEntry:
+        if len(self._a1in) > self._kin or not self._am:
+            victim = self._a1in.pop_tail()
+            if victim is not None:
+                entry: PolicyEntry = victim  # type: ignore[assignment]
+                entry.policy_slot = None
+                self._remember_ghost(entry.key)
+                return entry
+        victim = self._am.pop_tail()
+        if victim is None:
+            raise EvictionError("2Q tracks no entries")
+        entry = victim  # type: ignore[assignment]
+        entry.policy_slot = None
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def entries(self) -> Iterator[PolicyEntry]:
+        for node in self._a1in:
+            yield node  # type: ignore[misc]
+        for node in self._am:
+            yield node  # type: ignore[misc]

@@ -1,0 +1,13 @@
+"""Experiment runners: one module per paper table/figure family.
+
+* :mod:`repro.experiments.motivation` — Table 1
+* :mod:`repro.experiments.opcost_exp` — Figures 7 and 8
+* :mod:`repro.experiments.single_size` — Figures 9-12 and hit-rate parity
+* :mod:`repro.experiments.multi_size` — Figures 13-15
+* :mod:`repro.experiments.summary` — Table 4
+* :mod:`repro.experiments.cli` — the ``gdwheel-repro`` command
+"""
+
+from repro.experiments.scales import DEFAULT, LARGE, SMALL, ExperimentScale, active_scale
+
+__all__ = ["DEFAULT", "LARGE", "SMALL", "ExperimentScale", "active_scale"]

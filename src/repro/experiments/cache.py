@@ -1,0 +1,104 @@
+"""On-disk memoization of simulation runs.
+
+Figures 9, 10, 11, and 12 all read the same 20 single-size runs, and the
+Table 4 summary reads everything; caching by configuration fingerprint lets
+each benchmark module regenerate its own figure without re-simulating the
+shared suite.  Results live under ``.repro-results/`` next to the working
+directory (override with ``REPRO_CACHE_DIR``); delete the directory to force
+fresh runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.driver import SimConfig
+from repro.sim.results import SimResult
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-results"))
+
+
+def config_fingerprint(config: SimConfig) -> str:
+    """A stable hash of everything that affects a run's outcome."""
+    payload = {
+        "workload_id": config.spec.workload_id,
+        "workload_name": config.spec.name,
+        "multi_size": config.spec.multi_size,
+        "costs": config.spec.costs.name,
+        "sizes": config.spec.sizes.name,
+        "key_size": config.spec.key_size,
+        "theta": config.spec.theta,
+        "policy": config.policy,
+        "rebalancer": config.rebalancer,
+        "memory_limit": config.memory_limit,
+        "slab_size": config.slab_size,
+        "num_requests": config.num_requests,
+        "num_keys": config.num_keys,
+        "target_hit_rate": config.target_hit_rate,
+        "seed": config.seed,
+        "request_interval_s": config.request_interval_s,
+        "policy_kwargs": sorted(config.policy_kwargs.items()),
+        "rebalancer_kwargs": sorted(config.rebalancer_kwargs.items()),
+        "version": 2,  # bump to invalidate after semantic changes
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+def save_result(config: SimConfig, result: SimResult) -> None:
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = directory / config_fingerprint(config)
+    with open(stem.with_suffix(".json"), "w") as fh:
+        json.dump(result.to_dict(), fh, indent=2)
+    np.savez_compressed(stem.with_suffix(".npz"), miss_costs=result.miss_costs)
+
+
+def load_result(config: SimConfig) -> Optional[SimResult]:
+    stem = cache_dir() / config_fingerprint(config)
+    json_path = stem.with_suffix(".json")
+    npz_path = stem.with_suffix(".npz")
+    if not json_path.exists() or not npz_path.exists():
+        return None
+    with open(json_path) as fh:
+        data = json.load(fh)
+    with np.load(npz_path) as arrays:
+        miss_costs = arrays["miss_costs"]
+    return SimResult(
+        workload_id=data["workload_id"],
+        workload_name=data["workload_name"],
+        policy=data["policy"],
+        rebalancer=data["rebalancer"],
+        num_keys=data["num_keys"],
+        num_requests=data["num_requests"],
+        capacity_items=data["capacity_items"],
+        hit_rate=data["hit_rate"],
+        total_recomputation_cost=data["total_recomputation_cost"],
+        average_latency_us=data["average_latency_us"],
+        p99_latency_us=data["p99_latency_us"],
+        miss_costs=miss_costs,
+        store_stats=data["store_stats"],
+        wall_seconds=data["wall_seconds"],
+    )
+
+
+def run_cached(config: SimConfig, use_cache: bool = True) -> SimResult:
+    """Run a simulation, reading/writing the on-disk cache."""
+    from repro.sim.driver import run_simulation
+
+    if use_cache:
+        cached = load_result(config)
+        if cached is not None:
+            return cached
+    result = run_simulation(config)
+    if use_cache:
+        save_result(config, result)
+    return result

@@ -1,0 +1,139 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage (installed as ``gdwheel-repro`` or via ``python -m repro.experiments.cli``)::
+
+    gdwheel-repro table1           # motivation table
+    gdwheel-repro fig7 fig8        # policy op-cost sweep
+    gdwheel-repro fig9 fig10 fig11 fig12 hitrate
+    gdwheel-repro fig13 fig14 fig15
+    gdwheel-repro table4           # the summary
+    gdwheel-repro all              # everything
+
+Scale is taken from ``REPRO_SCALE`` (small / default / large); results are
+cached under ``.repro-results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.experiments import motivation, multi_size, opcost_exp, single_size, summary
+from repro.experiments.scales import active_scale
+
+SINGLE_TARGETS = {"fig9", "fig10", "fig11", "fig12", "hitrate"}
+MULTI_TARGETS = {"fig13", "fig14", "fig15", "slabmoves"}
+OPCOST_TARGETS = {"fig7", "fig8"}
+ALL_TARGETS = (
+    ["table1"]
+    + sorted(OPCOST_TARGETS)
+    + sorted(SINGLE_TARGETS)
+    + sorted(MULTI_TARGETS)
+    + ["table4", "pooling"]
+)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gdwheel-repro",
+        description="Regenerate the GD-Wheel paper's tables and figures.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        choices=ALL_TARGETS + ["all"],
+        help="which artefacts to regenerate",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also export machine-readable CSV tables into DIR",
+    )
+    args = parser.parse_args(argv)
+    targets = set(args.targets)
+    if "all" in targets:
+        targets = set(ALL_TARGETS)
+    use_cache = not args.no_cache
+    scale = active_scale()
+    print(f"scale: {scale.name} ({scale.memory_limit // (1024 * 1024)} MB cache, "
+          f"{scale.num_requests:,} requests)\n")
+
+    if "table1" in targets:
+        print(motivation.table1_report())
+        print()
+        print(motivation.band_ratio_report())
+        print()
+
+    if targets & OPCOST_TARGETS:
+        samples = opcost_exp.run_opcost_sweep()
+        if "fig7" in targets:
+            print(opcost_exp.fig7_report(samples))
+            print()
+        if "fig8" in targets:
+            print(opcost_exp.fig8_report(samples))
+            print()
+
+    if targets & SINGLE_TARGETS:
+        results = single_size.run_single_size_suite(scale=scale, use_cache=use_cache)
+        comps = single_size.comparisons(results)
+        if args.csv:
+            from repro.experiments.export import export_cdf, export_single_size
+
+            export_single_size(results, args.csv)
+            export_cdf(results, args.csv)
+        if "fig9" in targets:
+            print(single_size.fig9_report(comps))
+            print()
+        if "fig10" in targets:
+            print(single_size.fig10_report(comps))
+            print()
+        if "fig11" in targets:
+            print(single_size.fig11_report(comps))
+            print()
+        if "fig12" in targets:
+            print(single_size.fig12_report(results))
+            print()
+        if "hitrate" in targets:
+            print(single_size.hit_rate_report(comps))
+            print()
+
+    if targets & MULTI_TARGETS:
+        results = multi_size.run_multi_size_suite(scale=scale, use_cache=use_cache)
+        if args.csv:
+            from repro.experiments.export import export_multi_size
+
+            export_multi_size(results, args.csv)
+        if "fig13" in targets:
+            print(multi_size.fig13_report(results))
+            print()
+        if "fig14" in targets:
+            print(multi_size.fig14_report(results))
+            print()
+        if "fig15" in targets:
+            print(multi_size.fig15_report(results))
+            print()
+        if "slabmoves" in targets:
+            print(multi_size.slab_moves_report(results))
+            print()
+
+    if "table4" in targets:
+        measured = summary.table4_measured(scale=scale, use_cache=use_cache)
+        print(summary.table4_report(measured))
+        print()
+
+    if "pooling" in targets:
+        from repro.cluster import pooling_report, run_pooling_comparison
+
+        print(pooling_report(run_pooling_comparison()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""CSV export of experiment tables.
+
+Every figure report can also be written as CSV for plotting outside the
+terminal (the paper's figures are bar charts and CDFs; ``gdwheel-repro
+--csv`` drops machine-readable rows next to the text reports).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> Path:
+    """Write one table; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_single_size(results, directory: Union[str, Path]) -> list:
+    """CSV files for Figures 9-11 plus hit rates from one suite run."""
+    from repro.experiments.single_size import (
+        comparisons,
+        fig9_rows,
+        fig10_rows,
+        fig11_rows,
+        hit_rate_rows,
+    )
+
+    directory = Path(directory)
+    comps = comparisons(results)
+    written = []
+    for name, headers, rows in (
+        ("fig9", ["workload", "name", "lru_avg_us", "gdwheel_avg_us",
+                  "reduction_pct"], fig9_rows(comps)),
+        ("fig10", ["workload", "name", "lru_norm", "gdwheel_norm",
+                   "reduction_pct"], fig10_rows(comps)),
+        ("fig11", ["workload", "name", "lru_p99_us", "gdwheel_p99_us",
+                   "reduction_pct"], fig11_rows(comps)),
+        ("hitrate", ["workload", "name", "lru_hit_pct", "gdwheel_hit_pct",
+                     "delta_pp"], hit_rate_rows(comps)),
+    ):
+        written.append(write_csv(directory / f"{name}.csv", headers, rows))
+    return written
+
+
+def export_cdf(results, directory: Union[str, Path], workload_id: str = "1") -> list:
+    """Figure 12's CDF series, one CSV per policy."""
+    from repro.experiments.single_size import fig12_cdfs
+
+    directory = Path(directory)
+    written = []
+    for policy, series in sorted(fig12_cdfs(results, workload_id).items()):
+        written.append(
+            write_csv(
+                directory / f"fig12_{policy}.csv",
+                ["cost", "cdf"],
+                series,
+            )
+        )
+    return written
+
+
+def export_multi_size(results, directory: Union[str, Path]) -> list:
+    """CSV files for Figures 13-15 from one multi-size suite run."""
+    from repro.experiments.multi_size import fig13_rows, fig14_rows, fig15_rows
+
+    directory = Path(directory)
+    config_cols = ["lru_orig", "gdwheel_orig", "gdwheel_new"]
+    written = []
+    for name, metric, rows in (
+        ("fig13", "avg_us", fig13_rows(results)),
+        ("fig14", "norm_cost", fig14_rows(results)),
+        ("fig15", "p99_us", fig15_rows(results)),
+    ):
+        headers = ["workload", "name"] + [
+            f"{c}_{metric}" for c in config_cols
+        ] + ["new_vs_lru_pct"]
+        written.append(write_csv(directory / f"{name}.csv", headers, rows))
+    return written

@@ -1,0 +1,164 @@
+"""The multiple-size workload study (Figures 13-15).
+
+Table 3's three workloads give each cost group its own value size so each
+lands in its own slab class; the study compares three configurations
+(Section 6.4.2):
+
+* ``LRU+Orig`` — LRU with memcached's original rebalancer (the baseline),
+* ``GD-Wheel+Orig`` — cost-aware replacement, original rebalancer,
+* ``GD-Wheel+New`` — cost-aware replacement plus the cost-aware rebalancer.
+
+(The paper notes LRU cannot pair with the cost-aware rebalancer, which
+needs per-item costs.)  A faithful detail to watch in reports: the original
+rebalancer should move **zero** slabs — no class has a zero-eviction window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import run_cached
+from repro.experiments.report import render_table
+from repro.experiments.scales import ExperimentScale, active_scale
+from repro.sim.driver import SimConfig
+from repro.sim.metrics import normalized, reduction_percent
+from repro.sim.results import SimResult
+from repro.workloads.ycsb import MULTI_SIZE_WORKLOADS
+
+#: (label, policy, rebalancer) — the paper's three configurations.
+CONFIGURATIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("LRU+Orig", "lru", "original"),
+    ("GD-Wheel+Orig", "gd-wheel", "original"),
+    ("GD-Wheel+New", "gd-wheel", "cost-aware"),
+)
+
+ResultKey = Tuple[str, str]  # (workload_id, configuration label)
+
+
+def run_multi_size_suite(
+    scale: Optional[ExperimentScale] = None,
+    configurations: Sequence[Tuple[str, str, str]] = CONFIGURATIONS,
+    workload_ids: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+) -> Dict[ResultKey, SimResult]:
+    scale = scale or active_scale()
+    ids = list(workload_ids) if workload_ids is not None else list(
+        MULTI_SIZE_WORKLOADS
+    )
+    results: Dict[ResultKey, SimResult] = {}
+    for wid in ids:
+        spec = MULTI_SIZE_WORKLOADS[wid]
+        for label, policy, rebalancer in configurations:
+            config = SimConfig(
+                spec=spec,
+                policy=policy,
+                rebalancer=rebalancer,
+                memory_limit=scale.memory_limit,
+                slab_size=scale.slab_size,
+                num_requests=scale.num_requests,
+                seed=scale.seed,
+            )
+            results[(wid, label)] = run_cached(config, use_cache=use_cache)
+    return results
+
+
+def _baseline(results: Dict[ResultKey, SimResult], wid: str) -> SimResult:
+    return results[(wid, "LRU+Orig")]
+
+
+def fig13_rows(results: Dict[ResultKey, SimResult]) -> List[list]:
+    rows = []
+    for wid in sorted({k[0] for k in results}):
+        base = _baseline(results, wid)
+        row = [wid, base.workload_name]
+        for label, _, _ in CONFIGURATIONS:
+            row.append(results[(wid, label)].average_latency_us)
+        row.append(
+            reduction_percent(
+                base.average_latency_us,
+                results[(wid, "GD-Wheel+New")].average_latency_us,
+            )
+        )
+        rows.append(row)
+    return rows
+
+
+def fig13_report(results: Dict[ResultKey, SimResult]) -> str:
+    return render_table(
+        ["wl", "name"]
+        + [f"{label} avg (us)" for label, _, _ in CONFIGURATIONS]
+        + ["New vs LRU %"],
+        fig13_rows(results),
+        title="Figure 13: average read access latency (multiple size)",
+    )
+
+
+def fig14_rows(results: Dict[ResultKey, SimResult]) -> List[list]:
+    rows = []
+    for wid in sorted({k[0] for k in results}):
+        base = _baseline(results, wid)
+        row = [wid, base.workload_name]
+        for label, _, _ in CONFIGURATIONS:
+            row.append(
+                normalized(
+                    base.total_recomputation_cost,
+                    results[(wid, label)].total_recomputation_cost,
+                )
+            )
+        row.append(
+            reduction_percent(
+                base.total_recomputation_cost,
+                results[(wid, "GD-Wheel+New")].total_recomputation_cost,
+            )
+        )
+        rows.append(row)
+    return rows
+
+
+def fig14_report(results: Dict[ResultKey, SimResult]) -> str:
+    return render_table(
+        ["wl", "name"]
+        + [f"{label} (norm)" for label, _, _ in CONFIGURATIONS]
+        + ["New vs LRU %"],
+        fig14_rows(results),
+        title="Figure 14: normalized total recomputation cost (multiple size)",
+    )
+
+
+def fig15_rows(results: Dict[ResultKey, SimResult]) -> List[list]:
+    rows = []
+    for wid in sorted({k[0] for k in results}):
+        base = _baseline(results, wid)
+        row = [wid, base.workload_name]
+        for label, _, _ in CONFIGURATIONS:
+            row.append(results[(wid, label)].p99_latency_us)
+        row.append(
+            reduction_percent(
+                base.p99_latency_us,
+                results[(wid, "GD-Wheel+New")].p99_latency_us,
+            )
+        )
+        rows.append(row)
+    return rows
+
+
+def fig15_report(results: Dict[ResultKey, SimResult]) -> str:
+    return render_table(
+        ["wl", "name"]
+        + [f"{label} p99 (us)" for label, _, _ in CONFIGURATIONS]
+        + ["New vs LRU %"],
+        fig15_rows(results),
+        title="Figure 15: 99th percentile read access latency (multiple size)",
+    )
+
+
+def slab_moves_report(results: Dict[ResultKey, SimResult]) -> str:
+    """The Section 6.4.2 detail: the original rebalancer never fires."""
+    rows = []
+    for (wid, label), result in sorted(results.items()):
+        rows.append([wid, label, result.store_stats.get("slab_moves", 0)])
+    return render_table(
+        ["wl", "configuration", "slab moves"],
+        rows,
+        title="Slab moves per configuration (original should be 0)",
+    )

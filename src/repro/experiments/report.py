@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmarks print the same rows/series the paper's figures show; these
+helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """A fixed-width ASCII table; numbers are formatted compactly."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    materialized: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def render_series(
+    series: Sequence[Tuple[float, float]],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 25,
+) -> str:
+    """A (x, y) series as aligned columns, subsampled for readability."""
+    points = list(series)
+    if len(points) > max_points:
+        step = len(points) / max_points
+        points = [points[int(i * step)] for i in range(max_points)] + [points[-1]]
+    rows = [(f"{x:.1f}", f"{y:.4f}") for x, y in points]
+    return render_table([x_label, y_label], rows, title=title)
+
+
+def percent(value: float) -> str:
+    return f"{value:.1f}%"

@@ -1,0 +1,60 @@
+"""Experiment scale presets.
+
+The paper runs a 25 GB Memcached fed 100 M requests over a real network; the
+reproduction runs a discrete simulation, so the scale is configurable.  The
+``DEFAULT`` preset keeps a full figure suite within a few minutes on a
+laptop while leaving enough resident items (~40k) for the policies'
+differences to express; ``SMALL`` is for the test suite; ``LARGE`` is a
+closer-to-paper overnight setting.
+
+Set ``REPRO_SCALE=small|default|large`` to steer the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    name: str
+    memory_limit: int
+    slab_size: int
+    num_requests: int
+    seed: int = 0
+
+
+SMALL = ExperimentScale(
+    name="small",
+    memory_limit=4 * 1024 * 1024,
+    slab_size=64 * 1024,
+    num_requests=30_000,
+)
+
+DEFAULT = ExperimentScale(
+    name="default",
+    memory_limit=16 * 1024 * 1024,
+    slab_size=64 * 1024,
+    num_requests=200_000,
+)
+
+LARGE = ExperimentScale(
+    name="large",
+    memory_limit=64 * 1024 * 1024,
+    slab_size=256 * 1024,
+    num_requests=1_000_000,
+)
+
+_SCALES = {"small": SMALL, "default": DEFAULT, "large": LARGE}
+
+
+def active_scale() -> ExperimentScale:
+    """The scale selected by ``REPRO_SCALE`` (default: ``default``)."""
+    name = os.environ.get("REPRO_SCALE", "default").lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE={name!r} unknown; choose from {sorted(_SCALES)}"
+        ) from None

@@ -1,0 +1,219 @@
+"""The single-size workload study (Figures 9-12 and the hit-rate claim).
+
+One suite run covers Table 2's ten workloads under LRU and GD-Wheel (plus
+any extra policies requested); Figures 9, 10, 11, and 12 are different
+projections of the same runs, so the suite is cached on disk and shared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import run_cached
+from repro.experiments.report import render_series, render_table
+from repro.experiments.scales import ExperimentScale, active_scale
+from repro.sim.driver import SimConfig
+from repro.sim.metrics import GroupShares, cost_cdf
+from repro.sim.results import Comparison, SimResult
+from repro.workloads.ycsb import SINGLE_SIZE_WORKLOADS
+
+ResultKey = Tuple[str, str]  # (workload_id, policy)
+
+DEFAULT_POLICIES = ("lru", "gd-wheel")
+
+
+def run_single_size_suite(
+    scale: Optional[ExperimentScale] = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    workload_ids: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+) -> Dict[ResultKey, SimResult]:
+    """Run (or load) every (workload, policy) cell of the single-size study."""
+    scale = scale or active_scale()
+    ids = list(workload_ids) if workload_ids is not None else list(
+        SINGLE_SIZE_WORKLOADS
+    )
+    results: Dict[ResultKey, SimResult] = {}
+    for wid in ids:
+        spec = SINGLE_SIZE_WORKLOADS[wid]
+        for policy in policies:
+            config = SimConfig(
+                spec=spec,
+                policy=policy,
+                rebalancer="none",
+                memory_limit=scale.memory_limit,
+                slab_size=scale.slab_size,
+                num_requests=scale.num_requests,
+                seed=scale.seed,
+            )
+            results[(wid, policy)] = run_cached(config, use_cache=use_cache)
+    return results
+
+
+def comparisons(
+    results: Dict[ResultKey, SimResult],
+    baseline: str = "lru",
+    candidate: str = "gd-wheel",
+) -> List[Comparison]:
+    out = []
+    for (wid, policy), result in sorted(results.items(), key=lambda kv: int(kv[0][0])):
+        if policy != baseline:
+            continue
+        other = results.get((wid, candidate))
+        if other is None:
+            continue
+        out.append(
+            Comparison(
+                workload_id=wid,
+                workload_name=result.workload_name,
+                baseline=result,
+                candidate=other,
+            )
+        )
+    return out
+
+
+# -- Figure 9: average application read access latency -----------------------------
+
+
+def fig9_rows(comps: List[Comparison]) -> List[list]:
+    return [
+        [
+            c.workload_id,
+            c.workload_name,
+            c.baseline.average_latency_us,
+            c.candidate.average_latency_us,
+            c.latency_reduction_pct,
+        ]
+        for c in comps
+    ]
+
+
+def fig9_report(comps: List[Comparison]) -> str:
+    return render_table(
+        ["wl", "name", "LRU avg (us)", "GD-Wheel avg (us)", "reduction %"],
+        fig9_rows(comps),
+        title="Figure 9: average application read access latency (single size)",
+    )
+
+
+# -- Figure 10: normalized total recomputation cost ---------------------------------
+
+
+def fig10_rows(comps: List[Comparison]) -> List[list]:
+    return [
+        [
+            c.workload_id,
+            c.workload_name,
+            100.0,
+            c.normalized_cost,
+            c.cost_reduction_pct,
+        ]
+        for c in comps
+    ]
+
+
+def fig10_report(comps: List[Comparison]) -> str:
+    return render_table(
+        ["wl", "name", "LRU (norm)", "GD-Wheel (norm)", "reduction %"],
+        fig10_rows(comps),
+        title="Figure 10: normalized total recomputation cost (single size)",
+    )
+
+
+# -- Figure 11: 99th percentile read access latency ---------------------------------
+
+
+def fig11_rows(comps: List[Comparison]) -> List[list]:
+    return [
+        [
+            c.workload_id,
+            c.workload_name,
+            c.baseline.p99_latency_us,
+            c.candidate.p99_latency_us,
+            c.tail_reduction_pct,
+        ]
+        for c in comps
+    ]
+
+
+def fig11_report(comps: List[Comparison]) -> str:
+    return render_table(
+        ["wl", "name", "LRU p99 (us)", "GD-Wheel p99 (us)", "reduction %"],
+        fig11_rows(comps),
+        title="Figure 11: 99th percentile read access latency (single size)",
+    )
+
+
+# -- Figure 12: CDF of miss recomputation costs (baseline workload) ------------------
+
+BASELINE_BANDS = ((10, 30), (120, 180), (350, 450))
+
+
+def fig12_cdfs(results: Dict[ResultKey, SimResult], workload_id: str = "1"):
+    """(policy -> CDF series) for the baseline workload's miss costs."""
+    out = {}
+    for (wid, policy), result in results.items():
+        if wid == workload_id:
+            out[policy] = cost_cdf(result.miss_costs)
+    return out
+
+
+def fig12_group_shares(
+    results: Dict[ResultKey, SimResult], workload_id: str = "1"
+) -> Dict[str, GroupShares]:
+    out = {}
+    for (wid, policy), result in results.items():
+        if wid == workload_id:
+            out[policy] = GroupShares.from_misses(result.miss_costs, BASELINE_BANDS)
+    return out
+
+
+def fig12_report(results: Dict[ResultKey, SimResult], workload_id: str = "1") -> str:
+    blocks = []
+    for policy, series in sorted(fig12_cdfs(results, workload_id).items()):
+        blocks.append(
+            render_series(
+                series,
+                title=f"Figure 12: CDF of miss recomputation costs - {policy}",
+                x_label="cost",
+                y_label="CDF",
+            )
+        )
+    shares = fig12_group_shares(results, workload_id)
+    rows = [
+        [policy, *[f"{s * 100:.1f}%" for s in gs.shares]]
+        for policy, gs in sorted(shares.items())
+    ]
+    blocks.append(
+        render_table(
+            ["policy", "low band", "mid band", "high band"],
+            rows,
+            title="miss share per cost band",
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+# -- the Section 6.4.1 hit-rate parity claim ---------------------------------------
+
+
+def hit_rate_rows(comps: List[Comparison]) -> List[list]:
+    return [
+        [
+            c.workload_id,
+            c.workload_name,
+            c.baseline.hit_rate * 100,
+            c.candidate.hit_rate * 100,
+            c.hit_rate_delta_pct,
+        ]
+        for c in comps
+    ]
+
+
+def hit_rate_report(comps: List[Comparison]) -> str:
+    return render_table(
+        ["wl", "name", "LRU hit %", "GD-Wheel hit %", "|delta| pp"],
+        hit_rate_rows(comps),
+        title="GET hit rate parity (paper: differs by no more than 0.18%)",
+    )

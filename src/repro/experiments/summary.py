@@ -1,0 +1,79 @@
+"""Table 4 — summary of avg/max reductions across both studies."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.multi_size import CONFIGURATIONS, run_multi_size_suite
+from repro.experiments.report import render_table
+from repro.experiments.scales import ExperimentScale
+from repro.experiments.single_size import comparisons, run_single_size_suite
+from repro.sim.metrics import reduction_percent
+
+#: The paper's Table 4, for side-by-side comparison in reports.
+PAPER_TABLE4 = {
+    ("single", "avg"): {"avg_lat": 33, "tail_lat": 69, "cost": 74},
+    ("single", "max"): {"avg_lat": 53, "tail_lat": 85, "cost": 90},
+    ("multiple", "avg"): {"avg_lat": 37, "tail_lat": 73, "cost": 68},
+    ("multiple", "max"): {"avg_lat": 56, "tail_lat": 83, "cost": 79},
+}
+
+
+def table4_measured(
+    scale: Optional[ExperimentScale] = None, use_cache: bool = True
+) -> Dict:
+    """Compute the reproduction's Table 4 from both suites."""
+    single = run_single_size_suite(scale=scale, use_cache=use_cache)
+    multi = run_multi_size_suite(scale=scale, use_cache=use_cache)
+
+    single_comps = comparisons(single)
+    s_lat = [c.latency_reduction_pct for c in single_comps]
+    s_tail = [c.tail_reduction_pct for c in single_comps]
+    s_cost = [c.cost_reduction_pct for c in single_comps]
+
+    m_lat: List[float] = []
+    m_tail: List[float] = []
+    m_cost: List[float] = []
+    for wid in sorted({k[0] for k in multi}):
+        base = multi[(wid, CONFIGURATIONS[0][0])]
+        best = multi[(wid, "GD-Wheel+New")]
+        m_lat.append(
+            reduction_percent(base.average_latency_us, best.average_latency_us)
+        )
+        m_tail.append(reduction_percent(base.p99_latency_us, best.p99_latency_us))
+        m_cost.append(
+            reduction_percent(
+                base.total_recomputation_cost, best.total_recomputation_cost
+            )
+        )
+
+    def agg(values: List[float]) -> Dict[str, float]:
+        return {"avg": float(np.mean(values)), "max": float(np.max(values))}
+
+    return {
+        "single": {"avg_lat": agg(s_lat), "tail_lat": agg(s_tail), "cost": agg(s_cost)},
+        "multiple": {"avg_lat": agg(m_lat), "tail_lat": agg(m_tail), "cost": agg(m_cost)},
+    }
+
+
+def table4_report(measured: Dict) -> str:
+    rows = []
+    for study in ("single", "multiple"):
+        for stat in ("avg", "max"):
+            paper = PAPER_TABLE4[(study, stat)]
+            got = measured[study]
+            rows.append(
+                [
+                    f"{study} {stat}",
+                    f"{got['avg_lat'][stat]:.0f}% (paper {paper['avg_lat']}%)",
+                    f"{got['tail_lat'][stat]:.0f}% (paper {paper['tail_lat']}%)",
+                    f"{got['cost'][stat]:.0f}% (paper {paper['cost']}%)",
+                ]
+            )
+    return render_table(
+        ["reduction", "avg read latency", "tail read latency", "recomputation cost"],
+        rows,
+        title="Table 4: results summary, measured vs paper",
+    )

@@ -1,0 +1,33 @@
+"""Simulated wall clock shared by the store, rebalancers, and driver.
+
+All time in the simulation is virtual seconds.  The workload driver advances
+the clock by a configurable mean service time per request so that
+time-triggered machinery — item expiry and, crucially, the original
+rebalancer's "3 checks per 30 seconds" cadence (Section 5.1) — runs at a
+faithful pace relative to the request stream.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing virtual clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance by ``seconds`` (must be non-negative); returns new time."""
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

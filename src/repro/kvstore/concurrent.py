@@ -1,0 +1,128 @@
+"""Thread-safe store wrapper — memcached's global cache-lock model.
+
+Memcached (of the paper's era) serializes all item/LRU mutations behind a
+single cache lock; its 8 worker threads (Section 6.2) parallelize network
+and protocol work, not the replacement structure.  That is exactly why the
+paper cares about the *CPU cost per operation* of the replacement policy:
+time spent inside the lock is lost to every thread.
+
+:class:`ThreadSafeStore` reproduces that model: a re-entrant lock around
+every store operation, with lock-hold-time accounting so experiments can
+observe how a costlier policy (GD-PQ) inflates the serialized section.
+
+For scale-out parallelism, use multiple stores behind
+:class:`repro.cluster.StorePool` — the same answer memcached deployments
+use.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.kvstore.item import Item, NEVER_EXPIRES
+from repro.kvstore.store import KVStore
+
+
+class ThreadSafeStore:
+    """A :class:`KVStore` serialized behind one lock, like memcached's.
+
+    Exposes the same public operations; each acquires the cache lock for
+    its duration.  ``lock_hold_seconds`` accumulates total time spent
+    holding the lock (the serialized CPU the paper's Figures 7-8 are
+    about).
+    """
+
+    def __init__(self, store: KVStore) -> None:
+        self._store = store
+        self._lock = threading.RLock()
+        #: cumulative seconds spent inside the cache lock
+        self.lock_hold_seconds = 0.0
+        #: number of locked operations performed
+        self.locked_operations = 0
+
+    @property
+    def store(self) -> KVStore:
+        """The underlying store (callers must hold no assumptions about
+        thread safety when touching it directly)."""
+        return self._store
+
+    @property
+    def clock(self):
+        return self._store.clock
+
+    @property
+    def stats(self):
+        return self._store.stats
+
+    def _locked(self, fn, *args, **kwargs):
+        with self._lock:
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.lock_hold_seconds += time.perf_counter() - started
+                self.locked_operations += 1
+
+    # -- delegated operations ---------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[Item]:
+        return self._locked(self._store.get, key)
+
+    def set(self, key: bytes, value: bytes, cost: int = 0,
+            exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
+        return self._locked(self._store.set, key, value, cost, exptime, flags)
+
+    def add(self, key: bytes, value: bytes, cost: int = 0,
+            exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
+        return self._locked(self._store.add, key, value, cost, exptime, flags)
+
+    def replace(self, key: bytes, value: bytes, cost: int = 0,
+                exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
+        return self._locked(
+            self._store.replace, key, value, cost, exptime, flags
+        )
+
+    def append(self, key: bytes, suffix: bytes) -> Item:
+        return self._locked(self._store.append, key, suffix)
+
+    def prepend(self, key: bytes, prefix: bytes) -> Item:
+        return self._locked(self._store.prepend, key, prefix)
+
+    def cas(self, key: bytes, value: bytes, cas_unique: int, cost: int = 0,
+            exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
+        return self._locked(
+            self._store.cas, key, value, cas_unique, cost, exptime, flags
+        )
+
+    def incr(self, key: bytes, delta: int = 1) -> int:
+        return self._locked(self._store.incr, key, delta)
+
+    def decr(self, key: bytes, delta: int = 1) -> int:
+        return self._locked(self._store.decr, key, delta)
+
+    def delete(self, key: bytes) -> bool:
+        return self._locked(self._store.delete, key)
+
+    def touch_ttl(self, key: bytes, exptime: float) -> bool:
+        return self._locked(self._store.touch_ttl, key, exptime)
+
+    def flush_all(self) -> int:
+        return self._locked(self._store.flush_all)
+
+    def contains(self, key: bytes) -> bool:
+        return self._locked(self._store.contains, key)
+
+    def check_invariants(self) -> None:
+        self._locked(self._store.check_invariants)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def average_lock_hold_us(self) -> float:
+        """Mean serialized time per operation, in microseconds."""
+        if not self.locked_operations:
+            return 0.0
+        return 1e6 * self.lock_hold_seconds / self.locked_operations

@@ -1,0 +1,36 @@
+"""Store-level error types."""
+
+from __future__ import annotations
+
+from repro.kvstore.slab import ObjectTooLargeError, SlabError
+
+
+class StoreError(Exception):
+    """Base class for key-value store failures."""
+
+
+class OutOfMemoryError(StoreError):
+    """No chunk could be found or freed for the item being stored.
+
+    This mirrors memcached's ``SERVER_ERROR out of memory storing object``:
+    it only happens when the item's slab class owns no slabs and the global
+    memory limit prevents allocating one.
+    """
+
+
+class NotStoredError(StoreError):
+    """ADD/REPLACE semantics were violated (memcached's NOT_STORED)."""
+
+
+class CasMismatchError(StoreError):
+    """CAS token was stale — the item changed underneath (memcached's EXISTS)."""
+
+
+__all__ = [
+    "CasMismatchError",
+    "NotStoredError",
+    "ObjectTooLargeError",
+    "OutOfMemoryError",
+    "SlabError",
+    "StoreError",
+]

@@ -1,0 +1,187 @@
+"""Slab rebalancing policies (Section 5 of the paper).
+
+Both policies move whole slabs between slab classes; the difference is the
+trigger and the donor selection:
+
+* :class:`OriginalRebalancer` models memcached's "slab automove" policy as
+  the paper describes it: the eviction rate of every class is checked 3
+  times per 30 seconds, and only if the *same* class has the highest
+  eviction count in all three checks does it take one least-recently-used
+  slab — and only from a class with **zero** evictions over the whole
+  window.  The paper criticizes this as too conservative; the multi-size
+  experiments show it never fires on their workloads (Section 6.4.2), and
+  the reproduction preserves that behaviour.
+* :class:`CostAwareRebalancer` is the paper's alternative: every class
+  maintains an average recomputation cost per byte; when an eviction occurs
+  in a class whose average cost exceeds the cheapest class's, slabs move
+  immediately from the cheapest class to the evicting class.  The number of
+  slabs moved scales with the evicted item's size (the paper leaves the
+  exact function open; we move ``ceil(footprint / slab_size_fraction)``
+  capped by ``max_slabs_per_move`` — see DESIGN.md).
+
+Rebalancers receive callbacks from the store; they never touch items
+directly but ask the store to reassign a chosen slab.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.kvstore.slab import SlabClass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kvstore.store import KVStore
+    from repro.kvstore.item import Item
+
+
+class Rebalancer(ABC):
+    """Interface between the store and a slab rebalancing policy."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._store: Optional["KVStore"] = None
+
+    def attach(self, store: "KVStore") -> None:
+        """Called once by the store that owns this rebalancer."""
+        self._store = store
+
+    @abstractmethod
+    def on_eviction(self, slab_class: SlabClass, victim: "Item") -> None:
+        """Notification: the policy evicted ``victim`` from ``slab_class``."""
+
+    def on_request(self) -> None:
+        """Called once per store operation (the periodic policy's heartbeat)."""
+
+
+class NullRebalancer(Rebalancer):
+    """No rebalancing at all (single-size experiments use this)."""
+
+    name = "none"
+
+    def on_eviction(self, slab_class: SlabClass, victim: "Item") -> None:
+        pass
+
+
+class OriginalRebalancer(Rebalancer):
+    """Memcached's periodic, conservative automove policy (Section 5.1)."""
+
+    name = "original"
+
+    def __init__(self, check_interval: float = 10.0, window_checks: int = 3) -> None:
+        super().__init__()
+        self.check_interval = check_interval
+        self.window_checks = window_checks
+        self._last_check = 0.0
+        #: eviction counter snapshots at each check: list of {class_id: count}
+        self._snapshots: List[dict] = []
+        #: argmax class id at each check within the window
+        self._window_leaders: List[Optional[int]] = []
+
+    def on_eviction(self, slab_class: SlabClass, victim: "Item") -> None:
+        pass  # purely periodic
+
+    def on_request(self) -> None:
+        store = self._store
+        assert store is not None, "rebalancer not attached"
+        now = store.clock.now
+        if now - self._last_check < self.check_interval:
+            return
+        self._last_check = now
+        current = {cls.class_id: cls.evictions for cls in store.allocator.classes}
+        if self._snapshots:
+            prev = self._snapshots[-1]
+            deltas = {cid: current[cid] - prev.get(cid, 0) for cid in current}
+            leader = None
+            best = 0
+            for cid, delta in deltas.items():
+                if delta > best:
+                    best, leader = delta, cid
+            self._window_leaders.append(leader)
+        self._snapshots.append(current)
+        if len(self._window_leaders) < self.window_checks:
+            return
+        leaders = self._window_leaders[-self.window_checks :]
+        base = self._snapshots[-(self.window_checks + 1)]
+        # reset the window whether or not we act, like memcached's automover
+        self._window_leaders = []
+        self._snapshots = self._snapshots[-1:]
+        if leaders[0] is None or any(l != leaders[0] for l in leaders):
+            return
+        receiver = self._class_by_id(leaders[0])
+        donor = self._find_zero_eviction_donor(base, current, exclude=receiver)
+        if donor is None:
+            return
+        slab = donor.least_recently_used_slab()
+        if slab is None:
+            return
+        store.move_slab(slab, receiver)
+
+    def _class_by_id(self, class_id: int) -> SlabClass:
+        return self._store.allocator.classes[class_id]
+
+    def _find_zero_eviction_donor(
+        self, base: dict, current: dict, exclude: SlabClass
+    ) -> Optional[SlabClass]:
+        """A class with zero evictions across the window and a spare slab."""
+        for cls in self._store.allocator.classes:
+            if cls is exclude or cls.num_slabs <= 1:
+                continue
+            if current[cls.class_id] - base.get(cls.class_id, 0) == 0:
+                return cls
+        return None
+
+
+class CostAwareRebalancer(Rebalancer):
+    """The paper's reactive, cost-per-byte-driven policy (Section 5.2)."""
+
+    name = "cost-aware"
+
+    def __init__(self, max_slabs_per_move: int = 4, min_donor_slabs: int = 2) -> None:
+        super().__init__()
+        if max_slabs_per_move < 1:
+            raise ValueError("max_slabs_per_move must be >= 1")
+        self.max_slabs_per_move = max_slabs_per_move
+        self.min_donor_slabs = min_donor_slabs
+
+    def _cheapest_class(self, exclude: SlabClass) -> Optional[SlabClass]:
+        """Live class with the lowest average cost per byte and spare slabs.
+
+        The paper maintains this incrementally; with memcached's fixed,
+        small class count a scan is equally constant-time and simpler.
+        """
+        best: Optional[SlabClass] = None
+        best_cost = float("inf")
+        for cls in self._store.allocator.classes:
+            if cls is exclude or cls.num_slabs < self.min_donor_slabs:
+                continue
+            if cls.live_items == 0:
+                continue
+            cost = cls.average_cost_per_byte()
+            if cost < best_cost:
+                best, best_cost = cls, cost
+        return best
+
+    def on_eviction(self, slab_class: SlabClass, victim: "Item") -> None:
+        store = self._store
+        assert store is not None, "rebalancer not attached"
+        donor = self._cheapest_class(exclude=slab_class)
+        if donor is None:
+            return
+        if donor.average_cost_per_byte() >= slab_class.average_cost_per_byte():
+            return  # the evicting class is not more valuable than the donor
+        # "More slabs will be moved if the evicted key-value pair is large":
+        # scale with how many donor chunks the victim's footprint spans.
+        wanted = max(1, -(-victim.footprint // donor.chunk_size))
+        wanted = min(wanted, self.max_slabs_per_move)
+        for _ in range(wanted):
+            if donor.num_slabs < self.min_donor_slabs:
+                break
+            slab = donor.least_recently_used_slab()
+            if slab is None:
+                break
+            store.move_slab(slab, slab_class)
+
+    def on_request(self) -> None:
+        pass  # purely reactive

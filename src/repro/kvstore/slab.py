@@ -1,0 +1,314 @@
+"""Slab-based memory allocator — the model of memcached's ``slabs.c``.
+
+Memory is carved into fixed-size *slabs* (1 MB in memcached; configurable
+here so simulations can scale down).  Each *slab class* owns some slabs and
+divides them into equal *chunks*; chunk sizes grow geometrically by a factor
+(memcached default 1.25).  An item is stored in the smallest class whose
+chunk fits the item's footprint, which is why key-value pairs of different
+sizes never compete for the same chunks — and why the paper needs a
+*rebalancing* policy to move whole slabs between classes (Section 5).
+
+Slab reassignment evicts every live item in the victim slab (as memcached's
+``slab_rebalance`` does), returns the slab to the destination class, and
+re-chunks it with the destination's geometry.
+
+The allocator knows nothing about replacement policies; the store wires a
+policy to each class and runs the eviction loop.  The allocator does track
+the per-class *average cost per byte* that the cost-aware rebalancer needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.kvstore.item import Item
+
+DEFAULT_SLAB_SIZE = 1024 * 1024
+DEFAULT_GROWTH_FACTOR = 1.25
+DEFAULT_MIN_CHUNK = 96
+
+
+class SlabError(Exception):
+    """Base class for allocator failures."""
+
+
+class ObjectTooLargeError(SlabError):
+    """Item footprint exceeds the slab size (memcached's SERVER_ERROR)."""
+
+
+class Slab:
+    """One contiguous slab, chunked for its current owner class."""
+
+    __slots__ = ("slab_id", "owner", "chunk_size", "num_chunks", "free_indices",
+                 "items", "last_access", "noted_free")
+
+    def __init__(self, slab_id: int) -> None:
+        self.slab_id = slab_id
+        self.owner: Optional[SlabClass] = None
+        self.chunk_size = 0
+        self.num_chunks = 0
+        self.free_indices: List[int] = []
+        #: chunk index -> live Item
+        self.items: dict = {}
+        #: simulated time of the last access to any item in this slab
+        self.last_access = 0.0
+        #: whether the slab sits on its class's free stack (dedupe flag)
+        self.noted_free = False
+
+    @property
+    def used_chunks(self) -> int:
+        return len(self.items)
+
+    def rechunk(self, owner: "SlabClass", slab_size: int) -> None:
+        """Give this slab to ``owner`` and re-carve it into owner's chunks."""
+        if self.items:
+            raise SlabError("cannot re-chunk a slab with live items")
+        self.owner = owner
+        self.chunk_size = owner.chunk_size
+        self.num_chunks = slab_size // owner.chunk_size
+        self.free_indices = list(range(self.num_chunks))
+        self.last_access = 0.0
+        # the previous owner's free-stack entry (if any) is now stale
+        self.noted_free = False
+
+
+class SlabClass:
+    """A size class: its slabs, free chunks, and cost accounting."""
+
+    __slots__ = ("class_id", "chunk_size", "slabs", "_free_slabs",
+                 "live_items", "live_bytes", "live_cost",
+                 "evictions", "rebalance_evictions", "total_sets")
+
+    def __init__(self, class_id: int, chunk_size: int) -> None:
+        self.class_id = class_id
+        self.chunk_size = chunk_size
+        self.slabs: List[Slab] = []
+        # Stack of slabs that may have free chunks; entries may be stale
+        # (validated on pop) so slab moves never pay an O(free-list) scan.
+        self._free_slabs: List[Slab] = []
+        self.live_items = 0
+        self.live_bytes = 0
+        #: sum of live item costs (for average cost per byte)
+        self.live_cost = 0
+        #: items evicted by the replacement policy (capacity pressure)
+        self.evictions = 0
+        #: items dropped because their slab was reassigned elsewhere
+        self.rebalance_evictions = 0
+        self.total_sets = 0
+
+    @property
+    def num_slabs(self) -> int:
+        return len(self.slabs)
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(s.num_chunks for s in self.slabs)
+
+    def average_cost_per_byte(self) -> float:
+        """The metric the cost-aware rebalancer compares (Section 5.2)."""
+        if self.live_bytes == 0:
+            return 0.0
+        return self.live_cost / self.live_bytes
+
+    # -- chunk management ---------------------------------------------------------
+
+    def _note_free(self, slab: Slab) -> None:
+        if not slab.noted_free:
+            slab.noted_free = True
+            self._free_slabs.append(slab)
+
+    def try_alloc(self) -> Optional[Tuple[Slab, int]]:
+        """Pop a free chunk, or None if the class is saturated."""
+        while self._free_slabs:
+            slab = self._free_slabs[-1]
+            if slab.owner is not self or not slab.free_indices:
+                slab.noted_free = False
+                self._free_slabs.pop()
+                continue
+            index = slab.free_indices.pop()
+            if not slab.free_indices:
+                slab.noted_free = False
+                self._free_slabs.pop()
+            return slab, index
+        return None
+
+    def adopt_slab(self, slab: Slab, slab_size: int) -> None:
+        slab.rechunk(self, slab_size)
+        self.slabs.append(slab)
+        self._note_free(slab)
+
+    def release_slab(self, slab: Slab) -> None:
+        if slab.items:
+            raise SlabError("release_slab requires an empty slab")
+        self.slabs.remove(slab)
+        slab.owner = None
+        # stale _free_slabs entries are filtered lazily by try_alloc
+
+    def store_item(self, item: Item, slab: Slab, index: int) -> None:
+        slab.items[index] = item
+        item.slab = slab
+        item.chunk_index = index
+        self.live_items += 1
+        self.live_bytes += item.footprint
+        self.live_cost += item.cost
+        self.total_sets += 1
+
+    def free_item(self, item: Item) -> None:
+        slab: Slab = item.slab
+        if slab is None or slab.owner is not self:
+            raise SlabError("item does not belong to this class")
+        del slab.items[item.chunk_index]
+        slab.free_indices.append(item.chunk_index)
+        self._note_free(slab)
+        item.slab = None
+        item.chunk_index = None
+        self.live_items -= 1
+        self.live_bytes -= item.footprint
+        self.live_cost -= item.cost
+
+    def least_recently_used_slab(self) -> Optional[Slab]:
+        """The slab with the oldest access time — the rebalancers' pick."""
+        if not self.slabs:
+            return None
+        return min(self.slabs, key=lambda s: s.last_access)
+
+
+class SlabAllocator:
+    """The full allocator: class sizing, slab growth, and reassignment."""
+
+    def __init__(
+        self,
+        memory_limit: int,
+        slab_size: int = DEFAULT_SLAB_SIZE,
+        growth_factor: float = DEFAULT_GROWTH_FACTOR,
+        min_chunk_size: int = DEFAULT_MIN_CHUNK,
+    ) -> None:
+        if memory_limit < slab_size:
+            raise ValueError("memory_limit must hold at least one slab")
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must be > 1")
+        self.memory_limit = memory_limit
+        self.slab_size = slab_size
+        self.growth_factor = growth_factor
+        self.classes: List[SlabClass] = []
+        size = min_chunk_size
+        class_id = 0
+        while size < slab_size:
+            self.classes.append(SlabClass(class_id, size))
+            class_id += 1
+            nxt = int(size * growth_factor)
+            # memcached rounds chunk sizes to 8-byte alignment
+            nxt = (nxt + 7) & ~7
+            size = max(nxt, size + 8)
+        self.classes.append(SlabClass(class_id, slab_size))
+        self._next_slab_id = 0
+        self.allocated_slabs = 0
+        #: total slab-to-slab moves performed (observability)
+        self.reassignments = 0
+
+    # -- sizing ------------------------------------------------------------------
+
+    def class_for_size(self, footprint: int) -> SlabClass:
+        """Smallest class whose chunk fits ``footprint`` (binary search)."""
+        if footprint > self.slab_size:
+            raise ObjectTooLargeError(
+                f"object of {footprint} bytes exceeds slab size {self.slab_size}"
+            )
+        lo, hi = 0, len(self.classes) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.classes[mid].chunk_size >= footprint:
+                hi = mid
+            else:
+                lo = mid + 1
+        return self.classes[lo]
+
+    # -- growth --------------------------------------------------------------------
+
+    @property
+    def memory_used(self) -> int:
+        return self.allocated_slabs * self.slab_size
+
+    def can_grow(self) -> bool:
+        return self.memory_used + self.slab_size <= self.memory_limit
+
+    def grow(self, slab_class: SlabClass) -> Optional[Slab]:
+        """Allocate a fresh slab to ``slab_class`` if under the memory limit."""
+        if not self.can_grow():
+            return None
+        slab = Slab(self._next_slab_id)
+        self._next_slab_id += 1
+        self.allocated_slabs += 1
+        slab_class.adopt_slab(slab, self.slab_size)
+        return slab
+
+    # -- reassignment ----------------------------------------------------------------
+
+    def reassign_slab(
+        self,
+        slab: Slab,
+        dest: SlabClass,
+        evict_item: Callable[[Item], None],
+    ) -> int:
+        """Move ``slab`` from its owner to ``dest``.
+
+        Every live item in the slab is handed to ``evict_item`` (the store
+        removes it from the hash table and replacement policy and updates
+        class accounting) before the slab is re-chunked.  Returns the number
+        of items dropped.
+        """
+        src = slab.owner
+        if src is None:
+            raise SlabError("slab has no owner")
+        if src is dest:
+            raise SlabError("source and destination classes are identical")
+        if src.num_slabs <= 1:
+            raise SlabError("cannot take a class's last slab")
+        dropped = 0
+        for item in list(slab.items.values()):
+            evict_item(item)
+            dropped += 1
+        src.rebalance_evictions += dropped
+        src.release_slab(slab)
+        dest.adopt_slab(slab, self.slab_size)
+        self.reassignments += 1
+        return dropped
+
+    # -- introspection ------------------------------------------------------------------
+
+    def used_classes(self) -> List[SlabClass]:
+        """Classes that currently own at least one slab."""
+        return [cls for cls in self.classes if cls.num_slabs > 0]
+
+    def check_invariants(self) -> None:
+        """Assert allocator-wide accounting consistency (property tests)."""
+        total_slabs = 0
+        for cls in self.classes:
+            items = bytes_ = cost = 0
+            for slab in cls.slabs:
+                if slab.owner is not cls:
+                    raise AssertionError("slab owner out of sync")
+                if slab.num_chunks != self.slab_size // cls.chunk_size:
+                    raise AssertionError("slab chunk geometry out of sync")
+                if len(slab.free_indices) + len(slab.items) != slab.num_chunks:
+                    raise AssertionError("chunk accounting mismatch")
+                overlap = set(slab.free_indices) & set(slab.items)
+                if overlap:
+                    raise AssertionError(f"chunk both free and used: {overlap}")
+                for item in slab.items.values():
+                    items += 1
+                    bytes_ += item.footprint
+                    cost += item.cost
+                    if item.footprint > cls.chunk_size:
+                        raise AssertionError("item larger than its chunk")
+            if (items, bytes_, cost) != (cls.live_items, cls.live_bytes, cls.live_cost):
+                raise AssertionError(
+                    f"class {cls.class_id} accounting mismatch: "
+                    f"{(items, bytes_, cost)} != "
+                    f"{(cls.live_items, cls.live_bytes, cls.live_cost)}"
+                )
+            total_slabs += cls.num_slabs
+        if total_slabs != self.allocated_slabs:
+            raise AssertionError("allocated slab count mismatch")
+        if self.memory_used > self.memory_limit:
+            raise AssertionError("memory limit exceeded")

@@ -1,0 +1,61 @@
+"""Store-wide counters, mirroring the interesting parts of ``stats``.
+
+Kept separate from the store so experiment code can snapshot/diff cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict
+
+
+@dataclass
+class StoreStats:
+    """Counters the experiments read.  All monotonically non-decreasing."""
+
+    get_hits: int = 0
+    get_misses: int = 0
+    #: GET hits on items that turned out to be expired (count as misses)
+    get_expired: int = 0
+    sets: int = 0
+    deletes: int = 0
+    delete_misses: int = 0
+    #: replacement-policy evictions of unexpired items (capacity misses seed)
+    evictions: int = 0
+    #: evictions where the victim was already expired (reclaims)
+    reclaims: int = 0
+    #: items dropped because their slab was moved to another class
+    rebalance_evictions: int = 0
+    #: sum of the cost field over all policy-evicted (unexpired) items
+    evicted_cost: int = 0
+    #: slab moves performed by the active rebalancer
+    slab_moves: int = 0
+
+    @property
+    def gets(self) -> int:
+        return self.get_hits + self.get_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.gets
+        return self.get_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy (for reports and diffing)."""
+        data = asdict(self)
+        data["gets"] = self.gets
+        return data
+
+
+@dataclass
+class ClassStats:
+    """Per-slab-class snapshot used in reports."""
+
+    class_id: int
+    chunk_size: int
+    num_slabs: int
+    live_items: int
+    live_bytes: int
+    evictions: int
+    rebalance_evictions: int
+    average_cost_per_byte: float = field(default=0.0)

@@ -1,0 +1,385 @@
+"""The key-value store facade — a memcached work-alike in simulation.
+
+Wires together the chained hash table (the index), the slab allocator (the
+memory), one replacement policy instance per slab class (the paper replaces
+each class's LRU with GD-Wheel, Section 4.3), and a slab rebalancer
+(Section 5).  The public operations mirror memcached's command set: GET,
+SET, ADD, REPLACE, DELETE, TOUCH, FLUSH_ALL — with the paper's protocol
+extension that SET may carry a recomputation **cost**.
+
+Eviction flow on SET (Figure 6): find the item's slab class; take a free
+chunk; failing that, allocate a new slab while under the memory limit;
+failing that, ask the class's replacement policy for victims until a chunk
+frees up.  Before evicting an unexpired victim, up to
+``RECLAIM_SCAN_DEPTH`` entries near the eviction end are checked for
+expired items to reclaim instead (memcached's behaviour for LRU; policies
+without an ordered tail skip the scan).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.policy import ReplacementPolicy
+from repro.kvstore.clock import SimClock
+from repro.kvstore.errors import OutOfMemoryError, NotStoredError
+from repro.kvstore.hashtable import HashTable
+from repro.kvstore.item import Item, NEVER_EXPIRES
+from repro.kvstore.rebalance import NullRebalancer, Rebalancer
+from repro.kvstore.slab import (
+    DEFAULT_GROWTH_FACTOR,
+    DEFAULT_MIN_CHUNK,
+    DEFAULT_SLAB_SIZE,
+    SlabAllocator,
+    SlabClass,
+)
+from repro.kvstore.stats import ClassStats, StoreStats
+
+
+class KVStore:
+    """A slab-allocated, policy-pluggable, memcached-like cache."""
+
+    #: how many eviction-end entries to check for expired items first
+    RECLAIM_SCAN_DEPTH = 5
+
+    def __init__(
+        self,
+        memory_limit: int,
+        policy_factory: Callable[[], ReplacementPolicy],
+        rebalancer: Optional[Rebalancer] = None,
+        slab_size: int = DEFAULT_SLAB_SIZE,
+        growth_factor: float = DEFAULT_GROWTH_FACTOR,
+        min_chunk_size: int = DEFAULT_MIN_CHUNK,
+        clock: Optional[SimClock] = None,
+        hash_power: int = 10,
+        hash_func=None,
+    ) -> None:
+        """
+        Args:
+            memory_limit: cache size in bytes (the paper sweeps 10-25 GB;
+                simulations use tens of MB).
+            policy_factory: builds one replacement policy per slab class,
+                e.g. ``GDWheelPolicy`` or ``LRUPolicy``.
+            rebalancer: slab rebalancing policy; default is none.
+            slab_size / growth_factor / min_chunk_size: allocator geometry.
+            clock: shared simulated clock (created if omitted).
+            hash_power: initial hash-table size is ``2**hash_power`` buckets.
+        """
+        self.clock = clock if clock is not None else SimClock()
+        self.allocator = SlabAllocator(
+            memory_limit=memory_limit,
+            slab_size=slab_size,
+            growth_factor=growth_factor,
+            min_chunk_size=min_chunk_size,
+        )
+        if hash_func is not None:
+            self.hashtable = HashTable(initial_power=hash_power, hash_func=hash_func)
+        else:
+            self.hashtable = HashTable(initial_power=hash_power)
+        self._policy_factory = policy_factory
+        self._policies: dict = {}  # class_id -> ReplacementPolicy
+        self.rebalancer = rebalancer if rebalancer is not None else NullRebalancer()
+        self.rebalancer.attach(self)
+        self.stats = StoreStats()
+        self._cas_counter = 0
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def policy_for(self, slab_class: SlabClass) -> ReplacementPolicy:
+        """The replacement policy instance owning ``slab_class``'s items."""
+        policy = self._policies.get(slab_class.class_id)
+        if policy is None:
+            policy = self._policy_factory()
+            self._policies[slab_class.class_id] = policy
+        return policy
+
+    def _unlink_item(self, item: Item, slab_class: SlabClass) -> None:
+        """Remove ``item`` from hash, policy, and allocator accounting."""
+        self.hashtable.delete(item.key)
+        self.policy_for(slab_class).remove(item)
+        slab_class.free_item(item)
+
+    def _drop_for_rebalance(self, item: Item) -> None:
+        """Eviction callback used during slab reassignment."""
+        slab_class = item.slab.owner
+        self._unlink_item(item, slab_class)
+        self.stats.rebalance_evictions += 1
+
+    def move_slab(self, slab, dest: SlabClass) -> int:
+        """Reassign ``slab`` to ``dest``; returns items dropped."""
+        dropped = self.allocator.reassign_slab(slab, dest, self._drop_for_rebalance)
+        self.stats.slab_moves += 1
+        return dropped
+
+    def _evict_one(self, slab_class: SlabClass) -> Item:
+        """Free one chunk in ``slab_class`` via expiry reclaim or eviction."""
+        policy = self.policy_for(slab_class)
+        now = self.clock.now
+        # Memcached first scans a few entries at the eviction end for an
+        # expired item to reclaim; only list-ordered policies support this.
+        iter_tail = getattr(policy, "iter_tail", None)
+        if iter_tail is not None:
+            scanned = 0
+            for entry in iter_tail():
+                if scanned >= self.RECLAIM_SCAN_DEPTH:
+                    break
+                scanned += 1
+                item: Item = entry  # type: ignore[assignment]
+                if item.expired(now):
+                    self._unlink_item(item, slab_class)
+                    self.stats.reclaims += 1
+                    return item
+        victim: Item = policy.select_victim()  # type: ignore[assignment]
+        self.hashtable.delete(victim.key)
+        slab_class.free_item(victim)
+        if victim.expired(now):
+            self.stats.reclaims += 1
+        else:
+            self.stats.evictions += 1
+            self.stats.evicted_cost += victim.cost
+            slab_class.evictions += 1
+            self.rebalancer.on_eviction(slab_class, victim)
+        return victim
+
+    def _allocate_chunk(self, slab_class: SlabClass):
+        """A (slab, index) chunk in ``slab_class``, evicting as needed."""
+        chunk = slab_class.try_alloc()
+        if chunk is not None:
+            return chunk
+        if self.allocator.grow(slab_class) is not None:
+            return slab_class.try_alloc()
+        if slab_class.num_slabs == 0:
+            raise OutOfMemoryError(
+                f"slab class {slab_class.class_id} owns no slabs and the "
+                f"memory limit is reached"
+            )
+        while chunk is None:
+            self._evict_one(slab_class)
+            chunk = slab_class.try_alloc()
+        return chunk
+
+    # -- public operations ---------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[Item]:
+        """GET: the live item for ``key``, or ``None`` on a miss.
+
+        Expired items are lazily deleted and count as misses; hits update the
+        replacement policy (after "responding", as memcached does — which is
+        why the paper's Figure 7 shows GET latency independent of policy).
+        """
+        self.rebalancer.on_request()
+        item = self.hashtable.find(key)
+        if item is None:
+            self.stats.get_misses += 1
+            return None
+        now = self.clock.now
+        if item.expired(now):
+            slab_class = item.slab.owner
+            self._unlink_item(item, slab_class)
+            self.stats.get_expired += 1
+            self.stats.get_misses += 1
+            return None
+        self.stats.get_hits += 1
+        item.last_access = now
+        item.slab.last_access = now
+        slab_class = item.slab.owner
+        self.policy_for(slab_class).touch(item)
+        return item
+
+    def contains(self, key: bytes) -> bool:
+        """Presence check without stats or policy side effects."""
+        item = self.hashtable.find(key)
+        return item is not None and not item.expired(self.clock.now)
+
+    def set(
+        self,
+        key: bytes,
+        value: bytes,
+        cost: int = 0,
+        exptime: float = NEVER_EXPIRES,
+        flags: int = 0,
+    ) -> Item:
+        """SET: unconditionally store, with the paper's optional cost."""
+        self.rebalancer.on_request()
+        return self._store_item(key, value, cost, exptime, flags)
+
+    def add(self, key: bytes, value: bytes, cost: int = 0,
+            exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
+        """ADD: store only if the key is absent (else NOT_STORED)."""
+        self.rebalancer.on_request()
+        if self.contains(key):
+            raise NotStoredError(f"key {key!r} already stored")
+        return self._store_item(key, value, cost, exptime, flags)
+
+    def replace(self, key: bytes, value: bytes, cost: int = 0,
+                exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
+        """REPLACE: store only if the key is present (else NOT_STORED)."""
+        self.rebalancer.on_request()
+        if not self.contains(key):
+            raise NotStoredError(f"key {key!r} not stored")
+        return self._store_item(key, value, cost, exptime, flags)
+
+    def _store_item(self, key: bytes, value: bytes, cost: int,
+                    exptime: float, flags: int) -> Item:
+        old = self.hashtable.find(key)
+        if old is not None:
+            self._unlink_item(old, old.slab.owner)
+        item = Item(key=key, value=value, cost=cost, flags=flags, exptime=exptime)
+        slab_class = self.allocator.class_for_size(item.footprint)
+        slab, index = self._allocate_chunk(slab_class)
+        slab_class.store_item(item, slab, index)
+        self.hashtable.insert(item)
+        item.last_access = self.clock.now
+        slab.last_access = self.clock.now
+        self._cas_counter += 1
+        item.cas_unique = self._cas_counter
+        self.policy_for(slab_class).insert(item, cost)
+        self.stats.sets += 1
+        return item
+
+    def append(self, key: bytes, suffix: bytes) -> Item:
+        """APPEND: add ``suffix`` after an existing value (else NOT_STORED).
+
+        As in memcached, the item is reallocated (its size class may
+        change); flags, expiry, and cost are preserved.
+        """
+        self.rebalancer.on_request()
+        item = self.hashtable.find(key)
+        if item is None or item.expired(self.clock.now):
+            raise NotStoredError(f"key {key!r} not stored")
+        return self._store_item(
+            key, item.value + suffix, item.cost, item.exptime, item.flags
+        )
+
+    def prepend(self, key: bytes, prefix: bytes) -> Item:
+        """PREPEND: add ``prefix`` before an existing value (else NOT_STORED)."""
+        self.rebalancer.on_request()
+        item = self.hashtable.find(key)
+        if item is None or item.expired(self.clock.now):
+            raise NotStoredError(f"key {key!r} not stored")
+        return self._store_item(
+            key, prefix + item.value, item.cost, item.exptime, item.flags
+        )
+
+    def cas(self, key: bytes, value: bytes, cas_unique: int, cost: int = 0,
+            exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
+        """CAS: store only if the item is unchanged since ``cas_unique``.
+
+        Raises :class:`CasMismatchError` when the token is stale (memcached's
+        EXISTS) and :class:`NotStoredError` when the key vanished (NOT_FOUND).
+        """
+        self.rebalancer.on_request()
+        item = self.hashtable.find(key)
+        if item is None or item.expired(self.clock.now):
+            raise NotStoredError(f"key {key!r} not stored")
+        if item.cas_unique != cas_unique:
+            from repro.kvstore.errors import CasMismatchError
+
+            raise CasMismatchError(
+                f"key {key!r} modified since cas token {cas_unique}"
+            )
+        return self._store_item(key, value, cost, exptime, flags)
+
+    def incr(self, key: bytes, delta: int = 1) -> int:
+        """INCR: add ``delta`` to a decimal-ASCII value; returns the result.
+
+        Like memcached: the key must exist (NOT_FOUND -> NotStoredError) and
+        hold an unsigned decimal number (else ValueError); underflow clamps
+        at zero on DECR.
+        """
+        self.rebalancer.on_request()
+        item = self.hashtable.find(key)
+        if item is None or item.expired(self.clock.now):
+            raise NotStoredError(f"key {key!r} not stored")
+        try:
+            current = int(item.value)
+        except ValueError:
+            raise ValueError(
+                "cannot increment or decrement non-numeric value"
+            ) from None
+        if current < 0:
+            raise ValueError("cannot increment or decrement non-numeric value")
+        fresh = max(current + delta, 0)
+        self._store_item(
+            key, b"%d" % fresh, item.cost, item.exptime, item.flags
+        )
+        return fresh
+
+    def decr(self, key: bytes, delta: int = 1) -> int:
+        """DECR: subtract ``delta``, clamping at zero (memcached semantics)."""
+        return self.incr(key, -delta)
+
+    def delete(self, key: bytes) -> bool:
+        """DELETE: returns True if the key was present and removed."""
+        self.rebalancer.on_request()
+        item = self.hashtable.find(key)
+        if item is None:
+            self.stats.delete_misses += 1
+            return False
+        self._unlink_item(item, item.slab.owner)
+        self.stats.deletes += 1
+        return True
+
+    def touch_ttl(self, key: bytes, exptime: float) -> bool:
+        """TOUCH: update an item's expiry without fetching it."""
+        self.rebalancer.on_request()
+        item = self.hashtable.find(key)
+        if item is None or item.expired(self.clock.now):
+            return False
+        item.exptime = exptime
+        return True
+
+    def flush_all(self) -> int:
+        """Drop every cached item; returns the number removed."""
+        self.rebalancer.on_request()
+        removed = 0
+        for item in list(self.hashtable.items()):
+            self._unlink_item(item, item.slab.owner)
+            removed += 1
+        return removed
+
+    # -- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.hashtable)
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(cls.live_bytes for cls in self.allocator.classes)
+
+    def class_stats(self) -> List[ClassStats]:
+        """Per-class snapshots for live classes (reports, rebalancer tests)."""
+        out = []
+        for cls in self.allocator.classes:
+            if cls.num_slabs == 0 and cls.live_items == 0:
+                continue
+            out.append(
+                ClassStats(
+                    class_id=cls.class_id,
+                    chunk_size=cls.chunk_size,
+                    num_slabs=cls.num_slabs,
+                    live_items=cls.live_items,
+                    live_bytes=cls.live_bytes,
+                    evictions=cls.evictions,
+                    rebalance_evictions=cls.rebalance_evictions,
+                    average_cost_per_byte=cls.average_cost_per_byte(),
+                )
+            )
+        return out
+
+    def check_invariants(self) -> None:
+        """Cross-structure consistency (used by property/integration tests)."""
+        self.allocator.check_invariants()
+        hash_count = len(self.hashtable)
+        policy_count = sum(len(p) for p in self._policies.values())
+        alloc_count = sum(cls.live_items for cls in self.allocator.classes)
+        if not (hash_count == policy_count == alloc_count):
+            raise AssertionError(
+                f"item counts diverge: hash={hash_count} "
+                f"policy={policy_count} alloc={alloc_count}"
+            )
+        for item in self.hashtable.items():
+            if item.slab is None or item.slab.owner is None:
+                raise AssertionError(f"indexed item has no slab: {item!r}")
+            if item.slab.items.get(item.chunk_index) is not item:
+                raise AssertionError(f"slab chunk mapping broken for {item!r}")

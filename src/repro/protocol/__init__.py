@@ -1,0 +1,93 @@
+"""The memcached protocols with the paper's cost extension.
+
+Text protocol (the paper's choice) plus the binary protocol (with the
+cost carried in extended SET extras), over in-process and TCP transports.
+"""
+
+from repro.protocol.estimator import CostEstimator
+from repro.protocol.binary import (
+    BinaryClient,
+    BinaryFrame,
+    BinaryParser,
+    BinaryStoreServer,
+)
+from repro.protocol.client import (
+    CostAwareClient,
+    LoopbackTransport,
+    TCPTransport,
+    Transport,
+)
+from repro.protocol.commands import (
+    DELETED,
+    DeleteCommand,
+    EXISTS,
+    FlushCommand,
+    IncrCommand,
+    NumberResponse,
+    GetCommand,
+    GetResponse,
+    NOT_FOUND,
+    NOT_STORED,
+    OK,
+    ProtocolError,
+    QuitCommand,
+    STORED,
+    SimpleResponse,
+    StatsCommand,
+    StatsResponse,
+    StoreCommand,
+    TOUCHED,
+    TouchCommand,
+    ValueResponse,
+)
+from repro.protocol.server import (
+    LoopbackConnection,
+    StoreServer,
+    TCPStoreServer,
+)
+from repro.protocol.text import (
+    RequestParser,
+    ResponseParser,
+    encode_command,
+    encode_response,
+)
+
+__all__ = [
+    "BinaryClient",
+    "BinaryFrame",
+    "BinaryParser",
+    "BinaryStoreServer",
+    "CostAwareClient",
+    "CostEstimator",
+    "DELETED",
+    "DeleteCommand",
+    "EXISTS",
+    "FlushCommand",
+    "IncrCommand",
+    "NumberResponse",
+    "GetCommand",
+    "GetResponse",
+    "LoopbackConnection",
+    "LoopbackTransport",
+    "NOT_FOUND",
+    "NOT_STORED",
+    "OK",
+    "ProtocolError",
+    "QuitCommand",
+    "RequestParser",
+    "ResponseParser",
+    "STORED",
+    "SimpleResponse",
+    "StatsCommand",
+    "StatsResponse",
+    "StoreCommand",
+    "StoreServer",
+    "TCPStoreServer",
+    "TCPTransport",
+    "TOUCHED",
+    "TouchCommand",
+    "Transport",
+    "ValueResponse",
+    "encode_command",
+    "encode_response",
+]

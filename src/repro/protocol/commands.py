@@ -1,0 +1,146 @@
+"""Parsed protocol commands and responses.
+
+The wire format lives in :mod:`repro.protocol.text`; these dataclasses are
+the parsed form the server dispatches on and the client constructs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class ProtocolError(Exception):
+    """Malformed input; the server answers ``CLIENT_ERROR``."""
+
+
+@dataclass(frozen=True)
+class GetCommand:
+    """``get <key>+`` / ``gets <key>+`` — fetch one or more keys.
+
+    ``gets`` additionally returns each item's CAS token.
+    """
+
+    keys: Tuple[bytes, ...]
+    with_cas: bool = False
+
+
+@dataclass(frozen=True)
+class StoreCommand:
+    """A storage command with a data block.
+
+    ``set/add/replace/append/prepend <key> <flags> <exptime> <bytes>
+    [cost <cost>] [noreply]`` — plus ``cas``, which carries the
+    ``cas_unique`` token after the byte count.
+
+    ``cost`` is the paper's protocol extension (Section 4.3): an optional
+    trailing token pair on storage commands carrying the recomputation
+    cost.
+    """
+
+    verb: str  # "set" | "add" | "replace" | "append" | "prepend" | "cas"
+    key: bytes
+    flags: int
+    exptime: float
+    value: bytes
+    cost: int = 0
+    noreply: bool = False
+    cas_unique: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class IncrCommand:
+    """``incr/decr <key> <delta> [noreply]``."""
+
+    key: bytes
+    delta: int
+    negative: bool = False  # True for decr
+    noreply: bool = False
+
+
+@dataclass(frozen=True)
+class DeleteCommand:
+    """``delete <key> [noreply]``."""
+
+    key: bytes
+    noreply: bool = False
+
+
+@dataclass(frozen=True)
+class TouchCommand:
+    """``touch <key> <exptime> [noreply]``."""
+
+    key: bytes
+    exptime: float
+    noreply: bool = False
+
+
+@dataclass(frozen=True)
+class FlushCommand:
+    """``flush_all [noreply]``."""
+
+    noreply: bool = False
+
+
+@dataclass(frozen=True)
+class StatsCommand:
+    """``stats [slabs|items|settings]``."""
+
+    subcommand: str = ""
+
+
+@dataclass(frozen=True)
+class QuitCommand:
+    """``quit`` — close the connection."""
+
+
+@dataclass(frozen=True)
+class ValueResponse:
+    """One ``VALUE`` block of a GET response (CAS token for ``gets``)."""
+
+    key: bytes
+    flags: int
+    value: bytes
+    cas_unique: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class NumberResponse:
+    """The decimal result line of a successful INCR/DECR."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class GetResponse:
+    values: Tuple[ValueResponse, ...]
+
+
+@dataclass(frozen=True)
+class SimpleResponse:
+    """STORED / NOT_STORED / DELETED / NOT_FOUND / TOUCHED / OK / ERROR..."""
+
+    line: bytes
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    stats: List[Tuple[str, str]] = field(default_factory=list)
+
+
+STORED = SimpleResponse(b"STORED")
+NOT_STORED = SimpleResponse(b"NOT_STORED")
+DELETED = SimpleResponse(b"DELETED")
+NOT_FOUND = SimpleResponse(b"NOT_FOUND")
+TOUCHED = SimpleResponse(b"TOUCHED")
+OK = SimpleResponse(b"OK")
+EXISTS = SimpleResponse(b"EXISTS")
+NOT_FOUND_CAS = SimpleResponse(b"NOT_FOUND")
+
+
+def server_error(message: str) -> SimpleResponse:
+    return SimpleResponse(b"SERVER_ERROR " + message.encode())
+
+
+def client_error(message: str) -> SimpleResponse:
+    return SimpleResponse(b"CLIENT_ERROR " + message.encode())

@@ -1,0 +1,112 @@
+"""Client-side cost estimation — how applications get cost numbers at all.
+
+The paper assumes "this cost can only be defined by clients and measured
+outside the cache" (Section 1) but leaves the measuring to the
+application.  In a real deployment each key class's recomputation time
+jitters run to run, and GD-Wheel wants *stable small integers* (Section
+2.2's limited range).  :class:`CostEstimator` provides that glue:
+
+* per-key-class exponentially weighted moving averages of observed
+  recomputation times (classes are caller-defined, e.g. the interaction
+  or query template name, so one cold key benefits from its class's
+  history);
+* quantization of seconds into the integer cost units the wheel expects,
+  with a configurable unit and cap (the wheel's representable range).
+
+:meth:`CostAwareClient.get_or_compute` accepts an estimator, closing the
+loop: misses are timed, the class EWMA updates, and the SET carries the
+quantized estimate rather than one noisy sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class _ClassState:
+    ewma_seconds: float
+    samples: int
+
+
+class CostEstimator:
+    """EWMA-per-class recomputation-cost estimator with quantization."""
+
+    def __init__(
+        self,
+        cost_unit_seconds: float = 0.001,
+        alpha: float = 0.2,
+        max_cost: int = 65_535,
+        min_cost: int = 1,
+    ) -> None:
+        """
+        Args:
+            cost_unit_seconds: seconds per integer cost unit (the paper maps
+                ~1 ms granularity onto small integers).
+            alpha: EWMA weight of the newest sample.
+            max_cost: cap, matching the wheel's representable range
+                (65,535 for the paper's 2x256 geometry).
+            min_cost: floor for any observed class (0 would mean
+                "worthless"; the paper argues such values shouldn't be
+                cached at all).
+        """
+        if cost_unit_seconds <= 0:
+            raise ValueError("cost_unit_seconds must be positive")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0 <= min_cost <= max_cost:
+            raise ValueError("need 0 <= min_cost <= max_cost")
+        self.cost_unit_seconds = cost_unit_seconds
+        self.alpha = alpha
+        self.max_cost = max_cost
+        self.min_cost = min_cost
+        self._classes: Dict[str, _ClassState] = {}
+
+    def observe(self, key_class: str, seconds: float) -> None:
+        """Record one measured recomputation time for ``key_class``."""
+        if seconds < 0:
+            raise ValueError("durations cannot be negative")
+        state = self._classes.get(key_class)
+        if state is None:
+            self._classes[key_class] = _ClassState(
+                ewma_seconds=seconds, samples=1
+            )
+            return
+        state.ewma_seconds += self.alpha * (seconds - state.ewma_seconds)
+        state.samples += 1
+
+    def quantize(self, seconds: float) -> int:
+        """Seconds -> clamped integer cost units."""
+        units = round(seconds / self.cost_unit_seconds)
+        return max(self.min_cost, min(int(units), self.max_cost))
+
+    def estimate(self, key_class: str,
+                 fallback_seconds: Optional[float] = None) -> Optional[int]:
+        """Current integer cost estimate for a class.
+
+        Returns None for an unseen class without a fallback; with a
+        fallback, quantizes that instead (cold-start path).
+        """
+        state = self._classes.get(key_class)
+        if state is not None:
+            return self.quantize(state.ewma_seconds)
+        if fallback_seconds is not None:
+            return self.quantize(fallback_seconds)
+        return None
+
+    def observe_and_estimate(self, key_class: str, seconds: float) -> int:
+        """Record a sample and return the updated estimate — the miss path."""
+        self.observe(key_class, seconds)
+        return self.estimate(key_class)  # type: ignore[return-value]
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-class EWMA state (observability)."""
+        return {
+            name: {
+                "ewma_seconds": state.ewma_seconds,
+                "samples": state.samples,
+                "cost": self.quantize(state.ewma_seconds),
+            }
+            for name, state in self._classes.items()
+        }

@@ -1,0 +1,278 @@
+"""Protocol server: dispatches parsed commands onto a :class:`KVStore`.
+
+:class:`StoreServer` is transport-agnostic — it consumes request bytes and
+produces response bytes — so the same dispatcher backs the in-process
+loopback connection used by tests/examples and the TCP server below.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.kvstore.errors import (
+    CasMismatchError,
+    NotStoredError,
+    ObjectTooLargeError,
+    OutOfMemoryError,
+)
+from repro.kvstore.item import NEVER_EXPIRES
+from repro.kvstore.store import KVStore
+from repro.protocol.commands import (
+    DELETED,
+    DeleteCommand,
+    EXISTS,
+    FlushCommand,
+    GetCommand,
+    GetResponse,
+    IncrCommand,
+    NOT_FOUND,
+    NOT_STORED,
+    NumberResponse,
+    OK,
+    ProtocolError,
+    QuitCommand,
+    STORED,
+    StatsCommand,
+    StatsResponse,
+    StoreCommand,
+    TOUCHED,
+    TouchCommand,
+    ValueResponse,
+    client_error,
+    server_error,
+)
+from repro.protocol.text import RequestParser, encode_response
+
+
+class StoreServer:
+    """Byte-in / byte-out protocol engine over one store."""
+
+    def __init__(self, store: KVStore) -> None:
+        self.store = store
+
+    def handle_bytes(self, parser: RequestParser, data: bytes) -> Tuple[bytes, bool]:
+        """Feed raw request bytes; returns (response bytes, keep_open)."""
+        out = bytearray()
+        try:
+            parser.feed(data)
+            for command in parser:
+                response, reply = self.dispatch(command)
+                if isinstance(command, QuitCommand):
+                    return bytes(out), False
+                if reply:
+                    out += encode_response(response)
+        except ProtocolError as exc:
+            out += encode_response(client_error(str(exc)))
+            return bytes(out), False
+        return bytes(out), True
+
+    def dispatch(self, command) -> Tuple[object, bool]:
+        """Execute one command; returns (response, should_reply)."""
+        store = self.store
+        if isinstance(command, GetCommand):
+            values = []
+            for key in command.keys:
+                item = store.get(key)
+                if item is not None:
+                    values.append(
+                        ValueResponse(
+                            key=key,
+                            flags=item.flags,
+                            value=item.value,
+                            cas_unique=item.cas_unique if command.with_cas else None,
+                        )
+                    )
+            return GetResponse(values=tuple(values)), True
+        if isinstance(command, IncrCommand):
+            delta = -command.delta if command.negative else command.delta
+            try:
+                result = store.incr(command.key, delta)
+            except NotStoredError:
+                return NOT_FOUND, not command.noreply
+            except ValueError as exc:
+                return client_error(str(exc)), not command.noreply
+            return NumberResponse(value=result), not command.noreply
+        if isinstance(command, StoreCommand):
+            exptime = command.exptime
+            if exptime and exptime != NEVER_EXPIRES:
+                # memcached treats small exptimes as relative seconds
+                exptime = store.clock.now + exptime
+            try:
+                if command.verb == "set":
+                    store.set(command.key, command.value, cost=command.cost,
+                              exptime=exptime, flags=command.flags)
+                elif command.verb == "add":
+                    store.add(command.key, command.value, cost=command.cost,
+                              exptime=exptime, flags=command.flags)
+                elif command.verb == "replace":
+                    store.replace(command.key, command.value, cost=command.cost,
+                                  exptime=exptime, flags=command.flags)
+                elif command.verb == "append":
+                    store.append(command.key, command.value)
+                elif command.verb == "prepend":
+                    store.prepend(command.key, command.value)
+                elif command.verb == "cas":
+                    store.cas(command.key, command.value,
+                              cas_unique=command.cas_unique or 0,
+                              cost=command.cost, exptime=exptime,
+                              flags=command.flags)
+                else:
+                    return client_error(f"bad verb {command.verb}"), True
+            except CasMismatchError:
+                return EXISTS, not command.noreply
+            except NotStoredError:
+                verb_not_found = command.verb in ("cas",)
+                return (NOT_FOUND if verb_not_found else NOT_STORED), not command.noreply
+            except ObjectTooLargeError:
+                return server_error("object too large for cache"), not command.noreply
+            except OutOfMemoryError:
+                return server_error("out of memory storing object"), not command.noreply
+            return STORED, not command.noreply
+        if isinstance(command, DeleteCommand):
+            found = store.delete(command.key)
+            return (DELETED if found else NOT_FOUND), not command.noreply
+        if isinstance(command, TouchCommand):
+            exptime = command.exptime
+            if exptime and exptime != NEVER_EXPIRES:
+                exptime = store.clock.now + exptime
+            found = store.touch_ttl(command.key, exptime)
+            return (TOUCHED if found else NOT_FOUND), not command.noreply
+        if isinstance(command, FlushCommand):
+            store.flush_all()
+            return OK, not command.noreply
+        if isinstance(command, StatsCommand):
+            return self._stats_response(command.subcommand), True
+        if isinstance(command, QuitCommand):
+            return OK, False
+        return client_error(f"unhandled command {type(command).__name__}"), True
+
+    def _stats_response(self, subcommand: str) -> StatsResponse:
+        """Render ``stats`` and its memcached-style subcommands."""
+        store = self.store
+        stats = []
+        if subcommand == "slabs":
+            for cls in store.allocator.classes:
+                if cls.num_slabs == 0 and cls.live_items == 0:
+                    continue
+                cid = cls.class_id
+                stats.append((f"{cid}:chunk_size", str(cls.chunk_size)))
+                stats.append((f"{cid}:total_slabs", str(cls.num_slabs)))
+                stats.append((f"{cid}:total_chunks", str(cls.total_chunks)))
+                stats.append((f"{cid}:used_chunks", str(cls.live_items)))
+                stats.append((f"{cid}:evicted", str(cls.evictions)))
+            stats.append(("active_slabs", str(store.allocator.allocated_slabs)))
+            stats.append(
+                ("total_malloced", str(store.allocator.memory_used))
+            )
+        elif subcommand == "items":
+            for cls in store.allocator.classes:
+                if cls.live_items == 0 and cls.evictions == 0:
+                    continue
+                cid = cls.class_id
+                stats.append((f"items:{cid}:number", str(cls.live_items)))
+                stats.append((f"items:{cid}:evicted", str(cls.evictions)))
+                stats.append(
+                    (
+                        f"items:{cid}:avg_cost_per_byte",
+                        f"{cls.average_cost_per_byte():.6f}",
+                    )
+                )
+        elif subcommand == "settings":
+            allocator = store.allocator
+            stats.append(("maxbytes", str(allocator.memory_limit)))
+            stats.append(("slab_size", str(allocator.slab_size)))
+            stats.append(("growth_factor", str(allocator.growth_factor)))
+            stats.append(("evictions", "on"))
+            stats.append(("rebalancer", store.rebalancer.name))
+        else:
+            snapshot = store.stats.snapshot()
+            stats = [
+                (name, str(value)) for name, value in sorted(snapshot.items())
+            ]
+            stats.append(("curr_items", str(len(store))))
+            stats.append(("bytes", str(store.live_bytes)))
+        return StatsResponse(stats=stats)
+
+
+class LoopbackConnection:
+    """An in-process "connection": request bytes in, response bytes out.
+
+    Tests and examples use this instead of sockets; framing and parsing run
+    exactly as over TCP.
+    """
+
+    def __init__(self, server: StoreServer) -> None:
+        self._server = server
+        self._parser = RequestParser()
+        self.open = True
+
+    def send(self, data: bytes) -> bytes:
+        if not self.open:
+            raise ConnectionError("connection closed")
+        response, keep_open = self._server.handle_bytes(self._parser, data)
+        if not keep_open:
+            self.open = False
+        return response
+
+
+class _TCPHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        parser = RequestParser()
+        engine: StoreServer = self.server.engine  # type: ignore[attr-defined]
+        while True:
+            try:
+                data = self.request.recv(65536)
+            except ConnectionError:
+                return
+            if not data:
+                return
+            response, keep_open = engine.handle_bytes(parser, data)
+            if response:
+                self.request.sendall(response)
+            if not keep_open:
+                return
+
+
+class TCPStoreServer:
+    """A threaded TCP server speaking the extended memcached protocol.
+
+    Binds to loopback only (this is a reproduction, not a hardened daemon).
+    """
+
+    def __init__(self, store: KVStore, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.engine = StoreServer(store)
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _TCPHandler)
+        self._server.engine = self.engine  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="gdwheel-store-server", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "TCPStoreServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

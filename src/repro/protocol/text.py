@@ -1,0 +1,386 @@
+"""The memcached text protocol, extended with the paper's cost token.
+
+Wire format (request lines end with ``\\r\\n``; value blocks follow storage
+command lines)::
+
+    get <key> [<key> ...]\r\n
+    set <key> <flags> <exptime> <bytes> [cost <cost>] [noreply]\r\n<data>\r\n
+    add/replace ...                                 (same shape as set)
+    delete <key> [noreply]\r\n
+    touch <key> <exptime> [noreply]\r\n
+    flush_all [noreply]\r\n
+    stats\r\n
+    quit\r\n
+
+The paper modifies the SET protocol "so that clients are able to optionally
+send cost information with each key-value pair" (Section 4.3).  We encode
+the extension as a ``cost <n>`` token pair before the optional ``noreply``;
+servers that don't know the token would reject it, and clients that omit it
+speak stock memcached — the same compatibility story as the paper's.
+
+:class:`RequestParser` is an incremental parser over a byte stream (framing
+included), suitable for feeding raw socket reads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+from repro.protocol.commands import (
+    DeleteCommand,
+    FlushCommand,
+    GetCommand,
+    GetResponse,
+    IncrCommand,
+    NumberResponse,
+    ProtocolError,
+    QuitCommand,
+    SimpleResponse,
+    StatsCommand,
+    StatsResponse,
+    StoreCommand,
+    TouchCommand,
+    ValueResponse,
+)
+
+CRLF = b"\r\n"
+MAX_KEY_LENGTH = 250
+MAX_LINE_LENGTH = 8192
+
+Command = Union[
+    GetCommand,
+    StoreCommand,
+    IncrCommand,
+    DeleteCommand,
+    TouchCommand,
+    FlushCommand,
+    StatsCommand,
+    QuitCommand,
+]
+
+_STORAGE_VERBS = (b"set", b"add", b"replace", b"append", b"prepend", b"cas")
+
+
+def _validate_key(key: bytes) -> bytes:
+    if not key or len(key) > MAX_KEY_LENGTH:
+        raise ProtocolError(f"bad key length {len(key)}")
+    if any(c <= 32 or c == 127 for c in key):
+        raise ProtocolError("key contains whitespace or control characters")
+    return key
+
+
+def _parse_int(token: bytes, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ProtocolError(f"bad {what}: {token!r}") from None
+
+
+class RequestParser:
+    """Incremental request parser: feed bytes, iterate complete commands."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._pending: Optional[StoreCommand] = None
+        self._pending_bytes = 0
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        if len(self._buffer) > MAX_LINE_LENGTH + self._pending_bytes + 2:
+            # guard against unframed garbage flooding the buffer
+            if self._pending is None and CRLF not in self._buffer:
+                raise ProtocolError("request line too long")
+
+    def __iter__(self) -> Iterator[Command]:
+        while True:
+            command = self._next_command()
+            if command is None:
+                return
+            yield command
+
+    def _next_command(self) -> Optional[Command]:
+        if self._pending is not None:
+            return self._finish_store()
+        newline = self._buffer.find(CRLF)
+        if newline < 0:
+            return None
+        line = bytes(self._buffer[:newline])
+        del self._buffer[: newline + 2]
+        return self._parse_line(line)
+
+    def _finish_store(self) -> Optional[StoreCommand]:
+        need = self._pending_bytes + 2  # data + CRLF
+        if len(self._buffer) < need:
+            return None
+        data = bytes(self._buffer[: self._pending_bytes])
+        trailer = bytes(self._buffer[self._pending_bytes : need])
+        del self._buffer[:need]
+        pending = self._pending
+        self._pending = None
+        self._pending_bytes = 0
+        if trailer != CRLF:
+            raise ProtocolError("bad data chunk terminator")
+        return StoreCommand(
+            verb=pending.verb,
+            key=pending.key,
+            flags=pending.flags,
+            exptime=pending.exptime,
+            value=data,
+            cost=pending.cost,
+            noreply=pending.noreply,
+            cas_unique=pending.cas_unique,
+        )
+
+    def _parse_line(self, line: bytes) -> Command:
+        if not line:
+            raise ProtocolError("empty command line")
+        parts = line.split()
+        verb = parts[0].lower()
+        if verb == b"get" or verb == b"gets":
+            if len(parts) < 2:
+                raise ProtocolError("get requires at least one key")
+            return GetCommand(
+                keys=tuple(_validate_key(k) for k in parts[1:]),
+                with_cas=verb == b"gets",
+            )
+        if verb in (b"incr", b"decr"):
+            if len(parts) not in (3, 4):
+                raise ProtocolError(f"{verb.decode()} <key> <delta> [noreply]")
+            delta = _parse_int(parts[2], "delta")
+            if delta < 0:
+                raise ProtocolError("delta must be non-negative")
+            noreply = len(parts) == 4 and parts[3] == b"noreply"
+            return IncrCommand(
+                key=_validate_key(parts[1]),
+                delta=delta,
+                negative=verb == b"decr",
+                noreply=noreply,
+            )
+        if verb in _STORAGE_VERBS:
+            return self._parse_storage(verb, parts)
+        if verb == b"delete":
+            if len(parts) not in (2, 3):
+                raise ProtocolError("delete <key> [noreply]")
+            noreply = len(parts) == 3 and parts[2] == b"noreply"
+            if len(parts) == 3 and not noreply:
+                raise ProtocolError(f"unexpected token {parts[2]!r}")
+            return DeleteCommand(key=_validate_key(parts[1]), noreply=noreply)
+        if verb == b"touch":
+            if len(parts) not in (3, 4):
+                raise ProtocolError("touch <key> <exptime> [noreply]")
+            noreply = len(parts) == 4 and parts[3] == b"noreply"
+            return TouchCommand(
+                key=_validate_key(parts[1]),
+                exptime=float(_parse_int(parts[2], "exptime")),
+                noreply=noreply,
+            )
+        if verb == b"flush_all":
+            noreply = len(parts) == 2 and parts[1] == b"noreply"
+            return FlushCommand(noreply=noreply)
+        if verb == b"stats":
+            if len(parts) > 2:
+                raise ProtocolError("stats [slabs|items|settings]")
+            sub = parts[1].decode() if len(parts) == 2 else ""
+            if sub not in ("", "slabs", "items", "settings"):
+                raise ProtocolError(f"unknown stats subcommand {sub!r}")
+            return StatsCommand(subcommand=sub)
+        if verb == b"quit":
+            return QuitCommand()
+        raise ProtocolError(f"unknown command {verb!r}")
+
+    def _parse_storage(self, verb: bytes, parts: List[bytes]) -> Optional[Command]:
+        if len(parts) < 5:
+            raise ProtocolError(
+                f"{verb.decode()} <key> <flags> <exptime> <bytes> "
+                "[cost <cost>] [noreply]"
+            )
+        key = _validate_key(parts[1])
+        flags = _parse_int(parts[2], "flags")
+        exptime = float(_parse_int(parts[3], "exptime"))
+        nbytes = _parse_int(parts[4], "bytes")
+        if nbytes < 0:
+            raise ProtocolError("negative byte count")
+        cost = 0
+        noreply = False
+        cas_unique = None
+        rest = parts[5:]
+        if verb == b"cas":
+            if not rest:
+                raise ProtocolError("cas requires a cas_unique token")
+            cas_unique = _parse_int(rest.pop(0), "cas_unique")
+        while rest:
+            token = rest.pop(0)
+            if token == b"cost":
+                if not rest:
+                    raise ProtocolError("cost token without a value")
+                cost = _parse_int(rest.pop(0), "cost")
+                if cost < 0:
+                    raise ProtocolError("negative cost")
+            elif token == b"noreply":
+                noreply = True
+            else:
+                raise ProtocolError(f"unexpected token {token!r}")
+        self._pending = StoreCommand(
+            verb=verb.decode(),
+            key=key,
+            flags=flags,
+            exptime=exptime,
+            value=b"",
+            cost=cost,
+            noreply=noreply,
+            cas_unique=cas_unique,
+        )
+        self._pending_bytes = nbytes
+        return self._finish_store()
+
+
+# -- encoding -------------------------------------------------------------------
+
+
+def encode_command(command: Command) -> bytes:
+    """Client side: a command to wire bytes."""
+    if isinstance(command, GetCommand):
+        verb = b"gets " if command.with_cas else b"get "
+        return verb + b" ".join(command.keys) + CRLF
+    if isinstance(command, StoreCommand):
+        head = b"%s %s %d %d %d" % (
+            command.verb.encode(),
+            command.key,
+            command.flags,
+            int(command.exptime),
+            len(command.value),
+        )
+        if command.verb == "cas":
+            head += b" %d" % (command.cas_unique or 0)
+        if command.cost:
+            head += b" cost %d" % command.cost
+        if command.noreply:
+            head += b" noreply"
+        return head + CRLF + command.value + CRLF
+    if isinstance(command, IncrCommand):
+        verb = b"decr" if command.negative else b"incr"
+        line = b"%s %s %d" % (verb, command.key, command.delta)
+        if command.noreply:
+            line += b" noreply"
+        return line + CRLF
+    if isinstance(command, DeleteCommand):
+        line = b"delete " + command.key
+        if command.noreply:
+            line += b" noreply"
+        return line + CRLF
+    if isinstance(command, TouchCommand):
+        line = b"touch %s %d" % (command.key, int(command.exptime))
+        if command.noreply:
+            line += b" noreply"
+        return line + CRLF
+    if isinstance(command, FlushCommand):
+        return (b"flush_all noreply" if command.noreply else b"flush_all") + CRLF
+    if isinstance(command, StatsCommand):
+        if command.subcommand:
+            return b"stats " + command.subcommand.encode() + CRLF
+        return b"stats" + CRLF
+    if isinstance(command, QuitCommand):
+        return b"quit" + CRLF
+    raise TypeError(f"cannot encode {type(command).__name__}")
+
+
+def encode_response(response) -> bytes:
+    """Server side: a response object to wire bytes."""
+    if isinstance(response, GetResponse):
+        out = bytearray()
+        for value in response.values:
+            out += b"VALUE %s %d %d" % (value.key, value.flags, len(value.value))
+            if value.cas_unique is not None:
+                out += b" %d" % value.cas_unique
+            out += CRLF + value.value + CRLF
+        out += b"END" + CRLF
+        return bytes(out)
+    if isinstance(response, NumberResponse):
+        return b"%d" % response.value + CRLF
+    if isinstance(response, SimpleResponse):
+        return response.line + CRLF
+    if isinstance(response, StatsResponse):
+        out = bytearray()
+        for name, value in response.stats:
+            out += b"STAT %s %s" % (name.encode(), str(value).encode())
+            out += CRLF
+        out += b"END" + CRLF
+        return bytes(out)
+    raise TypeError(f"cannot encode {type(response).__name__}")
+
+
+class ResponseParser:
+    """Incremental response parser for the client side."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def try_parse(self):
+        """One complete response, or ``None`` if more bytes are needed."""
+        snapshot = bytes(self._buffer)
+        newline = snapshot.find(CRLF)
+        if newline < 0:
+            return None
+        first = snapshot[:newline]
+        if first.startswith(b"VALUE") or first == b"END":
+            return self._try_parse_get(snapshot)
+        if first.startswith(b"STAT") :
+            return self._try_parse_stats(snapshot)
+        del self._buffer[: newline + 2]
+        if first.isdigit():
+            return NumberResponse(value=int(first))
+        return SimpleResponse(first)
+
+    def _try_parse_get(self, snapshot: bytes):
+        values = []
+        pos = 0
+        while True:
+            newline = snapshot.find(CRLF, pos)
+            if newline < 0:
+                return None
+            line = snapshot[pos:newline]
+            pos = newline + 2
+            if line == b"END":
+                del self._buffer[:pos]
+                return GetResponse(values=tuple(values))
+            if not line.startswith(b"VALUE "):
+                raise ProtocolError(f"unexpected line in GET response: {line!r}")
+            parts = line.split()
+            if len(parts) not in (4, 5):
+                raise ProtocolError(f"bad VALUE header: {line!r}")
+            nbytes = _parse_int(parts[3], "bytes")
+            cas_unique = _parse_int(parts[4], "cas") if len(parts) == 5 else None
+            if len(snapshot) < pos + nbytes + 2:
+                return None
+            data = snapshot[pos : pos + nbytes]
+            if snapshot[pos + nbytes : pos + nbytes + 2] != CRLF:
+                raise ProtocolError("bad data terminator in GET response")
+            pos += nbytes + 2
+            values.append(
+                ValueResponse(
+                    key=parts[1],
+                    flags=_parse_int(parts[2], "flags"),
+                    value=data,
+                    cas_unique=cas_unique,
+                )
+            )
+
+    def _try_parse_stats(self, snapshot: bytes):
+        stats = []
+        pos = 0
+        while True:
+            newline = snapshot.find(CRLF, pos)
+            if newline < 0:
+                return None
+            line = snapshot[pos:newline]
+            pos = newline + 2
+            if line == b"END":
+                del self._buffer[:pos]
+                return StatsResponse(stats=stats)
+            if not line.startswith(b"STAT "):
+                raise ProtocolError(f"unexpected line in STATS response: {line!r}")
+            _, name, value = line.split(b" ", 2)
+            stats.append((name.decode(), value.decode()))

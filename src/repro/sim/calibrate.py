@@ -1,0 +1,112 @@
+"""Warmup calibration: pick the key-universe size for a target LRU hit rate.
+
+The paper "controlled the number of SET requests in the warmup phase to
+keep the hit rate during the measurement phase at about 95% for LRU"
+(Section 6.2), aiming at the ~5% capacity-miss rate seen at Facebook.  In
+this reproduction the equivalent knob is the ratio of key-universe size to
+cache capacity: the warmup loads the whole universe in random order (so
+residency is uncorrelated with popularity), the cache retains a
+capacity-sized subset, and the Zipf skew plus that ratio determine the LRU
+hit rate.
+
+:func:`calibrate_num_keys` binary-searches the universe size using a fast
+key-level LRU simulation (an ``OrderedDict``; no slab machinery needed —
+all single-size items behave identically), and results are memoized per
+geometry so a workload suite calibrates once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from repro.workloads.zipf import ZipfSampler
+
+
+def lru_hit_rate(
+    num_keys: int,
+    capacity_items: int,
+    theta: float,
+    sample_requests: int = 150_000,
+    seed: int = 7,
+) -> float:
+    """Measured LRU hit rate for a Zipf stream after a full-universe warmup."""
+    if capacity_items < 1:
+        raise ValueError("capacity_items must be >= 1")
+    if num_keys <= capacity_items:
+        return 1.0
+    sampler = ZipfSampler(num_keys, theta=theta, seed=seed)
+    # Warmup: the cache ends up holding a uniformly random capacity-sized
+    # subset of the universe (mirror of the driver's warmup_order SETs).
+    import numpy as np
+
+    warm = np.random.default_rng(seed + 1).permutation(num_keys)[-capacity_items:]
+    cache: "OrderedDict[int, None]" = OrderedDict((int(k), None) for k in warm)
+    # Popularity must be decorrelated from id, like Workload's permutation.
+    rank_to_key = np.random.default_rng(seed + 2).permutation(num_keys)
+    requests = rank_to_key[sampler.sample(sample_requests)]
+    hits = 0
+    for key in requests.tolist():
+        if key in cache:
+            hits += 1
+            cache.move_to_end(key)
+        else:
+            if len(cache) >= capacity_items:
+                cache.popitem(last=False)
+            cache[key] = None
+    return hits / sample_requests
+
+
+_CALIBRATION_CACHE: Dict[Tuple[int, float, float, int], int] = {}
+
+
+def calibrate_num_keys(
+    capacity_items: int,
+    theta: float,
+    target_hit_rate: float = 0.95,
+    tolerance: float = 0.005,
+    sample_requests: int = 150_000,
+    seed: int = 7,
+) -> int:
+    """Universe size whose LRU hit rate lands within tolerance of the target.
+
+    Monotonic: a larger universe means a lower hit rate.  Memoized on
+    (capacity, theta, target, seed).
+    """
+    if not 0.0 < target_hit_rate < 1.0:
+        raise ValueError("target_hit_rate must be in (0, 1)")
+    cache_key = (capacity_items, theta, target_hit_rate, seed)
+    cached = _CALIBRATION_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    lo = capacity_items + 1
+    hi = capacity_items * 2
+    # grow hi until the hit rate drops below target
+    while lru_hit_rate(hi, capacity_items, theta, sample_requests, seed) > target_hit_rate:
+        hi *= 2
+        if hi > capacity_items * 1024:
+            break
+    best = hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        rate = lru_hit_rate(mid, capacity_items, theta, sample_requests, seed)
+        if abs(rate - target_hit_rate) <= tolerance:
+            best = mid
+            break
+        if rate > target_hit_rate:
+            lo = mid + 1
+        else:
+            best = mid
+            hi = mid
+    _CALIBRATION_CACHE[cache_key] = best
+    return best
+
+
+def capacity_items_for(
+    memory_limit: int,
+    slab_size: int,
+    chunk_size: int,
+) -> int:
+    """How many equal-chunk items a store of this geometry can hold."""
+    slabs = memory_limit // slab_size
+    return slabs * (slab_size // chunk_size)

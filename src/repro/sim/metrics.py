@@ -1,0 +1,136 @@
+"""Per-run measurement: request logs, percentiles, and cost CDFs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.sim.latency import LatencyModel, PAPER_LATENCY_MODEL
+
+
+class RequestLog:
+    """Records the incurred recomputation cost of every measured request.
+
+    A hit incurs cost 0; a miss incurs the key's recomputation cost.  The
+    log is a preallocated numpy array, so recording is O(1) per request and
+    all statistics are vectorized afterwards.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._incurred = np.zeros(capacity, dtype=np.int64)
+        self._missed = np.zeros(capacity, dtype=bool)
+        self._pos = 0
+
+    def record_hit(self) -> None:
+        self._pos += 1
+
+    def record_miss(self, cost: int) -> None:
+        self._incurred[self._pos] = cost
+        self._missed[self._pos] = True
+        self._pos += 1
+
+    def __len__(self) -> int:
+        return self._pos
+
+    @property
+    def incurred_costs(self) -> np.ndarray:
+        """Incurred cost per request (0 for hits), trimmed to length."""
+        return self._incurred[: self._pos]
+
+    @property
+    def miss_mask(self) -> np.ndarray:
+        return self._missed[: self._pos]
+
+    @property
+    def hits(self) -> int:
+        return self._pos - int(self._missed[: self._pos].sum())
+
+    @property
+    def misses(self) -> int:
+        return int(self._missed[: self._pos].sum())
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self._pos if self._pos else 0.0
+
+    @property
+    def total_recomputation_cost(self) -> int:
+        """The paper's headline metric: sum of all incurred miss costs."""
+        return int(self.incurred_costs.sum())
+
+    def miss_costs(self) -> np.ndarray:
+        """Costs of the missed requests only (Figure 12's population)."""
+        return self._incurred[: self._pos][self._missed[: self._pos]]
+
+    # -- latency statistics (Figures 9, 11, 13, 15) -------------------------------
+
+    def average_latency_us(self, model: LatencyModel = PAPER_LATENCY_MODEL) -> float:
+        return model.average_latency_us(self.incurred_costs)
+
+    def percentile_latency_us(self, percentile: float = 99.0,
+                              model: LatencyModel = PAPER_LATENCY_MODEL) -> float:
+        return model.percentile_latency_us(self.incurred_costs, percentile)
+
+
+def cost_cdf(costs: np.ndarray, points: int = 200) -> List[Tuple[float, float]]:
+    """The empirical CDF of ``costs`` as (cost, fraction <= cost) pairs.
+
+    Figure 12 plots this for the miss population of the baseline workload.
+    """
+    if len(costs) == 0:
+        return []
+    ordered = np.sort(costs)
+    n = len(ordered)
+    if n <= points:
+        xs = ordered
+        ys = (np.arange(1, n + 1)) / n
+    else:
+        idx = np.linspace(0, n - 1, points).astype(np.int64)
+        xs = ordered[idx]
+        ys = (idx + 1) / n
+    return [(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+@dataclass(frozen=True)
+class GroupShares:
+    """Fraction of misses falling in each cost band (Figure 12 summary)."""
+
+    shares: Tuple[float, ...]
+
+    @classmethod
+    def from_misses(cls, miss_costs: np.ndarray,
+                    bounds: Tuple[Tuple[int, int], ...]) -> "GroupShares":
+        total = len(miss_costs)
+        if total == 0:
+            return cls(shares=tuple(0.0 for _ in bounds))
+        shares = []
+        for low, high in bounds:
+            in_band = np.count_nonzero((miss_costs >= low) & (miss_costs <= high))
+            shares.append(in_band / total)
+        return cls(shares=tuple(shares))
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """The paper's "reduces X by N%" arithmetic (guarding zero baselines)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def normalized(baseline: float, value: float) -> float:
+    """Figure 10/14 normalization: baseline = 100."""
+    if baseline == 0:
+        return 100.0 if value == 0 else float("inf")
+    return 100.0 * value / baseline
+
+
+def summarize_reductions(pairs: Dict[str, Tuple[float, float]]) -> Dict[str, float]:
+    """avg/max reduction over {label: (baseline, improved)} (Table 4 rows)."""
+    reductions = [reduction_percent(b, i) for b, i in pairs.values()]
+    if not reductions:
+        return {"avg": 0.0, "max": 0.0}
+    return {"avg": float(np.mean(reductions)), "max": float(np.max(reductions))}

@@ -1,0 +1,115 @@
+"""Result containers for simulation runs and cross-run comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.latency import LatencyModel, PAPER_LATENCY_MODEL
+from repro.sim.metrics import normalized, reduction_percent
+
+
+@dataclass
+class SimResult:
+    """Everything one warmup+measurement run produces."""
+
+    workload_id: str
+    workload_name: str
+    policy: str
+    rebalancer: str
+    num_keys: int
+    num_requests: int
+    capacity_items: int
+    hit_rate: float
+    total_recomputation_cost: int
+    average_latency_us: float
+    p99_latency_us: float
+    miss_costs: np.ndarray
+    store_stats: Dict[str, int]
+    class_stats: List[dict] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        reb = "" if self.rebalancer == "none" else f"+{self.rebalancer}"
+        return f"{self.policy}{reb}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (drops the raw miss-cost array)."""
+        return {
+            "workload_id": self.workload_id,
+            "workload_name": self.workload_name,
+            "policy": self.policy,
+            "rebalancer": self.rebalancer,
+            "num_keys": self.num_keys,
+            "num_requests": self.num_requests,
+            "capacity_items": self.capacity_items,
+            "hit_rate": self.hit_rate,
+            "total_recomputation_cost": self.total_recomputation_cost,
+            "average_latency_us": self.average_latency_us,
+            "p99_latency_us": self.p99_latency_us,
+            "misses": int(len(self.miss_costs)),
+            "store_stats": self.store_stats,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A baseline-vs-candidate pairing for one workload (paper's framing)."""
+
+    workload_id: str
+    workload_name: str
+    baseline: SimResult
+    candidate: SimResult
+
+    @property
+    def latency_reduction_pct(self) -> float:
+        return reduction_percent(
+            self.baseline.average_latency_us, self.candidate.average_latency_us
+        )
+
+    @property
+    def tail_reduction_pct(self) -> float:
+        return reduction_percent(
+            self.baseline.p99_latency_us, self.candidate.p99_latency_us
+        )
+
+    @property
+    def cost_reduction_pct(self) -> float:
+        return reduction_percent(
+            self.baseline.total_recomputation_cost,
+            self.candidate.total_recomputation_cost,
+        )
+
+    @property
+    def normalized_cost(self) -> float:
+        """Figure 10/14 representation: LRU = 100."""
+        return normalized(
+            self.baseline.total_recomputation_cost,
+            self.candidate.total_recomputation_cost,
+        )
+
+    @property
+    def hit_rate_delta_pct(self) -> float:
+        """Absolute hit-rate difference in percentage points (E-HIT)."""
+        return 100.0 * abs(self.baseline.hit_rate - self.candidate.hit_rate)
+
+
+def summarize(comparisons: List[Comparison]) -> Dict[str, Dict[str, float]]:
+    """Table 4 style: avg and max reductions over a comparison set."""
+    if not comparisons:
+        return {}
+    lat = [c.latency_reduction_pct for c in comparisons]
+    tail = [c.tail_reduction_pct for c in comparisons]
+    cost = [c.cost_reduction_pct for c in comparisons]
+    return {
+        "avg_read_latency": {"avg": float(np.mean(lat)), "max": float(np.max(lat))},
+        "tail_read_latency": {"avg": float(np.mean(tail)), "max": float(np.max(tail))},
+        "total_recomputation_cost": {
+            "avg": float(np.mean(cost)),
+            "max": float(np.max(cost)),
+        },
+    }

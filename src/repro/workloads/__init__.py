@@ -1,0 +1,74 @@
+"""YCSB-style workload generation: Zipf keys, cost/size distributions,
+the paper's Table 1/2/3 workload suite, and recordable traces."""
+
+from repro.workloads.costs import (
+    CostDistribution,
+    CostGroup,
+    FixedCost,
+    GroupedCosts,
+    UniformCosts,
+    cost_groups,
+)
+from repro.workloads.sizes import (
+    CostGroupSizes,
+    FixedSize,
+    ParetoSizes,
+    SizeDistribution,
+)
+from repro.workloads.trace import Trace
+from repro.workloads.ycsb import (
+    BASELINE_GROUPS,
+    DEFAULT_KEY_SIZE,
+    MULTI_SIZE_VALUE_SIZES,
+    MULTI_SIZE_WORKLOADS,
+    MotivationRow,
+    RUBIS_GROUPS,
+    SINGLE_SIZE_WORKLOADS,
+    TABLE1_MOTIVATION,
+    TPCW_GROUPS,
+    Workload,
+    WorkloadSpec,
+    motivation_cost_ratio,
+)
+from repro.workloads.zipf import (
+    DEFAULT_THETA,
+    HotspotSampler,
+    ScrambledZipfianGenerator,
+    UniformSampler,
+    YCSBZipfianGenerator,
+    ZipfSampler,
+    rank_permutation,
+)
+
+__all__ = [
+    "BASELINE_GROUPS",
+    "CostDistribution",
+    "CostGroup",
+    "CostGroupSizes",
+    "DEFAULT_KEY_SIZE",
+    "DEFAULT_THETA",
+    "FixedCost",
+    "FixedSize",
+    "GroupedCosts",
+    "HotspotSampler",
+    "MULTI_SIZE_VALUE_SIZES",
+    "MULTI_SIZE_WORKLOADS",
+    "MotivationRow",
+    "ParetoSizes",
+    "RUBIS_GROUPS",
+    "SINGLE_SIZE_WORKLOADS",
+    "ScrambledZipfianGenerator",
+    "SizeDistribution",
+    "TABLE1_MOTIVATION",
+    "TPCW_GROUPS",
+    "Trace",
+    "UniformCosts",
+    "UniformSampler",
+    "Workload",
+    "WorkloadSpec",
+    "YCSBZipfianGenerator",
+    "ZipfSampler",
+    "cost_groups",
+    "motivation_cost_ratio",
+    "rank_permutation",
+]

@@ -1,0 +1,140 @@
+"""Recomputation-cost distributions (Table 2's "Cost Distribution" column).
+
+A cost distribution assigns a *fixed* integer cost to each key: the
+recomputation cost is a property of the computation behind the key (a
+database query, a page render), so the same key always costs the same.
+Distributions therefore expose :meth:`assign`, producing one cost per key
+id, rather than a per-request sampler.
+
+The paper's distributions:
+
+* grouped — e.g. the baseline ``10-30 (80%); 120-180 (15%); 350-450 (5%)``:
+  each key joins a group by the given proportions and draws uniformly
+  within the group's range.
+* fixed — workload 4 (``10 (100%)``), the control where cost-awareness
+  cannot help.
+* uniform — workload 5 (``20-400``), a cost for every key with no group
+  structure.
+* coarse — workload 10, the baseline groups quantized to multiples of 10,
+  testing sensitivity to cost precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class CostDistribution:
+    """Assigns integer recomputation costs to key ids."""
+
+    #: short label used in workload tables
+    name: str = "abstract"
+
+    def assign(self, num_keys: int, seed: int) -> np.ndarray:
+        """One cost per key id; deterministic for a given seed."""
+        raise NotImplementedError
+
+    def max_cost(self) -> int:
+        """Upper bound on any assigned cost (sizes the wheels)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CostGroup:
+    """One cost band: uniform integers in [low, high] with a proportion."""
+
+    low: int
+    high: int
+    proportion: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+        if not 0 < self.proportion <= 1:
+            raise ValueError("proportion must be in (0, 1]")
+
+
+class GroupedCosts(CostDistribution):
+    """Costs drawn from weighted uniform bands, one band per key."""
+
+    def __init__(self, groups: Sequence[CostGroup], name: str = "grouped",
+                 quantum: int = 1) -> None:
+        """
+        Args:
+            groups: the cost bands; proportions must sum to 1.
+            quantum: costs are drawn in units of ``quantum`` (workload 10's
+                "coarse" distribution uses 10).
+        """
+        if not groups:
+            raise ValueError("at least one group required")
+        total = sum(g.proportion for g in groups)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"group proportions sum to {total}, expected 1")
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.groups = tuple(groups)
+        self.name = name
+        self.quantum = quantum
+
+    def assign(self, num_keys: int, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        proportions = np.array([g.proportion for g in self.groups])
+        membership = rng.choice(len(self.groups), size=num_keys, p=proportions)
+        costs = np.empty(num_keys, dtype=np.int64)
+        for idx, group in enumerate(self.groups):
+            mask = membership == idx
+            costs[mask] = rng.integers(group.low, group.high + 1, size=int(mask.sum()))
+        return costs * self.quantum
+
+    def max_cost(self) -> int:
+        return max(g.high for g in self.groups) * self.quantum
+
+    def group_of(self, cost: int) -> int:
+        """Index of the band containing ``cost`` (for CDF reports)."""
+        unit = cost // self.quantum
+        for idx, group in enumerate(self.groups):
+            if group.low <= unit <= group.high:
+                return idx
+        raise ValueError(f"cost {cost} falls in no group")
+
+
+class FixedCost(CostDistribution):
+    """Every key has the same cost — workload 4."""
+
+    def __init__(self, cost: int) -> None:
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        self.cost = cost
+        self.name = f"fixed({cost})"
+
+    def assign(self, num_keys: int, seed: int) -> np.ndarray:
+        return np.full(num_keys, self.cost, dtype=np.int64)
+
+    def max_cost(self) -> int:
+        return self.cost
+
+
+class UniformCosts(CostDistribution):
+    """Uniform integer costs in [low, high] — workload 5's "Random"."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self.name = f"uniform({low}-{high})"
+
+    def assign(self, num_keys: int, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.integers(self.low, self.high + 1, size=num_keys, dtype=np.int64)
+
+    def max_cost(self) -> int:
+        return self.high
+
+
+def cost_groups(*bands: Tuple[int, int, float]) -> Tuple[CostGroup, ...]:
+    """Shorthand: ``cost_groups((10, 30, 0.80), (120, 180, 0.15), ...)``."""
+    return tuple(CostGroup(low, high, prop) for low, high, prop in bands)

@@ -1,0 +1,115 @@
+"""Value-size assignment (the "Key/Value Size" column of Tables 2 and 3).
+
+Single-size workloads give every value the same size; multiple-size
+workloads tie the value size to the key's cost group ("the higher the cost,
+the larger the value size", Section 6.3) so each cost group lands in its
+own slab class and the rebalancing policies matter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.costs import GroupedCosts
+
+
+class SizeDistribution:
+    """Assigns a value size (bytes) to each key id."""
+
+    name: str = "abstract"
+
+    def assign(self, num_keys: int, costs: np.ndarray, seed: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def max_size(self) -> int:
+        raise NotImplementedError
+
+
+class FixedSize(SizeDistribution):
+    """All values are ``size`` bytes — the single-size workloads."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.size = size
+        self.name = f"fixed({size})"
+
+    def assign(self, num_keys: int, costs: np.ndarray, seed: int) -> np.ndarray:
+        return np.full(num_keys, self.size, dtype=np.int64)
+
+    def max_size(self) -> int:
+        return self.size
+
+
+class ParetoSizes(SizeDistribution):
+    """Generalized-Pareto value sizes — Atikoglu et al.'s measurement.
+
+    The SIGMETRICS'12 Facebook workload study (the paper's Section 6.1
+    source) models value sizes of the general-purpose pool as a
+    generalized Pareto distribution (location 0, scale ~214.5, shape
+    ~0.35): most values a few hundred bytes with a long tail.  Sizes are
+    clipped to ``[min_size, max_size]`` so the slab allocator's range is
+    respected.
+    """
+
+    def __init__(
+        self,
+        scale: float = 214.5,
+        shape: float = 0.348,
+        min_bytes: int = 1,
+        max_bytes: int = 8_192,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if not 0 < shape < 1:
+            raise ValueError("shape must be in (0, 1)")
+        if not 1 <= min_bytes <= max_bytes:
+            raise ValueError("need 1 <= min_bytes <= max_bytes")
+        self.scale = scale
+        self.shape = shape
+        self.min_bytes = min_bytes
+        self.max_bytes = max_bytes
+        self.name = f"pareto(scale={scale},shape={shape})"
+
+    def assign(self, num_keys: int, costs: np.ndarray, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        # inverse-CDF sampling of the generalized Pareto (location 0)
+        u = rng.random(num_keys)
+        sizes = self.scale / self.shape * (np.power(1.0 - u, -self.shape) - 1.0)
+        return np.clip(sizes.astype(np.int64), self.min_bytes, self.max_bytes)
+
+    def max_size(self) -> int:
+        return self.max_bytes
+
+
+class CostGroupSizes(SizeDistribution):
+    """One value size per cost group — the multiple-size workloads.
+
+    ``sizes[i]`` is the value size for keys whose cost falls in
+    ``groups.groups[i]``; e.g. the paper's 192/256/320 bytes for the
+    10-30 / 120-180 / 350-450 bands.
+    """
+
+    def __init__(self, groups: GroupedCosts, sizes: Sequence[int]) -> None:
+        if len(sizes) != len(groups.groups):
+            raise ValueError("one size per cost group required")
+        self.groups = groups
+        self.sizes = tuple(sizes)
+        self.name = "by-cost-group(" + "/".join(str(s) for s in sizes) + ")"
+
+    def assign(self, num_keys: int, costs: np.ndarray, seed: int) -> np.ndarray:
+        out = np.empty(num_keys, dtype=np.int64)
+        unit = costs // self.groups.quantum
+        assigned = np.zeros(num_keys, dtype=bool)
+        for idx, group in enumerate(self.groups.groups):
+            mask = (unit >= group.low) & (unit <= group.high) & ~assigned
+            out[mask] = self.sizes[idx]
+            assigned |= mask
+        if not assigned.all():
+            raise ValueError("some costs fall outside every cost group")
+        return out
+
+    def max_size(self) -> int:
+        return max(self.sizes)

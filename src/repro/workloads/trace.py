@@ -1,0 +1,77 @@
+"""Request traces: record, replay, save, and load.
+
+The equivalence tests and offline bounds need the *same* request sequence
+fed to multiple policies; a :class:`Trace` freezes one (key id, cost,
+value size) sequence so replays are exact.  Traces serialize to a compact
+``.npz`` for reuse across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+from repro.workloads.ycsb import Workload
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable request trace over a fixed key universe."""
+
+    key_ids: np.ndarray  # per-request key id, int64
+    costs: np.ndarray  # per-key cost, int64, indexed by key id
+    value_sizes: np.ndarray  # per-key value size, int64, indexed by key id
+
+    def __post_init__(self) -> None:
+        if self.costs.shape != self.value_sizes.shape:
+            raise ValueError("costs and value_sizes must align")
+        if len(self.key_ids) and self.key_ids.max() >= len(self.costs):
+            raise ValueError("trace references key ids beyond the universe")
+
+    def __len__(self) -> int:
+        return len(self.key_ids)
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.costs)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (key_id, cost, value_size) per request."""
+        costs, sizes = self.costs, self.value_sizes
+        for key_id in self.key_ids:
+            yield int(key_id), int(costs[key_id]), int(sizes[key_id])
+
+    @classmethod
+    def from_workload(cls, workload: Workload, num_requests: int) -> "Trace":
+        """Record a trace by sampling the workload's request stream."""
+        return cls(
+            key_ids=workload.sample_requests(num_requests),
+            costs=workload.costs.copy(),
+            value_sizes=workload.value_sizes.copy(),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        np.savez_compressed(
+            path,
+            key_ids=self.key_ids,
+            costs=self.costs,
+            value_sizes=self.value_sizes,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        with np.load(path) as data:
+            return cls(
+                key_ids=data["key_ids"],
+                costs=data["costs"],
+                value_sizes=data["value_sizes"],
+            )
+
+    def total_cost_of_misses(self, missed: np.ndarray) -> int:
+        """Sum of costs for the requests flagged in the boolean ``missed``."""
+        if missed.shape != self.key_ids.shape:
+            raise ValueError("missed mask must align with requests")
+        return int(self.costs[self.key_ids[missed]].sum())

@@ -1,0 +1,195 @@
+"""The paper's workload suite (Tables 1, 2, and 3) and its materialization.
+
+A :class:`WorkloadSpec` is the declarative row from the paper's tables:
+key size, value-size rule, cost distribution, and Zipf skew.  Materializing
+it for a chosen key-universe size yields a :class:`Workload`: concrete key
+bytes, a fixed cost per key, a fixed value size per key, and a seeded
+Zipf request sampler whose popularity ranking is decorrelated from key id
+(and hence from cost/size assignment) by a seeded permutation.
+
+``SINGLE_SIZE_WORKLOADS`` holds Table 2's ten rows; ``MULTI_SIZE_WORKLOADS``
+holds Table 3's three rows; ``TABLE1_MOTIVATION`` reproduces the RUBiS /
+TPC-W cache-miss-cost categorization of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.costs import (
+    CostDistribution,
+    FixedCost,
+    GroupedCosts,
+    UniformCosts,
+    cost_groups,
+)
+from repro.workloads.sizes import CostGroupSizes, FixedSize, SizeDistribution
+from repro.workloads.zipf import DEFAULT_THETA, ZipfSampler, rank_permutation
+
+DEFAULT_KEY_SIZE = 16
+
+#: The paper's three cost bands, shared by most workloads (Table 2 row 1).
+BASELINE_GROUPS = cost_groups((10, 30, 0.80), (120, 180, 0.15), (350, 450, 0.05))
+RUBIS_GROUPS = cost_groups((10, 30, 0.20), (120, 180, 0.75), (350, 450, 0.05))
+TPCW_GROUPS = cost_groups((10, 30, 0.50), (120, 180, 0.25), (350, 450, 0.25))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A row of Table 2 or Table 3."""
+
+    workload_id: str
+    name: str
+    costs: CostDistribution
+    sizes: SizeDistribution
+    key_size: int = DEFAULT_KEY_SIZE
+    theta: float = DEFAULT_THETA
+    multi_size: bool = False
+
+    def materialize(self, num_keys: int, seed: int = 0) -> "Workload":
+        """Build the concrete key universe for this spec."""
+        return Workload(spec=self, num_keys=num_keys, seed=seed)
+
+
+class Workload:
+    """A materialized workload: keys, per-key costs/sizes, request sampler."""
+
+    def __init__(self, spec: WorkloadSpec, num_keys: int, seed: int) -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        self.spec = spec
+        self.num_keys = num_keys
+        self.seed = seed
+        self.costs = spec.costs.assign(num_keys, seed=seed * 7 + 1)
+        self.value_sizes = spec.sizes.assign(num_keys, self.costs, seed=seed * 7 + 2)
+        self._rank_to_key = rank_permutation(num_keys, seed=seed * 7 + 3)
+        self._sampler = ZipfSampler(num_keys, theta=spec.theta, seed=seed * 7 + 4)
+        width = spec.key_size - 1
+        self._keys: List[bytes] = [
+            b"k%0*d" % (width, i) for i in range(num_keys)
+        ]
+
+    def key_bytes(self, key_id: int) -> bytes:
+        return self._keys[key_id]
+
+    def cost_of(self, key_id: int) -> int:
+        return int(self.costs[key_id])
+
+    def value_of(self, key_id: int) -> bytes:
+        """A synthetic value of the assigned size (contents don't matter)."""
+        return b"v" * int(self.value_sizes[key_id])
+
+    def sample_requests(self, count: int) -> np.ndarray:
+        """``count`` Zipf-distributed key ids (popularity decorrelated)."""
+        ranks = self._sampler.sample(count)
+        return self._rank_to_key[ranks]
+
+    def warmup_order(self, count: Optional[int] = None, seed: int = 1234) -> np.ndarray:
+        """Key ids to SET during warmup, in seeded random order.
+
+        The paper controls "the number of SET requests in the warmup phase"
+        to reach the target LRU hit rate; callers pass ``count`` when they
+        want to load only part of the universe.
+        """
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(self.num_keys)
+        if count is not None:
+            order = order[:count]
+        return order
+
+    def max_cost(self) -> int:
+        return self.spec.costs.max_cost()
+
+    def footprint_of(self, key_id: int, header: int) -> int:
+        return header + self.spec.key_size + int(self.value_sizes[key_id])
+
+
+def _single(workload_id: str, name: str, costs: CostDistribution,
+            value_size: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        workload_id=workload_id,
+        name=name,
+        costs=costs,
+        sizes=FixedSize(value_size),
+    )
+
+
+#: Table 2 — the ten single-size workload configurations.
+SINGLE_SIZE_WORKLOADS: Dict[str, WorkloadSpec] = {
+    "1": _single("1", "Baseline", GroupedCosts(BASELINE_GROUPS, "baseline"), 256),
+    "2": _single("2", "RUBiS", GroupedCosts(RUBIS_GROUPS, "rubis"), 256),
+    "3": _single("3", "TPC-W", GroupedCosts(TPCW_GROUPS, "tpcw"), 256),
+    "4": _single("4", "Same", FixedCost(10), 256),
+    "5": _single("5", "Random", UniformCosts(20, 400), 256),
+    "6": _single("6", "Small_1", GroupedCosts(BASELINE_GROUPS, "baseline"), 64),
+    "7": _single("7", "Small_2", GroupedCosts(BASELINE_GROUPS, "baseline"), 128),
+    "8": _single("8", "Big_1", GroupedCosts(BASELINE_GROUPS, "baseline"), 2048),
+    "9": _single("9", "Big_2", GroupedCosts(BASELINE_GROUPS, "baseline"), 4096),
+    "10": _single(
+        "10",
+        "Coarse",
+        GroupedCosts(
+            cost_groups((1, 3, 0.80), (12, 18, 0.15), (35, 45, 0.05)),
+            "coarse",
+            quantum=10,
+        ),
+        256,
+    ),
+}
+
+#: Table 3 — the three multiple-size workloads (192/256/320-byte values,
+#: larger value for the costlier group so each group gets its own slab class).
+MULTI_SIZE_VALUE_SIZES = (192, 256, 320)
+
+
+def _multi(workload_id: str, name: str, groups) -> WorkloadSpec:
+    grouped = GroupedCosts(groups, name.lower())
+    return WorkloadSpec(
+        workload_id=workload_id,
+        name=name,
+        costs=grouped,
+        sizes=CostGroupSizes(grouped, MULTI_SIZE_VALUE_SIZES),
+        multi_size=True,
+    )
+
+
+MULTI_SIZE_WORKLOADS: Dict[str, WorkloadSpec] = {
+    "1": _multi("1", "Baseline", BASELINE_GROUPS),
+    "2": _multi("2", "RUBiS", RUBIS_GROUPS),
+    "3": _multi("3", "TPC-W", TPCW_GROUPS),
+}
+
+
+@dataclass(frozen=True)
+class MotivationRow:
+    """One row of Table 1 (extra response times on cache misses)."""
+
+    category: str
+    low_ms: int
+    high_ms: int
+    proportion: float
+
+
+#: Table 1 — cost variation observed by Bouchenak et al. in RUBiS and TPC-W.
+TABLE1_MOTIVATION: Dict[str, Tuple[MotivationRow, ...]] = {
+    "RUBiS": (
+        MotivationRow("Low", 10, 10, 0.17),
+        MotivationRow("Mid", 60, 95, 0.79),
+        MotivationRow("High", 240, 240, 0.04),
+    ),
+    "TPC-W": (
+        MotivationRow("Low", 10, 25, 0.48),
+        MotivationRow("Mid", 45, 150, 0.25),
+        MotivationRow("High", 210, 300, 0.27),
+    ),
+}
+
+
+def motivation_cost_ratio(rows: Tuple[MotivationRow, ...]) -> float:
+    """max/min cost ratio for a Table 1 benchmark (the paper cites ~1:20)."""
+    low = min(r.low_ms for r in rows)
+    high = max(r.high_ms for r in rows)
+    return high / low

@@ -1,0 +1,198 @@
+"""Zipf-distributed key choosers — the YCSB request distribution.
+
+The paper's measurement phase issues GETs whose keys follow a Zipf
+distribution (Section 6.2), matching Atikoglu et al.'s observation that
+Facebook's Memcached requests are power-law distributed ("about 50% of
+key-value pairs were accessed in only 1% of requests").
+
+Two interchangeable implementations:
+
+* :class:`ZipfSampler` — exact: materializes the probability vector for the
+  ``n`` keys and vector-samples with numpy.  Preferred for simulations
+  (fast batch generation, exact distribution).
+* :class:`YCSBZipfianGenerator` — the incremental rejection-free generator
+  YCSB itself uses (Gray et al.'s "Quickly generating billion-record
+  synthetic databases" algorithm), including the *scrambled* variant that
+  decorrelates popularity from key id.  Kept for fidelity and for streaming
+  use where n is huge.
+
+Both draw ranks in ``0 … n-1`` where rank 0 is the most popular; callers
+map ranks to keys through a seeded permutation (see :func:`rank_permutation`)
+so that popularity is independent of insertion order and cost assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: YCSB's default Zipfian constant.
+DEFAULT_THETA = 0.99
+
+
+def rank_permutation(n: int, seed: int) -> np.ndarray:
+    """A seeded permutation mapping popularity rank -> key id."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n)
+
+
+class ZipfSampler:
+    """Exact Zipf sampling over ``n`` ranks via a materialized pmf."""
+
+    def __init__(self, n: int, theta: float = DEFAULT_THETA, seed: int = 0) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        self.n = n
+        self.theta = theta
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
+        self._probs = weights / weights.sum()
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, count: int) -> np.ndarray:
+        """``count`` ranks, 0 = most popular."""
+        return self._rng.choice(self.n, size=count, p=self._probs)
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of a rank (for distribution tests)."""
+        return float(self._probs[rank])
+
+
+class YCSBZipfianGenerator:
+    """YCSB's incremental Zipfian generator (Gray et al.'s algorithm).
+
+    Generates one rank per :meth:`next_rank` call in O(1) after an O(n)
+    zeta precomputation, without materializing the pmf.
+    """
+
+    def __init__(self, n: int, theta: float = DEFAULT_THETA,
+                 seed: Optional[int] = 0) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0 < theta < 1:
+            raise ValueError("this generator requires 0 < theta < 1")
+        self.n = n
+        self.theta = theta
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+        self._rng = np.random.default_rng(seed)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return float(np.sum(1.0 / np.power(np.arange(1, n + 1), theta)))
+
+    def next_rank(self) -> int:
+        """One Zipf-distributed rank in ``0 … n-1``."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Vectorized batch of ``count`` ranks (same algorithm, numpy math)."""
+        u = self._rng.random(count)
+        uz = u * self._zetan
+        ranks = (self.n * np.power(self._eta * u - self._eta + 1.0, self._alpha)).astype(
+            np.int64
+        )
+        ranks = np.where(uz < 1.0, 0, ranks)
+        ranks = np.where((uz >= 1.0) & (uz < 1.0 + 0.5**self.theta), 1, ranks)
+        return np.clip(ranks, 0, self.n - 1)
+
+
+class ScrambledZipfianGenerator:
+    """YCSB's scrambled Zipfian: popular ranks spread across the id space.
+
+    Applies an FNV-style hash to the underlying Zipfian rank so that the
+    popular items are not the low ids.  Collisions mean the popularity of
+    individual ids deviates slightly from exact Zipf — exactly as in YCSB.
+    """
+
+    _FNV_OFFSET = 0xCBF29CE484222325
+    _FNV_PRIME = 0x100000001B3
+
+    def __init__(self, n: int, theta: float = DEFAULT_THETA, seed: int = 0) -> None:
+        self.n = n
+        self._base = YCSBZipfianGenerator(n, theta, seed)
+
+    @classmethod
+    def _fnv_mix(cls, value: int) -> int:
+        h = cls._FNV_OFFSET
+        for _ in range(8):
+            h = ((h ^ (value & 0xFF)) * cls._FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+            value >>= 8
+        return h
+
+    def next_rank(self) -> int:
+        return self._fnv_mix(self._base.next_rank()) % self.n
+
+    def sample(self, count: int) -> np.ndarray:
+        base = self._base.sample(count)
+        # vectorized FNV over the 8 little-endian bytes of each rank
+        h = np.full(count, self._FNV_OFFSET, dtype=np.uint64)
+        v = base.astype(np.uint64)
+        prime = np.uint64(self._FNV_PRIME)
+        for shift in range(0, 64, 8):
+            byte = (v >> np.uint64(shift)) & np.uint64(0xFF)
+            h = (h ^ byte) * prime
+        return (h % np.uint64(self.n)).astype(np.int64)
+
+
+class UniformSampler:
+    """Uniform key chooser (for control experiments)."""
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, count: int) -> np.ndarray:
+        return self._rng.integers(0, self.n, size=count)
+
+
+class HotspotSampler:
+    """YCSB's hotspot distribution: a hot set absorbs most of the traffic.
+
+    ``hot_fraction`` of the ranks receive ``hot_opn_fraction`` of the
+    requests, uniformly within each side.  YCSB defaults: 20% of the keys
+    take 80% of the operations.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        hot_fraction: float = 0.2,
+        hot_opn_fraction: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0 < hot_fraction < 1:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0 < hot_opn_fraction < 1:
+            raise ValueError("hot_opn_fraction must be in (0, 1)")
+        self.n = n
+        self.hot_count = max(1, int(n * hot_fraction))
+        self.hot_opn_fraction = hot_opn_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, count: int) -> np.ndarray:
+        hot = self._rng.random(count) < self.hot_opn_fraction
+        ranks = np.empty(count, dtype=np.int64)
+        n_hot = int(hot.sum())
+        ranks[hot] = self._rng.integers(0, self.hot_count, size=n_hot)
+        cold_span = max(self.n - self.hot_count, 1)
+        ranks[~hot] = self.hot_count + self._rng.integers(
+            0, cold_span, size=count - n_hot
+        )
+        return np.clip(ranks, 0, self.n - 1)

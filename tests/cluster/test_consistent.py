@@ -1,0 +1,77 @@
+"""Consistent hash ring tests."""
+
+import pytest
+
+from repro.cluster import ConsistentHashRing
+
+
+def keys(n):
+    return [f"key-{i}".encode() for i in range(n)]
+
+
+class TestRingBasics:
+    def test_empty_ring_routes_nowhere(self):
+        assert ConsistentHashRing().node_for(b"k") is None
+
+    def test_single_node_takes_everything(self):
+        ring = ConsistentHashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in keys(100))
+
+    def test_replica_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(replicas=0)
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(["a"]).remove_node("b")
+
+    def test_routing_is_deterministic(self):
+        r1 = ConsistentHashRing(["a", "b", "c"])
+        r2 = ConsistentHashRing(["a", "b", "c"])
+        for key in keys(200):
+            assert r1.node_for(key) == r2.node_for(key)
+
+
+class TestBalanceAndStability:
+    def test_distribution_roughly_balanced(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], replicas=200)
+        counts = ring.distribution(keys(20_000))
+        assert sum(counts.values()) == 20_000
+        for node, count in counts.items():
+            assert 2_500 < count < 8_500, (node, count)
+
+    def test_adding_a_node_remaps_about_one_nth(self):
+        ring = ConsistentHashRing(["a", "b", "c"], replicas=200)
+        before = {k: ring.node_for(k) for k in keys(10_000)}
+        ring.add_node("d")
+        moved = sum(1 for k, node in before.items() if ring.node_for(k) != node)
+        # ideal is 1/4; allow a wide band
+        assert 0.10 < moved / 10_000 < 0.45
+
+    def test_moved_keys_only_move_to_the_new_node(self):
+        ring = ConsistentHashRing(["a", "b", "c"], replicas=200)
+        before = {k: ring.node_for(k) for k in keys(5_000)}
+        ring.add_node("d")
+        for key, node in before.items():
+            now = ring.node_for(key)
+            assert now == node or now == "d"
+
+    def test_removing_a_node_keeps_others_stable(self):
+        ring = ConsistentHashRing(["a", "b", "c"], replicas=200)
+        before = {k: ring.node_for(k) for k in keys(5_000)}
+        ring.remove_node("b")
+        for key, node in before.items():
+            if node != "b":
+                assert ring.node_for(key) == node
+
+    def test_add_then_remove_restores_routing(self):
+        ring = ConsistentHashRing(["a", "b"], replicas=100)
+        before = {k: ring.node_for(k) for k in keys(2_000)}
+        ring.add_node("c")
+        ring.remove_node("c")
+        assert {k: ring.node_for(k) for k in keys(2_000)} == before

@@ -1,0 +1,171 @@
+"""StorePool and CostPartitionedPools tests."""
+
+import pytest
+
+from repro.cluster import (
+    CostPartitionedPools,
+    StorePool,
+    make_uniform_pool,
+    pooling_report,
+    run_pooling_comparison,
+)
+from repro.core import GDWheelPolicy, LRUPolicy
+from repro.kvstore import KVStore
+
+
+def small_store():
+    return KVStore(
+        memory_limit=256 * 1024, slab_size=64 * 1024, policy_factory=LRUPolicy
+    )
+
+
+class TestStorePool:
+    def test_requires_a_store(self):
+        with pytest.raises(ValueError):
+            StorePool({})
+
+    def test_set_get_roundtrip_across_nodes(self):
+        pool = make_uniform_pool(3, 256 * 1024, LRUPolicy)
+        for i in range(200):
+            key = f"key-{i}".encode()
+            pool.set(key, b"v%d" % i, cost=i % 50)
+        for i in range(200):
+            key = f"key-{i}".encode()
+            assert pool.get(key).value == b"v%d" % i
+
+    def test_keys_spread_over_stores(self):
+        pool = make_uniform_pool(3, 256 * 1024, LRUPolicy)
+        for i in range(600):
+            pool.set(f"key-{i}".encode(), b"v")
+        sizes = [len(s) for s in pool.stores.values()]
+        assert sum(sizes) == 600
+        assert all(size > 60 for size in sizes)
+
+    def test_same_key_always_same_store(self):
+        pool = make_uniform_pool(4, 256 * 1024, LRUPolicy)
+        store = pool.store_for(b"stable-key")
+        for _ in range(10):
+            assert pool.store_for(b"stable-key") is store
+
+    def test_delete_routes_like_set(self):
+        pool = make_uniform_pool(2, 256 * 1024, LRUPolicy)
+        pool.set(b"k", b"v")
+        assert pool.delete(b"k") is True
+        assert pool.get(b"k") is None
+
+    def test_aggregate_stats_and_hit_rate(self):
+        pool = make_uniform_pool(2, 256 * 1024, LRUPolicy)
+        pool.set(b"k", b"v")
+        pool.get(b"k")
+        pool.get(b"missing")
+        stats = pool.aggregate_stats()
+        assert stats["sets"] == 1
+        assert stats["gets"] == 2
+        assert pool.hit_rate == pytest.approx(0.5)
+
+    def test_scale_out_keeps_most_keys_reachable(self):
+        pool = make_uniform_pool(3, 512 * 1024, LRUPolicy)
+        keys = [f"key-{i}".encode() for i in range(500)]
+        for key in keys:
+            pool.set(key, b"v")
+        pool.add_store("node3", small_store())
+        reachable = sum(1 for key in keys if pool.get(key) is not None)
+        assert reachable > 250  # only ~1/4 remapped (cold)
+
+    def test_remove_store_loses_only_its_keys(self):
+        pool = make_uniform_pool(3, 512 * 1024, LRUPolicy)
+        keys = [f"key-{i}".encode() for i in range(300)]
+        for key in keys:
+            pool.set(key, b"v")
+        victim = pool.remove_store("node1")
+        lost = len(victim)
+        reachable = sum(1 for key in keys if pool.get(key) is not None)
+        assert reachable == 300 - lost
+
+    def test_duplicate_store_name_rejected(self):
+        pool = make_uniform_pool(2, 256 * 1024, LRUPolicy)
+        with pytest.raises(ValueError):
+            pool.add_store("node0", small_store())
+
+
+class TestCostPartitionedPools:
+    def make(self):
+        pools = [
+            (30, make_uniform_pool(1, 128 * 1024, LRUPolicy, name_prefix="lo")),
+            (180, make_uniform_pool(1, 128 * 1024, LRUPolicy, name_prefix="mid")),
+            (450, make_uniform_pool(1, 128 * 1024, LRUPolicy, name_prefix="hi")),
+        ]
+        return CostPartitionedPools(pools), [p for _, p in pools]
+
+    def test_requires_bands(self):
+        with pytest.raises(ValueError):
+            CostPartitionedPools([])
+
+    def test_bands_must_be_sorted(self):
+        a = make_uniform_pool(1, 128 * 1024, LRUPolicy)
+        b = make_uniform_pool(1, 128 * 1024, LRUPolicy, name_prefix="b")
+        with pytest.raises(ValueError):
+            CostPartitionedPools([(100, a), (30, b)])
+
+    def test_routes_by_cost_band(self):
+        parts, (lo, mid, hi) = self.make()
+        parts.set(b"cheap", b"v", cost=15)
+        parts.set(b"medium", b"v", cost=150)
+        parts.set(b"dear", b"v", cost=400)
+        assert lo.total_items() == 1
+        assert mid.total_items() == 1
+        assert hi.total_items() == 1
+
+    def test_get_needs_matching_cost_class(self):
+        parts, _ = self.make()
+        parts.set(b"k", b"v", cost=150)
+        assert parts.get(b"k", cost=150) is not None
+        # ...and looking in the wrong pool finds nothing — the operational
+        # fragility of static partitioning
+        assert parts.get(b"k", cost=15) is None
+
+    def test_over_bound_costs_use_last_pool(self):
+        parts, (_, _, hi) = self.make()
+        parts.set(b"huge", b"v", cost=9_999)
+        assert hi.total_items() == 1
+
+
+class TestPoolingExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_pooling_comparison(
+            total_memory=2 * 1024 * 1024,
+            num_keys_per_phase=8_000,
+            num_requests=25_000,
+        )
+
+    def test_both_organizations_ran_two_phases(self, results):
+        assert set(results) == {"single-gdwheel", "partitioned-lru"}
+        for result in results.values():
+            assert len(result.phases) == 2
+            for phase in result.phases:
+                assert 0.5 < phase.hit_rate < 1.0
+
+    def test_single_cost_aware_pool_wins_overall(self, results):
+        """The paper's Section 2.2 claim, quantified."""
+        assert (
+            results["single-gdwheel"].total_cost
+            < results["partitioned-lru"].total_cost
+        )
+
+    def test_partitioning_suffers_most_after_the_shift(self, results):
+        single = results["single-gdwheel"].phases
+        parts = results["partitioned-lru"].phases
+        # phase 2 is where the static sizing is wrong: the gap must widen
+        gap_phase1 = parts[0].total_recomputation_cost / max(
+            single[0].total_recomputation_cost, 1
+        )
+        gap_phase2 = parts[1].total_recomputation_cost / max(
+            single[1].total_recomputation_cost, 1
+        )
+        assert gap_phase2 > gap_phase1
+
+    def test_report_renders(self, results):
+        out = pooling_report(results)
+        assert "single-gdwheel" in out
+        assert "TOTAL" in out

@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core import PolicyEntry, ReplacementPolicy
+
+
+class PolicyHarness:
+    """Drives a policy like the store would: a keyed cache with a capacity.
+
+    Used by the shared policy-contract tests and the equivalence tests.
+    """
+
+    def __init__(self, policy: ReplacementPolicy, capacity: int) -> None:
+        self.policy = policy
+        self.capacity = capacity
+        self.entries: Dict[object, PolicyEntry] = {}
+        self.evicted: List[object] = []
+
+    def access(self, key: object, cost: int, size: int = 1) -> bool:
+        """One cache-aside access; returns True on hit."""
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.policy.touch(entry)
+            return True
+        if len(self.policy) >= self.capacity:
+            victim = self.policy.select_victim()
+            self.evicted.append(victim.key)
+            del self.entries[victim.key]
+        entry = PolicyEntry(key=key, size=size)
+        self.entries[key] = entry
+        self.policy.insert(entry, cost)
+        return False
+
+    def delete(self, key: object) -> bool:
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            return False
+        self.policy.remove(entry)
+        return True
+
+    def run_random(self, steps: int, num_keys: int, max_cost: int,
+                   seed: int = 0, delete_prob: float = 0.0) -> None:
+        rng = random.Random(seed)
+        for _ in range(steps):
+            key = rng.randrange(num_keys)
+            if delete_prob and rng.random() < delete_prob:
+                self.delete(key)
+            else:
+                self.access(key, rng.randrange(0, max_cost + 1))
+
+
+@pytest.fixture
+def harness_factory():
+    def build(policy: ReplacementPolicy, capacity: int = 16) -> PolicyHarness:
+        return PolicyHarness(policy, capacity)
+
+    return build
+
+
+def make_entries(count: int, cost: int = 0) -> List[PolicyEntry]:
+    return [PolicyEntry(key=i, cost=cost) for i in range(count)]

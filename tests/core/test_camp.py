@@ -1,0 +1,91 @@
+"""CAMP tests: ratio rounding, queue structure, and GreedyDual proximity."""
+
+import random
+
+from repro.core import CAMPPolicy, GDPQPolicy, PolicyEntry, round_ratio
+
+
+class TestRoundRatio:
+    def test_small_values_unchanged(self):
+        for value in range(16):
+            assert round_ratio(value, precision=4) == value
+
+    def test_keeps_top_bits(self):
+        # 0b110101 with precision 3 -> 0b110100? no: keep top 3 bits -> 0b110000 | shifted
+        assert round_ratio(0b110101, 3) == 0b110000
+        assert round_ratio(0b110101, 5) == 0b110100
+
+    def test_zero_and_negative(self):
+        assert round_ratio(0, 4) == 0
+        assert round_ratio(-5, 4) == 0
+
+    def test_monotone_nondecreasing(self):
+        values = [round_ratio(v, 3) for v in range(1, 2_000)]
+        assert values == sorted(values)
+
+    def test_relative_error_bounded(self):
+        for value in range(1, 5_000):
+            rounded = round_ratio(value, 4)
+            assert rounded <= value
+            assert value - rounded < value / 2**3  # error < 2^-(p-1)
+
+
+class TestCampStructure:
+    def test_queue_count_is_bounded_by_rounding(self):
+        policy = CAMPPolicy(precision=3, use_size=False)
+        rng = random.Random(0)
+        entries = []
+        for i in range(500):
+            entry = PolicyEntry(key=i, size=1)
+            policy.insert(entry, rng.randrange(1, 1024))
+            entries.append(entry)
+        # precision-3 rounding over costs < 1024 leaves at most
+        # 4 mantissas * 10 exponents + small values = a few dozen queues
+        assert policy.num_queues() <= 44
+
+    def test_evicts_lowest_rounded_ratio(self):
+        policy = CAMPPolicy(precision=4)
+        cheap = PolicyEntry(key="cheap", size=100)
+        dear = PolicyEntry(key="dear", size=10)
+        policy.insert(cheap, 10)  # ratio 102 (fixed-point 1024*10/100)
+        policy.insert(dear, 10)  # ratio 1024
+        assert policy.select_victim() is cheap
+
+    def test_lru_within_a_queue(self):
+        policy = CAMPPolicy(use_size=False)
+        a = PolicyEntry(key="a", size=1)
+        b = PolicyEntry(key="b", size=1)
+        policy.insert(a, 7)
+        policy.insert(b, 7)
+        policy.touch(a)
+        assert policy.select_victim() is b
+
+
+class TestCampApproximatesGreedyDual:
+    def test_close_to_gdpq_total_cost_without_size(self):
+        """With use_size=False and generous precision, CAMP's total miss
+        cost should be within a few percent of exact GreedyDual."""
+        rng = random.Random(4)
+        requests = [(rng.randrange(300), rng.randrange(1, 450)) for _ in range(20_000)]
+        costs = {}
+
+        def run(policy):
+            entries, total = {}, 0
+            for key, cost in requests:
+                cost = costs.setdefault(key, cost)
+                entry = entries.get(key)
+                if entry is not None:
+                    policy.touch(entry)
+                    continue
+                total += cost
+                if len(policy) >= 60:
+                    victim = policy.select_victim()
+                    del entries[victim.key]
+                entry = PolicyEntry(key=key, size=1)
+                entries[key] = entry
+                policy.insert(entry, cost)
+            return total
+
+        exact = run(GDPQPolicy())
+        approx = run(CAMPPolicy(precision=6, use_size=False))
+        assert abs(approx - exact) / exact < 0.05

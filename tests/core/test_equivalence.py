@@ -1,0 +1,128 @@
+"""The paper's Section 6.4.1 claim, as a property: GD-Wheel, GD-PQ, and the
+naive GreedyDual make *identical* replacement decisions.
+
+Hypothesis drives the three implementations with the same interleavings of
+accesses (inserts/touches), deletions, and evictions, across multiple wheel
+geometries, and requires the eviction sequences to match exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    GDPQPolicy,
+    GDWheelPolicy,
+    NaiveGreedyDual,
+    PolicyEntry,
+)
+from repro.workloads import SINGLE_SIZE_WORKLOADS, Trace
+
+
+def drive(policy, operations, capacity, max_cost):
+    """Replay (kind, key, cost) ops; return the eviction sequence."""
+    entries = {}
+    evictions = []
+    for kind, key, cost in operations:
+        cost = cost % (max_cost + 1)
+        if kind == "delete":
+            entry = entries.pop(key, None)
+            if entry is not None:
+                policy.remove(entry)
+            continue
+        entry = entries.get(key)
+        if entry is not None:
+            policy.touch(entry)
+            continue
+        if len(policy) >= capacity:
+            victim = policy.select_victim()
+            evictions.append(victim.key)
+            del entries[victim.key]
+        entry = PolicyEntry(key=key)
+        entries[key] = entry
+        policy.insert(entry, cost)
+    return evictions
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "access", "access", "delete"]),
+        st.integers(0, 30),
+        st.integers(0, 10_000),
+    ),
+    max_size=400,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=200, deadline=None)
+@pytest.mark.parametrize(
+    "num_queues,num_wheels", [(4, 2), (4, 3), (8, 2), (16, 2), (3, 4)]
+)
+def test_wheel_equals_pq_equals_naive(ops, num_queues, num_wheels):
+    max_cost = num_queues**num_wheels - 1
+    capacity = 8
+    wheel = GDWheelPolicy(num_queues=num_queues, num_wheels=num_wheels)
+    pq = GDPQPolicy()
+    naive = NaiveGreedyDual()
+    ev_wheel = drive(wheel, ops, capacity, max_cost)
+    ev_pq = drive(pq, ops, capacity, max_cost)
+    ev_naive = drive(naive, ops, capacity, max_cost)
+    assert ev_wheel == ev_pq == ev_naive
+    wheel.check_invariants()
+
+
+def test_equivalence_on_paper_workload_trace():
+    """A realistic check: a Zipf trace with baseline costs, paper geometry."""
+    workload = SINGLE_SIZE_WORKLOADS["1"].materialize(num_keys=2_000, seed=5)
+    trace = Trace.from_workload(workload, num_requests=30_000)
+    capacity = 500
+
+    def run(policy):
+        entries = {}
+        evictions = []
+        for key_id, cost, _size in trace:
+            entry = entries.get(key_id)
+            if entry is not None:
+                policy.touch(entry)
+                continue
+            if len(policy) >= capacity:
+                victim = policy.select_victim()
+                evictions.append(victim.key)
+                del entries[victim.key]
+            entry = PolicyEntry(key=key_id)
+            entries[key_id] = entry
+            policy.insert(entry, cost)
+        return evictions
+
+    ev_wheel = run(GDWheelPolicy())  # paper defaults: 256 queues, 2 wheels
+    ev_pq = run(GDPQPolicy())
+    assert ev_wheel == ev_pq
+    assert len(ev_wheel) > 1_000  # the trace actually exercised eviction
+
+
+def test_gdpq_deflation_does_not_change_decisions():
+    """The O(n) inflation rescan is semantically invisible (Section 3.1)."""
+    workload = SINGLE_SIZE_WORKLOADS["5"].materialize(num_keys=500, seed=9)
+    trace = Trace.from_workload(workload, num_requests=8_000)
+    capacity = 100
+
+    def run(policy):
+        entries, evictions = {}, []
+        for key_id, cost, _ in trace:
+            entry = entries.get(key_id)
+            if entry is not None:
+                policy.touch(entry)
+                continue
+            if len(policy) >= capacity:
+                victim = policy.select_victim()
+                evictions.append(victim.key)
+                del entries[victim.key]
+            entry = PolicyEntry(key=key_id)
+            entries[key_id] = entry
+            policy.insert(entry, cost)
+        return evictions
+
+    plain = GDPQPolicy()
+    deflating = GDPQPolicy(inflation_limit=5_000)
+    assert run(plain) == run(deflating)
+    assert deflating.deflation_count >= 1

@@ -1,0 +1,73 @@
+"""GreedyDual-Size and GDSF tests."""
+
+from repro.core import GDSFPolicy, GDSPolicy, PolicyEntry
+
+
+def insert(policy, key, cost, size):
+    entry = PolicyEntry(key=key, size=size)
+    policy.insert(entry, cost)
+    return entry
+
+
+class TestGDS:
+    def test_larger_object_evicted_first_at_equal_cost(self):
+        policy = GDSPolicy()
+        insert(policy, "big", 10, size=100)
+        insert(policy, "small", 10, size=10)
+        assert policy.select_victim().key == "big"  # 10/100 < 10/10
+
+    def test_cost_still_matters_at_equal_size(self):
+        policy = GDSPolicy()
+        insert(policy, "cheap", 1, size=10)
+        insert(policy, "dear", 50, size=10)
+        assert policy.select_victim().key == "cheap"
+
+    def test_inflation_is_float_and_monotone(self):
+        policy = GDSPolicy()
+        insert(policy, "a", 1, size=3)
+        insert(policy, "b", 5, size=2)
+        policy.select_victim()
+        first = policy.inflation
+        policy.select_victim()
+        assert policy.inflation >= first > 0
+
+    def test_touch_restores_ratio_priority(self):
+        policy = GDSPolicy()
+        a = insert(policy, "a", 10, size=10)  # ratio 1.0
+        insert(policy, "b", 2, size=10)  # ratio 0.2
+        insert(policy, "c", 5, size=10)  # ratio 0.5
+        policy.select_victim()  # b, L=0.2
+        policy.touch(a)  # H = 0.2 + 1.0 = 1.2 > c's 0.5
+        assert policy.select_victim().key == "c"
+
+    def test_zero_size_is_guarded(self):
+        policy = GDSPolicy()
+        entry = PolicyEntry(key="zero", size=0)
+        policy.insert(entry, 5)  # must not divide by zero
+        assert policy.select_victim() is entry
+
+
+class TestGDSF:
+    def test_frequency_raises_priority(self):
+        policy = GDSFPolicy()
+        hot = insert(policy, "hot", 10, size=10)
+        insert(policy, "cold", 10, size=10)
+        for _ in range(3):
+            policy.touch(hot)  # frequency 4, same cost/size
+        assert policy.select_victim().key == "cold"
+
+    def test_frequency_resets_on_reinsert(self):
+        policy = GDSFPolicy()
+        hot = insert(policy, "hot", 10, size=10)
+        policy.touch(hot)
+        policy.remove(hot)
+        fresh = insert(policy, "hot", 10, size=10)
+        assert fresh.policy_slot == 1  # frequency back to 1
+
+    def test_high_frequency_beats_moderate_cost(self):
+        policy = GDSFPolicy()
+        frequent = insert(policy, "frequent", 5, size=10)
+        insert(policy, "pricey", 12, size=10)
+        for _ in range(5):
+            policy.touch(frequent)
+        assert policy.select_victim().key == "pricey"

@@ -1,0 +1,84 @@
+"""Stateful property machine: GD-Wheel vs the naive GreedyDual oracle.
+
+Hypothesis explores arbitrary interleavings of insert/touch/remove/evict
+(including evicting while empty and touching right after migration waves)
+and checks after every step that GD-Wheel's internal invariants hold and
+its next victim matches the O(n) oracle exactly.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+import pytest
+
+from repro.core import (
+    EvictionError,
+    GDWheelPolicy,
+    NaiveGreedyDual,
+    PolicyEntry,
+)
+
+KEYS = st.integers(0, 25)
+COSTS = st.integers(0, 63)  # wheel geometry 4x3 -> capacity 63
+
+
+class WheelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.wheel = GDWheelPolicy(num_queues=4, num_wheels=3)
+        self.oracle = NaiveGreedyDual()
+        self.wheel_entries = {}
+        self.oracle_entries = {}
+
+    @rule(key=KEYS, cost=COSTS)
+    def access(self, key, cost):
+        wheel_entry = self.wheel_entries.get(key)
+        if wheel_entry is not None:
+            self.wheel.touch(wheel_entry)
+            self.oracle.touch(self.oracle_entries[key])
+        else:
+            wheel_entry = PolicyEntry(key=key)
+            oracle_entry = PolicyEntry(key=key)
+            self.wheel.insert(wheel_entry, cost)
+            self.oracle.insert(oracle_entry, cost)
+            self.wheel_entries[key] = wheel_entry
+            self.oracle_entries[key] = oracle_entry
+
+    @rule(key=KEYS)
+    def remove(self, key):
+        wheel_entry = self.wheel_entries.pop(key, None)
+        if wheel_entry is None:
+            return
+        self.wheel.remove(wheel_entry)
+        self.oracle.remove(self.oracle_entries.pop(key))
+
+    @precondition(lambda self: len(self.wheel_entries) > 0)
+    @rule()
+    def evict(self):
+        wheel_victim = self.wheel.select_victim()
+        oracle_victim = self.oracle.select_victim()
+        assert wheel_victim.key == oracle_victim.key
+        del self.wheel_entries[wheel_victim.key]
+        del self.oracle_entries[oracle_victim.key]
+
+    @precondition(lambda self: len(self.wheel_entries) == 0)
+    @rule()
+    def evict_empty_raises(self):
+        with pytest.raises(EvictionError):
+            self.wheel.select_victim()
+
+    @invariant()
+    def wheel_internally_consistent(self):
+        self.wheel.check_invariants()
+
+    @invariant()
+    def populations_match(self):
+        assert len(self.wheel) == len(self.oracle) == len(self.wheel_entries)
+        wheel_keys = {e.key for e in self.wheel.entries()}
+        assert wheel_keys == set(self.wheel_entries)
+
+
+TestWheelStateful = WheelMachine.TestCase
+TestWheelStateful.settings = settings(
+    max_examples=60, stateful_step_count=80, deadline=None
+)

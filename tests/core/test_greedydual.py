@@ -1,0 +1,108 @@
+"""Naive GreedyDual (the oracle) and GD-PQ behaviour tests."""
+
+import pytest
+
+from repro.core import GDPQPolicy, NaiveGreedyDual, PolicyEntry
+
+
+def fill(policy, items):
+    """items: iterable of (key, cost)."""
+    entries = {}
+    for key, cost in items:
+        entry = PolicyEntry(key=key)
+        policy.insert(entry, cost)
+        entries[key] = entry
+    return entries
+
+
+class TestNaiveGreedyDual:
+    def test_lowest_cost_evicted_first(self):
+        policy = NaiveGreedyDual()
+        fill(policy, [("cheap", 1), ("mid", 5), ("dear", 9)])
+        assert policy.select_victim().key == "cheap"
+        assert policy.select_victim().key == "mid"
+        assert policy.select_victim().key == "dear"
+
+    def test_eviction_deflates_h_values(self):
+        policy = NaiveGreedyDual()
+        entries = fill(policy, [("a", 2), ("b", 5)])
+        policy.select_victim()  # evicts a with H=2
+        assert entries["b"].policy_h == 3  # 5 - 2
+
+    def test_recency_beats_staleness_at_equal_cost(self):
+        policy = NaiveGreedyDual()
+        entries = fill(policy, [("old", 4), ("new", 4)])
+        policy.touch(entries["old"])  # same H, but now more recent
+        assert policy.select_victim().key == "new"
+
+    def test_reuse_restores_priority(self):
+        policy = NaiveGreedyDual()
+        entries = fill(policy, [("a", 10), ("b", 1)])
+        policy.select_victim()  # evicts b (H=1); a deflates to 9
+        policy.insert(PolicyEntry(key="c"), 3)
+        policy.touch(entries["a"])  # back to H=10
+        assert policy.select_victim().key == "c"
+
+    def test_tie_break_is_least_recently_used(self):
+        policy = NaiveGreedyDual()
+        fill(policy, [("first", 7), ("second", 7), ("third", 7)])
+        assert policy.select_victim().key == "first"
+        assert policy.select_victim().key == "second"
+
+
+class TestGDPQ:
+    def test_inflation_tracks_evicted_h(self):
+        policy = GDPQPolicy()
+        fill(policy, [("a", 3), ("b", 8)])
+        assert policy.inflation == 0
+        assert policy.select_victim().key == "a"
+        assert policy.inflation == 3
+
+    def test_insert_after_eviction_uses_inflated_priority(self):
+        policy = GDPQPolicy()
+        fill(policy, [("a", 3), ("b", 8)])
+        policy.select_victim()  # L = 3
+        late = PolicyEntry(key="late")
+        policy.insert(late, 2)  # H = 5 < b's 8
+        assert late.policy_h == 5
+        assert policy.select_victim().key == "late"
+
+    def test_lazy_deletion_skips_stale_slots(self):
+        policy = GDPQPolicy()
+        entries = fill(policy, [("a", 1), ("b", 2)])
+        policy.touch(entries["a"])  # old slot for a goes stale
+        # victim must still be a (its refreshed H=1 is minimal), not a crash
+        assert policy.select_victim().key == "a"
+
+    def test_heap_compaction_bounds_growth(self):
+        policy = GDPQPolicy(compact_ratio=2.0)
+        entries = fill(policy, [(i, 5) for i in range(100)])
+        for _ in range(50):
+            for entry in entries.values():
+                policy.touch(entry)
+        # 5000 touches happened; compaction must keep the heap near 2x live
+        assert len(policy._heap) <= 2 * 100 + 32
+
+    def test_peek_victim_matches_select(self):
+        policy = GDPQPolicy()
+        fill(policy, [("a", 9), ("b", 2), ("c", 4)])
+        assert policy.peek_victim().key == "b"
+        assert policy.select_victim().key == "b"
+
+    def test_inflation_limit_triggers_deflation_rescan(self):
+        policy = GDPQPolicy(inflation_limit=100)
+        # Repeatedly cycle entries so L climbs past the limit.
+        for round_ in range(100):
+            entry = PolicyEntry(key=round_)
+            policy.insert(entry, 10)
+            if len(policy) > 3:
+                policy.select_victim()
+        assert policy.deflation_count >= 1
+        assert policy.inflation < 100
+        # ordering must survive deflation
+        keys = [policy.select_victim().key for _ in range(len(policy))]
+        assert keys == sorted(keys)
+
+    def test_compact_ratio_validation(self):
+        with pytest.raises(ValueError):
+            GDPQPolicy(compact_ratio=0.5)

@@ -1,0 +1,176 @@
+"""Unit tests for the intrusive doubly-linked list."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intrusive import IntrusiveList, IntrusiveNode
+
+
+def nodes(n):
+    return [IntrusiveNode() for _ in range(n)]
+
+
+class TestBasicOperations:
+    def test_new_list_is_empty(self):
+        lst = IntrusiveList()
+        assert len(lst) == 0
+        assert not lst
+        assert lst.head is None
+        assert lst.tail is None
+
+    def test_push_head_single(self):
+        lst = IntrusiveList()
+        (node,) = nodes(1)
+        lst.push_head(node)
+        assert len(lst) == 1
+        assert lst.head is node
+        assert lst.tail is node
+        assert node.linked
+        assert node.owner is lst
+
+    def test_push_head_orders_most_recent_first(self):
+        lst = IntrusiveList()
+        a, b, c = nodes(3)
+        for n in (a, b, c):
+            lst.push_head(n)
+        assert list(lst) == [c, b, a]
+        assert lst.head is c
+        assert lst.tail is a
+
+    def test_push_tail_orders_at_end(self):
+        lst = IntrusiveList()
+        a, b, c = nodes(3)
+        lst.push_head(a)
+        lst.push_tail(b)
+        lst.push_tail(c)
+        assert list(lst) == [a, b, c]
+        assert lst.tail is c
+
+    def test_push_tail_on_empty(self):
+        lst = IntrusiveList()
+        (a,) = nodes(1)
+        lst.push_tail(a)
+        assert lst.head is a and lst.tail is a
+
+    def test_remove_middle(self):
+        lst = IntrusiveList()
+        a, b, c = nodes(3)
+        for n in (a, b, c):
+            lst.push_tail(n)
+        lst.remove(b)
+        assert list(lst) == [a, c]
+        assert not b.linked
+
+    def test_remove_head_and_tail(self):
+        lst = IntrusiveList()
+        a, b, c = nodes(3)
+        for n in (a, b, c):
+            lst.push_tail(n)
+        lst.remove(a)
+        assert lst.head is b
+        lst.remove(c)
+        assert lst.tail is b
+        assert list(lst) == [b]
+
+    def test_pop_tail_and_head(self):
+        lst = IntrusiveList()
+        a, b = nodes(2)
+        lst.push_tail(a)
+        lst.push_tail(b)
+        assert lst.pop_tail() is b
+        assert lst.pop_head() is a
+        assert lst.pop_tail() is None
+        assert lst.pop_head() is None
+
+    def test_move_to_head(self):
+        lst = IntrusiveList()
+        a, b, c = nodes(3)
+        for n in (a, b, c):
+            lst.push_tail(n)
+        lst.move_to_head(c)
+        assert list(lst) == [c, a, b]
+        lst.move_to_head(c)  # already at head: still fine
+        assert list(lst) == [c, a, b]
+
+    def test_iter_tail_reverses(self):
+        lst = IntrusiveList()
+        ns = nodes(5)
+        for n in ns:
+            lst.push_tail(n)
+        assert list(lst.iter_tail()) == list(reversed(ns))
+
+    def test_drain_empties_and_yields_all(self):
+        lst = IntrusiveList()
+        ns = nodes(4)
+        for n in ns:
+            lst.push_tail(n)
+        drained = list(lst.drain())
+        assert drained == ns
+        assert len(lst) == 0
+        assert all(not n.linked for n in ns)
+
+    def test_drain_allows_relinking(self):
+        src, dst = IntrusiveList(), IntrusiveList()
+        ns = nodes(3)
+        for n in ns:
+            src.push_tail(n)
+        for n in src.drain():
+            dst.push_tail(n)
+        assert list(dst) == ns
+        assert len(src) == 0
+
+
+class TestMisuseDetection:
+    def test_double_insert_rejected(self):
+        lst = IntrusiveList()
+        (a,) = nodes(1)
+        lst.push_head(a)
+        with pytest.raises(ValueError):
+            lst.push_head(a)
+        with pytest.raises(ValueError):
+            lst.push_tail(a)
+
+    def test_insert_into_second_list_rejected(self):
+        l1, l2 = IntrusiveList(), IntrusiveList()
+        (a,) = nodes(1)
+        l1.push_head(a)
+        with pytest.raises(ValueError):
+            l2.push_head(a)
+
+    def test_remove_unlinked_rejected(self):
+        lst = IntrusiveList()
+        (a,) = nodes(1)
+        with pytest.raises(ValueError):
+            lst.remove(a)
+
+    def test_remove_from_wrong_list_rejected(self):
+        l1, l2 = IntrusiveList(), IntrusiveList()
+        (a,) = nodes(1)
+        l1.push_head(a)
+        with pytest.raises(ValueError):
+            l2.remove(a)
+
+
+@given(st.lists(st.sampled_from(["ph", "pt", "poph", "popt"]), max_size=200))
+def test_matches_python_list_model(ops):
+    """Property: the intrusive list behaves like a deque-ish list model."""
+    lst = IntrusiveList()
+    model = []
+    counter = 0
+    for op in ops:
+        if op == "ph":
+            node = IntrusiveNode()
+            lst.push_head(node)
+            model.insert(0, node)
+            counter += 1
+        elif op == "pt":
+            node = IntrusiveNode()
+            lst.push_tail(node)
+            model.append(node)
+            counter += 1
+        elif op == "poph":
+            assert lst.pop_head() is (model.pop(0) if model else None)
+        elif op == "popt":
+            assert lst.pop_tail() is (model.pop() if model else None)
+        assert len(lst) == len(model)
+        assert list(lst) == model

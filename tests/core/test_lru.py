@@ -1,0 +1,92 @@
+"""LRU behaviour tests against an OrderedDict reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, strategies as st
+
+from repro.core import LRUPolicy, PolicyEntry
+
+
+def test_evicts_least_recently_used():
+    policy = LRUPolicy()
+    entries = {k: PolicyEntry(key=k) for k in "abc"}
+    for key in "abc":
+        policy.insert(entries[key])
+    assert policy.select_victim().key == "a"
+    assert policy.select_victim().key == "b"
+
+
+def test_touch_moves_to_most_recent():
+    policy = LRUPolicy()
+    entries = {k: PolicyEntry(key=k) for k in "abc"}
+    for key in "abc":
+        policy.insert(entries[key])
+    policy.touch(entries["a"])
+    assert policy.select_victim().key == "b"
+    assert policy.select_victim().key == "c"
+    assert policy.select_victim().key == "a"
+
+
+def test_peek_victim_matches_select(harness_factory):
+    policy = LRUPolicy()
+    for k in range(5):
+        policy.insert(PolicyEntry(key=k))
+    peeked = policy.peek_victim()
+    assert policy.select_victim() is peeked
+
+
+def test_cost_argument_is_recorded_but_ignored():
+    policy = LRUPolicy()
+    cheap, dear = PolicyEntry(key="cheap"), PolicyEntry(key="dear")
+    policy.insert(cheap, 1)
+    policy.insert(dear, 1_000_000)
+    assert dear.cost == 1_000_000
+    assert policy.select_victim() is cheap  # oldest, despite lower cost
+
+
+def test_iter_tail_is_eviction_order():
+    policy = LRUPolicy()
+    for k in range(4):
+        policy.insert(PolicyEntry(key=k))
+    policy.touch(next(e for e in policy.entries() if e.key == 0))
+    tail_order = [e.key for e in policy.iter_tail()]
+    evicted = [policy.select_victim().key for _ in range(4)]
+    assert tail_order == evicted
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["get", "put", "del"]), st.integers(0, 15)),
+        max_size=300,
+    )
+)
+def test_matches_ordereddict_model(ops):
+    """Property: eviction order equals an OrderedDict LRU under any mix."""
+    capacity = 6
+    policy = LRUPolicy()
+    tracked = {}
+    model: "OrderedDict[int, None]" = OrderedDict()
+    for op, key in ops:
+        if op == "get":
+            if key in model:
+                model.move_to_end(key)
+                policy.touch(tracked[key])
+        elif op == "del":
+            if key in model:
+                del model[key]
+                policy.remove(tracked.pop(key))
+        else:  # put
+            if key in model:
+                model.move_to_end(key)
+                policy.touch(tracked[key])
+                continue
+            if len(model) >= capacity:
+                expect, _ = model.popitem(last=False)
+                victim = policy.select_victim()
+                assert victim.key == expect
+                del tracked[expect]
+            model[key] = None
+            entry = PolicyEntry(key=key)
+            tracked[key] = entry
+            policy.insert(entry)
+        assert len(policy) == len(model)

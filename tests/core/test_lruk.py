@@ -1,0 +1,97 @@
+"""LRU-K tests."""
+
+import pytest
+
+from repro.core import LRUKPolicy, PolicyEntry
+
+
+def insert(policy, key):
+    entry = PolicyEntry(key=key)
+    policy.insert(entry)
+    return entry
+
+
+def test_k_validation():
+    with pytest.raises(ValueError):
+        LRUKPolicy(k=0)
+
+
+def test_single_access_entries_evict_before_multi_access():
+    policy = LRUKPolicy(k=2)
+    once = insert(policy, "once")
+    twice = insert(policy, "twice")
+    policy.touch(twice)
+    assert policy.select_victim().key == "once"
+
+
+def test_among_single_access_lru_of_first_access():
+    policy = LRUKPolicy(k=2)
+    insert(policy, "older")
+    insert(policy, "newer")
+    assert policy.select_victim().key == "older"
+
+
+def test_evicts_oldest_penultimate_access():
+    policy = LRUKPolicy(k=2)
+    a = insert(policy, "a")
+    b = insert(policy, "b")
+    policy.touch(a)  # a: accesses (1, 3)
+    policy.touch(b)  # b: accesses (2, 4)
+    policy.touch(a)  # a: accesses (3, 5) -> penultimate 3
+    # b's penultimate is 2 < a's 3, so b goes first
+    assert policy.select_victim().key == "b"
+
+
+def test_history_is_bounded_to_k():
+    policy = LRUKPolicy(k=3)
+    entry = insert(policy, "x")
+    for _ in range(10):
+        policy.touch(entry)
+    assert len(entry.policy_slot) == 3
+
+
+def test_lru1_degenerates_to_lru():
+    from collections import OrderedDict
+
+    policy = LRUKPolicy(k=1)
+    model = OrderedDict()
+    tracked = {}
+    import random
+
+    rng = random.Random(3)
+    for _ in range(500):
+        key = rng.randrange(20)
+        if key in model:
+            model.move_to_end(key)
+            policy.touch(tracked[key])
+            continue
+        if len(model) >= 8:
+            expect, _ = model.popitem(last=False)
+            assert policy.select_victim().key == expect
+            del tracked[expect]
+        model[key] = None
+        tracked[key] = insert(policy, key)
+
+
+def test_correlated_reference_filtering_beats_lru_on_scans():
+    """LRU-2 should retain doubly-referenced pages over scan pages."""
+    policy = LRUKPolicy(k=2)
+    entries = {}
+
+    def access(key):
+        entry = entries.get(key)
+        if entry is not None:
+            policy.touch(entry)
+            return
+        if len(policy) >= 6:
+            victim = policy.select_victim()
+            del entries[victim.key]
+        entries[key] = PolicyEntry(key=key)
+        policy.insert(entries[key], 0)
+
+    for key in ("h1", "h2"):
+        access(key)
+        access(key)  # second reference
+    for i in range(20):
+        access(f"scan{i}")
+    assert {"h1", "h2"} <= {e.key for e in policy.entries()}

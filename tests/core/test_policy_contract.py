@@ -1,0 +1,158 @@
+"""Contract tests every replacement policy must satisfy.
+
+Parameterized over the whole zoo: counts stay consistent, victims are
+unlinked, remove works mid-stream, empty evictions raise, and costs are
+validated.
+"""
+
+import pytest
+
+from repro.core import (
+    ARCPolicy,
+    CAMPPolicy,
+    ClockPolicy,
+    EvictionError,
+    GDPQPolicy,
+    GDSFPolicy,
+    GDSPolicy,
+    GDWheelPolicy,
+    LRUKPolicy,
+    LRUPolicy,
+    NaiveGreedyDual,
+    PolicyEntry,
+    RandomPolicy,
+    TwoQPolicy,
+)
+
+POLICY_FACTORIES = [
+    pytest.param(lambda: LRUPolicy(), id="lru"),
+    pytest.param(lambda: ClockPolicy(), id="clock"),
+    pytest.param(lambda: RandomPolicy(seed=0), id="random"),
+    pytest.param(lambda: GDWheelPolicy(num_queues=8, num_wheels=2), id="gd-wheel"),
+    pytest.param(lambda: GDPQPolicy(), id="gd-pq"),
+    pytest.param(lambda: NaiveGreedyDual(), id="gd-naive"),
+    pytest.param(lambda: GDSPolicy(), id="gds"),
+    pytest.param(lambda: GDSFPolicy(), id="gdsf"),
+    pytest.param(lambda: CAMPPolicy(), id="camp"),
+    pytest.param(lambda: TwoQPolicy(capacity=32), id="2q"),
+    pytest.param(lambda: ARCPolicy(capacity=32), id="arc"),
+    pytest.param(lambda: LRUKPolicy(k=2), id="lru-k"),
+]
+
+
+@pytest.fixture(params=POLICY_FACTORIES)
+def policy(request):
+    return request.param()
+
+
+def fill(policy, count, cost=5):
+    entries = []
+    for i in range(count):
+        entry = PolicyEntry(key=f"k{i}", size=10)
+        policy.insert(entry, cost)
+        entries.append(entry)
+    return entries
+
+
+class TestCounting:
+    def test_empty_initially(self, policy):
+        assert len(policy) == 0
+        assert not policy
+
+    def test_insert_increases_len(self, policy):
+        fill(policy, 5)
+        assert len(policy) == 5
+        assert policy
+
+    def test_touch_does_not_change_len(self, policy):
+        entries = fill(policy, 5)
+        for entry in entries:
+            policy.touch(entry)
+        assert len(policy) == 5
+
+    def test_select_victim_decreases_len(self, policy):
+        fill(policy, 5)
+        policy.select_victim()
+        assert len(policy) == 4
+
+    def test_remove_decreases_len(self, policy):
+        entries = fill(policy, 5)
+        policy.remove(entries[2])
+        assert len(policy) == 4
+
+
+class TestVictimSelection:
+    def test_victims_are_distinct_and_tracked(self, policy):
+        entries = fill(policy, 8)
+        victims = [policy.select_victim() for _ in range(8)]
+        assert len(policy) == 0
+        assert sorted(id(v) for v in victims) == sorted(id(e) for e in entries)
+
+    def test_evicting_empty_raises(self, policy):
+        with pytest.raises(EvictionError):
+            policy.select_victim()
+
+    def test_evicting_after_drain_raises(self, policy):
+        fill(policy, 3)
+        for _ in range(3):
+            policy.select_victim()
+        with pytest.raises(EvictionError):
+            policy.select_victim()
+
+    def test_removed_entry_is_never_a_victim(self, policy):
+        entries = fill(policy, 6)
+        policy.remove(entries[0])
+        policy.remove(entries[3])
+        victims = {v.key for v in (policy.select_victim() for _ in range(4))}
+        assert entries[0].key not in victims
+        assert entries[3].key not in victims
+
+
+class TestInterleaving:
+    def test_reinsert_after_eviction(self, policy):
+        fill(policy, 4)
+        victim = policy.select_victim()
+        fresh = PolicyEntry(key=victim.key, size=10)
+        policy.insert(fresh, 7)
+        assert len(policy) == 4
+
+    def test_touch_then_evict_all(self, policy):
+        entries = fill(policy, 6)
+        for entry in entries[::2]:
+            policy.touch(entry)
+        seen = set()
+        for _ in range(6):
+            seen.add(policy.select_victim().key)
+        assert seen == {e.key for e in entries}
+
+    def test_mixed_random_workload_stays_consistent(self, policy, harness_factory):
+        harness = harness_factory(policy, capacity=12)
+        harness.run_random(steps=800, num_keys=40, max_cost=60, delete_prob=0.05)
+        assert len(policy) == len(harness.entries)
+        assert len(policy) <= 12
+
+
+class TestCostValidation:
+    def test_negative_cost_rejected(self, policy):
+        with pytest.raises(ValueError):
+            policy.insert(PolicyEntry(key="x"), -1)
+
+    def test_non_integer_cost_rejected(self, policy):
+        with pytest.raises(TypeError):
+            policy.insert(PolicyEntry(key="x"), 1.5)
+
+    def test_bool_cost_rejected(self, policy):
+        with pytest.raises(TypeError):
+            policy.insert(PolicyEntry(key="x"), True)
+
+    def test_zero_cost_accepted(self, policy):
+        policy.insert(PolicyEntry(key="x"), 0)
+        assert len(policy) == 1
+
+
+class TestRemoveMisuse:
+    def test_remove_untracked_raises(self, policy):
+        fill(policy, 2)
+        stranger = PolicyEntry(key="stranger")
+        with pytest.raises((ValueError, KeyError)):
+            policy.remove(stranger)

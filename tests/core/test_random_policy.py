@@ -1,0 +1,67 @@
+"""Random replacement policy tests."""
+
+import pytest
+
+from repro.core import EvictionError, PolicyEntry, RandomPolicy
+
+
+def test_seeded_runs_are_deterministic():
+    def run(seed):
+        policy = RandomPolicy(seed=seed)
+        entries = [PolicyEntry(key=i) for i in range(20)]
+        for entry in entries:
+            policy.insert(entry)
+        return [policy.select_victim().key for _ in range(20)]
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)  # overwhelmingly likely for 20! orderings
+
+
+def test_every_entry_eventually_evicted():
+    policy = RandomPolicy(seed=1)
+    keys = set(range(50))
+    for key in keys:
+        policy.insert(PolicyEntry(key=key))
+    evicted = {policy.select_victim().key for _ in range(50)}
+    assert evicted == keys
+
+
+def test_swap_remove_keeps_index_map_consistent():
+    policy = RandomPolicy(seed=2)
+    entries = [PolicyEntry(key=i) for i in range(10)]
+    for entry in entries:
+        policy.insert(entry)
+    # remove from the middle several times; the swapped-in last entries
+    # must remain individually removable
+    policy.remove(entries[0])
+    policy.remove(entries[5])
+    policy.remove(entries[9])
+    remaining = {e.key for e in policy.entries()}
+    assert remaining == {1, 2, 3, 4, 6, 7, 8}
+    for key in sorted(remaining):
+        policy.remove(next(e for e in policy.entries() if e.key == key))
+    assert len(policy) == 0
+
+
+def test_victim_distribution_is_roughly_uniform():
+    """With many trials, each entry should be the first victim ~equally."""
+    counts = {k: 0 for k in range(5)}
+    for seed in range(400):
+        policy = RandomPolicy(seed=seed)
+        for key in range(5):
+            policy.insert(PolicyEntry(key=key))
+        counts[policy.select_victim().key] += 1
+    for key, count in counts.items():
+        assert 40 <= count <= 130, f"key {key} chosen {count}/400 times"
+
+
+def test_remove_untracked_entry_raises():
+    policy = RandomPolicy(seed=0)
+    policy.insert(PolicyEntry(key="a"))
+    with pytest.raises(ValueError):
+        policy.remove(PolicyEntry(key="b"))
+
+
+def test_empty_eviction_raises():
+    with pytest.raises(EvictionError):
+        RandomPolicy(seed=0).select_victim()

@@ -1,0 +1,98 @@
+"""Result cache and Table 1 motivation tests."""
+
+import pytest
+
+from repro.experiments import motivation
+from repro.experiments.cache import (
+    config_fingerprint,
+    load_result,
+    run_cached,
+    save_result,
+)
+from repro.sim import SimConfig
+from repro.workloads import SINGLE_SIZE_WORKLOADS
+
+TINY = dict(
+    memory_limit=1024 * 1024,
+    slab_size=64 * 1024,
+    num_requests=4_000,
+    num_keys=3_000,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestFingerprint:
+    def test_stable(self):
+        c1 = SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], policy="lru", **TINY)
+        c2 = SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], policy="lru", **TINY)
+        assert config_fingerprint(c1) == config_fingerprint(c2)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"policy": "gd-wheel"},
+            {"rebalancer": "cost-aware"},
+            {"memory_limit": 2 * 1024 * 1024},
+            {"num_requests": 5_000},
+            {"seed": 9},
+        ],
+    )
+    def test_sensitive_to_every_knob(self, change):
+        base = dict(spec=SINGLE_SIZE_WORKLOADS["1"], policy="lru", **TINY)
+        varied = {**base, **{k: v for k, v in change.items() if k not in TINY}}
+        for key, value in change.items():
+            if key in ("memory_limit", "num_requests"):
+                varied[key] = value
+        c1 = SimConfig(**base)
+        c2 = SimConfig(**varied)
+        assert config_fingerprint(c1) != config_fingerprint(c2)
+
+    def test_sensitive_to_workload(self):
+        c1 = SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], **TINY)
+        c2 = SimConfig(spec=SINGLE_SIZE_WORKLOADS["2"], **TINY)
+        assert config_fingerprint(c1) != config_fingerprint(c2)
+
+
+class TestRoundTrip:
+    def test_save_then_load(self):
+        config = SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], policy="lru", **TINY)
+        assert load_result(config) is None
+        result = run_cached(config)
+        loaded = load_result(config)
+        assert loaded is not None
+        assert loaded.total_recomputation_cost == result.total_recomputation_cost
+        assert loaded.hit_rate == result.hit_rate
+        assert (loaded.miss_costs == result.miss_costs).all()
+
+    def test_run_cached_reuses(self):
+        config = SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], policy="lru", **TINY)
+        first = run_cached(config)
+        second = run_cached(config)  # must come from disk
+        assert second.wall_seconds == first.wall_seconds
+
+    def test_no_cache_bypasses_disk(self):
+        config = SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], policy="lru", **TINY)
+        run_cached(config, use_cache=False)
+        assert load_result(config) is None
+
+
+class TestMotivation:
+    def test_table1_has_six_rows(self):
+        assert len(motivation.table1_rows()) == 6
+
+    def test_report_mentions_both_benchmarks(self):
+        out = motivation.table1_report()
+        assert "RUBiS" in out and "TPC-W" in out
+        assert "240 ms" in out
+
+    def test_cost_ratios(self):
+        ratios = motivation.cost_ratios()
+        assert ratios["RUBiS"] == pytest.approx(24.0)
+        assert ratios["TPC-W"] == pytest.approx(30.0)
+        assert "20" not in ""  # ratio magnitudes match the paper's "about 20x"
+        out = motivation.band_ratio_report()
+        assert "24.0x" in out

@@ -1,0 +1,42 @@
+"""CLI smoke tests (cheap targets only; sim targets run at micro cache)."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "RUBiS" in out
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-a-target"])
+
+
+def test_requires_a_target():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_single_size_targets_at_small_scale(monkeypatch, tmp_path, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    # patch the workload list down to one workload to keep the test quick
+    import repro.experiments.single_size as single_size
+
+    original = single_size.run_single_size_suite
+
+    def narrowed(scale=None, policies=("lru", "gd-wheel"), workload_ids=None,
+                 use_cache=True):
+        return original(scale=scale, policies=policies, workload_ids=["1"],
+                        use_cache=use_cache)
+
+    monkeypatch.setattr(single_size, "run_single_size_suite", narrowed)
+    assert main(["fig10", "hitrate"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 10" in out
+    assert "hit rate" in out.lower()

@@ -1,0 +1,69 @@
+"""CSV export tests (micro-scale suites)."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_cdf,
+    export_multi_size,
+    export_single_size,
+    write_csv,
+)
+from repro.experiments.multi_size import run_multi_size_suite
+from repro.experiments.single_size import run_single_size_suite
+from repro.experiments.scales import ExperimentScale
+
+MICRO = ExperimentScale(
+    name="micro-export",
+    memory_limit=2 * 1024 * 1024,
+    slab_size=64 * 1024,
+    num_requests=8_000,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def read_csv(path):
+    with open(path) as fh:
+        return list(csv.reader(fh))
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = write_csv(tmp_path / "t.csv", ["a", "b"], [[1, 2], ["x", 3.5]])
+    rows = read_csv(path)
+    assert rows == [["a", "b"], ["1", "2"], ["x", "3.5"]]
+
+
+def test_write_csv_creates_directories(tmp_path):
+    path = write_csv(tmp_path / "deep" / "dir" / "t.csv", ["a"], [[1]])
+    assert path.exists()
+
+
+def test_export_single_size_and_cdf(tmp_path):
+    results = run_single_size_suite(scale=MICRO, workload_ids=["1"])
+    written = export_single_size(results, tmp_path)
+    assert {p.name for p in written} == {
+        "fig9.csv", "fig10.csv", "fig11.csv", "hitrate.csv"
+    }
+    fig10 = read_csv(tmp_path / "fig10.csv")
+    assert fig10[0][0] == "workload"
+    assert fig10[1][2] == "100.0"  # LRU normalized to 100
+
+    cdfs = export_cdf(results, tmp_path)
+    assert {p.name for p in cdfs} == {"fig12_lru.csv", "fig12_gd-wheel.csv"}
+    series = read_csv(tmp_path / "fig12_gd-wheel.csv")
+    assert series[0] == ["cost", "cdf"]
+    assert float(series[-1][1]) == 1.0
+
+
+def test_export_multi_size(tmp_path):
+    results = run_multi_size_suite(scale=MICRO, workload_ids=["1"])
+    written = export_multi_size(results, tmp_path)
+    assert {p.name for p in written} == {"fig13.csv", "fig14.csv", "fig15.csv"}
+    fig14 = read_csv(tmp_path / "fig14.csv")
+    assert len(fig14) == 2  # header + one workload
+    assert "new_vs_lru_pct" in fig14[0]

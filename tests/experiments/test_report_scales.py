@@ -1,0 +1,64 @@
+"""Report rendering and scale preset tests."""
+
+import pytest
+
+from repro.experiments.report import percent, render_series, render_table
+from repro.experiments.scales import DEFAULT, LARGE, SMALL, active_scale
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 12345.678]],
+            title="My Table",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in out and "1.50" in out
+        assert "12,346" in out  # large floats get thousands separators
+
+    def test_no_title(self):
+        out = render_table(["a"], [["x"]])
+        assert out.splitlines()[0].strip() == "a"
+
+    def test_column_widths_fit_widest_cell(self):
+        out = render_table(["x"], [["very-long-cell-content"]])
+        header, rule, row = out.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+
+class TestRenderSeries:
+    def test_subsamples_long_series(self):
+        series = [(float(i), i / 100) for i in range(100)]
+        out = render_series(series, max_points=10)
+        assert len(out.splitlines()) <= 14
+
+    def test_keeps_last_point(self):
+        series = [(float(i), 0.5) for i in range(100)]
+        out = render_series(series, max_points=5)
+        assert "99.0" in out
+
+
+def test_percent():
+    assert percent(56.234) == "56.2%"
+
+
+class TestScales:
+    def test_presets_ordered(self):
+        assert SMALL.memory_limit < DEFAULT.memory_limit < LARGE.memory_limit
+        assert SMALL.num_requests < DEFAULT.num_requests < LARGE.num_requests
+
+    def test_active_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert active_scale() is SMALL
+        monkeypatch.setenv("REPRO_SCALE", "large")
+        assert active_scale() is LARGE
+        monkeypatch.delenv("REPRO_SCALE")
+        assert active_scale() is DEFAULT
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            active_scale()

@@ -1,0 +1,111 @@
+"""Suite runner tests at micro scale (results are cached per test session)."""
+
+import pytest
+
+from repro.experiments import multi_size, single_size, summary
+from repro.experiments.scales import ExperimentScale
+
+MICRO = ExperimentScale(
+    name="micro",
+    memory_limit=2 * 1024 * 1024,
+    slab_size=64 * 1024,
+    num_requests=10_000,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path_factory, monkeypatch):
+    cache = tmp_path_factory.getbasetemp() / "suite-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+
+
+@pytest.fixture(scope="module")
+def single_results(tmp_path_factory):
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.getbasetemp() / "suite-cache"
+    )
+    return single_size.run_single_size_suite(
+        scale=MICRO, workload_ids=["1", "4"], use_cache=True
+    )
+
+
+@pytest.fixture(scope="module")
+def multi_results(tmp_path_factory):
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.getbasetemp() / "suite-cache"
+    )
+    return multi_size.run_multi_size_suite(
+        scale=MICRO, workload_ids=["1"], use_cache=True
+    )
+
+
+class TestSingleSizeSuite:
+    def test_covers_requested_cells(self, single_results):
+        assert set(single_results) == {
+            ("1", "lru"),
+            ("1", "gd-wheel"),
+            ("4", "lru"),
+            ("4", "gd-wheel"),
+        }
+
+    def test_comparisons_pair_up(self, single_results):
+        comps = single_size.comparisons(single_results)
+        assert [c.workload_id for c in comps] == ["1", "4"]
+        for comp in comps:
+            assert comp.baseline.policy == "lru"
+            assert comp.candidate.policy == "gd-wheel"
+
+    def test_baseline_workload_improves_same_cost_does_not(self, single_results):
+        comps = {c.workload_id: c for c in single_size.comparisons(single_results)}
+        assert comps["1"].cost_reduction_pct > 30
+        # workload 4: all costs equal -> GreedyDual == LRU (paper Fig 9/10)
+        assert abs(comps["4"].cost_reduction_pct) < 8
+
+    def test_fig_reports_render(self, single_results):
+        comps = single_size.comparisons(single_results)
+        assert "Figure 9" in single_size.fig9_report(comps)
+        assert "Figure 10" in single_size.fig10_report(comps)
+        assert "Figure 11" in single_size.fig11_report(comps)
+        assert "Figure 12" in single_size.fig12_report(single_results)
+        assert "hit rate" in single_size.hit_rate_report(comps).lower()
+
+    def test_fig12_gdwheel_misses_concentrate_in_low_band(self, single_results):
+        shares = single_size.fig12_group_shares(single_results, "1")
+        wheel = shares["gd-wheel"].shares
+        lru = shares["lru"].shares
+        assert wheel[0] > 0.95  # nearly all GD-Wheel misses are cheap
+        assert lru[0] < wheel[0]
+
+
+class TestMultiSizeSuite:
+    def test_covers_three_configurations(self, multi_results):
+        labels = {label for _, label in multi_results}
+        assert labels == {"LRU+Orig", "GD-Wheel+Orig", "GD-Wheel+New"}
+
+    def test_cost_aware_config_wins(self, multi_results):
+        base = multi_results[("1", "LRU+Orig")]
+        best = multi_results[("1", "GD-Wheel+New")]
+        assert (
+            best.total_recomputation_cost < base.total_recomputation_cost
+        )
+
+    def test_fig_reports_render(self, multi_results):
+        assert "Figure 13" in multi_size.fig13_report(multi_results)
+        assert "Figure 14" in multi_size.fig14_report(multi_results)
+        assert "Figure 15" in multi_size.fig15_report(multi_results)
+        assert "slab moves" in multi_size.slab_moves_report(multi_results).lower()
+
+
+class TestTable4:
+    def test_measured_summary_has_both_studies(self):
+        measured = summary.table4_measured(scale=MICRO)
+        for study in ("single", "multiple"):
+            for metric in ("avg_lat", "tail_lat", "cost"):
+                assert "avg" in measured[study][metric]
+                assert "max" in measured[study][metric]
+        out = summary.table4_report(measured)
+        assert "paper" in out

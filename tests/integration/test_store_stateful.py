@@ -1,0 +1,120 @@
+"""Stateful property test: the whole KVStore vs a dict model.
+
+Hypothesis drives arbitrary interleavings of every store command against a
+plain-dict reference model, with the store kept small enough that slab
+pressure, eviction, and expiry all occur.  The model tolerates evictions
+(the store may drop keys the model still holds) but never the reverse: a
+key the store returns must match the model's latest write exactly.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore, NotStoredError, SimClock
+
+
+KEYS = st.integers(0, 40).map(lambda i: b"key-%02d" % i)
+VALUES = st.binary(min_size=0, max_size=600)
+COSTS = st.integers(0, 450)
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = SimClock()
+        self.store = KVStore(
+            memory_limit=128 * 1024,
+            slab_size=32 * 1024,
+            policy_factory=lambda: GDWheelPolicy(num_queues=32, num_wheels=2),
+            clock=self.clock,
+        )
+        #: key -> (value, expiry or None); may hold keys the store evicted
+        self.model = {}
+        self.ops = 0
+
+    def _model_alive(self, key):
+        entry = self.model.get(key)
+        if entry is None:
+            return None
+        value, expiry = entry
+        if expiry is not None and self.clock.now >= expiry:
+            del self.model[key]
+            return None
+        return value
+
+    @rule(key=KEYS, value=VALUES, cost=COSTS)
+    def set_(self, key, value, cost):
+        self.store.set(key, value, cost=cost)
+        self.model[key] = (value, None)
+        self.ops += 1
+
+    @rule(key=KEYS, value=VALUES, cost=COSTS, ttl=st.floats(0.5, 5.0))
+    def set_with_ttl(self, key, value, cost, ttl):
+        expiry = self.clock.now + ttl
+        self.store.set(key, value, cost=cost, exptime=expiry)
+        self.model[key] = (value, expiry)
+
+    @rule(key=KEYS)
+    def get(self, key):
+        item = self.store.get(key)
+        expected = self._model_alive(key)
+        if item is not None:
+            # a stored value must be exactly the latest write
+            assert expected is not None
+            assert item.value == expected
+        # item None is fine: either never stored, expired, or evicted
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.store.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS, suffix=st.binary(min_size=1, max_size=40))
+    def append(self, key, suffix):
+        expected = self._model_alive(key)
+        try:
+            self.store.append(key, suffix)
+        except NotStoredError:
+            # store may have evicted/expired it; drop from model if stale
+            if expected is not None and not self.store.contains(key):
+                self.model.pop(key, None)
+            return
+        if expected is not None:
+            value, expiry = self.model[key]
+            self.model[key] = (value + suffix, expiry)
+        else:  # pragma: no cover - store had it but model saw expiry race
+            item = self.store.get(key)
+            if item is not None:
+                self.model[key] = (item.value, None)
+
+    @rule(seconds=st.floats(0.1, 2.0))
+    def advance_clock(self, seconds):
+        self.clock.advance(seconds)
+
+    @rule()
+    def flush(self):
+        self.store.flush_all()
+        self.model.clear()
+
+    @precondition(lambda self: self.ops % 7 == 0)
+    @rule()
+    def check(self):
+        self.store.check_invariants()
+
+    @invariant()
+    def store_never_exceeds_model(self):
+        # every *live* key in the store must exist in the model (no
+        # resurrection); expired items may linger — expiry is lazy
+        for item in self.store.hashtable.items():
+            if not item.expired(self.clock.now):
+                assert item.key in self.model
+
+    def teardown(self):
+        self.store.check_invariants()
+
+
+TestStoreStateful = StoreMachine.TestCase
+TestStoreStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

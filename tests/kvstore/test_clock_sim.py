@@ -1,0 +1,37 @@
+"""SimClock tests."""
+
+import pytest
+
+from repro.kvstore import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimClock(start=100.5).now == 100.5
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(2.5)
+    assert clock.now == 4.0
+
+
+def test_advance_returns_new_time():
+    clock = SimClock()
+    assert clock.advance(3.0) == 3.0
+
+
+def test_zero_advance_allowed():
+    clock = SimClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0
+
+
+def test_backwards_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.001)

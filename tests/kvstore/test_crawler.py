@@ -1,0 +1,107 @@
+"""LRU crawler tests."""
+
+import pytest
+
+from repro.core import GDWheelPolicy, LRUPolicy
+from repro.kvstore import KVStore, SimClock
+from repro.kvstore.crawler import LRUCrawler
+
+
+def make_store(policy_factory=LRUPolicy):
+    clock = SimClock()
+    store = KVStore(
+        memory_limit=256 * 1024,
+        slab_size=64 * 1024,
+        policy_factory=policy_factory,
+        clock=clock,
+    )
+    return store, clock
+
+
+def test_budget_validation():
+    store, _ = make_store()
+    with pytest.raises(ValueError):
+        LRUCrawler(store, items_per_step=0)
+
+
+def test_reclaims_expired_items_without_requests():
+    store, clock = make_store()
+    for i in range(50):
+        store.set(b"ttl-%02d" % i, b"v" * 100, exptime=5.0)
+    for i in range(50):
+        store.set(b"live-%02d" % i, b"v" * 100)
+    clock.advance(10.0)
+    crawler = LRUCrawler(store, items_per_step=10)
+    reclaimed = crawler.run_until_clean()
+    assert reclaimed == 50
+    assert len(store) == 50
+    assert store.stats.reclaims == 50
+    store.check_invariants()
+
+
+def test_step_respects_budget():
+    store, clock = make_store()
+    for i in range(100):
+        store.set(b"ttl-%03d" % i, b"v" * 100, exptime=1.0)
+    clock.advance(5.0)
+    crawler = LRUCrawler(store, items_per_step=10)
+    first = crawler.step()
+    assert 0 < first <= 10
+    assert len(store) == 100 - first
+
+
+def test_does_not_touch_live_items():
+    store, clock = make_store()
+    for i in range(30):
+        store.set(b"live-%02d" % i, b"v" * 100, exptime=1e9)
+    clock.advance(100.0)
+    crawler = LRUCrawler(store)
+    assert crawler.run_until_clean() == 0
+    assert len(store) == 30
+    assert crawler.examined > 0
+
+
+def test_tolerates_items_removed_between_snapshot_and_step():
+    store, clock = make_store()
+    for i in range(20):
+        store.set(b"ttl-%02d" % i, b"v" * 100, exptime=1.0)
+    clock.advance(5.0)
+    crawler = LRUCrawler(store, items_per_step=50)
+    crawler._snapshot_tails()
+    # delete half out from under the crawler
+    for i in range(0, 20, 2):
+        store.delete(b"ttl-%02d" % i)
+    crawler.step()
+    crawler.run_until_clean()
+    assert len(store) == 0
+    store.check_invariants()
+
+
+def test_wheel_policies_are_skipped_gracefully():
+    store, clock = make_store(policy_factory=GDWheelPolicy)
+    for i in range(20):
+        store.set(b"ttl-%02d" % i, b"v" * 100, exptime=1.0)
+    clock.advance(5.0)
+    crawler = LRUCrawler(store)
+    # wheels have no ordered tail; the crawler must not crash or reclaim
+    assert crawler.run_until_clean(max_steps=5) == 0
+    assert len(store) == 20  # reclaim happens lazily/at eviction instead
+
+
+def test_crawler_frees_chunks_for_reuse():
+    store, clock = make_store()
+    cls = store.allocator.class_for_size(56 + 7 + 100)
+    capacity = (256 * 1024 // 64 // 1024) or 1  # slabs
+    # fill the store completely with soon-to-expire items
+    i = 0
+    while store.allocator.can_grow() or cls.try_alloc() is not None:
+        store.set(b"x-%05d" % i, b"v" * 100, exptime=1.0)
+        i += 1
+        if i > 5_000:
+            break
+    clock.advance(5.0)
+    LRUCrawler(store, items_per_step=100).run_until_clean()
+    evictions_before = store.stats.evictions
+    store.set(b"fresh", b"v" * 100)
+    # the chunk came from the crawler's reclaim, not an eviction
+    assert store.stats.evictions == evictions_before

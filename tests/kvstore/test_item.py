@@ -1,0 +1,51 @@
+"""Item metadata tests."""
+
+import pytest
+
+from repro.kvstore import ITEM_HEADER_SIZE, Item, NEVER_EXPIRES
+
+
+def test_footprint_is_header_plus_key_plus_value():
+    item = Item(key=b"k" * 16, value=b"v" * 256)
+    assert item.footprint == ITEM_HEADER_SIZE + 16 + 256
+    assert item.size == item.footprint  # the policy-visible size
+
+
+def test_type_validation():
+    with pytest.raises(TypeError):
+        Item(key="text", value=b"v")
+    with pytest.raises(TypeError):
+        Item(key=b"k", value="text")
+
+
+def test_cost_defaults_to_zero():
+    item = Item(key=b"k", value=b"v")
+    assert item.cost == 0
+
+
+def test_cost_is_carried():
+    item = Item(key=b"k", value=b"v", cost=450)
+    assert item.cost == 450
+
+
+def test_never_expires_by_default():
+    item = Item(key=b"k", value=b"v")
+    assert item.exptime == NEVER_EXPIRES
+    assert not item.expired(now=1e12)
+
+
+def test_expiry_boundary():
+    item = Item(key=b"k", value=b"v", exptime=100.0)
+    assert not item.expired(now=99.999)
+    assert item.expired(now=100.0)
+    assert item.expired(now=1000.0)
+
+
+def test_key_doubles_as_policy_identity():
+    item = Item(key=b"the-key", value=b"")
+    assert item.key == b"the-key"
+
+
+def test_empty_value_allowed():
+    item = Item(key=b"k", value=b"")
+    assert item.footprint == ITEM_HEADER_SIZE + 1

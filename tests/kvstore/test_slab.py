@@ -1,0 +1,214 @@
+"""Slab allocator tests: class sizing, chunk accounting, reassignment."""
+
+import pytest
+
+from repro.kvstore import Item, ObjectTooLargeError, SlabAllocator, SlabError
+
+
+def make_allocator(memory=1024 * 1024, slab=64 * 1024, **kw):
+    return SlabAllocator(memory_limit=memory, slab_size=slab, **kw)
+
+
+class TestConstruction:
+    def test_memory_must_hold_a_slab(self):
+        with pytest.raises(ValueError):
+            SlabAllocator(memory_limit=1024, slab_size=64 * 1024)
+
+    def test_growth_factor_validation(self):
+        with pytest.raises(ValueError):
+            make_allocator(growth_factor=1.0)
+
+    def test_chunk_sizes_grow_geometrically_and_aligned(self):
+        allocator = make_allocator()
+        sizes = [cls.chunk_size for cls in allocator.classes]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)
+        for size in sizes[:-1]:
+            assert size % 8 == 0
+        # memcached default: first class is the minimum chunk
+        assert sizes[0] == 96
+        # the last class holds slab-sized objects
+        assert sizes[-1] == 64 * 1024
+
+    def test_growth_ratio_close_to_factor(self):
+        allocator = make_allocator(growth_factor=1.25)
+        sizes = [cls.chunk_size for cls in allocator.classes]
+        for a, b in zip(sizes[:-2], sizes[1:-1]):
+            assert 1.0 < b / a <= 1.35
+
+
+class TestClassSelection:
+    def test_smallest_fitting_class(self):
+        allocator = make_allocator()
+        for footprint in (1, 96, 97, 100, 500, 4096, 64 * 1024):
+            cls = allocator.class_for_size(footprint)
+            assert cls.chunk_size >= footprint
+            idx = allocator.classes.index(cls)
+            if idx > 0:
+                assert allocator.classes[idx - 1].chunk_size < footprint
+
+    def test_oversized_object_rejected(self):
+        allocator = make_allocator()
+        with pytest.raises(ObjectTooLargeError):
+            allocator.class_for_size(64 * 1024 + 1)
+
+
+class TestAllocation:
+    def test_grow_hands_out_chunks(self):
+        allocator = make_allocator()
+        cls = allocator.class_for_size(300)
+        assert cls.try_alloc() is None  # no slabs yet
+        assert allocator.grow(cls) is not None
+        slab, index = cls.try_alloc()
+        assert slab.owner is cls
+        assert 0 <= index < slab.num_chunks
+        assert allocator.allocated_slabs == 1
+
+    def test_chunks_per_slab_matches_geometry(self):
+        allocator = make_allocator()
+        cls = allocator.class_for_size(300)
+        allocator.grow(cls)
+        slab = cls.slabs[0]
+        assert slab.num_chunks == 64 * 1024 // cls.chunk_size
+
+    def test_memory_limit_stops_growth(self):
+        allocator = make_allocator(memory=128 * 1024, slab=64 * 1024)
+        cls = allocator.class_for_size(300)
+        assert allocator.grow(cls) is not None
+        assert allocator.grow(cls) is not None
+        assert not allocator.can_grow()
+        assert allocator.grow(cls) is None
+        assert allocator.memory_used == 128 * 1024
+
+    def test_store_and_free_roundtrip_accounting(self):
+        allocator = make_allocator()
+        cls = allocator.class_for_size(300)
+        allocator.grow(cls)
+        slab, index = cls.try_alloc()
+        item = Item(key=b"k" * 16, value=b"v" * 200, cost=50)
+        cls.store_item(item, slab, index)
+        assert cls.live_items == 1
+        assert cls.live_bytes == item.footprint
+        assert cls.live_cost == 50
+        cls.free_item(item)
+        assert (cls.live_items, cls.live_bytes, cls.live_cost) == (0, 0, 0)
+        assert item.slab is None
+        allocator.check_invariants()
+
+    def test_freed_chunk_is_reused(self):
+        allocator = make_allocator(memory=64 * 1024, slab=64 * 1024)
+        cls = allocator.class_for_size(300)
+        allocator.grow(cls)
+        per_slab = 64 * 1024 // cls.chunk_size
+        chunks = [cls.try_alloc() for _ in range(per_slab)]
+        assert all(c is not None for c in chunks)
+        assert cls.try_alloc() is None  # saturated, no memory to grow
+        item = Item(key=b"k", value=b"v")
+        cls.store_item(item, *chunks[0])
+        cls.free_item(item)
+        assert cls.try_alloc() is not None
+
+    def test_free_foreign_item_rejected(self):
+        allocator = make_allocator()
+        cls = allocator.class_for_size(300)
+        stray = Item(key=b"k", value=b"v")
+        with pytest.raises(SlabError):
+            cls.free_item(stray)
+
+
+class TestAverageCostPerByte:
+    def test_tracks_live_population(self):
+        allocator = make_allocator()
+        cls = allocator.class_for_size(300)
+        allocator.grow(cls)
+        items = []
+        for i, cost in enumerate((10, 20, 30)):
+            chunk = cls.try_alloc()
+            item = Item(key=b"k%d" % i, value=b"v" * 100, cost=cost)
+            cls.store_item(item, *chunk)
+            items.append(item)
+        total_bytes = sum(i.footprint for i in items)
+        assert cls.average_cost_per_byte() == pytest.approx(60 / total_bytes)
+        cls.free_item(items[2])
+        assert cls.average_cost_per_byte() == pytest.approx(
+            30 / (total_bytes - items[2].footprint)
+        )
+
+    def test_empty_class_has_zero_cost(self):
+        allocator = make_allocator()
+        assert allocator.classes[0].average_cost_per_byte() == 0.0
+
+
+class TestReassignment:
+    def _filled_class(self, allocator, footprint, count):
+        cls = allocator.class_for_size(footprint)
+        items = []
+        for i in range(count):
+            chunk = cls.try_alloc()
+            if chunk is None:
+                allocator.grow(cls)
+                chunk = cls.try_alloc()
+            item = Item(key=b"f%04d" % i, value=b"v" * (footprint - 60), cost=1)
+            cls.store_item(item, *chunk)
+            items.append(item)
+        return cls, items
+
+    def test_reassign_moves_and_rechunks(self):
+        allocator = make_allocator()
+        src, items = self._filled_class(allocator, 300, 10)
+        # force at least two slabs in src
+        while src.num_slabs < 2:
+            allocator.grow(src)
+        dst = allocator.class_for_size(1000)
+        slab = src.slabs[0]
+        expected_dropped = len(slab.items)
+        dropped = allocator.reassign_slab(slab, dst, evict_item=lambda item: (
+            slab.owner.free_item(item)
+        ))
+        assert dropped == expected_dropped
+        assert slab.owner is dst
+        assert slab.chunk_size == dst.chunk_size
+        assert slab.num_chunks == 64 * 1024 // dst.chunk_size
+        assert slab not in src.slabs
+        assert slab in dst.slabs
+        assert allocator.reassignments == 1
+        allocator.check_invariants()
+
+    def test_cannot_take_last_slab(self):
+        allocator = make_allocator()
+        src, _ = self._filled_class(allocator, 300, 2)
+        assert src.num_slabs == 1
+        dst = allocator.class_for_size(1000)
+        with pytest.raises(SlabError):
+            allocator.reassign_slab(src.slabs[0], dst, evict_item=lambda i: None)
+
+    def test_cannot_reassign_to_self(self):
+        allocator = make_allocator()
+        src, _ = self._filled_class(allocator, 300, 2)
+        allocator.grow(src)
+        with pytest.raises(SlabError):
+            allocator.reassign_slab(src.slabs[0], src, evict_item=lambda i: None)
+
+    def test_destination_can_allocate_from_moved_slab(self):
+        allocator = make_allocator(memory=128 * 1024, slab=64 * 1024)
+        src, _ = self._filled_class(allocator, 300, 4)
+        while src.num_slabs < 2 and allocator.can_grow():
+            allocator.grow(src)
+        dst = allocator.class_for_size(1000)
+        slab = src.slabs[0]
+        allocator.reassign_slab(
+            slab, dst, evict_item=lambda item: src.free_item(item)
+        )
+        chunk = dst.try_alloc()
+        assert chunk is not None and chunk[0] is slab
+
+    def test_lru_slab_pick(self):
+        allocator = make_allocator()
+        cls, _items = self._filled_class(allocator, 300, 4)
+        for _ in range(2):
+            allocator.grow(cls)
+        assert cls.num_slabs == 3
+        cls.slabs[0].last_access = 50.0
+        cls.slabs[1].last_access = 10.0
+        cls.slabs[2].last_access = 99.0
+        assert cls.least_recently_used_slab() is cls.slabs[1]

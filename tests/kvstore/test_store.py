@@ -1,0 +1,220 @@
+"""KVStore facade tests: command semantics, eviction flow, expiry, stats."""
+
+import pytest
+
+from repro.core import GDWheelPolicy, LRUPolicy
+from repro.kvstore import (
+    KVStore,
+    NotStoredError,
+    ObjectTooLargeError,
+    OutOfMemoryError,
+    SimClock,
+)
+
+
+def make_store(policy_factory=LRUPolicy, memory=256 * 1024, slab=64 * 1024, **kw):
+    return KVStore(
+        memory_limit=memory, slab_size=slab, policy_factory=policy_factory, **kw
+    )
+
+
+class TestBasicCommands:
+    def test_get_miss(self):
+        store = make_store()
+        assert store.get(b"nope") is None
+        assert store.stats.get_misses == 1
+
+    def test_set_then_get(self):
+        store = make_store()
+        store.set(b"k", b"v", cost=7, flags=3)
+        item = store.get(b"k")
+        assert item.value == b"v"
+        assert item.cost == 7
+        assert item.flags == 3
+        assert store.stats.get_hits == 1
+        assert len(store) == 1
+
+    def test_set_overwrites(self):
+        store = make_store()
+        store.set(b"k", b"v1")
+        store.set(b"k", b"v2-bigger" * 50)  # may move to another slab class
+        assert store.get(b"k").value == b"v2-bigger" * 50
+        assert len(store) == 1
+        store.check_invariants()
+
+    def test_add_semantics(self):
+        store = make_store()
+        store.add(b"k", b"v")
+        with pytest.raises(NotStoredError):
+            store.add(b"k", b"v2")
+        assert store.get(b"k").value == b"v"
+
+    def test_replace_semantics(self):
+        store = make_store()
+        with pytest.raises(NotStoredError):
+            store.replace(b"k", b"v")
+        store.set(b"k", b"v")
+        store.replace(b"k", b"v2")
+        assert store.get(b"k").value == b"v2"
+
+    def test_delete(self):
+        store = make_store()
+        store.set(b"k", b"v")
+        assert store.delete(b"k") is True
+        assert store.delete(b"k") is False
+        assert store.get(b"k") is None
+        assert store.stats.deletes == 1
+        assert store.stats.delete_misses == 1
+
+    def test_flush_all(self):
+        store = make_store()
+        for i in range(10):
+            store.set(f"k{i}".encode(), b"v")
+        assert store.flush_all() == 10
+        assert len(store) == 0
+        store.check_invariants()
+
+    def test_object_too_large(self):
+        store = make_store()
+        with pytest.raises(ObjectTooLargeError):
+            store.set(b"big", b"v" * (64 * 1024))
+
+
+class TestExpiry:
+    def test_expired_get_is_a_lazy_delete(self):
+        clock = SimClock()
+        store = make_store(clock=clock)
+        store.set(b"k", b"v", exptime=10.0)
+        assert store.get(b"k") is not None
+        clock.advance(11.0)
+        assert store.get(b"k") is None
+        assert store.stats.get_expired == 1
+        assert len(store) == 0
+
+    def test_contains_respects_expiry(self):
+        clock = SimClock()
+        store = make_store(clock=clock)
+        store.set(b"k", b"v", exptime=10.0)
+        assert store.contains(b"k")
+        clock.advance(11.0)
+        assert not store.contains(b"k")
+
+    def test_touch_ttl_extends_life(self):
+        clock = SimClock()
+        store = make_store(clock=clock)
+        store.set(b"k", b"v", exptime=10.0)
+        assert store.touch_ttl(b"k", 100.0)
+        clock.advance(50.0)
+        assert store.get(b"k") is not None
+
+    def test_expired_items_reclaimed_before_eviction_under_lru(self):
+        clock = SimClock()
+        store = make_store(memory=64 * 1024, slab=64 * 1024, clock=clock)
+        chunk = store.allocator.class_for_size(56 + 1 + 100).chunk_size
+        capacity = 64 * 1024 // chunk
+        store.set(b"stale", b"v" * 100, exptime=1.0)
+        for i in range(capacity - 1):
+            store.set(b"k%04d" % i, b"v" * 100)
+        clock.advance(5.0)  # stale is now expired, and at the LRU tail
+        store.set(b"fresh", b"v" * 100)
+        assert store.stats.reclaims == 1
+        assert store.stats.evictions == 0
+
+
+class TestEvictionFlow:
+    def test_evicts_within_slab_class_only(self):
+        store = make_store(memory=128 * 1024, slab=64 * 1024)
+        # fill one class (value 100B) and one slab of the other (value 900B)
+        small_cls = store.allocator.class_for_size(56 + 5 + 100)
+        n_small = 64 * 1024 // small_cls.chunk_size
+        for i in range(n_small):
+            store.set(b"s%04d" % i, b"v" * 100)
+        store.set(b"big0", b"v" * 900)
+        # the next small insert must evict a small item, not the big one
+        before_big = store.contains(b"big0")
+        store.set(b"overflow", b"v" * 100)
+        assert before_big and store.contains(b"big0")
+        assert store.stats.evictions == 1
+        assert small_cls.evictions == 1
+
+    def test_gdwheel_store_evicts_cheapest(self):
+        store = make_store(
+            policy_factory=lambda: GDWheelPolicy(num_queues=16, num_wheels=2),
+            memory=64 * 1024,
+            slab=64 * 1024,
+        )
+        cls = store.allocator.class_for_size(56 + 5 + 100)
+        capacity = 64 * 1024 // cls.chunk_size
+        for i in range(capacity):
+            cost = 1 if i % 2 == 0 else 200
+            store.set(b"k%04d" % i, b"v" * 100, cost=cost)
+        survivors_before = len(store)
+        store.set(b"new", b"v" * 100, cost=200)
+        assert len(store) == survivors_before
+        evicted_cost = store.stats.evicted_cost
+        assert evicted_cost == 1  # a cheap one went first
+
+    def test_out_of_memory_for_slabless_class(self):
+        store = make_store(memory=64 * 1024, slab=64 * 1024)
+        cls = store.allocator.class_for_size(56 + 5 + 100)
+        for i in range(64 * 1024 // cls.chunk_size):
+            store.set(b"k%04d" % i, b"v" * 100)
+        # a much larger object needs a different class, which has no slab
+        # and the memory limit prevents growth
+        with pytest.raises(OutOfMemoryError):
+            store.set(b"big", b"v" * 5000)
+
+    def test_eviction_loop_frees_enough_for_new_item(self):
+        store = make_store(memory=64 * 1024, slab=64 * 1024)
+        for i in range(3000):  # far beyond capacity
+            store.set(b"k%05d" % i, b"v" * 100)
+        store.check_invariants()
+        assert store.stats.evictions > 0
+        assert store.contains(b"k02999")
+
+
+class TestStatsAndIntrospection:
+    def test_hit_rate(self):
+        store = make_store()
+        store.set(b"k", b"v")
+        store.get(b"k")
+        store.get(b"k")
+        store.get(b"miss")
+        assert store.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_class_stats_reports_live_classes(self):
+        store = make_store()
+        store.set(b"small", b"v" * 50)
+        store.set(b"large", b"v" * 900)
+        stats = store.class_stats()
+        assert len(stats) == 2
+        assert {cs.live_items for cs in stats} == {1}
+
+    def test_snapshot_contains_gets(self):
+        store = make_store()
+        store.get(b"x")
+        snap = store.stats.snapshot()
+        assert snap["gets"] == 1
+        assert snap["get_misses"] == 1
+
+    def test_live_bytes_tracks_population(self):
+        store = make_store()
+        item = store.set(b"k", b"v" * 100)
+        assert store.live_bytes == item.footprint
+        store.delete(b"k")
+        assert store.live_bytes == 0
+
+
+class TestPolicyPerClass:
+    def test_each_slab_class_gets_its_own_policy(self):
+        created = []
+
+        def factory():
+            policy = LRUPolicy()
+            created.append(policy)
+            return policy
+
+        store = make_store(policy_factory=factory)
+        store.set(b"small", b"v" * 50)
+        store.set(b"large", b"v" * 900)
+        assert len(created) == 2

@@ -1,0 +1,129 @@
+"""Extended memcached command semantics: append/prepend/cas/incr/decr."""
+
+import pytest
+
+from repro.core import LRUPolicy
+from repro.kvstore import (
+    CasMismatchError,
+    KVStore,
+    NotStoredError,
+    SimClock,
+)
+
+
+@pytest.fixture
+def store():
+    return KVStore(
+        memory_limit=256 * 1024, slab_size=64 * 1024, policy_factory=LRUPolicy
+    )
+
+
+class TestAppendPrepend:
+    def test_append(self, store):
+        store.set(b"k", b"hello", cost=9, flags=2)
+        store.append(b"k", b" world")
+        item = store.get(b"k")
+        assert item.value == b"hello world"
+        # metadata preserved, like memcached
+        assert item.cost == 9
+        assert item.flags == 2
+
+    def test_prepend(self, store):
+        store.set(b"k", b"world")
+        store.prepend(b"k", b"hello ")
+        assert store.get(b"k").value == b"hello world"
+
+    def test_append_missing_key(self, store):
+        with pytest.raises(NotStoredError):
+            store.append(b"nope", b"x")
+
+    def test_prepend_missing_key(self, store):
+        with pytest.raises(NotStoredError):
+            store.prepend(b"nope", b"x")
+
+    def test_append_can_cross_slab_classes(self, store):
+        store.set(b"k", b"x" * 50)
+        store.append(b"k", b"y" * 800)  # now needs a bigger chunk
+        assert len(store.get(b"k").value) == 850
+        store.check_invariants()
+
+    def test_append_to_expired_is_not_stored(self):
+        clock = SimClock()
+        store = KVStore(
+            memory_limit=256 * 1024,
+            slab_size=64 * 1024,
+            policy_factory=LRUPolicy,
+            clock=clock,
+        )
+        store.set(b"k", b"v", exptime=5.0)
+        clock.advance(10.0)
+        with pytest.raises(NotStoredError):
+            store.append(b"k", b"x")
+
+
+class TestCas:
+    def test_successful_cas(self, store):
+        item = store.set(b"k", b"v1")
+        store.cas(b"k", b"v2", cas_unique=item.cas_unique)
+        assert store.get(b"k").value == b"v2"
+
+    def test_stale_token_rejected(self, store):
+        item = store.set(b"k", b"v1")
+        store.set(b"k", b"v2")  # token moves on
+        with pytest.raises(CasMismatchError):
+            store.cas(b"k", b"v3", cas_unique=item.cas_unique)
+
+    def test_cas_missing_key(self, store):
+        with pytest.raises(NotStoredError):
+            store.cas(b"nope", b"v", cas_unique=1)
+
+    def test_tokens_are_unique_per_mutation(self, store):
+        a = store.set(b"a", b"1")
+        b = store.set(b"b", b"2")
+        assert a.cas_unique != b.cas_unique
+
+    def test_cas_read_modify_write_loop(self, store):
+        store.set(b"counter-list", b"1")
+        for expected in (b"1,2", b"1,2,3"):
+            while True:
+                item = store.get(b"counter-list")
+                try:
+                    store.cas(
+                        b"counter-list",
+                        item.value + b",%d" % (item.value.count(b",") + 2),
+                        cas_unique=item.cas_unique,
+                    )
+                    break
+                except CasMismatchError:  # pragma: no cover - no contention here
+                    continue
+            assert store.get(b"counter-list").value == expected
+
+
+class TestIncrDecr:
+    def test_incr(self, store):
+        store.set(b"n", b"41")
+        assert store.incr(b"n") == 42
+        assert store.get(b"n").value == b"42"
+
+    def test_incr_with_delta(self, store):
+        store.set(b"n", b"10")
+        assert store.incr(b"n", 32) == 42
+
+    def test_decr_clamps_at_zero(self, store):
+        store.set(b"n", b"5")
+        assert store.decr(b"n", 100) == 0
+        assert store.get(b"n").value == b"0"
+
+    def test_incr_missing_key(self, store):
+        with pytest.raises(NotStoredError):
+            store.incr(b"nope")
+
+    def test_incr_non_numeric(self, store):
+        store.set(b"k", b"not-a-number")
+        with pytest.raises(ValueError):
+            store.incr(b"k")
+
+    def test_incr_preserves_cost(self, store):
+        store.set(b"n", b"1", cost=77)
+        store.incr(b"n")
+        assert store.get(b"n").cost == 77

@@ -1,0 +1,178 @@
+"""Binary protocol tests: framing, semantics, cost extension, interop."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore, SimClock
+from repro.protocol import CostAwareClient, StoreServer
+from repro.protocol.binary import (
+    BinaryClient,
+    BinaryFrame,
+    BinaryParser,
+    BinaryStoreServer,
+    MAGIC_REQUEST,
+    MAGIC_RESPONSE,
+    OP_GET,
+    OP_SET,
+    STATUS_KEY_EXISTS,
+    STATUS_KEY_NOT_FOUND,
+    STATUS_NOT_STORED,
+    STATUS_OK,
+    pack_store_extras,
+    request,
+    unpack_store_extras,
+)
+from repro.protocol.commands import ProtocolError
+
+
+@pytest.fixture
+def store():
+    return KVStore(
+        memory_limit=1024 * 1024,
+        slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+        clock=SimClock(),
+    )
+
+
+@pytest.fixture
+def client(store):
+    return BinaryClient(BinaryStoreServer(store))
+
+
+class TestFraming:
+    def test_header_is_24_bytes(self):
+        frame = request(OP_GET, key=b"k")
+        assert len(frame.pack()) == 24 + 1
+
+    def test_roundtrip(self):
+        frame = request(OP_SET, key=b"key", value=b"value",
+                        extras=pack_store_extras(7, 60, 123), opaque=99,
+                        cas=456)
+        parser = BinaryParser(MAGIC_REQUEST)
+        parser.feed(frame.pack())
+        parsed = parser.try_parse()
+        assert parsed == BinaryFrame(
+            magic=MAGIC_REQUEST, opcode=OP_SET, status=0, opaque=99, cas=456,
+            extras=pack_store_extras(7, 60, 123), key=b"key", value=b"value",
+        )
+
+    def test_incremental_byte_at_a_time(self):
+        frame = request(OP_SET, key=b"k", value=b"v" * 100,
+                        extras=pack_store_extras(0, 0))
+        wire = frame.pack()
+        parser = BinaryParser(MAGIC_REQUEST)
+        for i in range(len(wire) - 1):
+            parser.feed(wire[i : i + 1])
+            assert parser.try_parse() is None
+        parser.feed(wire[-1:])
+        assert parser.try_parse() is not None
+
+    def test_bad_magic_rejected(self):
+        parser = BinaryParser(MAGIC_RESPONSE)
+        parser.feed(request(OP_GET, key=b"k").pack())
+        with pytest.raises(ProtocolError):
+            parser.try_parse()
+
+    def test_extras_length_variants(self):
+        assert unpack_store_extras(pack_store_extras(1, 2)) == (1, 2, 0)
+        assert unpack_store_extras(pack_store_extras(1, 2, 3)) == (1, 2, 3)
+        with pytest.raises(ProtocolError):
+            unpack_store_extras(b"\x00" * 5)
+
+    @given(
+        key=st.binary(min_size=1, max_size=40),
+        value=st.binary(max_size=300),
+        cost=st.integers(0, 2**31 - 1),
+        opaque=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_frame_roundtrip_property(self, key, value, cost, opaque):
+        frame = request(OP_SET, key=key, value=value,
+                        extras=pack_store_extras(0, 0, cost), opaque=opaque)
+        parser = BinaryParser(MAGIC_REQUEST)
+        parser.feed(frame.pack())
+        assert parser.try_parse() == frame
+
+
+class TestSemantics:
+    def test_set_get_with_cost(self, client, store):
+        assert client.set(b"k", b"v", cost=240) == STATUS_OK
+        assert client.get(b"k") == b"v"
+        assert store.hashtable.find(b"k").cost == 240
+
+    def test_stock_extras_mean_cost_zero(self, client, store):
+        client.set(b"k", b"v")  # 8-byte extras path
+        assert store.hashtable.find(b"k").cost == 0
+
+    def test_get_miss(self, client):
+        assert client.get(b"ghost") is None
+
+    def test_add_replace_semantics(self, client):
+        assert client.add(b"k", b"v1") == STATUS_OK
+        assert client.add(b"k", b"v2") == STATUS_KEY_EXISTS
+        assert client.replace(b"k", b"v3") == STATUS_OK
+        assert client.replace(b"ghost", b"x") == STATUS_KEY_NOT_FOUND
+
+    def test_cas_via_header(self, client):
+        client.set(b"k", b"v1")
+        _value, token = client.gets(b"k")
+        assert client.set(b"k", b"v2", cas=token) == STATUS_OK
+        assert client.set(b"k", b"v3", cas=token) == STATUS_KEY_EXISTS
+
+    def test_append_prepend(self, client):
+        client.set(b"k", b"mid")
+        assert client.append(b"k", b"-end") == STATUS_OK
+        assert client.prepend(b"k", b"start-") == STATUS_OK
+        assert client.get(b"k") == b"start-mid-end"
+        assert client.append(b"ghost", b"x") == STATUS_NOT_STORED
+
+    def test_delete(self, client):
+        client.set(b"k", b"v")
+        assert client.delete(b"k") == STATUS_OK
+        assert client.delete(b"k") == STATUS_KEY_NOT_FOUND
+
+    def test_incr_decr_with_seed(self, client):
+        # key absent: seeded with `initial`, per binary-protocol semantics
+        assert client.incr(b"n", delta=5, initial=100) == 100
+        assert client.incr(b"n", delta=5) == 105
+        assert client.decr(b"n", delta=200) == 0
+
+    def test_incr_fail_sentinel(self, client):
+        assert client.incr(b"ghost", exptime=0xFFFFFFFF) is None
+
+    def test_touch_and_expiry(self, client, store):
+        client.set(b"k", b"v", exptime=10)
+        assert client.touch(b"k", 100) == STATUS_OK
+        store.clock.advance(50)
+        assert client.get(b"k") == b"v"
+        assert client.touch(b"ghost", 5) == STATUS_KEY_NOT_FOUND
+
+    def test_flush_noop_version(self, client):
+        client.set(b"k", b"v")
+        assert client.noop() == STATUS_OK
+        assert client.version().startswith(b"gdwheel")
+        assert client.flush_all() == STATUS_OK
+        assert client.get(b"k") is None
+
+    def test_stats(self, client):
+        client.set(b"k", b"v")
+        client.get(b"k")
+        stats = client.stats()
+        assert stats["sets"] == "1"
+        assert stats["get_hits"] == "1"
+
+
+class TestInterop:
+    def test_text_and_binary_share_one_store(self, store):
+        binary = BinaryClient(BinaryStoreServer(store))
+        text = CostAwareClient.loopback(StoreServer(store))
+        binary.set(b"from-binary", b"bv", cost=77)
+        text.set(b"from-text", b"tv", cost=88)
+        assert text.get(b"from-binary") == b"bv"
+        assert binary.get(b"from-text") == b"tv"
+        assert store.hashtable.find(b"from-binary").cost == 77
+        assert store.hashtable.find(b"from-text").cost == 88

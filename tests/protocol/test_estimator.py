@@ -1,0 +1,111 @@
+"""CostEstimator tests and its get_or_compute integration."""
+
+import pytest
+
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.protocol import CostAwareClient, CostEstimator, StoreServer
+
+
+class TestValidation:
+    def test_bad_unit(self):
+        with pytest.raises(ValueError):
+            CostEstimator(cost_unit_seconds=0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            CostEstimator(alpha=0)
+        with pytest.raises(ValueError):
+            CostEstimator(alpha=1.5)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            CostEstimator(min_cost=100, max_cost=10)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            CostEstimator().observe("q", -1.0)
+
+
+class TestEstimation:
+    def test_first_sample_is_the_estimate(self):
+        est = CostEstimator(cost_unit_seconds=0.001)
+        assert est.observe_and_estimate("query", 0.060) == 60
+
+    def test_ewma_smooths_jitter(self):
+        est = CostEstimator(cost_unit_seconds=0.001, alpha=0.2)
+        est.observe("q", 0.100)
+        est.observe("q", 0.200)  # one outlier
+        # EWMA: 100 + 0.2*(200-100) = 120ms, not 200
+        assert est.estimate("q") == 120
+
+    def test_converges_to_new_level(self):
+        est = CostEstimator(cost_unit_seconds=0.001, alpha=0.5)
+        est.observe("q", 0.010)
+        for _ in range(12):
+            est.observe("q", 0.300)
+        assert est.estimate("q") == pytest.approx(300, abs=5)
+
+    def test_unseen_class(self):
+        est = CostEstimator()
+        assert est.estimate("never") is None
+        assert est.estimate("never", fallback_seconds=0.05) == 50
+
+    def test_quantization_clamps(self):
+        est = CostEstimator(cost_unit_seconds=0.001, max_cost=450, min_cost=1)
+        assert est.quantize(10.0) == 450
+        assert est.quantize(0.0) == 1
+
+    def test_classes_are_independent(self):
+        est = CostEstimator()
+        est.observe("cheap", 0.010)
+        est.observe("dear", 0.300)
+        assert est.estimate("cheap") == 10
+        assert est.estimate("dear") == 300
+
+    def test_snapshot(self):
+        est = CostEstimator()
+        est.observe("q", 0.050)
+        est.observe("q", 0.050)
+        snap = est.snapshot()
+        assert snap["q"]["samples"] == 2
+        assert snap["q"]["cost"] == 50
+
+
+class TestClientIntegration:
+    @pytest.fixture
+    def client(self):
+        store = KVStore(
+            memory_limit=1024 * 1024,
+            slab_size=64 * 1024,
+            policy_factory=GDWheelPolicy,
+        )
+        self.store = store
+        return CostAwareClient.loopback(StoreServer(store))
+
+    def test_estimator_attaches_smoothed_cost(self, client):
+        import time
+
+        est = CostEstimator(cost_unit_seconds=0.005, alpha=1.0)
+
+        def slow():
+            time.sleep(0.012)
+            return b"v"
+
+        client.get_or_compute(b"k", slow, estimator=est,
+                              key_class="interaction:search")
+        item = self.store.hashtable.find(b"k")
+        assert 1 <= item.cost <= 10
+        assert est.snapshot()["interaction:search"]["samples"] == 1
+
+    def test_estimator_requires_key_class(self, client):
+        est = CostEstimator()
+        with pytest.raises(ValueError):
+            client.get_or_compute(b"k", lambda: b"v", estimator=est)
+
+    def test_explicit_cost_bypasses_estimator(self, client):
+        est = CostEstimator()
+        client.get_or_compute(b"k", lambda: b"v", cost_units=42,
+                              estimator=est, key_class="q")
+        assert self.store.hashtable.find(b"k").cost == 42
+        assert est.snapshot() == {}

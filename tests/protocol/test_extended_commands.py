@@ -1,0 +1,138 @@
+"""Protocol tests for gets/cas/incr/decr/append/prepend."""
+
+import pytest
+
+from repro.core import LRUPolicy
+from repro.kvstore import KVStore
+from repro.protocol import (
+    CostAwareClient,
+    GetCommand,
+    IncrCommand,
+    ProtocolError,
+    RequestParser,
+    StoreCommand,
+    StoreServer,
+    encode_command,
+)
+
+
+def parse_one(data: bytes):
+    parser = RequestParser()
+    parser.feed(data)
+    (command,) = list(parser)
+    return command
+
+
+@pytest.fixture
+def client():
+    store = KVStore(
+        memory_limit=1024 * 1024, slab_size=64 * 1024, policy_factory=LRUPolicy
+    )
+    return CostAwareClient.loopback(StoreServer(store))
+
+
+class TestParsing:
+    def test_gets_sets_with_cas_flag(self):
+        cmd = parse_one(b"gets k1 k2\r\n")
+        assert cmd.with_cas
+        assert cmd.keys == (b"k1", b"k2")
+
+    def test_get_has_no_cas_flag(self):
+        assert not parse_one(b"get k\r\n").with_cas
+
+    def test_cas_command(self):
+        cmd = parse_one(b"cas k 0 0 5 42\r\nhello\r\n")
+        assert cmd.verb == "cas"
+        assert cmd.cas_unique == 42
+        assert cmd.value == b"hello"
+
+    def test_cas_with_cost(self):
+        cmd = parse_one(b"cas k 0 0 2 7 cost 99\r\nhi\r\n")
+        assert cmd.cas_unique == 7
+        assert cmd.cost == 99
+
+    def test_cas_requires_token(self):
+        parser = RequestParser()
+        parser.feed(b"cas k 0 0 5\r\nhello\r\n")
+        with pytest.raises(ProtocolError):
+            list(parser)
+
+    def test_incr_decr(self):
+        cmd = parse_one(b"incr n 5\r\n")
+        assert cmd == IncrCommand(key=b"n", delta=5)
+        cmd = parse_one(b"decr n 3 noreply\r\n")
+        assert cmd.negative and cmd.noreply
+
+    def test_negative_delta_rejected(self):
+        parser = RequestParser()
+        parser.feed(b"incr n -5\r\n")
+        with pytest.raises(ProtocolError):
+            list(parser)
+
+    def test_append_prepend_verbs(self):
+        assert parse_one(b"append k 0 0 1\r\nx\r\n").verb == "append"
+        assert parse_one(b"prepend k 0 0 1\r\nx\r\n").verb == "prepend"
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            GetCommand(keys=(b"a", b"b"), with_cas=True),
+            StoreCommand(verb="cas", key=b"k", flags=0, exptime=0.0,
+                         value=b"v", cas_unique=123, cost=45),
+            StoreCommand(verb="append", key=b"k", flags=0, exptime=0.0,
+                         value=b"suffix"),
+            IncrCommand(key=b"n", delta=7),
+            IncrCommand(key=b"n", delta=7, negative=True, noreply=True),
+        ],
+    )
+    def test_roundtrip(self, command):
+        assert parse_one(encode_command(command)) == command
+
+
+class TestOverLoopback:
+    def test_gets_and_cas_happy_path(self, client):
+        client.set(b"k", b"v1")
+        value, token = client.gets(b"k")
+        assert value == b"v1"
+        assert client.cas(b"k", b"v2", token) == "stored"
+        assert client.get(b"k") == b"v2"
+
+    def test_cas_conflict(self, client):
+        client.set(b"k", b"v1")
+        _, token = client.gets(b"k")
+        client.set(b"k", b"interloper")
+        assert client.cas(b"k", b"v2", token) == "exists"
+        assert client.get(b"k") == b"interloper"
+
+    def test_cas_not_found(self, client):
+        assert client.cas(b"ghost", b"v", 1) == "not_found"
+
+    def test_gets_miss(self, client):
+        assert client.gets(b"ghost") is None
+
+    def test_incr_decr_roundtrip(self, client):
+        client.set(b"n", b"100")
+        assert client.incr(b"n", 20) == 120
+        assert client.decr(b"n", 220) == 0
+        assert client.incr(b"ghost") is None
+
+    def test_incr_non_numeric_is_client_error(self, client):
+        client.set(b"k", b"abc")
+        with pytest.raises(ProtocolError):
+            client.incr(b"k")
+
+    def test_append_prepend_roundtrip(self, client):
+        client.set(b"k", b"mid")
+        assert client.append(b"k", b"-post")
+        assert client.prepend(b"k", b"pre-")
+        assert client.get(b"k") == b"pre-mid-post"
+
+    def test_append_missing_is_not_stored(self, client):
+        assert client.append(b"ghost", b"x") is False
+
+    def test_distributed_counter_pattern(self, client):
+        """INCR as memcached's atomic counter idiom."""
+        client.add(b"hits", b"0")
+        for _ in range(10):
+            client.incr(b"hits")
+        assert client.get(b"hits") == b"10"

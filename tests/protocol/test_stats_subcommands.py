@@ -1,0 +1,88 @@
+"""``stats slabs`` / ``stats items`` / ``stats settings`` tests."""
+
+import pytest
+
+from repro.core import GDWheelPolicy
+from repro.kvstore import CostAwareRebalancer, KVStore
+from repro.protocol import (
+    CostAwareClient,
+    ProtocolError,
+    RequestParser,
+    StatsCommand,
+    StoreServer,
+    encode_command,
+)
+
+
+@pytest.fixture
+def client():
+    store = KVStore(
+        memory_limit=1024 * 1024,
+        slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+        rebalancer=CostAwareRebalancer(),
+    )
+    client = CostAwareClient.loopback(StoreServer(store))
+    client.set(b"small", b"v" * 50, cost=10)
+    client.set(b"large", b"v" * 800, cost=300)
+    return client
+
+
+def parse_one(data: bytes):
+    parser = RequestParser()
+    parser.feed(data)
+    (command,) = list(parser)
+    return command
+
+
+class TestParsing:
+    def test_plain_stats(self):
+        assert parse_one(b"stats\r\n") == StatsCommand(subcommand="")
+
+    @pytest.mark.parametrize("sub", ["slabs", "items", "settings"])
+    def test_subcommands(self, sub):
+        assert parse_one(f"stats {sub}\r\n".encode()).subcommand == sub
+
+    def test_unknown_subcommand_rejected(self):
+        parser = RequestParser()
+        parser.feed(b"stats bogus\r\n")
+        with pytest.raises(ProtocolError):
+            list(parser)
+
+    @pytest.mark.parametrize("sub", ["", "slabs", "items"])
+    def test_roundtrip(self, sub):
+        command = StatsCommand(subcommand=sub)
+        assert parse_one(encode_command(command)) == command
+
+
+class TestResponses:
+    def test_stats_slabs_reports_per_class_geometry(self, client):
+        slabs = client.stats("slabs")
+        assert slabs["active_slabs"] == "2"
+        chunk_keys = [k for k in slabs if k.endswith(":chunk_size")]
+        assert len(chunk_keys) == 2  # two size classes in use
+        used = sum(
+            int(v) for k, v in slabs.items() if k.endswith(":used_chunks")
+        )
+        assert used == 2
+
+    def test_stats_items_reports_cost_per_byte(self, client):
+        items = client.stats("items")
+        costs = {
+            k: float(v) for k, v in items.items()
+            if k.endswith(":avg_cost_per_byte")
+        }
+        assert len(costs) == 2
+        assert max(costs.values()) > min(costs.values())  # 300 vs 10 cost
+
+    def test_stats_settings_reports_configuration(self, client):
+        settings = client.stats("settings")
+        assert settings["maxbytes"] == str(1024 * 1024)
+        assert settings["slab_size"] == str(64 * 1024)
+        assert settings["rebalancer"] == "cost-aware"
+        assert float(settings["growth_factor"]) == pytest.approx(1.25)
+
+    def test_plain_stats_unchanged(self, client):
+        stats = client.stats()
+        assert stats["sets"] == "2"
+        assert "curr_items" in stats

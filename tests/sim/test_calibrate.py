@@ -1,0 +1,55 @@
+"""Warmup calibration tests."""
+
+import pytest
+
+from repro.sim import calibrate_num_keys, capacity_items_for, lru_hit_rate
+
+
+class TestLruHitRate:
+    def test_universe_within_capacity_always_hits(self):
+        assert lru_hit_rate(100, capacity_items=200, theta=0.99) == 1.0
+
+    def test_hit_rate_decreases_with_universe(self):
+        capacity = 2_000
+        small = lru_hit_rate(capacity * 2, capacity, 0.99, sample_requests=40_000)
+        large = lru_hit_rate(capacity * 16, capacity, 0.99, sample_requests=40_000)
+        assert small > large
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            lru_hit_rate(100, capacity_items=0, theta=0.99)
+
+
+class TestCalibration:
+    def test_hits_the_target(self):
+        capacity = 2_000
+        num_keys = calibrate_num_keys(
+            capacity, theta=0.99, target_hit_rate=0.95, sample_requests=60_000
+        )
+        assert num_keys > capacity
+        rate = lru_hit_rate(num_keys, capacity, 0.99, sample_requests=60_000)
+        assert abs(rate - 0.95) < 0.02
+
+    def test_memoized(self):
+        a = calibrate_num_keys(1_000, 0.99, 0.95, sample_requests=30_000)
+        b = calibrate_num_keys(1_000, 0.99, 0.95, sample_requests=30_000)
+        assert a == b
+
+    def test_lower_target_needs_bigger_universe(self):
+        capacity = 1_500
+        strict = calibrate_num_keys(
+            capacity, 0.99, 0.97, sample_requests=40_000
+        )
+        loose = calibrate_num_keys(
+            capacity, 0.99, 0.88, sample_requests=40_000
+        )
+        assert loose > strict
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_num_keys(100, 0.99, target_hit_rate=1.5)
+
+
+def test_capacity_items_for():
+    # 4 slabs of 64 KiB with 400-byte chunks: 4 * 163 chunks
+    assert capacity_items_for(256 * 1024, 64 * 1024, 400) == 4 * (64 * 1024 // 400)

@@ -1,0 +1,143 @@
+"""Driver tests: one full warmup+measurement cell at tiny scale."""
+
+import pytest
+
+from repro.sim import (
+    SimConfig,
+    estimate_capacity_items,
+    make_policy_factory,
+    make_rebalancer,
+    resolve_num_keys,
+    run_simulation,
+)
+from repro.workloads import MULTI_SIZE_WORKLOADS, SINGLE_SIZE_WORKLOADS
+
+TINY = dict(
+    memory_limit=2 * 1024 * 1024,
+    slab_size=64 * 1024,
+    num_requests=15_000,
+)
+
+
+@pytest.fixture(scope="module")
+def lru_result():
+    return run_simulation(
+        SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], policy="lru", **TINY)
+    )
+
+
+@pytest.fixture(scope="module")
+def gdwheel_result():
+    return run_simulation(
+        SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], policy="gd-wheel", **TINY)
+    )
+
+
+class TestSingleRun:
+    def test_hit_rate_near_calibration_target(self, lru_result):
+        assert 0.90 <= lru_result.hit_rate <= 0.985
+
+    def test_request_accounting(self, lru_result):
+        assert lru_result.num_requests == TINY["num_requests"]
+        misses = len(lru_result.miss_costs)
+        assert misses == round((1 - lru_result.hit_rate) * TINY["num_requests"])
+
+    def test_latencies_consistent_with_model(self, lru_result):
+        # avg latency = 220 + 44 * total_cost / requests
+        expect = 220 + 44 * lru_result.total_recomputation_cost / TINY["num_requests"]
+        assert lru_result.average_latency_us == pytest.approx(expect)
+
+    def test_store_stats_cover_measurement_only(self, lru_result):
+        # measurement GETs = num_requests (warmup does SETs only)
+        assert lru_result.store_stats["gets"] == TINY["num_requests"]
+
+    def test_gdwheel_beats_lru_on_cost(self, lru_result, gdwheel_result):
+        """The headline result at tiny scale."""
+        assert (
+            gdwheel_result.total_recomputation_cost
+            < 0.6 * lru_result.total_recomputation_cost
+        )
+
+    def test_hit_rates_nearly_identical(self, lru_result, gdwheel_result):
+        """Section 6.4.1: differs by no more than ~0.2 percentage points
+        (we allow 1pp at this reduced scale)."""
+        assert abs(gdwheel_result.hit_rate - lru_result.hit_rate) < 0.01
+
+    def test_tail_latency_improves(self, lru_result, gdwheel_result):
+        assert gdwheel_result.p99_latency_us < lru_result.p99_latency_us
+
+
+class TestMultiSize:
+    def test_multi_size_with_cost_aware_rebalancer(self):
+        result = run_simulation(
+            SimConfig(
+                spec=MULTI_SIZE_WORKLOADS["3"],
+                policy="gd-wheel",
+                rebalancer="cost-aware",
+                **TINY,
+            )
+        )
+        # The rebalancer converges during warmup (moves then may stop), so
+        # assert the *layout*: memory must have shifted decisively toward
+        # the expensive classes, which then barely evict.
+        assert len(result.class_stats) >= 3
+        by_cost = sorted(
+            result.class_stats, key=lambda c: c["average_cost_per_byte"]
+        )
+        cheapest, priciest = by_cost[0], by_cost[-1]
+        assert priciest["num_slabs"] > cheapest["num_slabs"]
+        assert priciest["evictions"] < cheapest["evictions"] / 10
+
+    def test_original_rebalancer_stays_put(self):
+        result = run_simulation(
+            SimConfig(
+                spec=MULTI_SIZE_WORKLOADS["3"],
+                policy="lru",
+                rebalancer="original",
+                **TINY,
+            )
+        )
+        # the paper's observation: no zero-eviction donor, no moves
+        assert result.store_stats["slab_moves"] == 0
+
+
+class TestFactories:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy_factory("nonsense", 100, 10)
+
+    def test_unknown_rebalancer_rejected(self):
+        with pytest.raises(ValueError):
+            make_rebalancer("nonsense", 60.0)
+
+    def test_wheel_capacity_guard(self):
+        with pytest.raises(ValueError, match="exceeds wheel capacity"):
+            make_policy_factory(
+                "gd-wheel", 100, max_cost=10**9, num_queues=4, num_wheels=2
+            )
+
+    def test_every_registered_policy_constructs(self):
+        for name in ("lru", "clock", "random", "gd-wheel", "gd-pq", "gd-naive",
+                     "gds", "gdsf", "camp", "lru-k", "2q", "arc"):
+            factory = make_policy_factory(name, capacity_items=64, max_cost=450)
+            assert factory() is not None
+
+
+class TestSizing:
+    def test_capacity_estimate_single_size(self):
+        config = SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], **TINY)
+        probe = config.spec.materialize(256, seed=0)
+        capacity = estimate_capacity_items(config, probe)
+        # 2 MiB / chunk-for-328B-footprint: order of thousands
+        assert 3_000 < capacity < 8_000
+
+    def test_resolve_num_keys_exceeds_capacity(self):
+        config = SimConfig(spec=SINGLE_SIZE_WORKLOADS["1"], **TINY)
+        probe = config.spec.materialize(256, seed=0)
+        assert resolve_num_keys(config) > estimate_capacity_items(config, probe)
+
+    def test_explicit_num_keys_respected(self):
+        config = SimConfig(
+            spec=SINGLE_SIZE_WORKLOADS["1"], num_keys=1234, **TINY
+        )
+        assert resolve_num_keys(config) == 1234

@@ -1,0 +1,128 @@
+"""Latency model and metrics tests — the paper's Section 6.4.1 arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    GroupShares,
+    LatencyModel,
+    PAPER_LATENCY_MODEL,
+    RequestLog,
+    cost_cdf,
+    normalized,
+    reduction_percent,
+    summarize_reductions,
+)
+
+
+class TestLatencyModel:
+    def test_paper_constants(self):
+        assert PAPER_LATENCY_MODEL.hit_latency_us == 220.0
+        assert PAPER_LATENCY_MODEL.cost_unit_us == 44.0
+
+    def test_hit_latency(self):
+        assert PAPER_LATENCY_MODEL.read_latency_us(0) == 220.0
+
+    def test_smallest_cost_is_twice_hit_latency_extra(self):
+        """Cost 10 == 440 µs of recomputation (the paper's calibration)."""
+        assert PAPER_LATENCY_MODEL.read_latency_us(10) == 220.0 + 440.0
+
+    def test_paper_headline_tail_number(self):
+        """'no larger than 1364 µs' == a miss at cost 26."""
+        assert PAPER_LATENCY_MODEL.read_latency_us(26) == 1364.0
+
+    def test_vectorized_matches_scalar(self):
+        costs = np.array([0, 10, 26, 400])
+        lats = PAPER_LATENCY_MODEL.latencies(costs)
+        for cost, lat in zip(costs, lats):
+            assert lat == PAPER_LATENCY_MODEL.read_latency_us(cost)
+
+    def test_average_and_percentile(self):
+        model = LatencyModel(hit_latency_us=100, cost_unit_us=1)
+        costs = np.array([0] * 99 + [500])
+        assert model.average_latency_us(costs) == pytest.approx(105.0)
+        assert model.percentile_latency_us(costs, 50.0) == 100.0
+
+
+class TestRequestLog:
+    def test_counts(self):
+        log = RequestLog(10)
+        log.record_hit()
+        log.record_miss(50)
+        log.record_hit()
+        assert len(log) == 3
+        assert log.hits == 2
+        assert log.misses == 1
+        assert log.hit_rate == pytest.approx(2 / 3)
+
+    def test_total_recomputation_cost(self):
+        log = RequestLog(5)
+        for cost in (10, 0, 400):
+            log.record_miss(cost)
+        assert log.total_recomputation_cost == 410
+
+    def test_miss_costs_excludes_hits(self):
+        log = RequestLog(5)
+        log.record_hit()
+        log.record_miss(7)
+        log.record_hit()
+        log.record_miss(9)
+        assert log.miss_costs().tolist() == [7, 9]
+
+    def test_latency_statistics(self):
+        log = RequestLog(4)
+        log.record_hit()
+        log.record_miss(10)
+        assert log.average_latency_us() == pytest.approx((220 + 660) / 2)
+        assert log.percentile_latency_us(99.0) > 600
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RequestLog(0)
+
+
+class TestCdfAndShares:
+    def test_cdf_monotone_and_normalized(self):
+        costs = np.array([10, 10, 20, 400, 30])
+        series = cost_cdf(costs)
+        ys = [y for _, y in series]
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_cdf_empty(self):
+        assert cost_cdf(np.array([])) == []
+
+    def test_cdf_subsampling(self):
+        costs = np.arange(10_000)
+        series = cost_cdf(costs, points=100)
+        assert len(series) <= 101
+
+    def test_group_shares(self):
+        miss_costs = np.array([15, 20, 150, 400])
+        shares = GroupShares.from_misses(
+            miss_costs, ((10, 30), (120, 180), (350, 450))
+        )
+        assert shares.shares == (0.5, 0.25, 0.25)
+
+    def test_group_shares_empty(self):
+        shares = GroupShares.from_misses(np.array([]), ((0, 1),))
+        assert shares.shares == (0.0,)
+
+
+class TestReductionArithmetic:
+    def test_reduction_percent(self):
+        assert reduction_percent(100, 25) == 75.0
+        assert reduction_percent(100, 100) == 0.0
+        assert reduction_percent(0, 5) == 0.0
+
+    def test_normalized(self):
+        assert normalized(200, 50) == 25.0
+        assert normalized(0, 0) == 100.0
+
+    def test_summarize(self):
+        out = summarize_reductions({"a": (100, 50), "b": (100, 10)})
+        assert out["avg"] == pytest.approx(70.0)
+        assert out["max"] == pytest.approx(90.0)
+
+    def test_summarize_empty(self):
+        assert summarize_reductions({}) == {"avg": 0.0, "max": 0.0}

@@ -1,0 +1,71 @@
+"""Per-operation cost measurement tests (the Figure 7/8 machinery)."""
+
+from repro.core import GDPQPolicy, GDWheelPolicy, LRUPolicy
+from repro.sim import (
+    OpCostSample,
+    RequestLatencyModel,
+    measure_policy_opcost,
+    sweep_opcost,
+)
+
+
+def test_measure_returns_positive_times():
+    sample = measure_policy_opcost(
+        LRUPolicy, "lru", resident_items=2_000, ops=2_000
+    )
+    assert sample.policy == "lru"
+    assert sample.resident_items == 2_000
+    assert sample.touch_seconds > 0
+    assert sample.evict_insert_seconds > 0
+    assert sample.touch_seconds < 1e-3  # sanity: micro-ops, not millis
+
+
+def test_sweep_covers_every_cell():
+    samples = sweep_opcost(
+        [("lru", LRUPolicy), ("gd-wheel", lambda: GDWheelPolicy(num_queues=64))],
+        sizes=(500, 1_000),
+        ops=1_000,
+    )
+    cells = {(s.policy, s.resident_items) for s in samples}
+    assert cells == {
+        ("lru", 500),
+        ("lru", 1_000),
+        ("gd-wheel", 500),
+        ("gd-wheel", 1_000),
+    }
+
+
+def test_model_get_latency_is_policy_independent():
+    model = RequestLatencyModel()
+    cheap = OpCostSample("lru", 1_000, 1e-6, 1e-6)
+    pricey = OpCostSample("gd-pq", 1_000, 1e-5, 1e-4)
+    assert model.get_latency_us(cheap) == model.get_latency_us(pricey)
+
+
+def test_model_set_latency_grows_with_policy_work():
+    model = RequestLatencyModel()
+    fast = OpCostSample("lru", 1_000, 1e-6, 2e-6)
+    slow = OpCostSample("gd-pq", 1_000, 1e-6, 9e-5)
+    assert model.set_latency_us(slow) > model.set_latency_us(fast)
+
+
+def test_model_throughput_decreases_with_policy_work():
+    model = RequestLatencyModel()
+    fast = OpCostSample("lru", 1_000, 1e-6, 2e-6)
+    slow = OpCostSample("gd-pq", 1_000, 2e-5, 9e-5)
+    assert model.throughput_ops(fast) > model.throughput_ops(slow)
+
+
+def test_gdpq_cost_grows_with_size_lru_and_wheel_flat():
+    """The Figure 7 shape, in miniature: GD-PQ's per-op time should grow
+    markedly more from 1k to 32k resident items than LRU's or GD-Wheel's."""
+
+    def growth(factory):
+        small = measure_policy_opcost(factory, "p", 1_000, ops=4_000, seed=1)
+        large = measure_policy_opcost(factory, "p", 32_000, ops=4_000, seed=1)
+        return large.evict_insert_seconds / small.evict_insert_seconds
+
+    lru_growth = growth(LRUPolicy)
+    pq_growth = growth(GDPQPolicy)
+    # timing noise exists; require a clear ordering rather than exact ratios
+    assert pq_growth > lru_growth

@@ -1,0 +1,74 @@
+"""SimResult and Comparison container tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Comparison, SimResult, summarize
+
+
+def make_result(policy="lru", cost=1_000, avg=400.0, p99=5_000.0, hit=0.95,
+                rebalancer="none"):
+    return SimResult(
+        workload_id="1",
+        workload_name="Baseline",
+        policy=policy,
+        rebalancer=rebalancer,
+        num_keys=10_000,
+        num_requests=100_000,
+        capacity_items=5_000,
+        hit_rate=hit,
+        total_recomputation_cost=cost,
+        average_latency_us=avg,
+        p99_latency_us=p99,
+        miss_costs=np.array([10, 20]),
+        store_stats={"gets": 100_000},
+    )
+
+
+def test_label_hides_null_rebalancer():
+    assert make_result().label == "lru"
+    assert make_result(rebalancer="cost-aware").label == "lru+cost-aware"
+
+
+def test_to_dict_is_json_friendly():
+    import json
+
+    data = make_result().to_dict()
+    json.dumps(data)  # must not raise
+    assert data["misses"] == 2
+    assert "miss_costs" not in data
+
+
+def test_comparison_reductions():
+    comp = Comparison(
+        workload_id="1",
+        workload_name="Baseline",
+        baseline=make_result(cost=1_000, avg=400.0, p99=5_000.0, hit=0.95),
+        candidate=make_result(
+            policy="gd-wheel", cost=250, avg=300.0, p99=1_000.0, hit=0.948
+        ),
+    )
+    assert comp.cost_reduction_pct == pytest.approx(75.0)
+    assert comp.latency_reduction_pct == pytest.approx(25.0)
+    assert comp.tail_reduction_pct == pytest.approx(80.0)
+    assert comp.normalized_cost == pytest.approx(25.0)
+    assert comp.hit_rate_delta_pct == pytest.approx(0.2)
+
+
+def test_summarize_produces_table4_shape():
+    comps = [
+        Comparison("1", "a", make_result(cost=100), make_result(cost=50)),
+        Comparison("2", "b", make_result(cost=100), make_result(cost=10)),
+    ]
+    out = summarize(comps)
+    assert out["total_recomputation_cost"]["avg"] == pytest.approx(70.0)
+    assert out["total_recomputation_cost"]["max"] == pytest.approx(90.0)
+    assert set(out) == {
+        "avg_read_latency",
+        "tail_read_latency",
+        "total_recomputation_cost",
+    }
+
+
+def test_summarize_empty():
+    assert summarize([]) == {}

@@ -1,0 +1,122 @@
+"""Cost and size distribution tests against Table 2/3 expectations."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BASELINE_GROUPS,
+    CostGroup,
+    CostGroupSizes,
+    FixedCost,
+    FixedSize,
+    GroupedCosts,
+    UniformCosts,
+    cost_groups,
+)
+
+
+class TestCostGroup:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostGroup(low=-1, high=5, proportion=0.5)
+        with pytest.raises(ValueError):
+            CostGroup(low=10, high=5, proportion=0.5)
+        with pytest.raises(ValueError):
+            CostGroup(low=1, high=5, proportion=0.0)
+
+
+class TestGroupedCosts:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            GroupedCosts(cost_groups((10, 30, 0.5), (40, 50, 0.4)))
+
+    def test_baseline_proportions_and_ranges(self):
+        dist = GroupedCosts(BASELINE_GROUPS)
+        costs = dist.assign(100_000, seed=0)
+        low = ((costs >= 10) & (costs <= 30)).mean()
+        mid = ((costs >= 120) & (costs <= 180)).mean()
+        high = ((costs >= 350) & (costs <= 450)).mean()
+        assert low == pytest.approx(0.80, abs=0.01)
+        assert mid == pytest.approx(0.15, abs=0.01)
+        assert high == pytest.approx(0.05, abs=0.01)
+        assert low + mid + high == 1.0  # nothing falls between bands
+
+    def test_deterministic_per_seed(self):
+        dist = GroupedCosts(BASELINE_GROUPS)
+        assert np.array_equal(dist.assign(1000, 1), dist.assign(1000, 1))
+        assert not np.array_equal(dist.assign(1000, 1), dist.assign(1000, 2))
+
+    def test_max_cost(self):
+        assert GroupedCosts(BASELINE_GROUPS).max_cost() == 450
+
+    def test_quantum_scales_costs(self):
+        """Workload 10's coarse distribution: everything a multiple of 10."""
+        dist = GroupedCosts(
+            cost_groups((1, 3, 0.8), (12, 18, 0.15), (35, 45, 0.05)), quantum=10
+        )
+        costs = dist.assign(10_000, seed=0)
+        assert (costs % 10 == 0).all()
+        assert costs.min() >= 10
+        assert costs.max() <= 450
+        assert dist.max_cost() == 450
+
+    def test_group_of(self):
+        dist = GroupedCosts(BASELINE_GROUPS)
+        assert dist.group_of(15) == 0
+        assert dist.group_of(150) == 1
+        assert dist.group_of(400) == 2
+        with pytest.raises(ValueError):
+            dist.group_of(200)
+
+
+class TestFixedAndUniform:
+    def test_fixed_cost(self):
+        dist = FixedCost(10)
+        costs = dist.assign(100, seed=9)
+        assert (costs == 10).all()
+        assert dist.max_cost() == 10
+
+    def test_fixed_validation(self):
+        with pytest.raises(ValueError):
+            FixedCost(-1)
+
+    def test_uniform_costs(self):
+        dist = UniformCosts(20, 400)
+        costs = dist.assign(50_000, seed=0)
+        assert costs.min() >= 20
+        assert costs.max() <= 400
+        assert abs(costs.mean() - 210) < 5
+        assert dist.max_cost() == 400
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformCosts(10, 5)
+
+
+class TestSizes:
+    def test_fixed_size(self):
+        sizes = FixedSize(256).assign(100, np.zeros(100), seed=0)
+        assert (sizes == 256).all()
+
+    def test_cost_group_sizes_follow_cost_bands(self):
+        """Table 3: 192/256/320-byte values for the three cost bands."""
+        groups = GroupedCosts(BASELINE_GROUPS)
+        dist = CostGroupSizes(groups, (192, 256, 320))
+        costs = groups.assign(20_000, seed=0)
+        sizes = dist.assign(20_000, costs, seed=0)
+        assert set(np.unique(sizes)) == {192, 256, 320}
+        assert (sizes[(costs >= 10) & (costs <= 30)] == 192).all()
+        assert (sizes[(costs >= 120) & (costs <= 180)] == 256).all()
+        assert (sizes[(costs >= 350) & (costs <= 450)] == 320).all()
+        assert dist.max_size() == 320
+
+    def test_size_count_must_match_groups(self):
+        groups = GroupedCosts(BASELINE_GROUPS)
+        with pytest.raises(ValueError):
+            CostGroupSizes(groups, (192, 256))
+
+    def test_out_of_band_cost_rejected(self):
+        groups = GroupedCosts(BASELINE_GROUPS)
+        dist = CostGroupSizes(groups, (192, 256, 320))
+        with pytest.raises(ValueError):
+            dist.assign(3, np.array([10, 200, 400]), seed=0)

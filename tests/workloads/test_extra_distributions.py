@@ -1,0 +1,82 @@
+"""Tests for the extra workload generators: hotspot keys, Pareto sizes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import HotspotSampler, ParetoSizes
+
+
+class TestHotspot:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotSampler(0)
+        with pytest.raises(ValueError):
+            HotspotSampler(10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotSampler(10, hot_opn_fraction=1.0)
+
+    def test_hot_set_absorbs_configured_share(self):
+        sampler = HotspotSampler(10_000, hot_fraction=0.2,
+                                 hot_opn_fraction=0.8, seed=1)
+        ranks = sampler.sample(50_000)
+        hot_share = (ranks < sampler.hot_count).mean()
+        assert hot_share == pytest.approx(0.8, abs=0.01)
+
+    def test_uniform_within_each_side(self):
+        sampler = HotspotSampler(1_000, hot_fraction=0.1,
+                                 hot_opn_fraction=0.9, seed=2)
+        ranks = sampler.sample(100_000)
+        hot = ranks[ranks < 100]
+        counts = np.bincount(hot, minlength=100)
+        assert counts.max() / max(counts.min(), 1) < 1.6
+
+    def test_in_range_and_deterministic(self):
+        a = HotspotSampler(500, seed=3).sample(5_000)
+        b = HotspotSampler(500, seed=3).sample(5_000)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 500
+
+
+class TestParetoSizes:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoSizes(scale=0)
+        with pytest.raises(ValueError):
+            ParetoSizes(shape=1.5)
+        with pytest.raises(ValueError):
+            ParetoSizes(min_bytes=100, max_bytes=10)
+
+    def test_matches_atikoglu_shape(self):
+        """Small median, mean under a kilobyte, heavy tail — the Facebook
+        general-pool profile (median 135 B, mean 954 B per Nishtala et al.,
+        modulo our clipping)."""
+        dist = ParetoSizes()
+        sizes = dist.assign(100_000, np.zeros(100_000), seed=1)
+        assert 80 < np.median(sizes) < 350
+        assert 200 < sizes.mean() < 1_000
+        assert sizes.max() > 4_000  # the tail exists
+
+    def test_clipping(self):
+        dist = ParetoSizes(min_bytes=64, max_bytes=1_024)
+        sizes = dist.assign(20_000, np.zeros(20_000), seed=2)
+        assert sizes.min() >= 64
+        assert sizes.max() <= 1_024
+        assert dist.max_size() == 1_024
+
+    def test_deterministic_per_seed(self):
+        dist = ParetoSizes()
+        a = dist.assign(1_000, np.zeros(1_000), seed=7)
+        b = dist.assign(1_000, np.zeros(1_000), seed=7)
+        assert np.array_equal(a, b)
+
+    def test_usable_in_a_workload_spec(self):
+        from repro.workloads import GroupedCosts, BASELINE_GROUPS, WorkloadSpec
+
+        spec = WorkloadSpec(
+            workload_id="pareto",
+            name="pareto-sizes",
+            costs=GroupedCosts(BASELINE_GROUPS),
+            sizes=ParetoSizes(max_bytes=4_096),
+        )
+        workload = spec.materialize(500, seed=0)
+        assert len(workload.value_of(0)) == workload.value_sizes[0]

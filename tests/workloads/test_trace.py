@@ -1,0 +1,69 @@
+"""Trace record/replay/serialize tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import SINGLE_SIZE_WORKLOADS, Trace
+
+
+@pytest.fixture
+def trace():
+    workload = SINGLE_SIZE_WORKLOADS["1"].materialize(500, seed=0)
+    return Trace.from_workload(workload, num_requests=2_000)
+
+
+def test_length_and_universe(trace):
+    assert len(trace) == 2_000
+    assert trace.num_keys == 500
+
+
+def test_iteration_yields_consistent_tuples(trace):
+    for key_id, cost, size in trace:
+        assert cost == trace.costs[key_id]
+        assert size == trace.value_sizes[key_id]
+        break
+
+
+def test_validation_rejects_out_of_universe_requests():
+    with pytest.raises(ValueError):
+        Trace(
+            key_ids=np.array([5]),
+            costs=np.array([1, 2]),
+            value_sizes=np.array([10, 20]),
+        )
+
+
+def test_validation_rejects_misaligned_arrays():
+    with pytest.raises(ValueError):
+        Trace(
+            key_ids=np.array([0]),
+            costs=np.array([1, 2]),
+            value_sizes=np.array([10]),
+        )
+
+
+def test_save_load_roundtrip(trace, tmp_path):
+    path = tmp_path / "trace.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert np.array_equal(loaded.key_ids, trace.key_ids)
+    assert np.array_equal(loaded.costs, trace.costs)
+    assert np.array_equal(loaded.value_sizes, trace.value_sizes)
+
+
+def test_total_cost_of_misses(trace):
+    missed = np.zeros(len(trace), dtype=bool)
+    missed[:10] = True
+    expected = sum(trace.costs[k] for k in trace.key_ids[:10])
+    assert trace.total_cost_of_misses(missed) == expected
+
+
+def test_total_cost_mask_must_align(trace):
+    with pytest.raises(ValueError):
+        trace.total_cost_of_misses(np.zeros(5, dtype=bool))
+
+
+def test_replay_is_deterministic(trace):
+    first = list(trace)
+    second = list(trace)
+    assert first == second

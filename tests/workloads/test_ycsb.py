@@ -1,0 +1,121 @@
+"""Workload suite tests: Table 1/2/3 definitions and materialization."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    MULTI_SIZE_WORKLOADS,
+    SINGLE_SIZE_WORKLOADS,
+    TABLE1_MOTIVATION,
+    motivation_cost_ratio,
+)
+
+
+class TestTableDefinitions:
+    def test_all_ten_single_size_workloads_present(self):
+        assert set(SINGLE_SIZE_WORKLOADS) == {str(i) for i in range(1, 11)}
+
+    def test_all_three_multi_size_workloads_present(self):
+        assert set(MULTI_SIZE_WORKLOADS) == {"1", "2", "3"}
+
+    def test_key_size_is_16_bytes_everywhere(self):
+        for spec in list(SINGLE_SIZE_WORKLOADS.values()) + list(
+            MULTI_SIZE_WORKLOADS.values()
+        ):
+            assert spec.key_size == 16
+
+    @pytest.mark.parametrize(
+        "wid,value_size",
+        [("1", 256), ("6", 64), ("7", 128), ("8", 2048), ("9", 4096)],
+    )
+    def test_single_size_value_sizes(self, wid, value_size):
+        workload = SINGLE_SIZE_WORKLOADS[wid].materialize(100, seed=0)
+        assert (workload.value_sizes == value_size).all()
+
+    def test_workload4_same_cost(self):
+        workload = SINGLE_SIZE_WORKLOADS["4"].materialize(1000, seed=0)
+        assert (workload.costs == 10).all()
+
+    def test_workload5_random_cost(self):
+        workload = SINGLE_SIZE_WORKLOADS["5"].materialize(10_000, seed=0)
+        assert workload.costs.min() >= 20
+        assert workload.costs.max() <= 400
+
+    def test_rubis_proportions(self):
+        workload = SINGLE_SIZE_WORKLOADS["2"].materialize(50_000, seed=0)
+        mid = ((workload.costs >= 120) & (workload.costs <= 180)).mean()
+        assert mid == pytest.approx(0.75, abs=0.01)
+
+    def test_tpcw_proportions(self):
+        workload = SINGLE_SIZE_WORKLOADS["3"].materialize(50_000, seed=0)
+        high = ((workload.costs >= 350) & (workload.costs <= 450)).mean()
+        assert high == pytest.approx(0.25, abs=0.01)
+
+    def test_multi_size_links_size_to_cost(self):
+        workload = MULTI_SIZE_WORKLOADS["1"].materialize(20_000, seed=0)
+        assert set(np.unique(workload.value_sizes)) == {192, 256, 320}
+        high_mask = workload.costs >= 350
+        assert (workload.value_sizes[high_mask] == 320).all()
+
+
+class TestMaterializedWorkload:
+    def test_keys_are_fixed_width(self):
+        workload = SINGLE_SIZE_WORKLOADS["1"].materialize(100, seed=0)
+        for i in (0, 50, 99):
+            assert len(workload.key_bytes(i)) == 16
+        assert workload.key_bytes(0) != workload.key_bytes(1)
+
+    def test_value_matches_assigned_size(self):
+        workload = MULTI_SIZE_WORKLOADS["1"].materialize(100, seed=0)
+        for i in range(10):
+            assert len(workload.value_of(i)) == workload.value_sizes[i]
+
+    def test_requests_cover_only_the_universe(self):
+        workload = SINGLE_SIZE_WORKLOADS["1"].materialize(500, seed=0)
+        requests = workload.sample_requests(5_000)
+        assert requests.min() >= 0
+        assert requests.max() < 500
+
+    def test_popularity_decorrelated_from_cost(self):
+        """Hot keys must not be systematically cheap or expensive."""
+        workload = SINGLE_SIZE_WORKLOADS["1"].materialize(20_000, seed=0)
+        requests = workload.sample_requests(100_000)
+        counts = np.bincount(requests, minlength=20_000)
+        hot_keys = np.argsort(counts)[-200:]
+        hot_mean = workload.costs[hot_keys].mean()
+        overall = workload.costs.mean()
+        assert abs(hot_mean - overall) < 0.5 * overall
+
+    def test_warmup_order_is_a_permutation(self):
+        workload = SINGLE_SIZE_WORKLOADS["1"].materialize(1_000, seed=0)
+        order = workload.warmup_order()
+        assert sorted(order.tolist()) == list(range(1_000))
+
+    def test_warmup_order_partial(self):
+        workload = SINGLE_SIZE_WORKLOADS["1"].materialize(1_000, seed=0)
+        order = workload.warmup_order(count=100)
+        assert len(order) == 100
+        assert len(set(order.tolist())) == 100
+
+    def test_same_seed_same_workload(self):
+        w1 = SINGLE_SIZE_WORKLOADS["1"].materialize(1_000, seed=7)
+        w2 = SINGLE_SIZE_WORKLOADS["1"].materialize(1_000, seed=7)
+        assert np.array_equal(w1.costs, w2.costs)
+        assert np.array_equal(w1.sample_requests(100), w2.sample_requests(100))
+
+
+class TestMotivation:
+    def test_table1_bands(self):
+        assert set(TABLE1_MOTIVATION) == {"RUBiS", "TPC-W"}
+        for rows in TABLE1_MOTIVATION.values():
+            assert sum(r.proportion for r in rows) == pytest.approx(1.0)
+
+    def test_cost_ratio_about_twenty(self):
+        """The paper: 'the maximum difference is only about a factor of
+        twenty' — our bands give 24x and 30x (10->240, 10->300)."""
+        ratios = {
+            name: motivation_cost_ratio(rows)
+            for name, rows in TABLE1_MOTIVATION.items()
+        }
+        assert ratios["RUBiS"] == 24.0
+        assert ratios["TPC-W"] == 30.0

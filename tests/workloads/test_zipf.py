@@ -1,0 +1,110 @@
+"""Zipf generator tests: distribution shape, determinism, scrambling."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ScrambledZipfianGenerator,
+    UniformSampler,
+    YCSBZipfianGenerator,
+    ZipfSampler,
+    rank_permutation,
+)
+
+
+class TestZipfSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=0)
+
+    def test_deterministic_per_seed(self):
+        a = ZipfSampler(1000, seed=1).sample(500)
+        b = ZipfSampler(1000, seed=1).sample(500)
+        c = ZipfSampler(1000, seed=2).sample(500)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_ranks_in_range(self):
+        samples = ZipfSampler(100, seed=0).sample(10_000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_probabilities_follow_power_law(self):
+        sampler = ZipfSampler(1000, theta=0.99)
+        # p(rank) ~ 1/(rank+1)^theta: check the ratio directly
+        ratio = sampler.probability(0) / sampler.probability(9)
+        assert ratio == pytest.approx(10**0.99, rel=0.01)
+
+    def test_empirical_skew_matches_paper_claim(self):
+        """Atikoglu et al.: ~50% of requests hit a tiny fraction of keys."""
+        n = 100_000
+        sampler = ZipfSampler(n, theta=0.99, seed=3)
+        samples = sampler.sample(200_000)
+        hot = samples < int(0.01 * n)  # top 1% of ranks
+        assert 0.35 < hot.mean() < 0.75
+
+    def test_rank_zero_is_most_common(self):
+        samples = ZipfSampler(50, seed=4).sample(50_000)
+        counts = np.bincount(samples, minlength=50)
+        assert counts[0] == counts.max()
+
+
+class TestYCSBGenerator:
+    def test_matches_exact_sampler_distribution(self):
+        """The incremental generator approximates the exact pmf closely."""
+        n, draws = 200, 200_000
+        exact = ZipfSampler(n, theta=0.99, seed=0)
+        ycsb = YCSBZipfianGenerator(n, theta=0.99, seed=0)
+        counts = np.bincount(ycsb.sample(draws), minlength=n) / draws
+        for rank in (0, 1, 5, 20):
+            assert counts[rank] == pytest.approx(
+                exact.probability(rank), rel=0.15
+            )
+
+    def test_scalar_and_batch_agree_statistically(self):
+        gen1 = YCSBZipfianGenerator(100, seed=7)
+        gen2 = YCSBZipfianGenerator(100, seed=7)
+        scalar = np.array([gen1.next_rank() for _ in range(5_000)])
+        batch = gen2.sample(5_000)
+        assert abs(scalar.mean() - batch.mean()) < 2.0
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            YCSBZipfianGenerator(10, theta=1.0)
+
+
+class TestScrambled:
+    def test_spreads_popularity_across_id_space(self):
+        gen = ScrambledZipfianGenerator(10_000, seed=1)
+        samples = gen.sample(20_000)
+        # the most popular ids must not all be tiny numbers
+        top = np.argsort(np.bincount(samples, minlength=10_000))[-10:]
+        assert top.max() > 1_000
+
+    def test_in_range(self):
+        gen = ScrambledZipfianGenerator(97, seed=2)
+        samples = gen.sample(10_000)
+        assert samples.min() >= 0 and samples.max() < 97
+
+    def test_scalar_path(self):
+        gen = ScrambledZipfianGenerator(100, seed=3)
+        ranks = {gen.next_rank() for _ in range(100)}
+        assert all(0 <= r < 100 for r in ranks)
+
+
+class TestUniformAndPermutation:
+    def test_uniform_sampler_covers_space(self):
+        samples = UniformSampler(50, seed=0).sample(20_000)
+        counts = np.bincount(samples, minlength=50)
+        assert counts.min() > 0
+        assert counts.max() / counts.min() < 2.0
+
+    def test_rank_permutation_is_a_permutation(self):
+        perm = rank_permutation(1_000, seed=5)
+        assert sorted(perm.tolist()) == list(range(1_000))
+
+    def test_rank_permutation_seeded(self):
+        assert np.array_equal(rank_permutation(100, 1), rank_permutation(100, 1))
+        assert not np.array_equal(rank_permutation(100, 1), rank_permutation(100, 2))
