@@ -1,0 +1,117 @@
+"""Threaded vs. asyncio server throughput at 1 / 8 / 64 connections.
+
+The paper's Figure 8 measures memcached throughput under 8 closed-loop
+clients; this benchmark compares our two serving stacks on the same
+workload shape over loopback.  The threaded server pays one OS thread per
+connection; the asyncio server multiplexes the whole fan-in on one loop
+with pipelined batches, which is where the gap opens as connections grow.
+
+Marked ``slow`` so CI (and quick local runs) can deselect it with
+``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.aio import AsyncTCPStoreServer, run_closed_loop
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.protocol import CostAwareClient, TCPStoreServer
+from repro.workloads import SINGLE_SIZE_WORKLOADS
+
+pytestmark = pytest.mark.slow
+
+CONNECTION_COUNTS = (1, 8, 64)
+OPS_PER_CONNECTION = 600
+BATCH = 16
+NUM_KEYS = 2_000
+
+
+def make_store() -> KVStore:
+    return KVStore(
+        memory_limit=32 * 1024 * 1024,
+        slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+
+
+def threaded_ops_per_sec(connections: int) -> float:
+    """Closed-loop sync clients, one thread per connection."""
+    workload = SINGLE_SIZE_WORKLOADS["1"].materialize(NUM_KEYS, seed=9)
+    with TCPStoreServer(make_store()) as server:
+        host, port = server.address
+        warm = CostAwareClient.tcp(host, port)
+        for key_id in workload.warmup_order():
+            warm.set(
+                workload.key_bytes(key_id),
+                workload.value_of(key_id),
+                cost=workload.cost_of(key_id),
+            )
+        warm.close()
+        barrier = threading.Barrier(connections + 1)
+        done = threading.Barrier(connections + 1)
+
+        def worker(worker_id: int) -> None:
+            client = CostAwareClient.tcp(host, port)
+            key_ids = workload.sample_requests(OPS_PER_CONNECTION)
+            barrier.wait()
+            for start in range(0, OPS_PER_CONNECTION, BATCH):
+                chunk = key_ids[start : start + BATCH]
+                client.get_many([workload.key_bytes(int(k)) for k in chunk])
+            done.wait()
+            client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(connections)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        done.wait()
+        elapsed = time.perf_counter() - started
+        for thread in threads:
+            thread.join(timeout=10)
+    return connections * OPS_PER_CONNECTION / elapsed
+
+
+def async_ops_per_sec(connections: int) -> float:
+    """The asyncio stack under the closed-loop load generator."""
+    workload = SINGLE_SIZE_WORKLOADS["1"].materialize(NUM_KEYS, seed=9)
+
+    async def main() -> float:
+        async with AsyncTCPStoreServer(make_store()) as server:
+            host, port = server.address
+            report = await run_closed_loop(
+                host, port, workload,
+                total_ops=connections * OPS_PER_CONNECTION,
+                concurrency=connections, batch_size=BATCH,
+                read_fraction=1.0, set_on_miss=False, seed=9,
+            )
+            return report.throughput
+
+    return asyncio.run(main())
+
+
+def test_threaded_vs_async_throughput(emit):
+    lines = [
+        "Throughput over loopback, pipelined GET batches of "
+        f"{BATCH} ({OPS_PER_CONNECTION} ops/connection):",
+        "",
+        f"{'conns':>6} {'threaded ops/s':>16} {'asyncio ops/s':>16} {'ratio':>7}",
+    ]
+    for connections in CONNECTION_COUNTS:
+        threaded = threaded_ops_per_sec(connections)
+        async_ = async_ops_per_sec(connections)
+        lines.append(
+            f"{connections:>6} {threaded:>16,.0f} {async_:>16,.0f} "
+            f"{async_ / threaded:>7.2f}"
+        )
+        assert threaded > 0 and async_ > 0
+    emit("async_throughput", "\n".join(lines))

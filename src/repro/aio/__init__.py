@@ -1,0 +1,36 @@
+"""``repro.aio`` — the asyncio serving stack.
+
+The simulation side of the reproduction measures *policies*; this package
+is the serving layer the paper's throughput/latency figures (7-9) assume:
+a real networked store multiplexing many client connections.  One event
+loop replaces the thread-per-connection model:
+
+* :class:`AsyncTCPStoreServer` — asyncio TCP server over the same
+  byte-in/byte-out :class:`~repro.protocol.server.StoreServer` dispatcher,
+  with request pipelining, write backpressure, connection limits, and
+  graceful shutdown.
+* :class:`AsyncStoreClient` — pooled, pipelining client with per-request
+  timeouts and retry (exponential backoff + jitter) on connect/timeout
+  failures.
+* :class:`AsyncStorePool` — scatter/gather fan-out over a
+  :class:`~repro.cluster.consistent.ConsistentHashRing` of async clients.
+* :func:`run_closed_loop` — a closed-loop YCSB-style load generator
+  reporting throughput and p50/p95/p99 latency.
+"""
+
+from repro.aio.backoff import RetryPolicy
+from repro.aio.client import AsyncStoreClient, BatchResult
+from repro.aio.loadgen import LoadReport, run_closed_loop, run_closed_loop_sync
+from repro.aio.pool import AsyncStorePool
+from repro.aio.server import AsyncTCPStoreServer
+
+__all__ = [
+    "AsyncStoreClient",
+    "AsyncStorePool",
+    "AsyncTCPStoreServer",
+    "BatchResult",
+    "LoadReport",
+    "RetryPolicy",
+    "run_closed_loop",
+    "run_closed_loop_sync",
+]

@@ -1,0 +1,63 @@
+"""Retry policy: capped exponential backoff with jitter.
+
+Memcached client libraries retry transient connect/timeout failures with
+exponentially growing, jittered delays so a fleet of clients hammered by
+one slow server doesn't reconnect in lockstep.  The policy is a frozen
+value object; randomness is injected (``random.Random``) so tests are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to sleep between attempts.
+
+    ``delay_for(attempt)`` for attempt 1, 2, ... is::
+
+        min(max_delay, base_delay * factor ** (attempt - 1)) * jitter_draw
+
+    where ``jitter_draw`` is uniform in ``[1 - jitter, 1]`` ("equal jitter"
+    shaved downward so the cap is still honoured).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    factor: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_for(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+        if self.jitter and rng is not None:
+            delay *= 1.0 - self.jitter * rng.random()
+        elif self.jitter:
+            delay *= 1.0 - self.jitter * random.random()
+        return delay
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The full retry schedule: ``max_attempts - 1`` sleeps."""
+        for attempt in range(1, self.max_attempts):
+            yield self.delay_for(attempt, rng)
+
+
+#: No sleeping, no second chances — for tests that want failures to surface.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)

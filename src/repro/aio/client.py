@@ -1,0 +1,296 @@
+"""Pooled, pipelining asyncio client for the extended memcached protocol.
+
+The client keeps a bounded pool of TCP connections.  Each request checks a
+connection out, writes *all* its commands in one ``send`` (pipelining),
+reads the matching responses back, and returns the connection to the pool.
+``get_many``/``set_many`` therefore cost one round trip regardless of key
+count — the client-side half of the throughput story memcached deployments
+rely on.
+
+Failure handling mirrors production clients: per-request timeouts
+(``asyncio.wait_for`` around each response), and transparent retry with
+exponential backoff + jitter on connect failures, timeouts, and dropped
+connections.  A connection that failed is discarded, never pooled again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.aio.backoff import RetryPolicy
+from repro.protocol.commands import (
+    DeleteCommand,
+    FlushCommand,
+    GetCommand,
+    GetResponse,
+    IncrCommand,
+    NumberResponse,
+    ProtocolError,
+    SimpleResponse,
+    StatsCommand,
+    StatsResponse,
+    StoreCommand,
+    TouchCommand,
+)
+from repro.protocol.text import ResponseParser, encode_command
+
+READ_SIZE = 65536
+
+#: Exceptions that mark a connection dead and the attempt retryable.
+RETRYABLE = (ConnectionError, OSError, asyncio.TimeoutError)
+
+
+class BatchResult:
+    """Responses of one pipelined batch, in command order."""
+
+    def __init__(self, responses: Sequence[object]) -> None:
+        self.responses = list(responses)
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def __getitem__(self, index: int):
+        return self.responses[index]
+
+    def __iter__(self):
+        return iter(self.responses)
+
+
+class _Connection:
+    """One live TCP connection with its incremental response parser."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.parser = ResponseParser()
+
+    async def execute(self, commands: Sequence[object], timeout: Optional[float]) -> List[object]:
+        payload = b"".join(encode_command(c) for c in commands)
+        self.writer.write(payload)
+        await self.writer.drain()
+        responses = []
+        for _ in commands:
+            responses.append(
+                await asyncio.wait_for(self._next_response(), timeout)
+            )
+        return responses
+
+    async def _next_response(self):
+        while True:
+            response = self.parser.try_parse()
+            if response is not None:
+                return response
+            data = await self.reader.read(READ_SIZE)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self.parser.feed(data)
+
+    async def aclose(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class AsyncStoreClient:
+    """Async cost-aware client with a bounded connection pool.
+
+    Args:
+        host/port: server address.
+        pool_size: max concurrent connections; extra requests queue.
+        timeout: per-response timeout in seconds (also bounds connect).
+        retry: backoff schedule for retryable failures.
+        rng: randomness source for jitter (inject for determinism).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        timeout: Optional[float] = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = rng if rng is not None else random.Random()
+        self._idle: Deque[_Connection] = deque()
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._closed = False
+        # -- observability -----------------------------------------------------
+        self.connects = 0
+        self.connect_retries = 0
+        self.request_retries = 0
+        self.timeouts = 0
+        self.requests = 0
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        # created lazily so the client can be built outside a running loop
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.pool_size)
+        return self._slots
+
+    # -- pool management -------------------------------------------------------
+
+    async def _dial(self) -> _Connection:
+        # single attempt; the execute() loop owns retry + backoff
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        self.connects += 1
+        return _Connection(reader, writer)
+
+    async def execute(self, commands: Sequence[object]) -> BatchResult:
+        """Run a pipelined batch; one response per command, in order.
+
+        Commands must expect a reply (no ``noreply``, no ``quit``).  On a
+        retryable failure the dead connection is dropped and the *whole
+        batch* is retried on a fresh one — idempotent cache semantics make
+        that safe the same way memcached client retries are.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        if not commands:
+            return BatchResult(())
+        self.requests += 1
+        attempt = 0
+        slots = self._semaphore()
+        while True:
+            await slots.acquire()
+            connection: Optional[_Connection] = None
+            try:
+                connection = self._idle.popleft() if self._idle else await self._dial()
+                responses = await connection.execute(commands, self.timeout)
+                self._idle.append(connection)
+                return BatchResult(responses)
+            except RETRYABLE as exc:
+                if isinstance(exc, asyncio.TimeoutError):
+                    self.timeouts += 1
+                if connection is not None:
+                    await connection.aclose()
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    raise
+                if connection is None:
+                    self.connect_retries += 1
+                else:
+                    self.request_retries += 1
+                delay = self.retry.delay_for(attempt, self._rng)
+            finally:
+                slots.release()
+            await asyncio.sleep(delay)
+
+    async def aclose(self) -> None:
+        self._closed = True
+        while self._idle:
+            await self._idle.popleft().aclose()
+
+    async def __aenter__(self) -> "AsyncStoreClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # -- single-key commands ---------------------------------------------------
+
+    async def get(self, key: bytes) -> Optional[bytes]:
+        result = await self.execute([GetCommand(keys=(key,))])
+        response = result[0]
+        if not isinstance(response, GetResponse):
+            raise ProtocolError(f"unexpected GET response: {response!r}")
+        return response.values[0].value if response.values else None
+
+    async def set(
+        self,
+        key: bytes,
+        value: bytes,
+        cost: int = 0,
+        exptime: float = 0,
+        flags: int = 0,
+    ) -> bool:
+        result = await self.execute(
+            [
+                StoreCommand(
+                    verb="set", key=key, flags=flags, exptime=exptime,
+                    value=value, cost=cost,
+                )
+            ]
+        )
+        return self._check_stored(result[0])
+
+    async def delete(self, key: bytes) -> bool:
+        result = await self.execute([DeleteCommand(key=key)])
+        response = result[0]
+        return isinstance(response, SimpleResponse) and response.line == b"DELETED"
+
+    async def touch(self, key: bytes, exptime: float) -> bool:
+        result = await self.execute([TouchCommand(key=key, exptime=exptime)])
+        response = result[0]
+        return isinstance(response, SimpleResponse) and response.line == b"TOUCHED"
+
+    async def incr(self, key: bytes, delta: int = 1) -> Optional[int]:
+        result = await self.execute([IncrCommand(key=key, delta=delta)])
+        response = result[0]
+        if isinstance(response, NumberResponse):
+            return response.value
+        if isinstance(response, SimpleResponse) and response.line == b"NOT_FOUND":
+            return None
+        raise ProtocolError(f"unexpected INCR response: {response!r}")
+
+    async def flush_all(self) -> bool:
+        result = await self.execute([FlushCommand()])
+        response = result[0]
+        return isinstance(response, SimpleResponse) and response.line == b"OK"
+
+    async def stats(self, subcommand: str = "") -> Dict[str, str]:
+        result = await self.execute([StatsCommand(subcommand=subcommand)])
+        response = result[0]
+        if not isinstance(response, StatsResponse):
+            raise ProtocolError(f"unexpected STATS response: {response!r}")
+        return dict(response.stats)
+
+    # -- pipelined batches -----------------------------------------------------
+
+    async def get_many(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:
+        """Multi-key GET in one round trip."""
+        if not keys:
+            return {}
+        result = await self.execute([GetCommand(keys=tuple(keys))])
+        response = result[0]
+        if not isinstance(response, GetResponse):
+            raise ProtocolError(f"unexpected GET response: {response!r}")
+        return {v.key: v.value for v in response.values}
+
+    async def set_many(
+        self, items: Sequence[Tuple[bytes, bytes, int]], exptime: float = 0
+    ) -> int:
+        """Pipelined SETs of (key, value, cost) triples; returns #stored."""
+        if not items:
+            return 0
+        commands = [
+            StoreCommand(verb="set", key=key, flags=0, exptime=exptime,
+                         value=value, cost=cost)
+            for key, value, cost in items
+        ]
+        result = await self.execute(commands)
+        return sum(1 for response in result if self._check_stored(response))
+
+    @staticmethod
+    def _check_stored(response) -> bool:
+        if not isinstance(response, SimpleResponse):
+            raise ProtocolError(f"unexpected store response: {response!r}")
+        if response.line == b"STORED":
+            return True
+        if response.line == b"NOT_STORED":
+            return False
+        raise ProtocolError(response.line.decode())

@@ -1,0 +1,148 @@
+"""Scatter/gather fan-out over a consistent-hash ring of async clients.
+
+:class:`AsyncStorePool` is the async sibling of
+:class:`repro.cluster.pool.StorePool`: the same ketama ring picks the
+owning node per key, but node requests run *concurrently* — a
+``multi_get`` over N nodes costs one slowest-node round trip, not the sum.
+That scatter/gather shape is exactly how memcached web tiers issue the
+hundreds of gets behind one page load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aio.client import AsyncStoreClient
+from repro.cluster.consistent import ConsistentHashRing
+
+
+class AsyncStorePool:
+    """One logical cache over many async clients behind a hash ring.
+
+    Args:
+        clients: node name -> connected :class:`AsyncStoreClient`.
+        replicas: virtual ring points per node (ketama-style).
+    """
+
+    def __init__(self, clients: Dict[str, AsyncStoreClient], replicas: int = 100) -> None:
+        if not clients:
+            raise ValueError("a pool needs at least one client")
+        self._clients = dict(clients)
+        self._ring = ConsistentHashRing(list(clients), replicas=replicas)
+        #: per-node operation counters, for balance diagnostics
+        self.node_ops: Dict[str, int] = {name: 0 for name in clients}
+
+    @property
+    def clients(self) -> Dict[str, AsyncStoreClient]:
+        return dict(self._clients)
+
+    def node_for(self, key: bytes) -> str:
+        node = self._ring.node_for(key)
+        assert node is not None
+        return node
+
+    def client_for(self, key: bytes) -> AsyncStoreClient:
+        return self._clients[self.node_for(key)]
+
+    def group_by_node(self, keys: Sequence[bytes]) -> Dict[str, List[bytes]]:
+        """Partition ``keys`` by owning node, preserving per-node order."""
+        grouped: Dict[str, List[bytes]] = {}
+        for key in keys:
+            grouped.setdefault(self.node_for(key), []).append(key)
+        return grouped
+
+    # -- single-key ops (routed) -----------------------------------------------
+
+    async def get(self, key: bytes) -> Optional[bytes]:
+        node = self.node_for(key)
+        self.node_ops[node] += 1
+        return await self._clients[node].get(key)
+
+    async def set(self, key: bytes, value: bytes, cost: int = 0,
+                  exptime: float = 0) -> bool:
+        node = self.node_for(key)
+        self.node_ops[node] += 1
+        return await self._clients[node].set(key, value, cost=cost, exptime=exptime)
+
+    async def delete(self, key: bytes) -> bool:
+        node = self.node_for(key)
+        self.node_ops[node] += 1
+        return await self._clients[node].delete(key)
+
+    # -- scatter/gather --------------------------------------------------------
+
+    async def multi_get(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:
+        """Concurrent multi-key GET: group per node, fan out, merge.
+
+        Each node receives one pipelined ``get`` carrying all its keys;
+        the node requests run concurrently under ``asyncio.gather``.
+        """
+        grouped = self.group_by_node(keys)
+        if not grouped:
+            return {}
+        nodes = list(grouped)
+        results = await asyncio.gather(
+            *(self._clients[node].get_many(grouped[node]) for node in nodes)
+        )
+        merged: Dict[bytes, bytes] = {}
+        for node, found in zip(nodes, results):
+            self.node_ops[node] += 1
+            merged.update(found)
+        return merged
+
+    async def multi_set(
+        self, items: Sequence[Tuple[bytes, bytes, int]], exptime: float = 0
+    ) -> int:
+        """Concurrent pipelined SETs of (key, value, cost); returns #stored."""
+        grouped: Dict[str, List[Tuple[bytes, bytes, int]]] = {}
+        for item in items:
+            grouped.setdefault(self.node_for(item[0]), []).append(item)
+        if not grouped:
+            return 0
+        nodes = list(grouped)
+        counts = await asyncio.gather(
+            *(self._clients[node].set_many(grouped[node], exptime=exptime)
+              for node in nodes)
+        )
+        for node in nodes:
+            self.node_ops[node] += 1
+        return sum(counts)
+
+    # -- fleet management ------------------------------------------------------
+
+    async def aggregate_stats(self) -> Dict[str, int]:
+        """Summed integer server stats across every node (concurrently)."""
+        nodes = list(self._clients)
+        snapshots = await asyncio.gather(
+            *(self._clients[node].stats() for node in nodes)
+        )
+        totals: Dict[str, int] = {}
+        for snapshot in snapshots:
+            for name, value in snapshot.items():
+                try:
+                    number = int(value)
+                except ValueError:
+                    continue
+                totals[name] = totals.get(name, 0) + number
+        return totals
+
+    async def per_node_stats(self) -> Dict[str, Dict[str, str]]:
+        """Raw server stats per node, gathered concurrently."""
+        nodes = list(self._clients)
+        snapshots = await asyncio.gather(
+            *(self._clients[node].stats() for node in nodes)
+        )
+        return dict(zip(nodes, snapshots))
+
+    async def flush_all(self) -> None:
+        await asyncio.gather(*(c.flush_all() for c in self._clients.values()))
+
+    async def aclose(self) -> None:
+        await asyncio.gather(*(c.aclose() for c in self._clients.values()))
+
+    async def __aenter__(self) -> "AsyncStorePool":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()

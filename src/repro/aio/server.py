@@ -1,0 +1,164 @@
+"""Asyncio TCP server over the transport-agnostic ``StoreServer`` engine.
+
+One event loop multiplexes every connection; each connection carries its
+own :class:`~repro.protocol.server.StoreConnection` (incremental parser +
+dispatcher), so a single read that contains many pipelined commands is
+answered with one coalesced write.  Backpressure comes from
+``StreamWriter.drain()``: a client that stops reading suspends only its
+own coroutine, never the loop.
+
+Shutdown is graceful: stop accepting, nudge in-flight connections closed,
+and wait for their handler tasks to finish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Set, Tuple
+
+from repro.kvstore.store import KVStore
+from repro.protocol.server import StoreConnection, StoreServer
+
+#: Per-read chunk; large enough that a deep pipeline arrives in few reads.
+READ_SIZE = 65536
+
+TOO_MANY_CONNECTIONS = b"SERVER_ERROR too many connections\r\n"
+
+
+class AsyncTCPStoreServer:
+    """An asyncio TCP server speaking the extended memcached protocol.
+
+    Args:
+        store: the backing :class:`KVStore` (or pass ``engine=`` to share a
+            prebuilt :class:`StoreServer`, e.g. with the threaded server).
+        host/port: bind address; port 0 binds an ephemeral port, exposed
+            via :attr:`address` once started.
+        max_connections: beyond this many concurrent connections, new
+            clients get ``SERVER_ERROR too many connections`` and are
+            closed (memcached's ``-c`` limit behaviour).  ``None`` = no cap.
+    """
+
+    def __init__(
+        self,
+        store: Optional[KVStore] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: Optional[int] = None,
+        engine: Optional[StoreServer] = None,
+    ) -> None:
+        if engine is None:
+            if store is None:
+                raise ValueError("either store or engine is required")
+            engine = StoreServer(store)
+        self.engine = engine
+        self._host = host
+        self._port = port
+        self.max_connections = max_connections
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        # -- observability -----------------------------------------------------
+        self.current_connections = 0
+        self.peak_connections = 0
+        self.total_connections = 0
+        self.rejected_connections = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — the real port even when created with 0."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, close connections, wait.
+
+        Safe to call more than once.
+        """
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+        self._writers.clear()
+
+    async def __aenter__(self) -> "AsyncTCPStoreServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- per-connection loop ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        if (
+            self.max_connections is not None
+            and self.current_connections >= self.max_connections
+        ):
+            self.rejected_connections += 1
+            try:
+                writer.write(TOO_MANY_CONNECTIONS)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            await self._close_writer(writer)
+            return
+        self._writers.add(writer)
+        self.current_connections += 1
+        self.total_connections += 1
+        self.peak_connections = max(self.peak_connections, self.current_connections)
+        connection = StoreConnection(self.engine)
+        try:
+            while connection.open:
+                data = await reader.read(READ_SIZE)
+                if not data:
+                    break
+                self.bytes_in += len(data)
+                # one feed may dispatch many pipelined commands; the
+                # responses come back as one coalesced buffer
+                response = connection.feed(data)
+                if response:
+                    self.bytes_out += len(response)
+                    writer.write(response)
+                    # backpressure: suspend this connection (only) until the
+                    # client drains its receive window
+                    await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self.current_connections -= 1
+            self._writers.discard(writer)
+            await self._close_writer(writer)
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -47,6 +47,31 @@ class StorePool:
     def get(self, key: bytes) -> Optional[Item]:
         return self.store_for(key).get(key)
 
+    def group_by_node(self, keys: Sequence[bytes]) -> Dict[str, List[bytes]]:
+        """Partition ``keys`` by owning node, preserving per-node order."""
+        grouped: Dict[str, List[bytes]] = {}
+        for key in keys:
+            node = self._ring.node_for(key)
+            assert node is not None
+            grouped.setdefault(node, []).append(key)
+        return grouped
+
+    def multi_get(self, keys: Sequence[bytes]) -> Dict[bytes, Item]:
+        """Batch GET grouped per node; hits only, keyed by request key.
+
+        The same batch surface as :meth:`repro.aio.pool.AsyncStorePool.multi_get`
+        — one grouped lookup pass per owning node — so sync and async pools
+        are drop-in interchangeable for cache-aside callers.
+        """
+        found: Dict[bytes, Item] = {}
+        for node, node_keys in self.group_by_node(keys).items():
+            store = self._stores[node]
+            for key in node_keys:
+                item = store.get(key)
+                if item is not None:
+                    found[key] = item
+        return found
+
     def set(self, key: bytes, value: bytes, cost: int = 0, **kwargs) -> Item:
         return self.store_for(key).set(key, value, cost=cost, **kwargs)
 

@@ -42,6 +42,7 @@ from repro.protocol.commands import (
 )
 from repro.protocol.server import (
     LoopbackConnection,
+    StoreConnection,
     StoreServer,
     TCPStoreServer,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "StatsCommand",
     "StatsResponse",
     "StoreCommand",
+    "StoreConnection",
     "StoreServer",
     "TCPStoreServer",
     "TCPTransport",

@@ -197,78 +197,133 @@ class StoreServer:
         return StatsResponse(stats=stats)
 
 
-class LoopbackConnection:
+class StoreConnection:
+    """Per-connection incremental dispatch state, shared by every transport.
+
+    One instance per client connection: it owns the connection's
+    :class:`RequestParser` and pushes raw reads through the engine.  Because
+    the parser is incremental and :meth:`StoreServer.handle_bytes` drains
+    *every* complete command in the buffer, feeding one TCP segment that
+    carries many commands produces one coalesced response blob — request
+    pipelining falls out for free, identically for the threaded server, the
+    in-process loopback, and the asyncio server in :mod:`repro.aio`.
+    """
+
+    def __init__(self, engine: StoreServer) -> None:
+        self.engine = engine
+        self.parser = RequestParser()
+        self.open = True
+
+    def feed(self, data: bytes) -> bytes:
+        """Feed one raw read; returns coalesced response bytes (may be empty).
+
+        After a ``quit`` or a protocol error :attr:`open` flips to False and
+        the transport should close after flushing the returned bytes.
+        """
+        if not self.open:
+            raise ConnectionError("connection closed")
+        response, keep_open = self.engine.handle_bytes(self.parser, data)
+        if not keep_open:
+            self.open = False
+        return response
+
+
+class LoopbackConnection(StoreConnection):
     """An in-process "connection": request bytes in, response bytes out.
 
     Tests and examples use this instead of sockets; framing and parsing run
     exactly as over TCP.
     """
 
-    def __init__(self, server: StoreServer) -> None:
-        self._server = server
-        self._parser = RequestParser()
-        self.open = True
-
     def send(self, data: bytes) -> bytes:
-        if not self.open:
-            raise ConnectionError("connection closed")
-        response, keep_open = self._server.handle_bytes(self._parser, data)
-        if not keep_open:
-            self.open = False
-        return response
+        return self.feed(data)
 
 
 class _TCPHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
-        parser = RequestParser()
         engine: StoreServer = self.server.engine  # type: ignore[attr-defined]
-        while True:
+        connection = StoreConnection(engine)
+        while connection.open:
             try:
                 data = self.request.recv(65536)
-            except ConnectionError:
+            except (ConnectionError, OSError):
                 return
             if not data:
                 return
-            response, keep_open = engine.handle_bytes(parser, data)
-            if response:
-                self.request.sendall(response)
-            if not keep_open:
+            try:
+                response = connection.feed(data)
+            except ConnectionError:
                 return
+            if response:
+                try:
+                    self.request.sendall(response)
+                except (ConnectionError, OSError):
+                    return
 
 
 class TCPStoreServer:
     """A threaded TCP server speaking the extended memcached protocol.
 
     Binds to loopback only (this is a reproduction, not a hardened daemon).
+    Test-friendly by construction: ``allow_reuse_address`` (SO_REUSEADDR)
+    means a freshly stopped port can be rebound immediately, ``port=0``
+    binds an ephemeral port exposed via :attr:`address`, and
+    :meth:`shutdown` is an idempotent clean teardown that joins the
+    accept thread.
     """
 
     def __init__(self, store: KVStore, host: str = "127.0.0.1", port: int = 0) -> None:
         self.engine = StoreServer(store)
 
         class _Server(socketserver.ThreadingTCPServer):
+            # set *before* bind so TIME_WAIT sockets from a previous run
+            # don't make back-to-back test servers fail with EADDRINUSE
             allow_reuse_address = True
             daemon_threads = True
 
         self._server = _Server((host, port), _TCPHandler)
         self._server.engine = self.engine  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
 
     @property
     def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — the real port even when created with 0."""
         return self._server.server_address  # type: ignore[return-value]
 
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
     def start(self) -> None:
+        if self._closed:
+            raise RuntimeError("server already shut down")
+        if self._thread is not None:
+            raise RuntimeError("server already started")
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="gdwheel-store-server", daemon=True
         )
         self._thread.start()
 
     def stop(self) -> None:
-        self._server.shutdown()
+        """Stop accepting, close the listening socket, join the thread.
+
+        Safe to call more than once (later calls are no-ops).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            # BaseServer.shutdown blocks until serve_forever acknowledges,
+            # so only call it when the accept loop is actually running
+            self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+
+    # memcached daemons call this path "shutdown"; keep both names.
+    shutdown = stop
 
     def __enter__(self) -> "TCPStoreServer":
         self.start()

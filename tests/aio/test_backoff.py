@@ -1,0 +1,51 @@
+"""RetryPolicy schedule shape, jitter bounds, validation."""
+
+import random
+
+import pytest
+
+from repro.aio.backoff import NO_RETRY, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, factor=2.0,
+                             max_delay=10.0, jitter=0.0)
+        delays = list(policy.delays())
+        assert delays == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_at_max_delay(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0, factor=4.0,
+                             max_delay=5.0, jitter=0.0)
+        assert policy.delay_for(4) == 5.0
+        assert policy.delay_for(9) == 5.0
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, factor=1.0,
+                             max_delay=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(1, 50):
+            delay = policy.delay_for(1 + attempt % 3, rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_jitter_is_deterministic_given_rng(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = list(policy.delays(random.Random(42)))
+        b = list(policy.delays(random.Random(42)))
+        assert a == b
+
+    def test_no_retry_sentinel(self):
+        assert NO_RETRY.max_attempts == 1
+        assert list(NO_RETRY.delays()) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(0)

@@ -1,0 +1,145 @@
+"""The acceptance scenario for the asyncio serving stack, end to end:
+
+1. async server + pooled clients sustain >= 64 concurrent connections
+   over loopback, each running pipelined SET/GET batches;
+2. injected timeouts are retried with backoff and the requests succeed;
+3. ``AsyncStorePool.multi_get`` returns correct values scattered across
+   >= 3 stores.
+"""
+
+import asyncio
+import random
+
+from repro.aio import (
+    AsyncStoreClient,
+    AsyncStorePool,
+    AsyncTCPStoreServer,
+    RetryPolicy,
+)
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.protocol import StoreServer
+
+
+def fresh_store(limit=16 * 1024 * 1024):
+    return KVStore(
+        memory_limit=limit, slab_size=64 * 1024, policy_factory=GDWheelPolicy
+    )
+
+
+CONNECTIONS = 64
+BATCH = 16
+
+
+class TestEndToEnd:
+    def test_64_concurrent_pipelined_connections(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store, max_connections=256) as server:
+                host, port = server.address
+                rendezvous = asyncio.Event()
+                arrived = [0]
+
+                async def worker(worker_id):
+                    # one connection per worker, held across both batches
+                    client = AsyncStoreClient(host, port, pool_size=1, timeout=30)
+                    items = [
+                        (b"w%d-k%d" % (worker_id, i), b"w%d-v%d" % (worker_id, i), i)
+                        for i in range(BATCH)
+                    ]
+                    stored = await client.set_many(items)
+                    assert stored == BATCH
+                    # hold the connection open until *all* workers have one
+                    arrived[0] += 1
+                    if arrived[0] == CONNECTIONS:
+                        rendezvous.set()
+                    await asyncio.wait_for(rendezvous.wait(), 30)
+                    found = await client.get_many([k for k, _, _ in items])
+                    assert found == {k: v for k, v, _ in items}
+                    await client.aclose()
+
+                await asyncio.gather(*(worker(i) for i in range(CONNECTIONS)))
+                assert server.peak_connections >= CONNECTIONS
+                assert server.rejected_connections == 0
+            assert len(store) == CONNECTIONS * BATCH
+
+        asyncio.run(main())
+
+    def test_injected_timeouts_recovered_by_backoff(self):
+        async def main():
+            engine = StoreServer(fresh_store())
+            stalls = [2]  # first two connections swallow requests silently
+
+            async def handle(reader, writer):
+                from repro.protocol import StoreConnection
+
+                if stalls[0] > 0:
+                    stalls[0] -= 1
+                    try:
+                        while await reader.read(65536):
+                            pass
+                    except (ConnectionError, OSError):
+                        pass
+                    writer.close()
+                    return
+                connection = StoreConnection(engine)
+                while connection.open:
+                    data = await reader.read(65536)
+                    if not data:
+                        break
+                    out = connection.feed(data)
+                    if out:
+                        writer.write(out)
+                        await writer.drain()
+                writer.close()
+
+            listener = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = listener.sockets[0].getsockname()[:2]
+            client = AsyncStoreClient(
+                host, port, pool_size=2, timeout=0.15,
+                retry=RetryPolicy(max_attempts=5, base_delay=0.01, jitter=0.5),
+                rng=random.Random(11),
+            )
+            assert await client.set_many(
+                [(b"k%d" % i, b"v%d" % i, i) for i in range(8)]
+            ) == 8
+            found = await client.get_many([b"k%d" % i for i in range(8)])
+            assert found == {b"k%d" % i: b"v%d" % i for i in range(8)}
+            assert client.timeouts >= 1
+            assert client.request_retries >= 1
+            await client.aclose()
+            listener.close()
+            await listener.wait_closed()
+
+        asyncio.run(main())
+
+    def test_multi_get_scattered_across_three_stores(self):
+        async def main():
+            stores = {f"node{i}": fresh_store(2 * 1024 * 1024) for i in range(3)}
+            servers = {}
+            for name, store in stores.items():
+                servers[name] = AsyncTCPStoreServer(store)
+                await servers[name].start()
+            clients = {
+                name: AsyncStoreClient(*server.address, pool_size=2)
+                for name, server in servers.items()
+            }
+            pool = AsyncStorePool(clients)
+            try:
+                items = [
+                    (b"user:%04d" % i, b"profile-%04d" % i, i % 7)
+                    for i in range(200)
+                ]
+                assert await pool.multi_set(items) == 200
+                # genuinely scattered: every one of the 3 stores owns keys
+                per_store = {name: len(store) for name, store in stores.items()}
+                assert sum(per_store.values()) == 200
+                assert all(count > 0 for count in per_store.values())
+                found = await pool.multi_get([k for k, _, _ in items])
+                assert found == {k: v for k, v, _ in items}
+            finally:
+                await pool.aclose()
+                for server in servers.values():
+                    await server.stop()
+
+        asyncio.run(main())

@@ -1,0 +1,124 @@
+"""AsyncStorePool: routing, scatter/gather, fleet stats."""
+
+import asyncio
+import contextlib
+
+from repro.aio import AsyncStoreClient, AsyncStorePool, AsyncTCPStoreServer
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+
+
+def fresh_store():
+    return KVStore(
+        memory_limit=1024 * 1024, slab_size=64 * 1024, policy_factory=GDWheelPolicy
+    )
+
+
+@contextlib.asynccontextmanager
+async def three_node_pool():
+    servers = {}
+    stores = {}
+    for i in range(3):
+        name = f"node{i}"
+        stores[name] = fresh_store()
+        server = AsyncTCPStoreServer(stores[name])
+        await server.start()
+        servers[name] = server
+    clients = {
+        name: AsyncStoreClient(*server.address, pool_size=2)
+        for name, server in servers.items()
+    }
+    pool = AsyncStorePool(clients)
+    try:
+        yield pool, stores, servers
+    finally:
+        await pool.aclose()
+        for server in servers.values():
+            await server.stop()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncStorePool:
+    def test_requires_a_client(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AsyncStorePool({})
+
+    def test_routed_single_key_ops(self):
+        async def main():
+            async with three_node_pool() as (pool, stores, _):
+                assert await pool.set(b"k", b"v", cost=5)
+                assert await pool.get(b"k") == b"v"
+                assert await pool.delete(b"k") is True
+                assert await pool.get(b"k") is None
+                # the key lived on exactly the ring-owned store
+                owner = pool.node_for(b"k")
+                assert pool.node_ops[owner] >= 4
+
+        run(main())
+
+    def test_multi_set_multi_get_scatter_gather(self):
+        async def main():
+            async with three_node_pool() as (pool, stores, _):
+                items = [(b"key-%d" % i, b"val-%d" % i, i % 10) for i in range(90)]
+                assert await pool.multi_set(items) == 90
+                # keys actually spread across every store
+                sizes = {name: len(store) for name, store in stores.items()}
+                assert sum(sizes.values()) == 90
+                assert all(size > 0 for size in sizes.values())
+                found = await pool.multi_get(
+                    [k for k, _, _ in items] + [b"absent-x", b"absent-y"]
+                )
+                assert found == {b"key-%d" % i: b"val-%d" % i for i in range(90)}
+
+        run(main())
+
+    def test_multi_get_routing_matches_ring(self):
+        async def main():
+            async with three_node_pool() as (pool, stores, _):
+                keys = [b"key-%d" % i for i in range(60)]
+                grouped = pool.group_by_node(keys)
+                assert sum(len(v) for v in grouped.values()) == 60
+                await pool.multi_set([(k, b"v", 0) for k in keys])
+                for node, node_keys in grouped.items():
+                    for key in node_keys:
+                        assert stores[node].get(key) is not None
+
+        run(main())
+
+    def test_aggregate_and_per_node_stats(self):
+        async def main():
+            async with three_node_pool() as (pool, stores, _):
+                await pool.multi_set([(b"key-%d" % i, b"v", 0) for i in range(30)])
+                await pool.multi_get([b"key-%d" % i for i in range(30)])
+                totals = await pool.aggregate_stats()
+                assert totals["sets"] == 30
+                assert totals["get_hits"] == 30
+                per_node = await pool.per_node_stats()
+                assert set(per_node) == set(stores)
+                assert sum(int(s["sets"]) for s in per_node.values()) == 30
+
+        run(main())
+
+    def test_flush_all_fans_out(self):
+        async def main():
+            async with three_node_pool() as (pool, stores, _):
+                await pool.multi_set([(b"key-%d" % i, b"v", 0) for i in range(30)])
+                await pool.flush_all()
+                assert await pool.multi_get(
+                    [b"key-%d" % i for i in range(30)]
+                ) == {}
+
+        run(main())
+
+    def test_empty_multi_ops(self):
+        async def main():
+            async with three_node_pool() as (pool, _, __):
+                assert await pool.multi_get([]) == {}
+                assert await pool.multi_set([]) == 0
+
+        run(main())

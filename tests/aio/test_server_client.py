@@ -1,0 +1,304 @@
+"""Async server + pooled client: pipelining, limits, timeouts, retries."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer, RetryPolicy
+from repro.aio.backoff import NO_RETRY
+from repro.core import GDWheelPolicy, LRUPolicy
+from repro.kvstore import KVStore
+from repro.protocol import StoreConnection, StoreServer
+
+
+def fresh_store(limit=4 * 1024 * 1024):
+    return KVStore(
+        memory_limit=limit, slab_size=64 * 1024, policy_factory=GDWheelPolicy
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncServerBasics:
+    def test_roundtrip_and_cost_reaches_store(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port, pool_size=2)
+                assert await client.set(b"k", b"v", cost=321)
+                assert await client.get(b"k") == b"v"
+                assert await client.get(b"missing") is None
+                assert store.hashtable.find(b"k").cost == 321
+                await client.aclose()
+
+        run(main())
+
+    def test_ephemeral_port_exposed(self):
+        async def main():
+            async with AsyncTCPStoreServer(fresh_store()) as server:
+                host, port = server.address
+                assert host == "127.0.0.1"
+                assert port > 0
+
+        run(main())
+
+    def test_incr_delete_touch_stats(self):
+        async def main():
+            async with AsyncTCPStoreServer(fresh_store()) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port)
+                await client.set(b"n", b"5")
+                assert await client.incr(b"n", 3) == 8
+                assert await client.incr(b"absent") is None
+                assert await client.delete(b"n") is True
+                assert await client.delete(b"n") is False
+                stats = await client.stats()
+                assert int(stats["sets"]) >= 1
+                assert await client.flush_all() is True
+                await client.aclose()
+
+        run(main())
+
+    def test_shared_engine_with_threaded_server(self):
+        # the same StoreServer engine instance can back both stacks
+        async def main():
+            store = fresh_store()
+            engine = StoreServer(store)
+            async with AsyncTCPStoreServer(engine=engine) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port)
+                await client.set(b"k", b"v")
+                await client.aclose()
+            assert StoreConnection(engine).feed(b"get k\r\n").startswith(b"VALUE k")
+
+        run(main())
+
+
+class TestPipelining:
+    def test_batch_is_one_round_trip_and_ordered(self):
+        async def main():
+            async with AsyncTCPStoreServer(fresh_store()) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port, pool_size=1)
+                items = [(b"k%d" % i, b"v%d" % i, i) for i in range(50)]
+                assert await client.set_many(items) == 50
+                found = await client.get_many([k for k, _, _ in items])
+                assert found == {b"k%d" % i: b"v%d" % i for i in range(50)}
+                # 2 batches on a 1-connection pool = 1 connect, 2 requests
+                assert client.connects == 1
+                assert client.requests == 2
+                await client.aclose()
+
+        run(main())
+
+    def test_empty_batches(self):
+        async def main():
+            async with AsyncTCPStoreServer(fresh_store()) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port)
+                assert await client.get_many([]) == {}
+                assert await client.set_many([]) == 0
+                assert client.connects == 0  # nothing hit the wire
+                await client.aclose()
+
+        run(main())
+
+    def test_pool_reuses_connections(self):
+        async def main():
+            async with AsyncTCPStoreServer(fresh_store()) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port, pool_size=4)
+                await asyncio.gather(
+                    *(client.set(b"k%d" % i, b"v") for i in range(32))
+                )
+                assert client.connects <= 4
+                assert server.total_connections <= 4
+                await client.aclose()
+
+        run(main())
+
+
+class TestConnectionLimit:
+    def test_excess_connection_rejected(self):
+        async def main():
+            async with AsyncTCPStoreServer(
+                fresh_store(), max_connections=2
+            ) as server:
+                host, port = server.address
+                c1 = AsyncStoreClient(host, port, pool_size=1)
+                c2 = AsyncStoreClient(host, port, pool_size=1)
+                await c1.set(b"a", b"1")
+                await c2.set(b"b", b"2")
+                # both pooled connections are now held open; a third is refused
+                reader, writer = await asyncio.open_connection(host, port)
+                line = await asyncio.wait_for(reader.readline(), 5)
+                assert line == b"SERVER_ERROR too many connections\r\n"
+                writer.close()
+                assert server.rejected_connections == 1
+                await c1.aclose()
+                await c2.aclose()
+
+        run(main())
+
+
+class TestGracefulShutdown:
+    def test_stop_closes_connections_and_port(self):
+        async def main():
+            server = AsyncTCPStoreServer(fresh_store())
+            await server.start()
+            host, port = server.address
+            client = AsyncStoreClient(host, port, pool_size=1, retry=NO_RETRY)
+            await client.set(b"k", b"v")
+            await server.stop()
+            await server.stop()  # idempotent
+            with pytest.raises((ConnectionError, OSError, asyncio.TimeoutError)):
+                await client.get(b"k")
+            await client.aclose()
+
+        run(main())
+
+    def test_peak_connection_accounting(self):
+        async def main():
+            async with AsyncTCPStoreServer(fresh_store()) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port, pool_size=8)
+                await asyncio.gather(
+                    *(client.set(b"k%d" % i, b"v") for i in range(64))
+                )
+                await client.aclose()
+                assert server.peak_connections <= 8
+                assert server.total_connections == client.connects
+                assert server.bytes_in > 0 and server.bytes_out > 0
+            assert server.current_connections == 0
+
+        run(main())
+
+
+class _FlakyFrontend:
+    """A server that swallows requests (no reply) for the first N connections,
+    then serves normally — the injected-timeout fixture for retry tests."""
+
+    def __init__(self, engine, stall_connections=1):
+        self.engine = engine
+        self.stalls_remaining = stall_connections
+        self.stalled = 0
+
+    async def handle(self, reader, writer):
+        if self.stalls_remaining > 0:
+            self.stalls_remaining -= 1
+            self.stalled += 1
+            try:
+                while await reader.read(65536):
+                    pass  # swallow requests until the client hangs up
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        connection = StoreConnection(self.engine)
+        while connection.open:
+            data = await reader.read(65536)
+            if not data:
+                break
+            out = connection.feed(data)
+            if out:
+                writer.write(out)
+                await writer.drain()
+        writer.close()
+
+
+class TestTimeoutsAndRetries:
+    def test_injected_timeout_is_retried_with_backoff(self):
+        async def main():
+            frontend = _FlakyFrontend(StoreServer(fresh_store()), stall_connections=1)
+            server = await asyncio.start_server(frontend.handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = AsyncStoreClient(
+                host, port, pool_size=1, timeout=0.15,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.5),
+                rng=random.Random(1),
+            )
+            assert await client.set(b"k", b"v", cost=9) is True
+            assert await client.get(b"k") == b"v"
+            assert frontend.stalled == 1
+            assert client.timeouts >= 1
+            assert client.request_retries >= 1
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+
+        run(main())
+
+    def test_retries_exhausted_raises(self):
+        async def main():
+            frontend = _FlakyFrontend(StoreServer(fresh_store()), stall_connections=10)
+            server = await asyncio.start_server(frontend.handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = AsyncStoreClient(
+                host, port, pool_size=1, timeout=0.05,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            )
+            with pytest.raises(asyncio.TimeoutError):
+                await client.get(b"k")
+            assert client.request_retries == 1
+            await client.aclose()
+            server.close()
+            await server.wait_closed()
+
+        run(main())
+
+    def test_connect_refused_retries_then_raises(self):
+        async def main():
+            # bind then close a socket to get a port nobody listens on
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            host, port = probe.sockets[0].getsockname()[:2]
+            probe.close()
+            await probe.wait_closed()
+            client = AsyncStoreClient(
+                host, port, pool_size=1, timeout=0.2,
+                retry=RetryPolicy(max_attempts=3, base_delay=0.005),
+            )
+            with pytest.raises((ConnectionError, OSError, asyncio.TimeoutError)):
+                await client.get(b"k")
+            assert client.connect_retries == 2
+            await client.aclose()
+
+        run(main())
+
+    def test_dropped_connection_recovered(self):
+        # a pooled connection killed server-side is discarded and redialed
+        async def main():
+            async with AsyncTCPStoreServer(fresh_store()) as server:
+                host, port = server.address
+                client = AsyncStoreClient(
+                    host, port, pool_size=1,
+                    retry=RetryPolicy(max_attempts=3, base_delay=0.01),
+                )
+                await client.set(b"k", b"v")
+                # kill the server side of the pooled connection
+                for writer in list(server._writers):
+                    writer.close()
+                await asyncio.sleep(0.05)
+                assert await client.get(b"k") == b"v"
+                assert client.connects == 2
+                await client.aclose()
+
+        run(main())
+
+
+class TestClientValidation:
+    def test_pool_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AsyncStoreClient("127.0.0.1", 1, pool_size=0)
+
+    def test_closed_client_rejects_requests(self):
+        async def main():
+            client = AsyncStoreClient("127.0.0.1", 1)
+            await client.aclose()
+            with pytest.raises(ConnectionError):
+                await client.get(b"k")
+
+        run(main())

@@ -169,3 +169,39 @@ class TestPoolingExperiment:
         out = pooling_report(results)
         assert "single-gdwheel" in out
         assert "TOTAL" in out
+
+
+class TestStorePoolMultiGet:
+    def test_multi_get_returns_hits_only(self):
+        pool = make_uniform_pool(3, 256 * 1024, LRUPolicy)
+        for i in range(50):
+            pool.set(f"key-{i}".encode(), b"v%d" % i, cost=i)
+        keys = [f"key-{i}".encode() for i in range(50)]
+        keys += [b"absent-1", b"absent-2"]
+        found = pool.multi_get(keys)
+        assert set(found) == {f"key-{i}".encode() for i in range(50)}
+        for i in range(50):
+            assert found[f"key-{i}".encode()].value == b"v%d" % i
+
+    def test_multi_get_matches_single_gets(self):
+        pool = make_uniform_pool(4, 256 * 1024, LRUPolicy)
+        for i in range(120):
+            pool.set(f"key-{i}".encode(), b"x%d" % i)
+        keys = [f"key-{i}".encode() for i in range(0, 120, 3)]
+        batched = pool.multi_get(keys)
+        for key in keys:
+            assert batched[key].value == pool.get(key).value
+
+    def test_group_by_node_covers_all_keys_and_routes_correctly(self):
+        pool = make_uniform_pool(3, 256 * 1024, LRUPolicy)
+        keys = [f"key-{i}".encode() for i in range(300)]
+        grouped = pool.group_by_node(keys)
+        assert sum(len(v) for v in grouped.values()) == 300
+        assert len(grouped) == 3  # 300 keys should land on every node
+        for node, node_keys in grouped.items():
+            for key in node_keys:
+                assert pool.store_for(key) is pool.stores[node]
+
+    def test_multi_get_empty(self):
+        pool = make_uniform_pool(2, 256 * 1024, LRUPolicy)
+        assert pool.multi_get([]) == {}

@@ -1,0 +1,120 @@
+"""Pipelined parsing under adversarial chunk splits.
+
+A TCP stream has no message boundaries: a multi-command pipeline can
+arrive as one segment, byte by byte, or split in the middle of a data
+block.  Framing must produce identical commands and responses no matter
+how the bytes are sliced.
+"""
+
+import pytest
+
+from repro.core import LRUPolicy
+from repro.kvstore import KVStore
+from repro.protocol import RequestParser, StoreConnection, StoreServer
+from repro.protocol.commands import GetCommand, StoreCommand
+
+
+#: Five commands covering line commands, data blocks (one containing CRLF
+#: and bare \n inside the payload), cost tokens, and noreply.
+PIPELINE = (
+    b"set alpha 0 0 5 cost 7\r\nAAAAA\r\n"
+    b"set beta 1 0 9\r\nBB\r\nB\nBBB\r\n"
+    b"get alpha beta\r\n"
+    b"set gamma 0 0 3 noreply\r\nCCC\r\n"
+    b"delete beta\r\n"
+    b"get alpha beta gamma\r\n"
+)
+
+
+def chunkings():
+    yield "whole", [PIPELINE]
+    yield "one-byte", [PIPELINE[i : i + 1] for i in range(len(PIPELINE))]
+    yield "two-byte", [PIPELINE[i : i + 2] for i in range(0, len(PIPELINE), 2)]
+    yield "seven-byte", [PIPELINE[i : i + 7] for i in range(0, len(PIPELINE), 7)]
+    # split exactly inside the first data block and inside a CRLF pair
+    yield "mid-data", [PIPELINE[:27], PIPELINE[27:60], PIPELINE[60:]]
+    yield "mid-crlf", [PIPELINE[:23], PIPELINE[23:24], PIPELINE[24:]]
+
+
+def fresh_store():
+    return KVStore(
+        memory_limit=256 * 1024, slab_size=64 * 1024, policy_factory=LRUPolicy
+    )
+
+
+class TestRequestParserChunking:
+    def reference_commands(self):
+        parser = RequestParser()
+        parser.feed(PIPELINE)
+        return list(parser)
+
+    @pytest.mark.parametrize(
+        "name,chunks", list(chunkings()), ids=[n for n, _ in chunkings()]
+    )
+    def test_chunking_yields_identical_commands(self, name, chunks):
+        reference = self.reference_commands()
+        parser = RequestParser()
+        commands = []
+        for chunk in chunks:
+            parser.feed(chunk)
+            commands.extend(parser)
+        assert commands == reference
+
+    def test_reference_shape(self):
+        commands = self.reference_commands()
+        assert len(commands) == 6
+        assert isinstance(commands[0], StoreCommand)
+        assert commands[1].value == b"BB\r\nB\nBBB"
+        assert isinstance(commands[2], GetCommand)
+        assert commands[3].noreply is True
+
+    def test_incomplete_data_block_yields_nothing(self):
+        parser = RequestParser()
+        parser.feed(b"set k 0 0 10\r\nAAAA")  # 4 of 10 payload bytes
+        assert list(parser) == []
+        parser.feed(b"AAAAAA\r\n")
+        commands = list(parser)
+        assert len(commands) == 1
+        assert commands[0].value == b"A" * 10
+
+
+class TestServerResponsesUnderChunking:
+    def reference_response(self):
+        connection = StoreConnection(StoreServer(fresh_store()))
+        return connection.feed(PIPELINE)
+
+    @pytest.mark.parametrize(
+        "name,chunks", list(chunkings()), ids=[n for n, _ in chunkings()]
+    )
+    def test_chunked_responses_concatenate_identically(self, name, chunks):
+        reference = self.reference_response()
+        connection = StoreConnection(StoreServer(fresh_store()))
+        out = bytearray()
+        for chunk in chunks:
+            out += connection.feed(chunk)
+        assert bytes(out) == reference
+        assert connection.open
+
+    def test_pipeline_coalesces_into_one_response_blob(self):
+        response = self.reference_response()
+        # 2 STORED (noreply set is silent), DELETED, and two GET bodies
+        assert response.count(b"STORED\r\n") == 2
+        assert response.count(b"DELETED\r\n") == 1
+        assert response.count(b"VALUE alpha") == 2
+        # final get: beta deleted, gamma stored via noreply
+        assert b"VALUE gamma 0 3\r\nCCC\r\n" in response
+        assert response.endswith(b"END\r\n")
+
+    def test_quit_mid_pipeline_closes_after_flushing(self):
+        connection = StoreConnection(StoreServer(fresh_store()))
+        out = connection.feed(b"set k 0 0 1\r\nx\r\nquit\r\nget k\r\n")
+        assert out == b"STORED\r\n"  # commands after quit are not executed
+        assert not connection.open
+        with pytest.raises(ConnectionError):
+            connection.feed(b"get k\r\n")
+
+    def test_protocol_error_closes_connection(self):
+        connection = StoreConnection(StoreServer(fresh_store()))
+        out = connection.feed(b"bogus command\r\n")
+        assert out.startswith(b"CLIENT_ERROR")
+        assert not connection.open
