@@ -259,6 +259,12 @@ class AsyncStoreClient:
             raise ProtocolError(f"unexpected STATS response: {response!r}")
         return dict(response.stats)
 
+    async def stats_reset(self) -> bool:
+        """``stats reset``: zero the server's resettable counters."""
+        result = await self.execute([StatsCommand(subcommand="reset")])
+        response = result[0]
+        return isinstance(response, SimpleResponse) and response.line == b"RESET"
+
     # -- pipelined batches -----------------------------------------------------
 
     async def get_many(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.aio.client import AsyncStoreClient
+from repro.obs.reporter import SnapshotReporter
 from repro.sim.histogram import LatencyHistogram
 from repro.workloads.ycsb import Workload
 
@@ -94,6 +95,8 @@ async def run_closed_loop(
     timeout: float = 5.0,
     seed: int = 0,
     client: Optional[AsyncStoreClient] = None,
+    reporter: Optional[SnapshotReporter] = None,
+    report_interval: float = 1.0,
 ) -> LoadReport:
     """Drive a live server and measure throughput + latency percentiles.
 
@@ -112,6 +115,10 @@ async def run_closed_loop(
         client: drive an existing client (e.g. one per-node pool member);
             when omitted a client with ``pool_size=concurrency`` is built
             and closed on exit.
+        reporter: optional :class:`~repro.obs.reporter.SnapshotReporter`;
+            while the timed phase runs, it emits a rate-per-second report
+            every ``report_interval`` seconds (live server-side telemetry
+            alongside the client-side closed-loop numbers).
     """
     if total_ops < 1:
         raise ValueError("total_ops must be >= 1")
@@ -202,8 +209,22 @@ async def run_closed_loop(
             local.batches += 1
         return local
 
+    report_stop: Optional[asyncio.Event] = None
+    report_task: Optional[asyncio.Task] = None
+    if reporter is not None:
+        report_stop = asyncio.Event()
+        report_task = asyncio.create_task(
+            reporter.run_async(
+                interval=report_interval, stop=report_stop, title="loadgen"
+            )
+        )
     started = time.perf_counter()
-    locals_ = await asyncio.gather(*(worker(i) for i in range(concurrency)))
+    try:
+        locals_ = await asyncio.gather(*(worker(i) for i in range(concurrency)))
+    finally:
+        if report_task is not None:
+            report_stop.set()
+            await report_task
     report.duration_seconds = time.perf_counter() - started
     for local in locals_:
         report.operations += local.operations

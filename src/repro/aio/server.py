@@ -17,6 +17,7 @@ import asyncio
 from typing import Optional, Set, Tuple
 
 from repro.kvstore.store import KVStore
+from repro.obs.registry import MetricsRegistry
 from repro.protocol.server import StoreConnection, StoreServer
 
 #: Per-read chunk; large enough that a deep pipeline arrives in few reads.
@@ -45,6 +46,7 @@ class AsyncTCPStoreServer:
         port: int = 0,
         max_connections: Optional[int] = None,
         engine: Optional[StoreServer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if engine is None:
             if store is None:
@@ -58,12 +60,63 @@ class AsyncTCPStoreServer:
         self._handlers: Set[asyncio.Task] = set()
         self._writers: Set[asyncio.StreamWriter] = set()
         # -- observability -----------------------------------------------------
-        self.current_connections = 0
-        self.peak_connections = 0
-        self.total_connections = 0
-        self.rejected_connections = 0
-        self.bytes_in = 0
-        self.bytes_out = 0
+        # Connection/byte accounting lives in a metrics registry (labeled
+        # transport="async").  The max_connections gate reads the current-
+        # connections gauge, so when the attached registry is a no-op
+        # NullRegistry a private live registry keeps the accounting real.
+        base = registry if registry is not None else engine.metrics
+        self.metrics = base if base.enabled else MetricsRegistry()
+        self._current = self.metrics.gauge(
+            "server_current_connections", help="open client connections",
+            transport="async",
+        )
+        self._peak = self.metrics.gauge(
+            "server_peak_connections", help="peak concurrent connections",
+            transport="async",
+        )
+        self._total = self.metrics.counter(
+            "server_connections_total", help="connections accepted",
+            transport="async",
+        )
+        self._rejected = self.metrics.counter(
+            "server_rejected_connections_total",
+            help="connections refused over the max_connections cap",
+            transport="async",
+        )
+        self._bytes_in = self.metrics.counter(
+            "server_bytes_in_total", help="request bytes received",
+            transport="async",
+        )
+        self._bytes_out = self.metrics.counter(
+            "server_bytes_out_total", help="response bytes sent",
+            transport="async",
+        )
+
+    # -- registry-backed views (the historical attribute API) -------------------
+
+    @property
+    def current_connections(self) -> int:
+        return int(self._current.value)
+
+    @property
+    def peak_connections(self) -> int:
+        return int(self._peak.value)
+
+    @property
+    def total_connections(self) -> int:
+        return self._total.value
+
+    @property
+    def rejected_connections(self) -> int:
+        return self._rejected.value
+
+    @property
+    def bytes_in(self) -> int:
+        return self._bytes_in.value
+
+    @property
+    def bytes_out(self) -> int:
+        return self._bytes_out.value
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -120,7 +173,7 @@ class AsyncTCPStoreServer:
             self.max_connections is not None
             and self.current_connections >= self.max_connections
         ):
-            self.rejected_connections += 1
+            self._rejected.inc()
             try:
                 writer.write(TOO_MANY_CONNECTIONS)
                 await writer.drain()
@@ -129,21 +182,21 @@ class AsyncTCPStoreServer:
             await self._close_writer(writer)
             return
         self._writers.add(writer)
-        self.current_connections += 1
-        self.total_connections += 1
-        self.peak_connections = max(self.peak_connections, self.current_connections)
+        self._current.inc()
+        self._total.inc()
+        self._peak.set(max(self._peak.value, self._current.value))
         connection = StoreConnection(self.engine)
         try:
             while connection.open:
                 data = await reader.read(READ_SIZE)
                 if not data:
                     break
-                self.bytes_in += len(data)
+                self._bytes_in.inc(len(data))
                 # one feed may dispatch many pipelined commands; the
                 # responses come back as one coalesced buffer
                 response = connection.feed(data)
                 if response:
-                    self.bytes_out += len(response)
+                    self._bytes_out.inc(len(response))
                     writer.write(response)
                     # backpressure: suspend this connection (only) until the
                     # client drains its receive window
@@ -151,7 +204,7 @@ class AsyncTCPStoreServer:
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         finally:
-            self.current_connections -= 1
+            self._current.dec()
             self._writers.discard(writer)
             await self._close_writer(writer)
 

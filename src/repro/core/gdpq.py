@@ -61,6 +61,23 @@ class GDPQPolicy(ReplacementPolicy):
         self._compact_ratio = compact_ratio
         #: number of O(n) deflation rescans performed (observable in tests)
         self.deflation_count = 0
+        # registry hooks (bound by the store via bind_observability)
+        self._deflations_counter = None
+        self._inflation_gauge = None
+
+    def bind_observability(self, registry, trace, class_id=None) -> None:
+        """Register a deflation counter and an inflation gauge."""
+        if registry is None or not registry.enabled:
+            return
+        labels = {} if class_id is None else {"class_id": class_id}
+        self._deflations_counter = registry.counter(
+            "gdpq_deflations_total",
+            help="O(n) priority deflation rescans",
+            **labels,
+        )
+        self._inflation_gauge = registry.gauge(
+            "gdpq_inflation", help="current global inflation value L", **labels
+        )
 
     @property
     def inflation(self) -> int:
@@ -94,6 +111,8 @@ class GDPQPolicy(ReplacementPolicy):
         delta = self._inflation
         self._inflation = 0
         self.deflation_count += 1
+        if self._deflations_counter is not None:
+            self._deflations_counter.inc()
         fresh: List[_SlotType] = []
         for slot in self._heap:
             entry = slot[2]
@@ -133,6 +152,8 @@ class GDPQPolicy(ReplacementPolicy):
             self._live -= 1
             self._inflation = entry.policy_h
             self._maybe_deflate()
+            if self._inflation_gauge is not None:
+                self._inflation_gauge.set(self._inflation)
             return entry
         raise EvictionError("GD-PQ tracks no entries")
 

@@ -37,6 +37,7 @@ from typing import Iterator, List, Optional
 
 from repro.core.intrusive import IntrusiveList
 from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
+from repro.obs.trace import CascadeEvent
 
 
 class CostOutOfRangeError(ValueError):
@@ -82,6 +83,37 @@ class GDWheelPolicy(ReplacementPolicy):
         #: observability counters
         self.total_migrations = 0
         self.clamped_costs = 0
+        # registry/trace hooks (bound by the store via bind_observability)
+        self._trace = None
+        self._class_id = None
+        self._cascades_counter = None
+        self._migrations_counter = None
+        self._inflation_gauge = None
+
+    def bind_observability(self, registry, trace, class_id=None) -> None:
+        """Register cascade/migration counters and an inflation gauge."""
+        if registry is None or not registry.enabled:
+            self._trace = trace
+            self._class_id = class_id
+            return
+        labels = {} if class_id is None else {"class_id": class_id}
+        self._trace = trace
+        self._class_id = class_id
+        self._cascades_counter = registry.counter(
+            "gdwheel_cascades_total",
+            help="hand cascades (higher-level slots migrated down)",
+            **labels,
+        )
+        self._migrations_counter = registry.counter(
+            "gdwheel_migrations_total",
+            help="entries migrated down a wheel level",
+            **labels,
+        )
+        self._inflation_gauge = registry.gauge(
+            "gdwheel_inflation",
+            help="current global inflation value L",
+            **labels,
+        )
 
     # -- geometry helpers -------------------------------------------------------
 
@@ -158,6 +190,8 @@ class GDWheelPolicy(ReplacementPolicy):
                     self._level_counts[0] -= 1
                     victim.policy_slot = None
                     self._count -= 1
+                    if self._inflation_gauge is not None:
+                        self._inflation_gauge.set(self._inflation)
                     return victim
                 self._inflation += 1
                 if self._inflation % nq == 0:
@@ -215,6 +249,19 @@ class GDWheelPolicy(ReplacementPolicy):
             self._level_counts[level] -= moved
             self._level_counts[level - 1] += moved
             self.total_migrations += moved
+            if self._cascades_counter is not None:
+                self._cascades_counter.inc()
+                self._migrations_counter.inc(moved)
+            if self._trace is not None:
+                self._trace.record(
+                    CascadeEvent(
+                        class_id=self._class_id if self._class_id is not None else -1,
+                        level=level,
+                        slot=slot,
+                        moved=moved,
+                        inflation=inflation,
+                    )
+                )
 
     # -- introspection ------------------------------------------------------------
 

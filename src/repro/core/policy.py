@@ -109,6 +109,19 @@ class ReplacementPolicy(ABC):
     def __bool__(self) -> bool:
         return len(self) > 0
 
+    # -- Optional observability -------------------------------------------------
+
+    def bind_observability(self, registry, trace, class_id=None) -> None:
+        """Attach a metrics registry / event trace to this policy instance.
+
+        Called once by the store when the policy is created for a slab
+        class.  The default is a no-op; policies with interesting internal
+        dynamics (GD-Wheel cascades, GD-PQ deflations) override it to
+        register counters and emit trace events.  ``registry`` is a
+        :class:`repro.obs.registry.MetricsRegistry`, ``trace`` an
+        :class:`repro.obs.trace.EventTrace` or ``None``.
+        """
+
     # -- Optional introspection -------------------------------------------------
 
     def entries(self) -> Iterator[PolicyEntry]:

@@ -1,35 +1,65 @@
 """Store-wide counters, mirroring the interesting parts of ``stats``.
 
-Kept separate from the store so experiment code can snapshot/diff cheaply.
+Since the observability PR these are *views over registry counters*: every
+field of :class:`StoreStats` is backed by a ``store_<field>_total`` counter
+in a :class:`~repro.obs.registry.MetricsRegistry`, so ``stats``,
+``stats metrics``, the Prometheus renderer, and experiment snapshot/diff
+code all read the same numbers through one code path.  Field access keeps
+the historic ``store.stats.get_hits`` / ``+= 1`` shape via properties.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, asdict
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.registry import Counter, MetricsRegistry
+
+#: StoreStats field -> help text; order is the historical snapshot order.
+STORE_COUNTER_FIELDS = {
+    "get_hits": "GET requests answered from cache",
+    "get_misses": "GET requests that missed (absent or expired)",
+    "get_expired": "GET hits on items that turned out to be expired",
+    "sets": "storage commands that stored an item",
+    "deletes": "DELETE commands that removed an item",
+    "delete_misses": "DELETE commands for absent keys",
+    "evictions": "replacement-policy evictions of unexpired items",
+    "reclaims": "evictions where the victim was already expired",
+    "rebalance_evictions": "items dropped because their slab moved classes",
+    "evicted_cost": "sum of cost over all policy-evicted unexpired items",
+    "slab_moves": "slab moves performed by the active rebalancer",
+}
 
 
-@dataclass
+def _counter_property(name: str) -> property:
+    def fget(self: "StoreStats") -> int:
+        return self._counters[name].value
+
+    def fset(self: "StoreStats", value: int) -> None:
+        # via set() so NullRegistry's shared no-op counter stays untouched
+        self._counters[name].set(value)
+
+    return property(fget, fset, doc=STORE_COUNTER_FIELDS[name])
+
+
 class StoreStats:
-    """Counters the experiments read.  All monotonically non-decreasing."""
+    """Counters the experiments read.  All monotonically non-decreasing.
 
-    get_hits: int = 0
-    get_misses: int = 0
-    #: GET hits on items that turned out to be expired (count as misses)
-    get_expired: int = 0
-    sets: int = 0
-    deletes: int = 0
-    delete_misses: int = 0
-    #: replacement-policy evictions of unexpired items (capacity misses seed)
-    evictions: int = 0
-    #: evictions where the victim was already expired (reclaims)
-    reclaims: int = 0
-    #: items dropped because their slab was moved to another class
-    rebalance_evictions: int = 0
-    #: sum of the cost field over all policy-evicted (unexpired) items
-    evicted_cost: int = 0
-    #: slab moves performed by the active rebalancer
-    slab_moves: int = 0
+    Backed by ``store_*_total`` counters in ``registry`` (a private
+    registry is created when none is given, so a standalone ``StoreStats()``
+    still counts).  Under a :class:`~repro.obs.registry.NullRegistry` every
+    field reads zero and writes are dropped — that is the observability-off
+    configuration the overhead benchmark uses.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._counters: Dict[str, Counter] = {
+            name: registry.counter(f"store_{name}_total", help=text)
+            for name, text in STORE_COUNTER_FIELDS.items()
+        }
 
     @property
     def gets(self) -> int:
@@ -42,9 +72,18 @@ class StoreStats:
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy (for reports and diffing)."""
-        data = asdict(self)
+        data = {name: counter.value for name, counter in self._counters.items()}
         data["gets"] = self.gets
         return data
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"StoreStats({inner})"
+
+
+for _name in STORE_COUNTER_FIELDS:
+    setattr(StoreStats, _name, _counter_property(_name))
+del _name
 
 
 @dataclass
@@ -59,3 +98,44 @@ class ClassStats:
     evictions: int
     rebalance_evictions: int
     average_cost_per_byte: float = field(default=0.0)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form (JSON-friendly; inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ClassStats":
+        return cls(**{f: data[f] for f in cls.__dataclass_fields__})
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Mirror this snapshot into labeled per-class registry gauges.
+
+        ``slab_class_*{class_id=N}`` gauges are what ``stats metrics`` and
+        the Prometheus renderer expose; publishing from the snapshot keeps
+        them in exact agreement with :meth:`KVStore.class_stats`.
+        """
+        cid = self.class_id
+        registry.gauge(
+            "slab_class_cost_per_byte",
+            help="average recomputation cost per byte of live items",
+            class_id=cid,
+        ).set(self.average_cost_per_byte)
+        registry.gauge(
+            "slab_class_slabs", help="slabs owned by the class", class_id=cid
+        ).set(self.num_slabs)
+        registry.gauge(
+            "slab_class_live_items", help="live items in the class", class_id=cid
+        ).set(self.live_items)
+        registry.gauge(
+            "slab_class_live_bytes", help="live bytes in the class", class_id=cid
+        ).set(self.live_bytes)
+        registry.gauge(
+            "slab_class_evictions",
+            help="policy evictions from the class (lifetime)",
+            class_id=cid,
+        ).set(self.evictions)
+        registry.gauge(
+            "slab_class_rebalance_evictions",
+            help="items dropped from the class by slab moves (lifetime)",
+            class_id=cid,
+        ).set(self.rebalance_evictions)

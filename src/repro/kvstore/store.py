@@ -18,9 +18,12 @@ without an ordered tail skip the scan).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional
 
 from repro.core.policy import ReplacementPolicy
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import EventTrace, EvictionEvent, SlabMoveEvent, key_fingerprint
 from repro.kvstore.clock import SimClock
 from repro.kvstore.errors import OutOfMemoryError, NotStoredError
 from repro.kvstore.hashtable import HashTable
@@ -53,6 +56,8 @@ class KVStore:
         clock: Optional[SimClock] = None,
         hash_power: int = 10,
         hash_func=None,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
     ) -> None:
         """
         Args:
@@ -64,6 +69,12 @@ class KVStore:
             slab_size / growth_factor / min_chunk_size: allocator geometry.
             clock: shared simulated clock (created if omitted).
             hash_power: initial hash-table size is ``2**hash_power`` buckets.
+            registry: metrics registry for counters/latency histograms; a
+                private one is created when omitted (counters always work).
+                Pass a :class:`~repro.obs.registry.NullRegistry` to make
+                every instrument a no-op and skip op timing entirely.
+            trace: optional bounded event trace recording structured
+                eviction / cascade / slab-move events.
         """
         self.clock = clock if clock is not None else SimClock()
         self.allocator = SlabAllocator(
@@ -80,8 +91,59 @@ class KVStore:
         self._policies: dict = {}  # class_id -> ReplacementPolicy
         self.rebalancer = rebalancer if rebalancer is not None else NullRebalancer()
         self.rebalancer.attach(self)
-        self.stats = StoreStats()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+        self.stats = StoreStats(self.metrics)
         self._cas_counter = 0
+        # Per-op wall-clock histograms are opt-in: only when a registry was
+        # explicitly attached (and is live) do we pay two perf_counter reads
+        # per operation.  Simulations that never asked for telemetry keep
+        # the seed's hot path byte-for-byte.
+        if registry is not None and registry.enabled:
+            self._instrument_ops()
+
+    #: public operations wrapped with latency histograms when instrumented
+    _TIMED_OPS = (
+        "get", "set", "add", "replace", "append", "prepend", "cas",
+        "incr", "delete", "touch_ttl",
+    )
+
+    def _instrument_ops(self) -> None:
+        """Shadow each public op with a timed wrapper (instance attributes).
+
+        ``decr`` is left alone — it delegates to ``incr``, which is already
+        timed.  Composition wrappers (:class:`ThreadSafeStore`, the protocol
+        servers) call through the instance attribute and are timed too.
+        """
+        for op in self._TIMED_OPS:
+            hist = self.metrics.histogram(
+                "store_op_latency_us",
+                help="store operation latency in microseconds",
+                op=op,
+            )
+            setattr(self, op, self._timed(getattr(self, op), hist))
+
+    @staticmethod
+    def _timed(fn, hist):
+        perf_counter = time.perf_counter
+        # bind the buffer append directly (the list identity is stable);
+        # batches fold into the histogram via flush, and any read flushes
+        pending = hist._pending
+        append = pending.append
+        flush = hist.flush
+        flush_at = hist.FLUSH_AT
+
+        def timed(*args, **kwargs):
+            started = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                append((perf_counter() - started) * 1e6)
+                if len(pending) >= flush_at:
+                    flush()
+
+        timed.__wrapped__ = fn
+        return timed
 
     # -- plumbing -----------------------------------------------------------------
 
@@ -90,6 +152,9 @@ class KVStore:
         policy = self._policies.get(slab_class.class_id)
         if policy is None:
             policy = self._policy_factory()
+            policy.bind_observability(
+                self.metrics, self.trace, class_id=slab_class.class_id
+            )
             self._policies[slab_class.class_id] = policy
         return policy
 
@@ -107,8 +172,23 @@ class KVStore:
 
     def move_slab(self, slab, dest: SlabClass) -> int:
         """Reassign ``slab`` to ``dest``; returns items dropped."""
+        src = slab.owner
+        src_id = src.class_id if src is not None else -1
+        src_cpb = src.average_cost_per_byte() if src is not None else 0.0
+        dest_cpb = dest.average_cost_per_byte()
         dropped = self.allocator.reassign_slab(slab, dest, self._drop_for_rebalance)
         self.stats.slab_moves += 1
+        if self.trace is not None:
+            self.trace.record(
+                SlabMoveEvent(
+                    src_class=src_id,
+                    dest_class=dest.class_id,
+                    dropped_items=dropped,
+                    reclaimed_bytes=self.allocator.slab_size,
+                    src_cost_per_byte=round(src_cpb, 6),
+                    dest_cost_per_byte=round(dest_cpb, 6),
+                )
+            )
         return dropped
 
     def _evict_one(self, slab_class: SlabClass) -> Item:
@@ -128,18 +208,43 @@ class KVStore:
                 if item.expired(now):
                     self._unlink_item(item, slab_class)
                     self.stats.reclaims += 1
+                    if self.trace is not None:
+                        self._trace_eviction(policy, slab_class, item, expired=True)
                     return item
         victim: Item = policy.select_victim()  # type: ignore[assignment]
         self.hashtable.delete(victim.key)
         slab_class.free_item(victim)
-        if victim.expired(now):
+        expired = victim.expired(now)
+        if expired:
             self.stats.reclaims += 1
         else:
             self.stats.evictions += 1
             self.stats.evicted_cost += victim.cost
             slab_class.evictions += 1
+        if self.trace is not None:
+            self._trace_eviction(policy, slab_class, victim, expired=expired)
+        if not expired:
             self.rebalancer.on_eviction(slab_class, victim)
         return victim
+
+    def _trace_eviction(
+        self, policy: ReplacementPolicy, slab_class: SlabClass,
+        victim: Item, expired: bool,
+    ) -> None:
+        """Record one structured eviction/reclaim event (trace enabled only)."""
+        inflation = getattr(policy, "inflation", None)
+        hand = getattr(policy, "hand", None)
+        self.trace.record(
+            EvictionEvent(
+                class_id=slab_class.class_id,
+                key_hash=key_fingerprint(victim.key),
+                cost=victim.cost,
+                h_value=getattr(victim, "policy_h", 0),
+                inflation=inflation if inflation is not None else -1,
+                queue_index=hand(0) if hand is not None else -1,
+                expired=expired,
+            )
+        )
 
     def _allocate_chunk(self, slab_class: SlabClass):
         """A (slab, index) chunk in ``slab_class``, evicting as needed."""
@@ -366,6 +471,30 @@ class KVStore:
                 )
             )
         return out
+
+    def publish_metrics(self) -> None:
+        """Refresh pull-style gauges in :attr:`metrics` from live state.
+
+        Called right before exposition (``stats metrics`` / a Prometheus
+        scrape) so per-class cost-per-byte and occupancy gauges agree with
+        :meth:`class_stats` at the instant of the read, without paying any
+        per-operation bookkeeping.
+        """
+        registry = self.metrics
+        registry.gauge("store_curr_items", help="live items in the store").set(
+            len(self)
+        )
+        registry.gauge("store_live_bytes", help="live value bytes stored").set(
+            self.live_bytes
+        )
+        registry.gauge(
+            "store_memory_used_bytes", help="bytes of slab memory allocated"
+        ).set(self.allocator.memory_used)
+        registry.gauge(
+            "store_memory_limit_bytes", help="configured memory limit"
+        ).set(self.allocator.memory_limit)
+        for snapshot in self.class_stats():
+            snapshot.publish(registry)
 
     def check_invariants(self) -> None:
         """Cross-structure consistency (used by property/integration tests)."""

@@ -1,0 +1,58 @@
+"""repro.obs — the observability spine (registry, trace, exposition).
+
+One :class:`MetricsRegistry` carries every counter, gauge, and latency
+histogram for a store and the servers in front of it; one
+:class:`EventTrace` carries the structured eviction/cascade/slab-move
+events.  Exposition is pull (``stats metrics`` / ``stats trace`` over the
+memcached protocol, Prometheus text via :mod:`repro.obs.promtext`) or push
+(:class:`SnapshotReporter` rate reports).
+
+Pass ``registry=NullRegistry()`` to a :class:`~repro.kvstore.store.KVStore`
+or server to turn the whole subsystem into no-ops; the overhead-guard
+benchmark (``benchmarks/test_obs_overhead.py``) holds the instrumented
+path to within 10% of that baseline.
+"""
+
+from repro.obs.histogram import BoundedHistogram, LatencyHistogram
+from repro.obs.promtext import parse_sample_lines, render_registry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+    format_series,
+)
+from repro.obs.reporter import SnapshotReporter, diff_snapshots, format_snapshot
+from repro.obs.trace import (
+    CascadeEvent,
+    EventTrace,
+    EvictionEvent,
+    SlabMoveEvent,
+    TraceEvent,
+    key_fingerprint,
+)
+
+__all__ = [
+    "BoundedHistogram",
+    "CascadeEvent",
+    "Counter",
+    "EventTrace",
+    "EvictionEvent",
+    "Gauge",
+    "Histogram",
+    "LatencyHistogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SlabMoveEvent",
+    "SnapshotReporter",
+    "TraceEvent",
+    "diff_snapshots",
+    "format_series",
+    "format_snapshot",
+    "key_fingerprint",
+    "parse_sample_lines",
+    "render_registry",
+]

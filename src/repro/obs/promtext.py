@@ -1,0 +1,91 @@
+"""Prometheus text exposition format for a :class:`MetricsRegistry`.
+
+Renders the classic text format (version 0.0.4): ``# HELP`` / ``# TYPE``
+headers per family, one sample line per series, and histograms expanded
+into cumulative ``_bucket{le=...}`` samples plus ``_sum`` and ``_count``.
+The output of ``stats metrics prom`` (and :func:`render_registry` when
+embedding the store in a larger process) can be scraped by a stock
+Prometheus server or fed to ``promtool check metrics``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import Histogram, LabelKey, MetricFamily, MetricsRegistry
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_labels(labels: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def _render_histogram(
+    name: str, labels: LabelKey, hist: Histogram, lines: List[str]
+) -> None:
+    hist.flush()  # fold buffered observations in before reading buckets
+    for upper, cumulative in hist.hist.cumulative_buckets():
+        le = _format_labels(labels, (("le", _format_value(upper)),))
+        lines.append(f"{name}_bucket{le} {cumulative}")
+    le_inf = _format_labels(labels, (("le", "+Inf"),))
+    lines.append(f"{name}_bucket{le_inf} {hist.count}")
+    lines.append(f"{name}_sum{_format_labels(labels)} {_format_value(hist.sum)}")
+    lines.append(f"{name}_count{_format_labels(labels)} {hist.count}")
+
+
+def render_family(family: MetricFamily) -> List[str]:
+    """The text-format block for one metric family."""
+    lines: List[str] = []
+    if family.help:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for labels, instrument in family.series.items():
+        if family.kind == "histogram":
+            _render_histogram(family.name, labels, instrument, lines)  # type: ignore[arg-type]
+        else:
+            value = _format_value(instrument.value)  # type: ignore[attr-defined]
+            lines.append(f"{family.name}{_format_labels(labels)} {value}")
+    return lines
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """The whole registry as Prometheus text format (trailing newline)."""
+    lines: List[str] = []
+    for family in registry.families():
+        lines.extend(render_family(family))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_sample_lines(text: str) -> Dict[str, float]:
+    """Parse sample lines of text format back into ``{series: value}``.
+
+    Comment lines are skipped.  This is the round-trip used by the tests
+    and the scrape example — not a general Prometheus parser.
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        out[series] = float("inf") if value == "+Inf" else float(value)
+    return out

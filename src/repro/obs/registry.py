@@ -1,0 +1,337 @@
+"""Metrics registry — counters, gauges, and histograms with labeled families.
+
+One :class:`MetricsRegistry` is the telemetry spine for a store plus the
+servers in front of it.  Instruments are grouped into *families* (one name,
+one kind, one help string) and addressed by label sets, memcached-meets-
+Prometheus style::
+
+    registry = MetricsRegistry()
+    hits = registry.counter("store_get_hits_total", help="GET hits")
+    lat = registry.histogram("cmd_latency_us", cmd="get")
+    hits.inc()
+    lat.observe(12.5)
+
+Lookups are cached per (name, labels) so the hot path touches a dict once
+at bind time and then only the instrument itself; :meth:`Counter.inc` is a
+single attribute increment.  The GIL makes that increment as atomic as the
+seed's ``stats.field += 1`` was — observability keeps the same (lossy under
+free threading, exact under the GIL) semantics rather than adding a lock
+to every operation.
+
+:class:`NullRegistry` hands out shared no-op instruments and reports
+``enabled = False`` so instrumented call sites can skip timing work
+entirely; it is how the overhead-guard benchmark measures the cost of
+observability itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.histogram import BoundedHistogram
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default percentiles exposed for histogram series in ``stats metrics``
+SUMMARY_PERCENTILES = (50, 95, 99)
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: LabelKey) -> str:
+    """Canonical ``name{k=v,...}`` series string (no braces when unlabeled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic counter (resettable via ``stats reset``)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Point-in-time value; survives ``stats reset`` (like curr_items)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:  # gauges are *not* cleared by registry.reset()
+        self.value = 0.0
+
+
+class Histogram:
+    """A :class:`BoundedHistogram` exposed as a registry instrument.
+
+    Observations are buffered in a plain list and folded into the
+    histogram in vectorized batches: the per-operation cost is one list
+    append instead of a full bucket computation, and every read path
+    (:attr:`count`, :meth:`percentile`, :meth:`summary`, ...) flushes
+    first so queries always see every recorded sample.
+    """
+
+    __slots__ = ("hist", "_pending")
+    kind = "histogram"
+
+    #: buffered observations folded into the histogram per batch
+    FLUSH_AT = 1024
+
+    def __init__(self, max_value: float = 1e9, sub_buckets: int = 32) -> None:
+        self.hist = BoundedHistogram(max_value=max_value, sub_buckets=sub_buckets)
+        # the buffer list's IDENTITY is stable for the instrument's
+        # lifetime: hot call sites bind ``_pending.append`` directly, so
+        # flush()/reset() empty it in place instead of rebinding
+        self._pending: List[float] = []
+
+    def observe(self, value: float) -> None:
+        pending = self._pending
+        pending.append(value)
+        if len(pending) >= self.FLUSH_AT:
+            self.flush()
+
+    def flush(self) -> None:
+        """Fold buffered observations into the histogram."""
+        pending = self._pending
+        if pending:
+            values = pending[:]
+            del pending[:]
+            self.hist.record_many(values)
+
+    @property
+    def count(self) -> int:
+        self.flush()
+        return self.hist.total
+
+    @property
+    def sum(self) -> float:
+        self.flush()
+        return self.hist.sum
+
+    def percentile(self, pct: float) -> float:
+        self.flush()
+        return self.hist.percentile(pct)
+
+    def summary(self, percentiles=(50, 95, 99)) -> dict:
+        self.flush()
+        return self.hist.summary(percentiles)
+
+    def reset(self) -> None:
+        del self._pending[:]  # in place: bound appends stay valid
+        self.hist.reset()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: int) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(max_value=2.0, sub_buckets=2)  # 4 buckets, never used
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricFamily:
+    """All series sharing one metric name: kind, help, and label variants."""
+
+    __slots__ = ("name", "kind", "help", "series")
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.series: Dict[LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """Registry of labeled counter/gauge/histogram families.
+
+    ``enabled`` is the hot-path gate: call sites that must *time* work
+    (``perf_counter`` pairs around an operation) check it once and skip the
+    clock reads entirely under a :class:`NullRegistry`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, histogram_max_value: float = 1e9, histogram_sub_buckets: int = 32
+    ) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._histogram_max_value = histogram_max_value
+        self._histogram_sub_buckets = histogram_sub_buckets
+
+    # -- instrument creation ----------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"not {kind}"
+            )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)  # type: ignore[arg-type]
+        instrument = family.series.get(key)
+        if instrument is None:
+            instrument = Counter()
+            family.series[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)  # type: ignore[arg-type]
+        instrument = family.series.get(key)
+        if instrument is None:
+            instrument = Gauge()
+            family.series[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        max_value: Optional[float] = None,
+        sub_buckets: Optional[int] = None,
+        **labels: object,
+    ) -> Histogram:
+        family = self._family(name, "histogram", help)
+        key = _label_key(labels)  # type: ignore[arg-type]
+        instrument = family.series.get(key)
+        if instrument is None:
+            instrument = Histogram(
+                max_value=max_value or self._histogram_max_value,
+                sub_buckets=sub_buckets or self._histogram_sub_buckets,
+            )
+            family.series[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    # -- introspection ----------------------------------------------------------
+
+    def families(self) -> List[MetricFamily]:
+        """Families in registration order."""
+        return list(self._families.values())
+
+    def series(self) -> Iterator[Tuple[MetricFamily, LabelKey, object]]:
+        """Every (family, labels, instrument) triple."""
+        for family in self._families.values():
+            for key, instrument in family.series.items():
+                yield family, key, instrument
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``series-name -> value`` dict; the one diffable shape.
+
+        Counters and gauges contribute their value; histograms contribute
+        ``_count``/``_sum`` (rates) plus percentile/summary series.
+        """
+        out: Dict[str, float] = {}
+        for family, key, instrument in self.series():
+            base = format_series(family.name, key)
+            if family.kind == "histogram":
+                hist: Histogram = instrument  # type: ignore[assignment]
+                for stat, value in hist.summary(SUMMARY_PERCENTILES).items():
+                    out[f"{base}_{stat}"] = value
+            else:
+                out[base] = instrument.value  # type: ignore[attr-defined]
+        return out
+
+    def reset(self) -> None:
+        """Zero resettable instruments (counters, histograms) — not gauges.
+
+        This is the ``stats reset`` semantic: rate counters restart, but
+        level-style facts (connections open, bytes live) are preserved,
+        exactly as memcached keeps ``curr_items`` across a reset.
+        """
+        for family, _key, instrument in self.series():
+            if family.kind != "gauge":
+                instrument.reset()  # type: ignore[attr-defined]
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments do nothing and whose reads are zero.
+
+    Every ``counter()``/``gauge()``/``histogram()`` call returns a shared
+    no-op singleton, so instrumented code paths cost one no-op method call
+    — and call sites that check :attr:`enabled` first cost nothing at all.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        max_value: Optional[float] = None,
+        sub_buckets: Optional[int] = None,
+        **labels: object,
+    ) -> Histogram:
+        return _NULL_HISTOGRAM

@@ -1,0 +1,147 @@
+"""Periodic snapshot/diff reporting — counters to rates-per-second.
+
+The load generator (and any long-running serving process) wants "what is
+happening *now*", not lifetime totals.  :class:`SnapshotReporter` samples a
+registry's flat snapshot, diffs it against the previous sample, and turns
+monotonic series (counters, histogram ``_count``/``_sum``) into per-second
+rates while passing gauges and percentiles through as levels.
+
+:func:`diff_snapshots` is the one snapshot-diff implementation in the repo;
+the simulation driver uses it to subtract warmup stats from final stats
+instead of hand-rolling the dict arithmetic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: suffixes of monotonic snapshot series (diffed into rates); everything
+#: else — gauges, percentiles, means — is a level and passes through.
+_MONOTONIC_SUFFIXES = ("_total", "_count", "_sum", "_clamped")
+
+
+def is_monotonic_series(name: str) -> bool:
+    base = name.split("{", 1)[0]
+    if base.endswith(_MONOTONIC_SUFFIXES):
+        return True
+    # histogram summary series look like name{...}_count / name{...}_sum
+    return name.endswith(_MONOTONIC_SUFFIXES)
+
+
+def diff_snapshots(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-key ``after - before`` over ``after``'s keys (missing = 0)."""
+    return {name: value - before.get(name, 0) for name, value in after.items()}
+
+
+class SnapshotReporter:
+    """Diffs registry snapshots into per-second rate reports.
+
+    Args:
+        registry: the registry to sample.
+        emit: sink for formatted report strings (default ``print``).
+        time_source: monotonic clock, injectable for tests.
+        include: only report series containing this substring (optional).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        emit: Callable[[str], None] = print,
+        time_source: Callable[[], float] = time.monotonic,
+        include: Optional[str] = None,
+    ) -> None:
+        self.registry = registry
+        self.emit = emit
+        self._time = time_source
+        self.include = include
+        self._last_snapshot: Optional[Dict[str, float]] = None
+        self._last_time = 0.0
+        #: number of samples taken so far
+        self.samples = 0
+
+    def sample(self) -> Dict[str, float]:
+        """Take a snapshot; return rates/levels since the previous sample.
+
+        The first call primes the baseline and returns an empty dict.
+        """
+        now = self._time()
+        snapshot = self.registry.snapshot()
+        previous, self._last_snapshot = self._last_snapshot, snapshot
+        elapsed, self._last_time = now - self._last_time, now
+        self.samples += 1
+        if previous is None or elapsed <= 0:
+            return {}
+        out: Dict[str, float] = {}
+        for name, value in snapshot.items():
+            if self.include is not None and self.include not in name:
+                continue
+            if is_monotonic_series(name):
+                out[f"{name}/s"] = (value - previous.get(name, 0)) / elapsed
+            else:
+                out[name] = value
+        return out
+
+    def format_rates(self, rates: Dict[str, float], top: int = 0) -> str:
+        """One report line per active series, highest rate first."""
+        rows = [
+            (name, value)
+            for name, value in rates.items()
+            if value != 0
+        ]
+        rows.sort(key=lambda row: (-abs(row[1]), row[0]))
+        if top:
+            rows = rows[:top]
+        if not rows:
+            return "(no activity)"
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"  {name:<{width}}  {value:>14,.1f}" for name, value in rows)
+
+    def sample_and_emit(self, title: str = "snapshot") -> Dict[str, float]:
+        """Sample, format, and push one report through :attr:`emit`."""
+        rates = self.sample()
+        if rates:
+            self.emit(f"-- {title} (rates /s, levels as-is) --\n"
+                      f"{self.format_rates(rates)}")
+        return rates
+
+    async def run_async(
+        self,
+        interval: float = 1.0,
+        stop: Optional[asyncio.Event] = None,
+        title: str = "snapshot",
+    ) -> None:
+        """Emit a report every ``interval`` seconds until ``stop`` is set.
+
+        Designed to run alongside the asyncio load generator:
+        ``asyncio.create_task(reporter.run_async(...))`` and set/cancel
+        when the run finishes.
+        """
+        self.sample()  # prime the baseline
+        while stop is None or not stop.is_set():
+            if stop is None:
+                await asyncio.sleep(interval)
+            else:
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=interval)
+                    break
+                except asyncio.TimeoutError:
+                    pass
+            self.sample_and_emit(title=title)
+
+
+def format_snapshot(snapshot: Dict[str, float], include: Optional[str] = None) -> str:
+    """Plain ``name value`` lines for a flat snapshot (debugging helper)."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        if include is not None and include not in name:
+            continue
+        value = snapshot[name]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{name} {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Bounded ring-buffer trace of structured eviction/rebalance events.
+
+Counters say *how much*; the trace says *what happened last*.  GD-Wheel's
+interesting dynamics — which queue the hand was on when a victim was
+taken, how far a cascade trickled entries down, which class donated slabs
+to which — are invisible in aggregate counters, so the store and policies
+record small structured events into an :class:`EventTrace`: a fixed-size
+ring (old events fall off the back) plus per-kind totals that never
+truncate.
+
+Events carry a key *hash*, never the key itself, so a trace excerpt can be
+shipped to an operator without leaking cached data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, fields
+from typing import Deque, Dict, Iterator, List, Optional
+
+
+def key_fingerprint(key: bytes) -> int:
+    """Stable non-cryptographic 32-bit fingerprint of a cache key (FNV-1a)."""
+    acc = 0x811C9DC5
+    for byte in key:
+        acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return acc
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: a monotonic sequence number stamped by the trace."""
+
+    seq: int = field(default=0, compare=False)
+    kind = "event"
+
+    def describe(self) -> str:
+        parts = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if f.name != "seq"
+        ]
+        return f"{self.kind} " + " ".join(parts)
+
+
+@dataclass(frozen=True)
+class EvictionEvent(TraceEvent):
+    """A replacement-policy eviction (or expiry reclaim) in one slab class."""
+
+    kind = "eviction"
+
+    class_id: int = 0
+    key_hash: int = 0
+    cost: int = 0
+    #: the GreedyDual priority H = L + cost at eviction (0 for non-GD policies)
+    h_value: int = 0
+    #: the policy's inflation value L when the victim was taken (-1 if n/a)
+    inflation: int = -1
+    #: level-0 wheel/queue index the hand was on (-1 for non-wheel policies)
+    queue_index: int = -1
+    #: True when the victim was already expired (a reclaim, not a cost loss)
+    expired: bool = False
+
+
+@dataclass(frozen=True)
+class CascadeEvent(TraceEvent):
+    """A GD-Wheel hand cascade: entries migrated down one wheel level."""
+
+    kind = "cascade"
+
+    class_id: int = 0
+    level: int = 0
+    slot: int = 0
+    moved: int = 0
+    inflation: int = 0
+
+
+@dataclass(frozen=True)
+class SlabMoveEvent(TraceEvent):
+    """One slab reassigned between classes by the active rebalancer."""
+
+    kind = "slab_move"
+
+    src_class: int = 0
+    dest_class: int = 0
+    dropped_items: int = 0
+    reclaimed_bytes: int = 0
+    #: average cost/byte of the donor (src) class at decision time
+    src_cost_per_byte: float = 0.0
+    #: average cost/byte of the receiving (dest) class at decision time
+    dest_cost_per_byte: float = 0.0
+
+
+class EventTrace:
+    """Fixed-capacity event ring with per-kind lifetime totals."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        #: lifetime events per kind (not truncated by the ring)
+        self.counts: Dict[str, int] = {}
+
+    def record(self, event: TraceEvent) -> TraceEvent:
+        """Stamp ``event`` with the next sequence number and store it."""
+        self._seq += 1
+        object.__setattr__(event, "seq", self._seq)
+        self._ring.append(event)
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        return event
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (>= len() once the ring has wrapped)."""
+        return self._seq
+
+    def events(
+        self, kind: Optional[str] = None, last: Optional[int] = None
+    ) -> List[TraceEvent]:
+        """Buffered events, oldest first; optionally filtered / tail-limited."""
+        selected = [
+            event for event in self._ring if kind is None or event.kind == kind
+        ]
+        if last is not None and last >= 0:
+            selected = selected[-last:]
+        return selected
+
+    def clear(self) -> None:
+        """Drop buffered events and lifetime counts (``stats reset``)."""
+        self._ring.clear()
+        self.counts.clear()
+
+    def format_tail(self, last: int = 20, kind: Optional[str] = None) -> List[str]:
+        """Human-readable lines for the most recent events."""
+        return [
+            f"#{event.seq} {event.describe()}"
+            for event in self.events(kind=kind, last=last)
+        ]

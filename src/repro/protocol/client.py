@@ -216,10 +216,18 @@ class CostAwareClient:
         return isinstance(response, SimpleResponse) and response.line == b"OK"
 
     def stats(self, subcommand: str = "") -> dict:
+        """``stats [slabs|items|settings|metrics|trace]`` as a dict."""
         response = self._roundtrip(StatsCommand(subcommand=subcommand))
         if not isinstance(response, StatsResponse):
             raise ProtocolError(f"unexpected STATS response: {response!r}")
         return dict(response.stats)
+
+    def stats_reset(self) -> bool:
+        """``stats reset``: zero the server's resettable counters."""
+        response = self._roundtrip(StatsCommand(subcommand="reset"))
+        return (
+            isinstance(response, SimpleResponse) and response.line == b"RESET"
+        )
 
     # -- the cache-aside pattern (Figure 1) -----------------------------------------
 

@@ -84,7 +84,13 @@ class FlushCommand:
 
 @dataclass(frozen=True)
 class StatsCommand:
-    """``stats [slabs|items|settings]``."""
+    """``stats [slabs|items|settings|metrics|trace|reset]``.
+
+    ``metrics`` renders the live registry (counters, gauges, latency
+    percentiles), ``trace`` the recent eviction/rebalance events, and
+    ``reset`` zeroes resettable counters and answers ``RESET`` (memcached's
+    ``stats reset``).
+    """
 
     subcommand: str = ""
 
@@ -134,6 +140,7 @@ DELETED = SimpleResponse(b"DELETED")
 NOT_FOUND = SimpleResponse(b"NOT_FOUND")
 TOUCHED = SimpleResponse(b"TOUCHED")
 OK = SimpleResponse(b"OK")
+RESET = SimpleResponse(b"RESET")
 EXISTS = SimpleResponse(b"EXISTS")
 NOT_FOUND_CAS = SimpleResponse(b"NOT_FOUND")
 

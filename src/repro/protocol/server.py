@@ -10,8 +10,10 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 from typing import Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry
 from repro.kvstore.errors import (
     CasMismatchError,
     NotStoredError,
@@ -34,6 +36,7 @@ from repro.protocol.commands import (
     OK,
     ProtocolError,
     QuitCommand,
+    RESET,
     STORED,
     StatsCommand,
     StatsResponse,
@@ -46,12 +49,75 @@ from repro.protocol.commands import (
 )
 from repro.protocol.text import RequestParser, encode_response
 
+#: most recent trace events included in a ``stats trace`` response
+TRACE_TAIL = 64
+
+
+def command_label(command) -> str:
+    """The metrics label for a parsed command (``cmd="get"`` etc.)."""
+    if isinstance(command, GetCommand):
+        return "gets" if command.with_cas else "get"
+    if isinstance(command, StoreCommand):
+        return command.verb
+    if isinstance(command, IncrCommand):
+        return "decr" if command.negative else "incr"
+    if isinstance(command, DeleteCommand):
+        return "delete"
+    if isinstance(command, TouchCommand):
+        return "touch"
+    if isinstance(command, FlushCommand):
+        return "flush_all"
+    if isinstance(command, StatsCommand):
+        return "stats"
+    if isinstance(command, QuitCommand):
+        return "quit"
+    return type(command).__name__.lower()
+
 
 class StoreServer:
-    """Byte-in / byte-out protocol engine over one store."""
+    """Byte-in / byte-out protocol engine over one store.
 
-    def __init__(self, store: KVStore) -> None:
+    Args:
+        store: the backing :class:`KVStore`.
+        registry: metrics registry for per-command latency histograms and
+            command counters; defaults to the store's own registry so one
+            ``stats metrics`` read covers both layers.  When the registry
+            is a :class:`~repro.obs.registry.NullRegistry`, dispatch skips
+            all timing work.
+        trace: event trace rendered by ``stats trace``; defaults to the
+            store's trace (may be ``None``).
+    """
+
+    def __init__(
+        self,
+        store: KVStore,
+        registry: Optional[MetricsRegistry] = None,
+        trace=None,
+    ) -> None:
         self.store = store
+        self.metrics = registry if registry is not None else store.metrics
+        self.trace = trace if trace is not None else store.trace
+        self._timing = self.metrics.enabled
+        self._cmd_hists: dict = {}
+
+    def _observe_command(self, label: str, elapsed_us: float) -> None:
+        # per-command counts ride on the histogram's _count series, so the
+        # hot path is one buffered append (the instrument's list identity
+        # is stable; any metrics read flushes it)
+        entry = self._cmd_hists.get(label)
+        if entry is None:
+            hist = self.metrics.histogram(
+                "cmd_latency_us",
+                help="per-command dispatch latency in microseconds",
+                cmd=label,
+            )
+            entry = self._cmd_hists[label] = (
+                hist._pending, hist._pending.append, hist.flush, hist.FLUSH_AT
+            )
+        pending, append, flush, flush_at = entry
+        append(elapsed_us)
+        if len(pending) >= flush_at:
+            flush()
 
     def handle_bytes(self, parser: RequestParser, data: bytes) -> Tuple[bytes, bool]:
         """Feed raw request bytes; returns (response bytes, keep_open)."""
@@ -70,7 +136,22 @@ class StoreServer:
         return bytes(out), True
 
     def dispatch(self, command) -> Tuple[object, bool]:
-        """Execute one command; returns (response, should_reply)."""
+        """Execute one command; returns (response, should_reply).
+
+        When instrumented, each dispatch records into
+        ``cmd_latency_us{cmd=...}`` (whose ``_count`` is the command count).
+        """
+        if not self._timing:
+            return self._dispatch(command)
+        started = time.perf_counter()
+        try:
+            return self._dispatch(command)
+        finally:
+            self._observe_command(
+                command_label(command), (time.perf_counter() - started) * 1e6
+            )
+
+    def _dispatch(self, command) -> Tuple[object, bool]:
         store = self.store
         if isinstance(command, GetCommand):
             values = []
@@ -144,10 +225,26 @@ class StoreServer:
             store.flush_all()
             return OK, not command.noreply
         if isinstance(command, StatsCommand):
+            if command.subcommand == "reset":
+                return self._stats_reset(), True
             return self._stats_response(command.subcommand), True
         if isinstance(command, QuitCommand):
             return OK, False
         return client_error(f"unhandled command {type(command).__name__}"), True
+
+    def _stats_reset(self):
+        """``stats reset``: zero resettable counters/histograms, keep gauges.
+
+        Mirrors memcached: rate counters restart, level facts (curr_items,
+        bytes, connection gauges) survive.  The event trace is cleared too.
+        Answers ``RESET``.
+        """
+        self.store.metrics.reset()
+        if self.metrics is not self.store.metrics:
+            self.metrics.reset()
+        if self.trace is not None:
+            self.trace.clear()
+        return RESET
 
     def _stats_response(self, subcommand: str) -> StatsResponse:
         """Render ``stats`` and its memcached-style subcommands."""
@@ -180,6 +277,29 @@ class StoreServer:
                         f"{cls.average_cost_per_byte():.6f}",
                     )
                 )
+        elif subcommand == "metrics":
+            store.publish_metrics()  # refresh pull-style gauges first
+            snapshot = dict(self.metrics.snapshot())
+            if self.metrics is not store.metrics:
+                snapshot.update(store.metrics.snapshot())
+            for name in sorted(snapshot):
+                value = snapshot[name]
+                rendered = (
+                    f"{value:.6f}".rstrip("0").rstrip(".")
+                    if isinstance(value, float) and value != int(value)
+                    else str(int(value))
+                )
+                stats.append((name, rendered))
+        elif subcommand == "trace":
+            trace = self.trace
+            if trace is None:
+                stats.append(("trace", "disabled"))
+            else:
+                for kind in sorted(trace.counts):
+                    stats.append((f"trace:count:{kind}", str(trace.counts[kind])))
+                stats.append(("trace:buffered", str(len(trace))))
+                for event in trace.events(last=TRACE_TAIL):
+                    stats.append((f"trace:{event.seq}", event.describe()))
         elif subcommand == "settings":
             allocator = store.allocator
             stats.append(("maxbytes", str(allocator.memory_limit)))
@@ -242,23 +362,46 @@ class LoopbackConnection(StoreConnection):
 class _TCPHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
         engine: StoreServer = self.server.engine  # type: ignore[attr-defined]
+        metrics = engine.metrics
+        current = metrics.gauge(
+            "server_current_connections", help="open client connections",
+            transport="threaded",
+        )
+        bytes_in = metrics.counter(
+            "server_bytes_in_total", help="request bytes received",
+            transport="threaded",
+        )
+        bytes_out = metrics.counter(
+            "server_bytes_out_total", help="response bytes sent",
+            transport="threaded",
+        )
+        metrics.counter(
+            "server_connections_total", help="connections accepted",
+            transport="threaded",
+        ).inc()
+        current.inc()
         connection = StoreConnection(engine)
-        while connection.open:
-            try:
-                data = self.request.recv(65536)
-            except (ConnectionError, OSError):
-                return
-            if not data:
-                return
-            try:
-                response = connection.feed(data)
-            except ConnectionError:
-                return
-            if response:
+        try:
+            while connection.open:
                 try:
-                    self.request.sendall(response)
+                    data = self.request.recv(65536)
                 except (ConnectionError, OSError):
                     return
+                if not data:
+                    return
+                bytes_in.inc(len(data))
+                try:
+                    response = connection.feed(data)
+                except ConnectionError:
+                    return
+                if response:
+                    bytes_out.inc(len(response))
+                    try:
+                        self.request.sendall(response)
+                    except (ConnectionError, OSError):
+                        return
+        finally:
+            current.dec()
 
 
 class TCPStoreServer:
@@ -272,8 +415,14 @@ class TCPStoreServer:
     accept thread.
     """
 
-    def __init__(self, store: KVStore, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.engine = StoreServer(store)
+    def __init__(
+        self,
+        store: KVStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.engine = StoreServer(store, registry=registry)
 
         class _Server(socketserver.ThreadingTCPServer):
             # set *before* bind so TIME_WAIT sockets from a previous run

@@ -9,7 +9,7 @@ command lines)::
     delete <key> [noreply]\r\n
     touch <key> <exptime> [noreply]\r\n
     flush_all [noreply]\r\n
-    stats\r\n
+    stats [slabs|items|settings|metrics|trace|reset]\r\n
     quit\r\n
 
 The paper modifies the SET protocol "so that clients are able to optionally
@@ -179,9 +179,12 @@ class RequestParser:
             return FlushCommand(noreply=noreply)
         if verb == b"stats":
             if len(parts) > 2:
-                raise ProtocolError("stats [slabs|items|settings]")
+                raise ProtocolError(
+                    "stats [slabs|items|settings|metrics|trace|reset]"
+                )
             sub = parts[1].decode() if len(parts) == 2 else ""
-            if sub not in ("", "slabs", "items", "settings"):
+            if sub not in ("", "slabs", "items", "settings",
+                           "metrics", "trace", "reset"):
                 raise ProtocolError(f"unknown stats subcommand {sub!r}")
             return StatsCommand(subcommand=sub)
         if verb == b"quit":

@@ -40,6 +40,7 @@ from repro.kvstore import (
     Rebalancer,
     SimClock,
 )
+from repro.obs.reporter import diff_snapshots
 from repro.sim.calibrate import calibrate_num_keys, capacity_items_for
 from repro.sim.metrics import RequestLog
 from repro.sim.results import SimResult
@@ -224,11 +225,8 @@ def run_simulation(config: SimConfig) -> SimResult:
             set_(key, value_of(key_id), cost=cost)
 
     store.check_invariants()
-    final_stats = store.stats.snapshot()
-    measured_stats = {
-        name: value - warmup_stats.get(name, 0)
-        for name, value in final_stats.items()
-    }
+    # one snapshot-diff code path for the whole repo (repro.obs.reporter)
+    measured_stats = diff_snapshots(warmup_stats, store.stats.snapshot())
     return SimResult(
         workload_id=config.spec.workload_id,
         workload_name=config.spec.name,

@@ -1,0 +1,59 @@
+"""Prometheus text-format rendering: headers, buckets, escaping, round-trip."""
+
+from repro.obs import MetricsRegistry, parse_sample_lines, render_registry
+
+
+def test_help_and_type_headers():
+    registry = MetricsRegistry()
+    registry.counter("store_sets_total", help="SET commands").inc(3)
+    text = render_registry(registry)
+    assert "# HELP store_sets_total SET commands\n" in text
+    assert "# TYPE store_sets_total counter\n" in text
+    assert "store_sets_total 3\n" in text
+
+
+def test_labels_are_quoted():
+    registry = MetricsRegistry()
+    registry.counter("cmd_total", cmd="get").inc(2)
+    text = render_registry(registry)
+    assert 'cmd_total{cmd="get"} 2' in text
+
+
+def test_histogram_expands_to_cumulative_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_us", help="latency")
+    for value in (10, 10, 100, 1000):
+        hist.observe(value)
+    text = render_registry(registry)
+    samples = parse_sample_lines(text)
+    assert samples["lat_us_count"] == 4
+    assert samples["lat_us_sum"] == 1120
+    assert samples['lat_us_bucket{le="+Inf"}'] == 4
+    # cumulative: every le-bucket count is <= the next one
+    buckets = [
+        (float(series.split('le="')[1].rstrip('"}')), value)
+        for series, value in samples.items()
+        if series.startswith("lat_us_bucket{") and "+Inf" not in series
+    ]
+    buckets.sort()
+    counts = [count for _, count in buckets]
+    assert counts == sorted(counts)
+    assert counts[-1] == 4
+
+
+def test_label_value_escaping():
+    registry = MetricsRegistry()
+    registry.gauge("g", path='a"b\\c').set(1)
+    text = render_registry(registry)
+    assert r'g{path="a\"b\\c"} 1' in text
+
+
+def test_empty_registry_renders_empty():
+    assert render_registry(MetricsRegistry()) == ""
+
+
+def test_parse_skips_comments_and_reads_inf():
+    text = '# HELP x y\n# TYPE x counter\nx 5\nb{le="+Inf"} +Inf\n'
+    samples = parse_sample_lines(text)
+    assert samples["x"] == 5
+    assert samples['b{le="+Inf"}'] == float("inf")

@@ -1,0 +1,132 @@
+"""MetricsRegistry: families, labels, snapshot/reset, NullRegistry no-ops."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullRegistry, format_series
+
+
+class TestInstruments:
+    def test_counter_inc_and_reset(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", help="ops")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("conns")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+
+    def test_histogram_observe(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_us")
+        for value in (10, 20, 30):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == 60
+        assert hist.percentile(50) == pytest.approx(20, rel=1 / 32)
+
+
+class TestFamiliesAndLabels:
+    def test_same_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("cmd_total", cmd="get")
+        b = registry.counter("cmd_total", cmd="get")
+        assert a is b
+
+    def test_different_labels_are_different_series(self):
+        registry = MetricsRegistry()
+        get = registry.counter("cmd_total", cmd="get")
+        set_ = registry.counter("cmd_total", cmd="set")
+        get.inc()
+        assert set_.value == 0
+        (family,) = registry.families()
+        assert len(family.series) == 2
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", b="2", a="1")
+        b = registry.counter("x_total", a="1", b="2")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_help_backfills_once(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        registry.counter("x_total", help="late help")
+        (family,) = registry.families()
+        assert family.help == "late help"
+
+    def test_format_series(self):
+        assert format_series("x", ()) == "x"
+        assert format_series("x", (("a", "1"), ("b", "2"))) == "x{a=1,b=2}"
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_flattens_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", cmd="get").inc(7)
+        registry.gauge("conns").set(2)
+        registry.histogram("lat_us").observe(100)
+        snap = registry.snapshot()
+        assert snap["hits_total{cmd=get}"] == 7
+        assert snap["conns"] == 2
+        assert snap["lat_us_count"] == 1
+        assert snap["lat_us_sum"] == 100
+        assert "lat_us_p99" in snap
+        assert "lat_us_clamped" in snap
+
+    def test_reset_zeroes_counters_and_histograms_not_gauges(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        gauge = registry.gauge("curr_items")
+        hist = registry.histogram("lat_us")
+        counter.inc(5)
+        gauge.set(9)
+        hist.observe(42)
+        registry.reset()
+        assert counter.value == 0
+        assert hist.count == 0
+        assert gauge.value == 9  # levels survive, like memcached curr_items
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_instruments_are_shared_noops(self):
+        registry = NullRegistry()
+        a = registry.counter("a_total")
+        b = registry.counter("b_total", cmd="get")
+        assert a is b
+        a.inc(100)
+        a.set(50)
+        assert a.value == 0
+
+    def test_gauge_and_histogram_noop(self):
+        registry = NullRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 0.0
+        hist = registry.histogram("h")
+        hist.observe(123)
+        assert hist.count == 0
+
+    def test_snapshot_is_empty(self):
+        registry = NullRegistry()
+        registry.counter("a_total").inc()
+        assert registry.snapshot() == {}

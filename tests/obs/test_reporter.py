@@ -1,0 +1,97 @@
+"""SnapshotReporter: rate computation with an injected clock; diff helper."""
+
+from repro.obs import MetricsRegistry, SnapshotReporter, diff_snapshots
+from repro.obs.reporter import is_monotonic_series
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_diff_snapshots_missing_keys_default_to_zero():
+    before = {"a_total": 5}
+    after = {"a_total": 9, "b_total": 2}
+    assert diff_snapshots(before, after) == {"a_total": 4, "b_total": 2}
+
+
+def test_is_monotonic_series():
+    assert is_monotonic_series("store_sets_total")
+    assert is_monotonic_series("lat_us{cmd=get}_count")
+    assert is_monotonic_series("lat_us_sum")
+    assert is_monotonic_series("lat_us_clamped")
+    assert not is_monotonic_series("curr_items")
+    assert not is_monotonic_series("lat_us_p99")
+    assert not is_monotonic_series("lat_us{cmd=get}_mean")
+
+
+def test_first_sample_primes_and_returns_empty():
+    registry = MetricsRegistry()
+    registry.counter("ops_total").inc(10)
+    reporter = SnapshotReporter(registry, time_source=FakeClock())
+    assert reporter.sample() == {}
+    assert reporter.samples == 1
+
+
+def test_counters_become_rates_gauges_pass_through():
+    registry = MetricsRegistry()
+    ops = registry.counter("ops_total")
+    conns = registry.gauge("conns")
+    clock = FakeClock()
+    reporter = SnapshotReporter(registry, time_source=clock)
+    reporter.sample()
+
+    ops.inc(40)
+    conns.set(7)
+    clock.now += 2.0
+    rates = reporter.sample()
+    assert rates["ops_total/s"] == 20.0  # 40 ops over 2 s
+    assert rates["conns"] == 7  # level, not a rate
+
+
+def test_include_filter():
+    registry = MetricsRegistry()
+    registry.counter("store_sets_total").inc()
+    registry.counter("server_bytes_in_total").inc()
+    clock = FakeClock()
+    reporter = SnapshotReporter(registry, time_source=clock, include="store_")
+    reporter.sample()
+    clock.now += 1.0
+    rates = reporter.sample()
+    assert rates == {"store_sets_total/s": 0.0}  # filtered, idle
+
+    registry.counter("store_sets_total").inc(3)
+    registry.counter("server_bytes_in_total").inc(3)
+    clock.now += 1.0
+    rates = reporter.sample()
+    assert set(rates) == {"store_sets_total/s"}
+
+
+def test_format_rates_sorts_by_magnitude_and_reports_idle():
+    registry = MetricsRegistry()
+    reporter = SnapshotReporter(registry)
+    assert reporter.format_rates({}) == "(no activity)"
+    text = reporter.format_rates({"slow/s": 1.0, "fast/s": 99.0, "idle/s": 0.0})
+    lines = text.splitlines()
+    assert "fast/s" in lines[0]
+    assert "slow/s" in lines[1]
+    assert all("idle" not in line for line in lines)
+
+
+def test_sample_and_emit_pushes_formatted_report():
+    registry = MetricsRegistry()
+    ops = registry.counter("ops_total")
+    clock = FakeClock()
+    emitted = []
+    reporter = SnapshotReporter(registry, emit=emitted.append, time_source=clock)
+    reporter.sample_and_emit()
+    assert emitted == []  # priming sample emits nothing
+    ops.inc(5)
+    clock.now += 1.0
+    reporter.sample_and_emit(title="loadgen")
+    assert len(emitted) == 1
+    assert "loadgen" in emitted[0]
+    assert "ops_total/s" in emitted[0]

@@ -1,0 +1,151 @@
+"""Store-level observability wiring: op timing, trace events, gauge publish."""
+
+from repro.core import GDWheelPolicy, LRUPolicy
+from repro.kvstore import KVStore
+from repro.obs import EventTrace, MetricsRegistry, NullRegistry, key_fingerprint
+
+
+def make_store(policy_factory=LRUPolicy, memory=128 * 1024, slab=64 * 1024, **kw):
+    return KVStore(
+        memory_limit=memory, slab_size=slab, policy_factory=policy_factory, **kw
+    )
+
+
+def fill_class(store, value_size=100, extra=1, cost=None):
+    """Insert one class-capacity worth of items plus ``extra`` (forces evictions)."""
+    cls = store.allocator.class_for_size(56 + 5 + value_size)
+    capacity = (store.allocator.memory_limit // store.allocator.slab_size) * (
+        store.allocator.slab_size // cls.chunk_size
+    )
+    for i in range(capacity + extra):
+        kwargs = {} if cost is None else {"cost": cost(i)}
+        store.set(b"k%04d" % i, b"v" * value_size, **kwargs)
+    return capacity
+
+
+class TestStatsThroughRegistry:
+    def test_counters_round_trip_registry_and_snapshot(self):
+        store = make_store()
+        store.set(b"k", b"v")
+        store.get(b"k")
+        store.get(b"absent")
+        snap = store.metrics.snapshot()
+        assert snap["store_sets_total"] == store.stats.sets == 1
+        assert snap["store_get_hits_total"] == store.stats.get_hits == 1
+        assert snap["store_get_misses_total"] == store.stats.get_misses == 1
+        assert store.stats.snapshot()["gets"] == 2
+
+    def test_null_registry_disables_counters_but_not_the_store(self):
+        store = make_store(registry=NullRegistry())
+        store.set(b"k", b"v")
+        assert store.get(b"k") is not None
+        assert store.stats.sets == 0  # no-op instruments
+        assert store.metrics.snapshot() == {}
+
+
+class TestOpTiming:
+    def test_default_store_is_not_wrapped(self):
+        store = make_store()
+        assert not hasattr(store.get, "__wrapped__")
+        assert "store_op_latency_us{op=get}_count" not in store.metrics.snapshot()
+
+    def test_explicit_registry_times_each_op(self):
+        registry = MetricsRegistry()
+        store = make_store(registry=registry)
+        assert hasattr(store.get, "__wrapped__")
+        store.set(b"k", b"v")
+        store.get(b"k")
+        store.get(b"k")
+        store.delete(b"k")
+        snap = registry.snapshot()
+        assert snap["store_op_latency_us{op=set}_count"] == 1
+        assert snap["store_op_latency_us{op=get}_count"] == 2
+        assert snap["store_op_latency_us{op=delete}_count"] == 1
+        assert snap["store_op_latency_us{op=get}_sum"] > 0
+
+    def test_null_registry_skips_wrapping(self):
+        store = make_store(registry=NullRegistry())
+        assert not hasattr(store.get, "__wrapped__")
+
+
+class TestEvictionTrace:
+    def test_lru_eviction_event_fields(self):
+        trace = EventTrace()
+        store = make_store(memory=64 * 1024, trace=trace)
+        fill_class(store, extra=1)
+        events = trace.events(kind="eviction")
+        assert len(events) == store.stats.evictions == 1
+        event = events[0]
+        assert event.key_hash == key_fingerprint(b"k0000")  # LRU head
+        assert event.class_id >= 0
+        assert event.expired is False
+        assert event.inflation == -1  # LRU has no inflation value
+
+    def test_gdwheel_eviction_carries_h_and_queue_index(self):
+        trace = EventTrace()
+        store = make_store(
+            policy_factory=lambda: GDWheelPolicy(num_queues=16, num_wheels=2),
+            memory=64 * 1024,
+            trace=trace,
+        )
+        fill_class(store, extra=1, cost=lambda i: 1 if i % 2 == 0 else 200)
+        (event,) = trace.events(kind="eviction")
+        assert event.cost == 1  # GD-Wheel takes a cheap victim
+        assert event.h_value >= event.cost
+        assert event.inflation >= 0
+        assert event.queue_index >= 0
+
+    def test_cascade_events_recorded_with_class_metrics(self):
+        trace = EventTrace()
+        registry = MetricsRegistry()
+        store = make_store(
+            policy_factory=lambda: GDWheelPolicy(num_queues=4, num_wheels=2),
+            memory=64 * 1024,
+            registry=registry,
+            trace=trace,
+        )
+        # cost 5 with a 4-queue wheel lands every entry on level 1; the
+        # first eviction jumps the hand a full revolution and must cascade
+        fill_class(store, extra=1, cost=lambda i: 5)
+        cascades = trace.events(kind="cascade")
+        assert cascades, "expected at least one hand cascade"
+        assert all(e.moved >= 1 for e in cascades)
+        snap = registry.snapshot()
+        cascade_count = sum(
+            value for name, value in snap.items()
+            if name.startswith("gdwheel_cascades_total")
+        )
+        assert cascade_count == len(cascades) == trace.counts["cascade"]
+
+    def test_slab_move_event(self):
+        trace = EventTrace()
+        store = make_store(memory=128 * 1024, trace=trace)
+        fill_class(store, value_size=100, extra=0)
+        src = store.allocator.class_for_size(56 + 5 + 100)
+        dest = store.allocator.class_for_size(56 + 5 + 900)
+        dropped = store.move_slab(src.slabs[0], dest)
+        (event,) = trace.events(kind="slab_move")
+        assert event.src_class == src.class_id
+        assert event.dest_class == dest.class_id
+        assert event.dropped_items == dropped > 0
+        assert event.reclaimed_bytes == 64 * 1024
+        assert event.src_cost_per_byte >= 0.0
+
+
+class TestPublishMetrics:
+    def test_gauges_agree_with_store_state(self):
+        store = make_store()
+        store.set(b"a", b"v" * 100, cost=50)
+        store.set(b"b", b"v" * 100, cost=150)
+        store.publish_metrics()
+        snap = store.metrics.snapshot()
+        assert snap["store_curr_items"] == len(store) == 2
+        assert snap["store_live_bytes"] == store.live_bytes
+        assert snap["store_memory_limit_bytes"] == 128 * 1024
+        (cls_snapshot,) = [c for c in store.class_stats() if c.live_items]
+        cid = cls_snapshot.class_id
+        assert (
+            snap[f"slab_class_cost_per_byte{{class_id={cid}}}"]
+            == cls_snapshot.average_cost_per_byte
+        )
+        assert snap[f"slab_class_live_items{{class_id={cid}}}"] == 2

@@ -1,0 +1,90 @@
+"""EventTrace: ring semantics, lifetime counts, structured describe()."""
+
+import pytest
+
+from repro.obs import (
+    CascadeEvent,
+    EventTrace,
+    EvictionEvent,
+    SlabMoveEvent,
+    key_fingerprint,
+)
+
+
+class TestKeyFingerprint:
+    def test_stable_and_32bit(self):
+        fp = key_fingerprint(b"user:42")
+        assert fp == key_fingerprint(b"user:42")
+        assert 0 <= fp <= 0xFFFFFFFF
+
+    def test_distinct_keys_differ(self):
+        assert key_fingerprint(b"a") != key_fingerprint(b"b")
+
+    def test_known_fnv1a_vector(self):
+        # FNV-1a of empty input is the offset basis
+        assert key_fingerprint(b"") == 0x811C9DC5
+
+
+class TestRing:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+    def test_seq_is_monotonic_from_one(self):
+        trace = EventTrace()
+        events = [trace.record(EvictionEvent(class_id=i)) for i in range(3)]
+        assert [e.seq for e in events] == [1, 2, 3]
+
+    def test_ring_drops_oldest(self):
+        trace = EventTrace(capacity=4)
+        for i in range(10):
+            trace.record(EvictionEvent(class_id=i))
+        assert len(trace) == 4
+        assert [e.class_id for e in trace] == [6, 7, 8, 9]
+        assert trace.total_recorded == 10
+
+    def test_counts_survive_ring_wrap(self):
+        trace = EventTrace(capacity=2)
+        for _ in range(5):
+            trace.record(EvictionEvent())
+        trace.record(CascadeEvent())
+        assert trace.counts == {"eviction": 5, "cascade": 1}
+
+    def test_events_filter_and_tail(self):
+        trace = EventTrace()
+        trace.record(EvictionEvent(class_id=1))
+        trace.record(CascadeEvent(level=0))
+        trace.record(EvictionEvent(class_id=2))
+        evictions = trace.events(kind="eviction")
+        assert [e.class_id for e in evictions] == [1, 2]
+        assert len(trace.events(last=2)) == 2
+        assert trace.events(kind="cascade", last=1)[0].level == 0
+
+    def test_clear(self):
+        trace = EventTrace()
+        trace.record(SlabMoveEvent(src_class=1, dest_class=2))
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.counts == {}
+
+
+class TestDescribe:
+    def test_eviction_describe_carries_fields(self):
+        event = EvictionEvent(
+            class_id=3, key_hash=0xDEAD, cost=40, h_value=140,
+            inflation=100, queue_index=7, expired=False,
+        )
+        text = event.describe()
+        assert text.startswith("eviction ")
+        assert "class_id=3" in text
+        assert "cost=40" in text
+        assert "h_value=140" in text
+        assert "queue_index=7" in text
+        assert "seq=" not in text  # seq is carried separately
+
+    def test_format_tail_prefixes_seq(self):
+        trace = EventTrace()
+        trace.record(CascadeEvent(class_id=1, level=1, slot=5, moved=3))
+        (line,) = trace.format_tail()
+        assert line.startswith("#1 cascade ")
+        assert "moved=3" in line

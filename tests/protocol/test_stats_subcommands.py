@@ -39,7 +39,9 @@ class TestParsing:
     def test_plain_stats(self):
         assert parse_one(b"stats\r\n") == StatsCommand(subcommand="")
 
-    @pytest.mark.parametrize("sub", ["slabs", "items", "settings"])
+    @pytest.mark.parametrize(
+        "sub", ["slabs", "items", "settings", "metrics", "trace", "reset"]
+    )
     def test_subcommands(self, sub):
         assert parse_one(f"stats {sub}\r\n".encode()).subcommand == sub
 
@@ -86,3 +88,17 @@ class TestResponses:
         stats = client.stats()
         assert stats["sets"] == "2"
         assert "curr_items" in stats
+
+    def test_stats_metrics_over_loopback(self, client):
+        metrics = client.stats("metrics")
+        assert metrics["store_sets_total"] == "2"
+        assert "cmd_latency_us{cmd=set}_count" in metrics
+        assert any(k.startswith("slab_class_cost_per_byte") for k in metrics)
+
+    def test_stats_trace_reports_disabled_without_a_trace(self, client):
+        assert client.stats("trace")["trace"] == "disabled"
+
+    def test_stats_reset_zeroes_counters(self, client):
+        assert client.stats_reset() is True
+        assert client.stats("metrics")["store_sets_total"] == "0"
+        assert client.stats()["sets"] == "0"

@@ -42,6 +42,26 @@ class TestBasics:
         assert hist.clamped == 1
         assert hist.max == 1000.0
 
+    def test_clamped_values_still_counted_and_summed_at_ceiling(self):
+        hist = LatencyHistogram(max_value=1000)
+        hist.record(500)
+        hist.record(7_000)
+        hist.record_many(np.array([9_000.0, 10.0]))
+        assert hist.clamped == 2
+        assert hist.total == 4  # clamped samples count toward the total
+        assert hist.sum == 500 + 1000 + 1000 + 10  # clamped at max_value
+        assert hist.percentile(100) <= 1000.0 * (1 + 1 / 32)
+        assert hist.summary()["clamped"] == 2
+
+    def test_empty_percentiles_all_zero(self):
+        hist = LatencyHistogram()
+        for pct in (0.1, 50, 99, 99.9, 100):
+            assert hist.percentile(pct) == 0.0
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == summary["p99"] == 0.0
+        assert summary["min"] == 0.0  # not inf on an empty histogram
+
     def test_bad_percentile(self):
         hist = LatencyHistogram()
         with pytest.raises(ValueError):
@@ -80,7 +100,7 @@ class TestAccuracy:
         for value in samples:
             h1.record(float(value))
         h2.record_many(samples)
-        assert h1._counts.tolist() == h2._counts.tolist()
+        assert h1._counts == h2._counts
         assert h1.percentile(99) == h2.percentile(99)
 
 
@@ -102,6 +122,52 @@ class TestMerge:
     def test_geometry_mismatch_rejected(self):
         with pytest.raises(ValueError):
             LatencyHistogram(sub_buckets=32).merge(LatencyHistogram(sub_buckets=64))
+
+    def test_merge_with_disjoint_bucket_occupancy(self):
+        # one histogram entirely below the other: min/max/percentiles span both
+        low, high = LatencyHistogram(), LatencyHistogram()
+        low.record_many(np.full(90, 10.0))
+        high.record_many(np.full(10, 100_000.0))
+        low.merge(high)
+        assert low.total == 100
+        assert low.min == 10.0
+        assert low.max == 100_000.0
+        assert low.percentile(50) == pytest.approx(10.0, rel=1 / 32)
+        assert low.percentile(99) == pytest.approx(100_000.0, rel=1 / 32)
+
+    def test_merge_into_empty_and_empty_into_full(self):
+        full, empty = LatencyHistogram(), LatencyHistogram()
+        full.record(42.0)
+        target = LatencyHistogram()
+        target.merge(full)  # empty <- full
+        assert target.total == 1
+        assert target.min == 42.0
+        full.merge(empty)  # full <- empty must not disturb min/max
+        assert full.min == 42.0
+        assert full.max == 42.0
+
+    def test_merge_accumulates_clamped(self):
+        a, b = LatencyHistogram(max_value=100), LatencyHistogram(max_value=100)
+        a.record(500)
+        b.record(600)
+        b.record(700)
+        a.merge(b)
+        assert a.clamped == 3
+
+
+class TestReset:
+    def test_reset_restores_empty_state(self):
+        hist = LatencyHistogram(max_value=1000)
+        hist.record_many(np.array([1.0, 10.0, 5_000.0]))
+        hist.reset()
+        assert hist.total == 0
+        assert hist.sum == 0.0
+        assert hist.clamped == 0
+        assert hist.min == 0.0
+        assert hist.percentile(99) == 0.0
+        hist.record(7.0)  # still usable after reset
+        assert hist.total == 1
+        assert hist.mean == 7.0
 
 
 @given(
