@@ -1,0 +1,80 @@
+"""Shard-scaling smoke benchmark: the multi-process engine end to end.
+
+Runs the checked-in ``run_shard_bench`` harness at reduced scale —
+real worker processes, real driver processes, routed pools — and writes
+the measured document to ``BENCH_shard.json`` at the repo root, so
+regenerating the committed numbers is one pytest (or one
+``python benchmarks/run_shard_bench.py``) away.
+
+The ISSUE's >=2.5x 4-shard speedup is a *scaling* claim: it needs four
+cores for four shards to land on.  The assertion is therefore gated on
+``available_cpus() >= 4``; on smaller machines the harness still runs,
+still records honest numbers, and the JSON carries an explanatory note.
+
+Marked ``slow`` so tier-1 runs (and ``-m 'not slow'``) skip it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from run_shard_bench import available_cpus, run_shard_scaling
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def document():
+    return run_shard_scaling(
+        shard_counts=SHARD_COUNTS,
+        drivers=4,
+        ops_per_driver=4_000,
+        batch=16,
+        num_keys=2_000,
+    )
+
+
+def test_every_config_serves(document):
+    assert [r["shards"] for r in document["results"]] == list(SHARD_COUNTS)
+    for result in document["results"]:
+        assert result["ops_per_sec"] > 0
+        assert result["hit_rate"] > 0.99  # warmed universe, pure GETs
+        assert result["operations"] == 4 * 4_000
+
+
+def test_scaling_when_cores_allow(document):
+    """The acceptance bar: 4 shards >= 2.5x one process — on >=4 cores."""
+    by_shards = {r["shards"]: r for r in document["results"]}
+    speedup = by_shards[4]["speedup_vs_single"]
+    if available_cpus() >= 4:
+        assert speedup >= 2.5, f"4-shard speedup {speedup} < 2.5"
+    else:
+        # time-slicing one core: record, don't pretend
+        assert speedup > 0
+        assert "note" in document
+
+
+def test_writes_bench_document(document, emit):
+    out = REPO_ROOT / "BENCH_shard.json"
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    lines = [
+        f"Shard scaling on {document['environment']['cpus']} CPU(s), "
+        "4 driver processes, pipelined GET batches of 16:",
+        "",
+        f"{'shards':>7} {'ops/s':>12} {'p99 us/batch':>13} {'speedup':>8}",
+    ]
+    for result in document["results"]:
+        lines.append(
+            f"{result['shards']:>7} {result['ops_per_sec']:>12,.0f} "
+            f"{result['batch_latency_us']['p99']:>13,.0f} "
+            f"{result['speedup_vs_single']:>8.2f}"
+        )
+    if "note" in document:
+        lines += ["", f"note: {document['note']}"]
+    emit("shard_scaling", "\n".join(lines))

@@ -46,6 +46,8 @@ RETRYABLE = (ConnectionError, OSError, asyncio.TimeoutError)
 class BatchResult:
     """Responses of one pipelined batch, in command order."""
 
+    __slots__ = ("responses",)
+
     def __init__(self, responses: Sequence[object]) -> None:
         self.responses = list(responses)
 
@@ -61,6 +63,8 @@ class BatchResult:
 
 class _Connection:
     """One live TCP connection with its incremental response parser."""
+
+    __slots__ = ("reader", "writer", "parser")
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self.reader = reader

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aio.client import AsyncStoreClient
 from repro.cluster.consistent import ConsistentHashRing
+from repro.obs.aggregate import sum_numeric_stats
 
 
 class AsyncStorePool:
@@ -112,20 +113,16 @@ class AsyncStorePool:
     # -- fleet management ------------------------------------------------------
 
     async def aggregate_stats(self) -> Dict[str, int]:
-        """Summed integer server stats across every node (concurrently)."""
+        """Summed numeric server stats across every node (concurrently).
+
+        Merging lives in :func:`repro.obs.aggregate.sum_numeric_stats`, the
+        same helper the shard supervisor uses for its fleet view.
+        """
         nodes = list(self._clients)
         snapshots = await asyncio.gather(
             *(self._clients[node].stats() for node in nodes)
         )
-        totals: Dict[str, int] = {}
-        for snapshot in snapshots:
-            for name, value in snapshot.items():
-                try:
-                    number = int(value)
-                except ValueError:
-                    continue
-                totals[name] = totals.get(name, 0) + number
-        return totals
+        return sum_numeric_stats(snapshots)
 
     async def per_node_stats(self) -> Dict[str, Dict[str, str]]:
         """Raw server stats per node, gathered concurrently."""

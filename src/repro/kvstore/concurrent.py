@@ -6,13 +6,17 @@ and protocol work, not the replacement structure.  That is exactly why the
 paper cares about the *CPU cost per operation* of the replacement policy:
 time spent inside the lock is lost to every thread.
 
-:class:`ThreadSafeStore` reproduces that model: a re-entrant lock around
-every store operation, with lock-hold-time accounting so experiments can
-observe how a costlier policy (GD-PQ) inflates the serialized section.
+:class:`ThreadSafeStore` reproduces that model: one plain (non-reentrant)
+lock around every store operation.  Lock-hold-time accounting — the two
+``perf_counter`` reads bracketing the critical section — is opt-in and
+sampled, so the wrapper no longer taxes the very path it exists to
+measure: pass ``hold_time_sampling=1`` to time every operation (the
+paper's measurement mode) or ``N`` to time one in ``N``.
 
 For scale-out parallelism, use multiple stores behind
-:class:`repro.cluster.StorePool` — the same answer memcached deployments
-use.
+:class:`repro.cluster.StorePool` or the multi-process
+:class:`repro.shard.ShardSupervisor` — the same answer memcached
+deployments use.
 """
 
 from __future__ import annotations
@@ -29,18 +33,35 @@ class ThreadSafeStore:
     """A :class:`KVStore` serialized behind one lock, like memcached's.
 
     Exposes the same public operations; each acquires the cache lock for
-    its duration.  ``lock_hold_seconds`` accumulates total time spent
-    holding the lock (the serialized CPU the paper's Figures 7-8 are
-    about).
+    its duration.  The store's operations never call back into the
+    wrapper, so a plain ``Lock`` suffices (an ``RLock`` would pay owner
+    bookkeeping on every acquire).
+
+    Args:
+        store: the store to serialize.
+        hold_time_sampling: 0 (default) disables lock-hold accounting
+            entirely; ``N >= 1`` times every Nth locked operation and
+            accumulates into :attr:`lock_hold_seconds`.  Sampling keeps
+            :meth:`average_lock_hold_us` honest (it divides by the number
+            of *sampled* operations) while shrinking the measurement tax
+            by ``1/N``.
     """
 
-    def __init__(self, store: KVStore) -> None:
+    def __init__(self, store: KVStore, hold_time_sampling: int = 0) -> None:
+        if hold_time_sampling < 0:
+            raise ValueError("hold_time_sampling must be >= 0")
         self._store = store
-        self._lock = threading.RLock()
-        #: cumulative seconds spent inside the cache lock
+        self._lock = threading.Lock()
+        self._sampling = hold_time_sampling
+        #: cumulative seconds spent inside the cache lock (sampled ops only)
         self.lock_hold_seconds = 0.0
         #: number of locked operations performed
         self.locked_operations = 0
+        #: how many operations were actually timed
+        self.sampled_operations = 0
+        self._locked = (
+            self._locked_sampled if hold_time_sampling else self._locked_fast
+        )
 
     @property
     def store(self) -> KVStore:
@@ -56,14 +77,26 @@ class ThreadSafeStore:
     def stats(self):
         return self._store.stats
 
-    def _locked(self, fn, *args, **kwargs):
+    @property
+    def hold_time_sampling(self) -> int:
+        return self._sampling
+
+    def _locked_fast(self, fn, *args, **kwargs):
         with self._lock:
+            self.locked_operations += 1
+            return fn(*args, **kwargs)
+
+    def _locked_sampled(self, fn, *args, **kwargs):
+        with self._lock:
+            self.locked_operations += 1
+            if self.locked_operations % self._sampling:
+                return fn(*args, **kwargs)
             started = time.perf_counter()
             try:
                 return fn(*args, **kwargs)
             finally:
                 self.lock_hold_seconds += time.perf_counter() - started
-                self.locked_operations += 1
+                self.sampled_operations += 1
 
     # -- delegated operations ---------------------------------------------------
 
@@ -122,7 +155,7 @@ class ThreadSafeStore:
             return len(self._store)
 
     def average_lock_hold_us(self) -> float:
-        """Mean serialized time per operation, in microseconds."""
-        if not self.locked_operations:
+        """Mean serialized time per *sampled* operation, in microseconds."""
+        if not self.sampled_operations:
             return 0.0
-        return 1e6 * self.lock_hold_seconds / self.locked_operations
+        return 1e6 * self.lock_hold_seconds / self.sampled_operations

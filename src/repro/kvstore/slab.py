@@ -77,11 +77,15 @@ class SlabClass:
 
     __slots__ = ("class_id", "chunk_size", "slabs", "_free_slabs",
                  "live_items", "live_bytes", "live_cost",
-                 "evictions", "rebalance_evictions", "total_sets")
+                 "evictions", "rebalance_evictions", "total_sets",
+                 "policy")
 
     def __init__(self, class_id: int, chunk_size: int) -> None:
         self.class_id = class_id
         self.chunk_size = chunk_size
+        #: replacement policy cached by the owning store (None until bound);
+        #: the allocator itself never touches it
+        self.policy = None
         self.slabs: List[Slab] = []
         # Stack of slabs that may have free chunks; entries may be stale
         # (validated on pop) so slab moves never pay an O(free-list) scan.

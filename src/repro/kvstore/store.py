@@ -91,6 +91,14 @@ class KVStore:
         self._policies: dict = {}  # class_id -> ReplacementPolicy
         self.rebalancer = rebalancer if rebalancer is not None else NullRebalancer()
         self.rebalancer.attach(self)
+        # The NullRebalancer's on_request is a no-op; resolving and calling
+        # it on every operation is pure overhead, so public ops guard on
+        # this prebound reference instead (None = skip the call).
+        self._on_request: Optional[Callable[[], None]] = (
+            None
+            if type(self.rebalancer) is NullRebalancer
+            else self.rebalancer.on_request
+        )
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.trace = trace
         self.stats = StoreStats(self.metrics)
@@ -148,20 +156,31 @@ class KVStore:
     # -- plumbing -----------------------------------------------------------------
 
     def policy_for(self, slab_class: SlabClass) -> ReplacementPolicy:
-        """The replacement policy instance owning ``slab_class``'s items."""
-        policy = self._policies.get(slab_class.class_id)
+        """The replacement policy instance owning ``slab_class``'s items.
+
+        The resolved policy is cached on the slab class itself
+        (``slab_class.policy``), so steady-state GET/SET hits pay one
+        attribute load instead of a method call plus dict lookup.
+        """
+        policy = slab_class.policy
         if policy is None:
-            policy = self._policy_factory()
-            policy.bind_observability(
-                self.metrics, self.trace, class_id=slab_class.class_id
-            )
-            self._policies[slab_class.class_id] = policy
+            policy = self._policies.get(slab_class.class_id)
+            if policy is None:
+                policy = self._policy_factory()
+                policy.bind_observability(
+                    self.metrics, self.trace, class_id=slab_class.class_id
+                )
+                self._policies[slab_class.class_id] = policy
+            slab_class.policy = policy
         return policy
 
     def _unlink_item(self, item: Item, slab_class: SlabClass) -> None:
         """Remove ``item`` from hash, policy, and allocator accounting."""
         self.hashtable.delete(item.key)
-        self.policy_for(slab_class).remove(item)
+        policy = slab_class.policy
+        if policy is None:
+            policy = self.policy_for(slab_class)
+        policy.remove(item)
         slab_class.free_item(item)
 
     def _drop_for_rebalance(self, item: Item) -> None:
@@ -271,24 +290,36 @@ class KVStore:
         Expired items are lazily deleted and count as misses; hits update the
         replacement policy (after "responding", as memcached does — which is
         why the paper's Figure 7 shows GET latency independent of policy).
+
+        The hit path is deliberately flat: one hash probe, an inlined
+        expiry check, and a policy touch through the reference cached on
+        the slab class — no ``policy_for`` resolution, no rebalancer
+        virtual call when the NullRebalancer is installed.
         """
-        self.rebalancer.on_request()
+        on_request = self._on_request
+        if on_request is not None:
+            on_request()
         item = self.hashtable.find(key)
+        stats = self.stats
         if item is None:
-            self.stats.get_misses += 1
+            stats.get_misses += 1
             return None
         now = self.clock.now
-        if item.expired(now):
-            slab_class = item.slab.owner
-            self._unlink_item(item, slab_class)
-            self.stats.get_expired += 1
-            self.stats.get_misses += 1
+        exptime = item.exptime
+        if exptime != NEVER_EXPIRES and now >= exptime:
+            self._unlink_item(item, item.slab.owner)
+            stats.get_expired += 1
+            stats.get_misses += 1
             return None
-        self.stats.get_hits += 1
+        stats.get_hits += 1
         item.last_access = now
-        item.slab.last_access = now
-        slab_class = item.slab.owner
-        self.policy_for(slab_class).touch(item)
+        slab = item.slab
+        slab.last_access = now
+        slab_class = slab.owner
+        policy = slab_class.policy
+        if policy is None:
+            policy = self.policy_for(slab_class)
+        policy.touch(item)
         return item
 
     def contains(self, key: bytes) -> bool:
@@ -305,13 +336,15 @@ class KVStore:
         flags: int = 0,
     ) -> Item:
         """SET: unconditionally store, with the paper's optional cost."""
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         return self._store_item(key, value, cost, exptime, flags)
 
     def add(self, key: bytes, value: bytes, cost: int = 0,
             exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
         """ADD: store only if the key is absent (else NOT_STORED)."""
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         if self.contains(key):
             raise NotStoredError(f"key {key!r} already stored")
         return self._store_item(key, value, cost, exptime, flags)
@@ -319,7 +352,8 @@ class KVStore:
     def replace(self, key: bytes, value: bytes, cost: int = 0,
                 exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
         """REPLACE: store only if the key is present (else NOT_STORED)."""
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         if not self.contains(key):
             raise NotStoredError(f"key {key!r} not stored")
         return self._store_item(key, value, cost, exptime, flags)
@@ -334,11 +368,15 @@ class KVStore:
         slab, index = self._allocate_chunk(slab_class)
         slab_class.store_item(item, slab, index)
         self.hashtable.insert(item)
-        item.last_access = self.clock.now
-        slab.last_access = self.clock.now
+        now = self.clock.now
+        item.last_access = now
+        slab.last_access = now
         self._cas_counter += 1
         item.cas_unique = self._cas_counter
-        self.policy_for(slab_class).insert(item, cost)
+        policy = slab_class.policy
+        if policy is None:
+            policy = self.policy_for(slab_class)
+        policy.insert(item, cost)
         self.stats.sets += 1
         return item
 
@@ -348,7 +386,8 @@ class KVStore:
         As in memcached, the item is reallocated (its size class may
         change); flags, expiry, and cost are preserved.
         """
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         item = self.hashtable.find(key)
         if item is None or item.expired(self.clock.now):
             raise NotStoredError(f"key {key!r} not stored")
@@ -358,7 +397,8 @@ class KVStore:
 
     def prepend(self, key: bytes, prefix: bytes) -> Item:
         """PREPEND: add ``prefix`` before an existing value (else NOT_STORED)."""
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         item = self.hashtable.find(key)
         if item is None or item.expired(self.clock.now):
             raise NotStoredError(f"key {key!r} not stored")
@@ -373,7 +413,8 @@ class KVStore:
         Raises :class:`CasMismatchError` when the token is stale (memcached's
         EXISTS) and :class:`NotStoredError` when the key vanished (NOT_FOUND).
         """
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         item = self.hashtable.find(key)
         if item is None or item.expired(self.clock.now):
             raise NotStoredError(f"key {key!r} not stored")
@@ -392,7 +433,8 @@ class KVStore:
         hold an unsigned decimal number (else ValueError); underflow clamps
         at zero on DECR.
         """
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         item = self.hashtable.find(key)
         if item is None or item.expired(self.clock.now):
             raise NotStoredError(f"key {key!r} not stored")
@@ -416,7 +458,8 @@ class KVStore:
 
     def delete(self, key: bytes) -> bool:
         """DELETE: returns True if the key was present and removed."""
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         item = self.hashtable.find(key)
         if item is None:
             self.stats.delete_misses += 1
@@ -427,7 +470,8 @@ class KVStore:
 
     def touch_ttl(self, key: bytes, exptime: float) -> bool:
         """TOUCH: update an item's expiry without fetching it."""
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         item = self.hashtable.find(key)
         if item is None or item.expired(self.clock.now):
             return False
@@ -436,7 +480,8 @@ class KVStore:
 
     def flush_all(self) -> int:
         """Drop every cached item; returns the number removed."""
-        self.rebalancer.on_request()
+        if self._on_request is not None:
+            self._on_request()
         removed = 0
         for item in list(self.hashtable.items()):
             self._unlink_item(item, item.slab.owner)

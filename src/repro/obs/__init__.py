@@ -13,6 +13,7 @@ benchmark (``benchmarks/test_obs_overhead.py``) holds the instrumented
 path to within 10% of that baseline.
 """
 
+from repro.obs.aggregate import as_number, sum_numeric_stats
 from repro.obs.histogram import BoundedHistogram, LatencyHistogram
 from repro.obs.promtext import parse_sample_lines, render_registry
 from repro.obs.registry import (
@@ -49,10 +50,12 @@ __all__ = [
     "SlabMoveEvent",
     "SnapshotReporter",
     "TraceEvent",
+    "as_number",
     "diff_snapshots",
     "format_series",
     "format_snapshot",
     "key_fingerprint",
     "parse_sample_lines",
     "render_registry",
+    "sum_numeric_stats",
 ]

@@ -1,0 +1,60 @@
+"""Cross-worker metrics aggregation.
+
+A sharded deployment (``repro.shard``) runs one metrics registry per
+worker process; fleet-level telemetry is the numeric sum of the per-worker
+``stats`` snapshots.  The helpers here are pure data-merging functions so
+the same code backs the shard supervisor's aggregate view, the async
+pool's :meth:`~repro.aio.pool.AsyncStorePool.aggregate_stats`, and any
+offline report over saved snapshots.
+
+Counters and most gauges (connection counts, live bytes, item counts) sum
+meaningfully across shared-nothing workers; ratios and percentiles do not
+— aggregate those from the summed raw series instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+
+def as_number(value: object) -> Optional[Number]:
+    """``value`` as an int (preferred) or float, or ``None`` if neither.
+
+    Stats arrive over the wire as strings; integers are kept exact and
+    anything float-ish (``"0.125"``) falls back to ``float``.  Booleans
+    and non-numeric strings are rejected.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        return int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        pass
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def sum_numeric_stats(
+    snapshots: Iterable[Mapping[str, object]],
+) -> Dict[str, Number]:
+    """Merge per-worker stats dicts by summing their numeric values.
+
+    Non-numeric values (version strings, policy names) are dropped; keys
+    present in only some snapshots still contribute.  The result keeps
+    ints exact — a series only becomes float if some worker reported a
+    float.
+    """
+    totals: Dict[str, Number] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            number = as_number(value)
+            if number is None:
+                continue
+            totals[name] = totals.get(name, 0) + number
+    return totals

@@ -47,7 +47,7 @@ from repro.protocol.commands import (
     client_error,
     server_error,
 )
-from repro.protocol.text import RequestParser, encode_response
+from repro.protocol.text import RequestParser, encode_response_into
 
 #: most recent trace events included in a ``stats trace`` response
 TRACE_TAIL = 64
@@ -99,6 +99,7 @@ class StoreServer:
         self.trace = trace if trace is not None else store.trace
         self._timing = self.metrics.enabled
         self._cmd_hists: dict = {}
+        self._perf_counter = time.perf_counter
 
     def _observe_command(self, label: str, elapsed_us: float) -> None:
         # per-command counts ride on the histogram's _count series, so the
@@ -120,7 +121,11 @@ class StoreServer:
             flush()
 
     def handle_bytes(self, parser: RequestParser, data: bytes) -> Tuple[bytes, bool]:
-        """Feed raw request bytes; returns (response bytes, keep_open)."""
+        """Feed raw request bytes; returns (response bytes, keep_open).
+
+        Every response of a pipelined batch serializes into one shared
+        buffer, converted to ``bytes`` once per flush.
+        """
         out = bytearray()
         try:
             parser.feed(data)
@@ -129,9 +134,9 @@ class StoreServer:
                 if isinstance(command, QuitCommand):
                     return bytes(out), False
                 if reply:
-                    out += encode_response(response)
+                    encode_response_into(out, response)
         except ProtocolError as exc:
-            out += encode_response(client_error(str(exc)))
+            encode_response_into(out, client_error(str(exc)))
             return bytes(out), False
         return bytes(out), True
 
@@ -143,12 +148,13 @@ class StoreServer:
         """
         if not self._timing:
             return self._dispatch(command)
-        started = time.perf_counter()
+        perf_counter = self._perf_counter
+        started = perf_counter()
         try:
             return self._dispatch(command)
         finally:
             self._observe_command(
-                command_label(command), (time.perf_counter() - started) * 1e6
+                command_label(command), (perf_counter() - started) * 1e6
             )
 
     def _dispatch(self, command) -> Tuple[object, bool]:
@@ -329,6 +335,8 @@ class StoreConnection:
     in-process loopback, and the asyncio server in :mod:`repro.aio`.
     """
 
+    __slots__ = ("engine", "parser", "open")
+
     def __init__(self, engine: StoreServer) -> None:
         self.engine = engine
         self.parser = RequestParser()
@@ -354,6 +362,8 @@ class LoopbackConnection(StoreConnection):
     Tests and examples use this instead of sockets; framing and parsing run
     exactly as over TCP.
     """
+
+    __slots__ = ()
 
     def send(self, data: bytes) -> bytes:
         return self.feed(data)

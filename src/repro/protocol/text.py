@@ -77,18 +77,31 @@ def _parse_int(token: bytes, what: str) -> int:
 
 
 class RequestParser:
-    """Incremental request parser: feed bytes, iterate complete commands."""
+    """Incremental request parser: feed bytes, iterate complete commands.
+
+    Consumption is offset-based: parsed commands advance ``_start`` instead
+    of ``del``-ing the buffer prefix, so a deep pipelined read is scanned
+    without shifting the remaining bytes once per command.  The consumed
+    prefix is dropped in one amortized compaction on the next :meth:`feed`.
+    """
+
+    __slots__ = ("_buffer", "_start", "_pending", "_pending_bytes")
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._start = 0  # consumed prefix length (compacted on feed)
         self._pending: Optional[StoreCommand] = None
         self._pending_bytes = 0
 
     def feed(self, data: bytes) -> None:
-        self._buffer.extend(data)
-        if len(self._buffer) > MAX_LINE_LENGTH + self._pending_bytes + 2:
+        buffer = self._buffer
+        if self._start:
+            del buffer[: self._start]
+            self._start = 0
+        buffer.extend(data)
+        if len(buffer) > MAX_LINE_LENGTH + self._pending_bytes + 2:
             # guard against unframed garbage flooding the buffer
-            if self._pending is None and CRLF not in self._buffer:
+            if self._pending is None and buffer.find(CRLF) < 0:
                 raise ProtocolError("request line too long")
 
     def __iter__(self) -> Iterator[Command]:
@@ -101,35 +114,33 @@ class RequestParser:
     def _next_command(self) -> Optional[Command]:
         if self._pending is not None:
             return self._finish_store()
-        newline = self._buffer.find(CRLF)
+        start = self._start
+        newline = self._buffer.find(CRLF, start)
         if newline < 0:
             return None
-        line = bytes(self._buffer[:newline])
-        del self._buffer[: newline + 2]
+        line = bytes(self._buffer[start:newline])
+        self._start = newline + 2
         return self._parse_line(line)
 
     def _finish_store(self) -> Optional[StoreCommand]:
         need = self._pending_bytes + 2  # data + CRLF
-        if len(self._buffer) < need:
+        start = self._start
+        if len(self._buffer) - start < need:
             return None
-        data = bytes(self._buffer[: self._pending_bytes])
-        trailer = bytes(self._buffer[self._pending_bytes : need])
-        del self._buffer[:need]
+        end = start + self._pending_bytes
+        data = bytes(self._buffer[start:end])
+        trailer = bytes(self._buffer[end : end + 2])
+        self._start = start + need
         pending = self._pending
         self._pending = None
         self._pending_bytes = 0
         if trailer != CRLF:
             raise ProtocolError("bad data chunk terminator")
-        return StoreCommand(
-            verb=pending.verb,
-            key=pending.key,
-            flags=pending.flags,
-            exptime=pending.exptime,
-            value=data,
-            cost=pending.cost,
-            noreply=pending.noreply,
-            cas_unique=pending.cas_unique,
-        )
+        # the pending command is private to this parser and not yet
+        # published, so filling in its value beats re-constructing the
+        # frozen dataclass (field-by-field object.__setattr__) per SET
+        object.__setattr__(pending, "value", data)
+        return pending
 
     def _parse_line(self, line: bytes) -> Command:
         if not line:
@@ -287,33 +298,54 @@ def encode_command(command: Command) -> bytes:
     raise TypeError(f"cannot encode {type(command).__name__}")
 
 
+def encode_response_into(out: bytearray, response) -> None:
+    """Server side: append one response's wire bytes to ``out``.
+
+    The dispatcher shares one ``out`` buffer across every response of a
+    pipelined batch, so serializing N commands allocates one buffer per
+    flush instead of one intermediate ``bytes`` per command.
+    """
+    if isinstance(response, GetResponse):
+        for value in response.values:
+            data = value.value
+            if value.cas_unique is not None:
+                out += b"VALUE %s %d %d %d\r\n" % (
+                    value.key, value.flags, len(data), value.cas_unique
+                )
+            else:
+                out += b"VALUE %s %d %d\r\n" % (value.key, value.flags, len(data))
+            out += data
+            out += CRLF
+        out += b"END\r\n"
+    elif isinstance(response, SimpleResponse):
+        out += response.line
+        out += CRLF
+    elif isinstance(response, NumberResponse):
+        out += b"%d\r\n" % response.value
+    elif isinstance(response, StatsResponse):
+        for name, value in response.stats:
+            out += b"STAT %s %s\r\n" % (name.encode(), str(value).encode())
+        out += b"END\r\n"
+    else:
+        raise TypeError(f"cannot encode {type(response).__name__}")
+
+
 def encode_response(response) -> bytes:
     """Server side: a response object to wire bytes."""
-    if isinstance(response, GetResponse):
-        out = bytearray()
-        for value in response.values:
-            out += b"VALUE %s %d %d" % (value.key, value.flags, len(value.value))
-            if value.cas_unique is not None:
-                out += b" %d" % value.cas_unique
-            out += CRLF + value.value + CRLF
-        out += b"END" + CRLF
-        return bytes(out)
-    if isinstance(response, NumberResponse):
-        return b"%d" % response.value + CRLF
-    if isinstance(response, SimpleResponse):
-        return response.line + CRLF
-    if isinstance(response, StatsResponse):
-        out = bytearray()
-        for name, value in response.stats:
-            out += b"STAT %s %s" % (name.encode(), str(value).encode())
-            out += CRLF
-        out += b"END" + CRLF
-        return bytes(out)
-    raise TypeError(f"cannot encode {type(response).__name__}")
+    out = bytearray()
+    encode_response_into(out, response)
+    return bytes(out)
 
 
 class ResponseParser:
-    """Incremental response parser for the client side."""
+    """Incremental response parser for the client side.
+
+    Scans the receive buffer in place — no per-attempt snapshot copy of
+    the whole buffer; only complete lines and value payloads are sliced
+    out as ``bytes``.
+    """
+
+    __slots__ = ("_buffer",)
 
     def __init__(self) -> None:
         self._buffer = bytearray()
@@ -323,31 +355,32 @@ class ResponseParser:
 
     def try_parse(self):
         """One complete response, or ``None`` if more bytes are needed."""
-        snapshot = bytes(self._buffer)
-        newline = snapshot.find(CRLF)
+        buffer = self._buffer
+        newline = buffer.find(CRLF)
         if newline < 0:
             return None
-        first = snapshot[:newline]
+        first = bytes(buffer[:newline])
         if first.startswith(b"VALUE") or first == b"END":
-            return self._try_parse_get(snapshot)
-        if first.startswith(b"STAT") :
-            return self._try_parse_stats(snapshot)
-        del self._buffer[: newline + 2]
+            return self._try_parse_get()
+        if first.startswith(b"STAT"):
+            return self._try_parse_stats()
+        del buffer[: newline + 2]
         if first.isdigit():
             return NumberResponse(value=int(first))
         return SimpleResponse(first)
 
-    def _try_parse_get(self, snapshot: bytes):
+    def _try_parse_get(self):
+        buffer = self._buffer
         values = []
         pos = 0
         while True:
-            newline = snapshot.find(CRLF, pos)
+            newline = buffer.find(CRLF, pos)
             if newline < 0:
                 return None
-            line = snapshot[pos:newline]
+            line = bytes(buffer[pos:newline])
             pos = newline + 2
             if line == b"END":
-                del self._buffer[:pos]
+                del buffer[:pos]
                 return GetResponse(values=tuple(values))
             if not line.startswith(b"VALUE "):
                 raise ProtocolError(f"unexpected line in GET response: {line!r}")
@@ -356,10 +389,10 @@ class ResponseParser:
                 raise ProtocolError(f"bad VALUE header: {line!r}")
             nbytes = _parse_int(parts[3], "bytes")
             cas_unique = _parse_int(parts[4], "cas") if len(parts) == 5 else None
-            if len(snapshot) < pos + nbytes + 2:
+            if len(buffer) < pos + nbytes + 2:
                 return None
-            data = snapshot[pos : pos + nbytes]
-            if snapshot[pos + nbytes : pos + nbytes + 2] != CRLF:
+            data = bytes(buffer[pos : pos + nbytes])
+            if buffer[pos + nbytes : pos + nbytes + 2] != CRLF:
                 raise ProtocolError("bad data terminator in GET response")
             pos += nbytes + 2
             values.append(
@@ -371,17 +404,18 @@ class ResponseParser:
                 )
             )
 
-    def _try_parse_stats(self, snapshot: bytes):
+    def _try_parse_stats(self):
+        buffer = self._buffer
         stats = []
         pos = 0
         while True:
-            newline = snapshot.find(CRLF, pos)
+            newline = buffer.find(CRLF, pos)
             if newline < 0:
                 return None
-            line = snapshot[pos:newline]
+            line = bytes(buffer[pos:newline])
             pos = newline + 2
             if line == b"END":
-                del self._buffer[:pos]
+                del buffer[:pos]
                 return StatsResponse(stats=stats)
             if not line.startswith(b"STAT "):
                 raise ProtocolError(f"unexpected line in STATS response: {line!r}")

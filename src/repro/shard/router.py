@@ -1,0 +1,102 @@
+"""Client-side key→shard routing for a sharded deployment.
+
+The router wraps the same ketama ring
+(:class:`repro.cluster.consistent.ConsistentHashRing`) that both
+:class:`repro.cluster.pool.StorePool` and
+:class:`repro.aio.pool.AsyncStorePool` build internally, keyed by shard
+*name* — never by address.  Names outlive worker processes: a shard that
+crashes and respawns (even on a new port) keeps its name and therefore its
+ring points, so the key→shard assignment is byte-for-byte stable across
+restarts and across every client that knows the same shard names.
+
+:meth:`ShardRouter.connect_pool` turns the routing table into a live
+:class:`AsyncStorePool`, which makes a sharded deployment a drop-in,
+protocol-compatible replacement for the multi-node cluster client from
+PR 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.aio.backoff import RetryPolicy
+from repro.aio.client import AsyncStoreClient
+from repro.aio.pool import AsyncStorePool
+from repro.cluster.consistent import ConsistentHashRing
+
+Endpoint = Tuple[str, int]
+
+
+class ShardRouter:
+    """Key→shard assignment plus the address book to reach each shard.
+
+    Args:
+        endpoints: shard name -> (host, port).  The *names* define the
+            ring; the addresses are just delivery details and may be
+            updated in place (:meth:`update_endpoint`) without moving any
+            keys.
+        replicas: virtual ring points per shard (must match the value
+            other clients use for their routing to agree).
+    """
+
+    def __init__(self, endpoints: Dict[str, Endpoint], replicas: int = 100) -> None:
+        if not endpoints:
+            raise ValueError("a router needs at least one shard endpoint")
+        self.replicas = replicas
+        self._endpoints: Dict[str, Endpoint] = dict(endpoints)
+        self._ring = ConsistentHashRing(list(self._endpoints), replicas=replicas)
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        return tuple(self._endpoints)
+
+    @property
+    def endpoints(self) -> Dict[str, Endpoint]:
+        return dict(self._endpoints)
+
+    @property
+    def ring(self) -> ConsistentHashRing:
+        return self._ring
+
+    def shard_for(self, key: bytes) -> str:
+        """The shard name owning ``key`` (pure ring lookup)."""
+        shard = self._ring.node_for(key)
+        assert shard is not None  # the ring is never empty
+        return shard
+
+    def endpoint_for(self, key: bytes) -> Endpoint:
+        """The (host, port) currently serving ``key``'s shard."""
+        return self._endpoints[self.shard_for(key)]
+
+    def update_endpoint(self, shard: str, host: str, port: int) -> None:
+        """Point ``shard`` at a new address — routing does not change."""
+        if shard not in self._endpoints:
+            raise KeyError(f"unknown shard {shard!r}")
+        self._endpoints[shard] = (host, port)
+
+    def connect_pool(
+        self,
+        pool_size: int = 4,
+        timeout: Optional[float] = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> AsyncStorePool:
+        """A live :class:`AsyncStorePool` over the current endpoints.
+
+        The pool re-derives the ring from the same shard names and replica
+        count, so ``pool.node_for(key) == router.shard_for(key)`` for every
+        key; clients inherit the PR 1 retry/backoff behaviour, which is
+        what rides out a worker respawn.
+        """
+        clients = {
+            shard: AsyncStoreClient(
+                host, port, pool_size=pool_size, timeout=timeout,
+                retry=retry, rng=rng,
+            )
+            for shard, (host, port) in self._endpoints.items()
+        }
+        return AsyncStorePool(clients, replicas=self.replicas)

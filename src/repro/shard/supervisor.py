@@ -1,0 +1,328 @@
+"""The shard supervisor — spawn, monitor, respawn, and aggregate workers.
+
+The process model is nginx/memcached-meets-prefork: a parent that owns no
+traffic, N shared-nothing workers that own everything (store, policies,
+event loop, metrics), and a monitor thread that respawns any worker that
+dies.  A respawned worker rebinds its predecessor's port, so the fleet's
+endpoints are stable and clients recover with the ordinary PR 1
+retry/backoff path — no coordination protocol, no connection draining.
+
+Because each shard runs its own per-slab-class policies over its own key
+subset, eviction decisions inside one shard are identical to a
+single-process store serving only that subset — sharding changes *where*
+the paper's replacement work happens, never *what* gets evicted
+(DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.aggregate import sum_numeric_stats
+from repro.protocol.client import CostAwareClient
+from repro.shard.router import Endpoint, ShardRouter
+from repro.shard.worker import ShardConfig, worker_main
+
+
+class ShardStartupError(RuntimeError):
+    """A worker failed to come up (or report ready) in time."""
+
+
+class _WorkerHandle:
+    """Parent-side state for one worker process."""
+
+    __slots__ = ("name", "process", "host", "port", "restarts")
+
+    def __init__(self, name: str, process, host: str, port: int) -> None:
+        self.name = name
+        self.process = process
+        self.host = host
+        self.port = port
+        self.restarts = 0
+
+
+def _default_start_method() -> str:
+    # fork is by far the cheapest way to stamp out N identical workers
+    # (no re-import of numpy per child); fall back to spawn where fork
+    # does not exist (Windows) — worker_main and ShardConfig pickle fine.
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardSupervisor:
+    """Run N shard workers as child processes behind stable endpoints.
+
+    Args:
+        num_shards: worker count (one store + asyncio server each).
+        host: bind address for every worker (loopback by default).
+        ports: optional explicit port per shard; default lets each worker
+            bind an ephemeral port and report it back.
+        policy / memory_limit / slab_size / max_connections: forwarded
+            into each worker's :class:`~repro.shard.worker.ShardConfig`.
+            ``memory_limit`` is the PER-SHARD budget (a 4-shard fleet with
+            the default serves 4x the memory of one process).
+        replicas: ketama points per shard for routers/pools built here.
+        start_method: multiprocessing start method; default prefers
+            ``fork`` and falls back to ``spawn``.
+        respawn: whether the monitor thread restarts dead workers.
+        max_respawns: per-shard restart budget before giving up.
+        monitor_interval: seconds between liveness sweeps.
+
+    Use as a context manager (``with ShardSupervisor(4) as sup:``) from
+    synchronous code — start it *before* entering an event loop so workers
+    never fork a live loop.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        host: str = "127.0.0.1",
+        ports: Optional[List[int]] = None,
+        policy: str = "gdwheel",
+        memory_limit: int = 64 * 1024 * 1024,
+        slab_size: int = 1024 * 1024,
+        max_connections: Optional[int] = None,
+        replicas: int = 100,
+        start_method: Optional[str] = None,
+        respawn: bool = True,
+        max_respawns: int = 5,
+        monitor_interval: float = 0.2,
+        name_prefix: str = "shard",
+        startup_timeout: float = 30.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if ports is not None and len(ports) != num_shards:
+            raise ValueError("ports must list one port per shard")
+        self.num_shards = num_shards
+        self.host = host
+        self.policy = policy
+        self.memory_limit = memory_limit
+        self.slab_size = slab_size
+        self.max_connections = max_connections
+        self.replicas = replicas
+        self.respawn = respawn
+        self.max_respawns = max_respawns
+        self.monitor_interval = monitor_interval
+        self.startup_timeout = startup_timeout
+        self._requested_ports = ports
+        self._names = [f"{name_prefix}-{i}" for i in range(num_shards)]
+        self._ctx = multiprocessing.get_context(
+            start_method if start_method is not None else _default_start_method()
+        )
+        self._handles: Dict[str, _WorkerHandle] = {}
+        self._lock = threading.Lock()
+        self._monitor: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker and block until all report ready."""
+        if self._started:
+            raise RuntimeError("supervisor already started")
+        self._started = True
+        try:
+            for index, name in enumerate(self._names):
+                port = (
+                    self._requested_ports[index]
+                    if self._requested_ports is not None
+                    else 0
+                )
+                self._handles[name] = self._spawn(name, port)
+        except Exception:
+            self.stop()
+            raise
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="shard-supervisor-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def _spawn(self, name: str, port: int) -> _WorkerHandle:
+        """Start one worker and wait for its ready report."""
+        config = ShardConfig(
+            name=name,
+            host=self.host,
+            port=port,
+            policy=self.policy,
+            memory_limit=self.memory_limit,
+            slab_size=self.slab_size,
+            max_connections=self.max_connections,
+        )
+        parent_end, child_end = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(config, child_end),
+            name=f"gdwheel-{name}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()  # the worker owns the other end now
+        try:
+            if not parent_end.poll(self.startup_timeout):
+                raise ShardStartupError(f"worker {name} never reported ready")
+            report = parent_end.recv()
+        except (EOFError, OSError) as exc:
+            process.terminate()
+            process.join(timeout=5)
+            raise ShardStartupError(f"worker {name} died during startup") from exc
+        finally:
+            parent_end.close()
+        return _WorkerHandle(name, process, report["host"], report["port"])
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful fleet shutdown: SIGTERM, join, then kill stragglers."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout)
+            self._monitor = None
+        with self._lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            if handle.process.is_alive():
+                handle.process.terminate()
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+
+    def __enter__(self) -> "ShardSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- monitoring / respawn ---------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.monitor_interval):
+            with self._lock:
+                dead = [
+                    handle
+                    for handle in self._handles.values()
+                    if not handle.process.is_alive()
+                ]
+            for handle in dead:
+                if self._stopping.is_set():
+                    return
+                self._respawn(handle)
+
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        handle.process.join(timeout=1.0)  # reap the corpse
+        if not self.respawn or handle.restarts >= self.max_respawns:
+            return
+        restarts = handle.restarts + 1
+        try:
+            # rebind the dead worker's port so existing clients recover by
+            # plain retry; a new ready report confirms the listener is live
+            fresh = self._spawn(handle.name, handle.port)
+        except ShardStartupError:
+            try:
+                # port may be briefly unavailable — fall back to ephemeral
+                fresh = self._spawn(handle.name, 0)
+            except ShardStartupError:  # pragma: no cover - startup storm
+                return
+        fresh.restarts = restarts
+        with self._lock:
+            if self._stopping.is_set():  # lost the race with stop()
+                fresh.process.terminate()
+                fresh.process.join(timeout=1.0)
+                return
+            self._handles[handle.name] = fresh
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def shard_names(self) -> List[str]:
+        return list(self._names)
+
+    def endpoints(self) -> Dict[str, Endpoint]:
+        """Shard name -> (host, port) for every live worker."""
+        with self._lock:
+            return {
+                name: (handle.host, handle.port)
+                for name, handle in self._handles.items()
+            }
+
+    def pids(self) -> Dict[str, Optional[int]]:
+        with self._lock:
+            return {
+                name: handle.process.pid
+                for name, handle in self._handles.items()
+            }
+
+    def restarts(self) -> Dict[str, int]:
+        """Per-shard respawn counts (0 = original process still serving)."""
+        with self._lock:
+            return {name: h.restarts for name, h in self._handles.items()}
+
+    def alive(self) -> Dict[str, bool]:
+        with self._lock:
+            return {
+                name: handle.process.is_alive()
+                for name, handle in self._handles.items()
+            }
+
+    def kill_worker(self, name: str) -> int:
+        """SIGKILL one worker (chaos testing); returns the dead pid.
+
+        The monitor thread observes the death and respawns a replacement
+        on the same endpoint (respawn budget permitting).
+        """
+        with self._lock:
+            handle = self._handles[name]
+        pid = handle.process.pid
+        handle.process.kill()
+        return pid
+
+    def wait_for_respawn(
+        self, name: str, min_restarts: int = 1, timeout: float = 10.0
+    ) -> bool:
+        """Block until ``name`` has been respawned at least ``min_restarts``
+        times and is alive again; returns False on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                handle = self._handles[name]
+                if handle.restarts >= min_restarts and handle.process.is_alive():
+                    return True
+            time.sleep(0.05)
+        return False
+
+    # -- client-side views ------------------------------------------------------
+
+    def router(self) -> ShardRouter:
+        """A :class:`ShardRouter` over the current endpoints."""
+        return ShardRouter(self.endpoints(), replicas=self.replicas)
+
+    def connect_pool(self, **kwargs):
+        """A live :class:`~repro.aio.pool.AsyncStorePool` over the fleet."""
+        return self.router().connect_pool(**kwargs)
+
+    # -- fleet telemetry --------------------------------------------------------
+
+    def per_shard_stats(self, subcommand: str = "") -> Dict[str, Dict[str, str]]:
+        """Raw ``stats [subcommand]`` per shard over short-lived connections."""
+        out: Dict[str, Dict[str, str]] = {}
+        for name, (host, port) in self.endpoints().items():
+            client = CostAwareClient.tcp(host, port)
+            try:
+                out[name] = client.stats(subcommand)
+            finally:
+                client.close()
+        return out
+
+    def aggregate_stats(self, subcommand: str = "") -> Dict[str, object]:
+        """Numeric sum of every shard's stats (counters and level gauges).
+
+        Ratios/percentiles do not sum; recompute them from the summed raw
+        series (see :mod:`repro.obs.aggregate`).
+        """
+        return sum_numeric_stats(self.per_shard_stats(subcommand).values())

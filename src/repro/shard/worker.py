@@ -1,0 +1,128 @@
+"""Shard worker — one process, one :class:`KVStore`, one asyncio server.
+
+Each worker is a complete single-shard deployment of the PR 1/PR 2 stack:
+its own slab allocator, its own per-class GD-Wheel (or comparator) policy
+instances, its own metrics registry, and its own event loop.  Nothing is
+shared between workers, so there is no cross-process cache lock — the
+paper's serialized replacement section shrinks to one shard's worth of
+traffic, and N workers use N cores.
+
+The module-level :func:`worker_main` is the child-process entrypoint (it
+must be importable by name so ``spawn``/``forkserver`` start methods can
+pickle it).  The parent passes a :class:`ShardConfig` plus one pipe
+connection; the worker binds, reports ``{shard, host, port, pid}`` through
+the pipe, then serves until SIGTERM/SIGINT.
+
+Policies are named by string (``"gdwheel"``, ``"gdpq"``, ...) rather than
+passed as callables so configs stay picklable under every start method.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.aio.server import AsyncTCPStoreServer
+from repro.core import (
+    ClockPolicy,
+    GDPQPolicy,
+    GDSFPolicy,
+    GDSPolicy,
+    GDWheelPolicy,
+    LRUPolicy,
+)
+from repro.kvstore.slab import (
+    DEFAULT_GROWTH_FACTOR,
+    DEFAULT_MIN_CHUNK,
+    DEFAULT_SLAB_SIZE,
+)
+from repro.kvstore.store import KVStore
+
+#: policy name -> factory, the picklable configuration surface
+POLICY_FACTORIES = {
+    "gdwheel": GDWheelPolicy,
+    "gdpq": GDPQPolicy,
+    "gds": GDSPolicy,
+    "gdsf": GDSFPolicy,
+    "lru": LRUPolicy,
+    "clock": ClockPolicy,
+}
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker process needs to build and serve its shard.
+
+    ``port=0`` binds an ephemeral port (reported back through the ready
+    pipe); the supervisor pins the reported port on respawn so a restarted
+    shard keeps its endpoint and clients recover via plain retry.
+    """
+
+    name: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    policy: str = "gdwheel"
+    memory_limit: int = 64 * 1024 * 1024
+    slab_size: int = DEFAULT_SLAB_SIZE
+    growth_factor: float = DEFAULT_GROWTH_FACTOR
+    min_chunk_size: int = DEFAULT_MIN_CHUNK
+    hash_power: int = 10
+    max_connections: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_FACTORIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"known: {sorted(POLICY_FACTORIES)}"
+            )
+
+
+def build_store(config: ShardConfig) -> KVStore:
+    """The shard's store, exactly as a single-process deployment builds it."""
+    return KVStore(
+        memory_limit=config.memory_limit,
+        policy_factory=POLICY_FACTORIES[config.policy],
+        slab_size=config.slab_size,
+        growth_factor=config.growth_factor,
+        min_chunk_size=config.min_chunk_size,
+        hash_power=config.hash_power,
+    )
+
+
+async def _serve(config: ShardConfig, ready) -> None:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    server = AsyncTCPStoreServer(
+        build_store(config),
+        host=config.host,
+        port=config.port,
+        max_connections=config.max_connections,
+    )
+    await server.start()
+    host, port = server.address
+    ready.send({"shard": config.name, "host": host, "port": port, "pid": os.getpid()})
+    ready.close()
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()
+
+
+def worker_main(config: ShardConfig, ready) -> None:
+    """Child-process entrypoint: serve ``config``'s shard until SIGTERM.
+
+    Args:
+        config: the shard to build and serve.
+        ready: a ``multiprocessing.connection.Connection``; one dict
+            (shard name, bound host/port, pid) is sent once the listener
+            is live, then the worker's end is closed.
+    """
+    try:
+        asyncio.run(_serve(config, ready))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C delivery
+        pass

@@ -37,12 +37,48 @@ class TestDelegation:
         assert store.delete(b"k")
         assert store.flush_all() == 0
 
-    def test_lock_accounting(self, store):
+    def test_lock_accounting_off_by_default(self, store):
         store.set(b"k", b"v")
         store.get(b"k")
         assert store.locked_operations == 2
-        assert store.lock_hold_seconds > 0
-        assert store.average_lock_hold_us() > 0
+        assert store.sampled_operations == 0
+        assert store.lock_hold_seconds == 0.0
+        assert store.average_lock_hold_us() == 0.0
+
+    def test_lock_accounting_opt_in(self):
+        wrapped = ThreadSafeStore(
+            KVStore(
+                memory_limit=512 * 1024,
+                slab_size=64 * 1024,
+                policy_factory=GDWheelPolicy,
+            ),
+            hold_time_sampling=1,
+        )
+        wrapped.set(b"k", b"v")
+        wrapped.get(b"k")
+        assert wrapped.locked_operations == 2
+        assert wrapped.sampled_operations == 2
+        assert wrapped.lock_hold_seconds > 0
+        assert wrapped.average_lock_hold_us() > 0
+
+    def test_lock_accounting_sampled(self):
+        wrapped = ThreadSafeStore(
+            KVStore(
+                memory_limit=512 * 1024,
+                slab_size=64 * 1024,
+                policy_factory=GDWheelPolicy,
+            ),
+            hold_time_sampling=10,
+        )
+        for i in range(100):
+            wrapped.set(b"k%d" % i, b"v")
+        assert wrapped.locked_operations == 100
+        assert wrapped.sampled_operations == 10
+        assert wrapped.average_lock_hold_us() > 0
+
+    def test_negative_sampling_rejected(self, store):
+        with pytest.raises(ValueError):
+            ThreadSafeStore(store.store, hold_time_sampling=-1)
 
     def test_incr_is_atomic_under_lock(self, store):
         store.set(b"counter", b"0")
@@ -101,7 +137,8 @@ class TestConcurrentChurn:
                 memory_limit=256 * 1024,
                 slab_size=64 * 1024,
                 policy_factory=GDWheelPolicy,
-            )
+            ),
+            hold_time_sampling=1,
         )
         for i in range(2_000):
             wrapped.set(b"k%05d" % i, b"v" * 100, cost=i % 450)
