@@ -1,0 +1,148 @@
+"""Resilience overhead guard: shipping server vs the pre-resilience loop.
+
+PR 4 threads overload protection through the asyncio connection handler.
+The contract is that a server built *without* an ``OverloadPolicy`` keeps
+the unprotected fast path — the per-connection loop must stay
+byte-for-byte the old code, with the only added cost a single
+``self.overload is not None`` branch per connection (not per batch).
+
+This benchmark holds it to that: a frozen inline copy of the pre-PR 4
+connection loop serves as the baseline arm, the shipping server with
+resilience disabled is the candidate arm, and the candidate's pipelined
+GET throughput must stay within 3% of the baseline.  The arms are
+interleaved and best-of-N compared so host-load drift hits both
+symmetrically.
+
+Sized by ``RESILIENCE_OVERHEAD_OPS`` (default 8_000); raise it locally
+(e.g. 100_000) for a low-variance measurement.  Marked ``slow`` so quick
+local runs can deselect it with ``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.aio import AsyncTCPStoreServer, run_closed_loop
+from repro.aio.server import READ_SIZE
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.protocol.server import StoreConnection
+from repro.workloads import SINGLE_SIZE_WORKLOADS
+
+pytestmark = pytest.mark.slow
+
+TOTAL_OPS = int(os.environ.get("RESILIENCE_OVERHEAD_OPS", "8000"))
+ROUNDS = int(os.environ.get("RESILIENCE_OVERHEAD_ROUNDS", "5"))
+NUM_KEYS = 1_000
+CONCURRENCY = 4
+BATCH = 16
+#: disabled-resilience throughput must stay within this fraction of PR 3
+MAX_OVERHEAD = 0.03
+
+
+class _FrozenPreResilienceServer(AsyncTCPStoreServer):
+    """The PR 3 connection handler, frozen verbatim as the baseline arm.
+
+    Deliberately NOT kept in sync with the shipping handler: it preserves
+    the loop as it was before overload protection existed, so the guard
+    measures exactly what this PR added to the disabled path.
+    """
+
+    async def _handle_connection(self, reader, writer):
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        if (
+            self.max_connections is not None
+            and self.current_connections >= self.max_connections
+        ):
+            self._rejected.inc()
+            try:
+                writer.write(b"SERVER_ERROR too many connections\r\n")
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            await self._close_writer(writer)
+            return
+        self._writers.add(writer)
+        self._current.inc()
+        self._total.inc()
+        self._peak.set(max(self._peak.value, self._current.value))
+        connection = StoreConnection(self.engine)
+        try:
+            while connection.open:
+                data = await reader.read(READ_SIZE)
+                if not data:
+                    break
+                self._bytes_in.inc(len(data))
+                response = connection.feed(data)
+                if response:
+                    self._bytes_out.inc(len(response))
+                    writer.write(response)
+                    await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._current.dec()
+            self._writers.discard(writer)
+            await self._close_writer(writer)
+
+
+def make_store() -> KVStore:
+    return KVStore(
+        memory_limit=8 * 1024 * 1024,
+        slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+
+
+def measure(server_cls) -> float:
+    """One pipelined-GET serving run; returns ops/s."""
+    workload = SINGLE_SIZE_WORKLOADS["1"].materialize(NUM_KEYS, seed=23)
+
+    async def main() -> float:
+        async with server_cls(make_store()) as server:
+            host, port = server.address
+            report = await run_closed_loop(
+                host,
+                port,
+                workload,
+                total_ops=TOTAL_OPS,
+                concurrency=CONCURRENCY,
+                batch_size=BATCH,
+                read_fraction=1.0,
+                set_on_miss=False,
+                seed=23,
+            )
+            return report.throughput
+
+    return asyncio.run(main())
+
+
+def test_disabled_resilience_overhead_under_three_percent(emit):
+    candidate = AsyncTCPStoreServer(make_store())
+    assert candidate.overload is None  # resilience genuinely off
+
+    baseline_runs, shipping_runs = [], []
+    for _ in range(ROUNDS):
+        baseline_runs.append(measure(_FrozenPreResilienceServer))
+        shipping_runs.append(measure(AsyncTCPStoreServer))
+    baseline = max(baseline_runs)
+    shipping = max(shipping_runs)
+    overhead = 1.0 - shipping / baseline
+    emit(
+        "resilience_overhead",
+        "== resilience-disabled overhead guard ==\n"
+        f"ops per run         {TOTAL_OPS}  (best of {ROUNDS})\n"
+        f"frozen PR3 loop     {baseline:12,.0f} ops/s\n"
+        f"shipping (off)      {shipping:12,.0f} ops/s\n"
+        f"overhead            {overhead:+.1%}  (budget {MAX_OVERHEAD:.0%})",
+    )
+    assert shipping >= (1.0 - MAX_OVERHEAD) * baseline, (
+        f"disabled-resilience throughput {shipping:,.0f} ops/s is more than "
+        f"{MAX_OVERHEAD:.0%} below the frozen PR 3 baseline {baseline:,.0f}"
+    )

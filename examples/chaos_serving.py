@@ -1,0 +1,173 @@
+"""Chaos serving demo — and the CI smoke for ``repro.resilience``.
+
+Boots a GD-Wheel store behind the asyncio server with overload
+protection armed, interposes a seeded :class:`~repro.resilience.ChaosProxy`
+between client and server, and drives a mixed workload through three
+fault phases:
+
+1. **degraded network** — latency + jitter + occasional split writes;
+   every call still completes and no acknowledged write is lost,
+2. **blackhole** — the proxy swallows all traffic; the client's circuit
+   breaker trips and fail-fast short circuits replace timeout waits,
+3. **recovery** — the faults lift, the breaker probes half-open and
+   closes, and the workload finishes clean.
+
+Phases are switched by appending override windows to the live schedule
+(later windows win), so the demo never races wall-clock fault timing.
+Every phase *asserts* its invariants — CI runs this file as the chaos
+smoke job.  Total runtime is a few seconds.
+
+Run with::
+
+    PYTHONPATH=src python examples/chaos_serving.py
+"""
+
+import asyncio
+import random
+
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer
+from repro.aio.backoff import RetryPolicy
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.obs import EventTrace, MetricsRegistry
+from repro.resilience import (
+    BreakerOpenError,
+    BreakerPolicy,
+    ChaosProxy,
+    CircuitBreaker,
+    FaultSchedule,
+    OverloadPolicy,
+)
+
+NUM_ITEMS = 120
+
+#: an override window far longer than the demo ever runs
+FOREVER = 3600.0
+
+RETRY = RetryPolicy(max_attempts=4, base_delay=0.02, max_delay=0.2)
+
+
+def build_store() -> KVStore:
+    return KVStore(
+        memory_limit=8 * 1024 * 1024,
+        slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+
+
+async def degraded_phase(
+    client: AsyncStoreClient, store: KVStore, proxy: ChaosProxy
+) -> None:
+    acked = {}
+    for i in range(NUM_ITEMS):
+        key = b"item:%04d" % i
+        value = b"payload-%04d" % i
+        if await client.set(key, value, cost=10 + i % 90):
+            acked[key] = value
+        await client.get(b"item:%04d" % random.Random(i).randrange(NUM_ITEMS))
+    for key, value in acked.items():
+        item = store.get(key)
+        assert item is not None and item.value == value, "acked write lost"
+    print(
+        f"degraded phase: {len(acked)} acked writes, all present; "
+        f"faults so far: {dict(sorted(proxy.fault_counts.items()))}"
+    )
+
+
+async def blackhole_phase(
+    client: AsyncStoreClient, breaker: CircuitBreaker
+) -> None:
+    failures = 0
+    while breaker.state != "open":
+        try:
+            await client.get(b"item:0000")
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            failures += 1
+        assert failures < 50, "breaker never tripped"
+    short_circuited = 0
+    for _ in range(5):
+        try:
+            await client.get(b"item:0000")
+        except BreakerOpenError:
+            short_circuited += 1
+    assert short_circuited == 5, "open breaker must fail fast"
+    print(
+        f"blackhole phase: breaker open after {failures} transport "
+        f"failures, {short_circuited} calls short-circuited"
+    )
+
+
+async def recovery_phase(
+    client: AsyncStoreClient, breaker: CircuitBreaker, proxy: ChaosProxy
+) -> None:
+    deadline = asyncio.get_running_loop().time() + 10.0
+    while True:
+        assert asyncio.get_running_loop().time() < deadline, "never recovered"
+        try:
+            if await client.set(b"recovered", b"yes", cost=5):
+                break
+        except (ConnectionError, OSError, asyncio.TimeoutError, BreakerOpenError):
+            await asyncio.sleep(0.1)
+    assert breaker.state == "closed", breaker.state
+    assert await client.get(b"recovered") == b"yes"
+    print(
+        f"recovery phase: breaker closed, reads clean; "
+        f"proxy injected {proxy.total_injected} faults "
+        f"{dict(sorted(proxy.fault_counts.items()))}"
+    )
+
+
+async def main_async() -> None:
+    store = build_store()
+    registry = MetricsRegistry()
+    trace = EventTrace()
+    overload = OverloadPolicy(idle_timeout=30.0, request_deadline=1.0)
+    async with AsyncTCPStoreServer(store, overload=overload) as server:
+        schedule = FaultSchedule(seed=42).always(
+            latency=0.001, jitter=0.002, partial_write_prob=0.2
+        )
+        async with ChaosProxy(
+            *server.address, schedule, registry=registry
+        ) as proxy:
+            breaker = CircuitBreaker(
+                BreakerPolicy(failure_threshold=3, recovery_time=0.25),
+                name="shard-0", registry=registry, trace=trace,
+            )
+            client = AsyncStoreClient(
+                *proxy.address, timeout=0.25, retry=RETRY,
+                rng=random.Random(7), breaker=breaker,
+            )
+            print(f"serving through chaos proxy {proxy.address} -> "
+                  f"{server.address}")
+
+            await degraded_phase(client, store, proxy)
+
+            schedule.window(0.0, FOREVER, blackhole=True)
+            await blackhole_phase(client, breaker)
+
+            schedule.window(0.0, FOREVER)  # clean override: faults lift
+            await recovery_phase(client, breaker, proxy)
+
+            transitions = [
+                (event.old_state, event.new_state)
+                for event in trace.events(kind="breaker")
+            ]
+            assert ("closed", "open") in transitions
+            assert ("half_open", "closed") in transitions
+            await client.aclose()
+
+    snapshot = registry.snapshot()
+    opened = snapshot.get("client_breaker_opens_total{node=shard-0}", 0)
+    print(
+        f"clean shutdown: breaker opened {opened}x, "
+        f"{proxy.connections} proxied connections, "
+        f"trace recorded {len(trace.events(kind='breaker'))} transitions"
+    )
+
+
+def main() -> None:
+    asyncio.run(main_async())
+
+
+if __name__ == "__main__":
+    main()

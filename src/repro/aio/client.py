@@ -29,18 +29,38 @@ from repro.protocol.commands import (
     IncrCommand,
     NumberResponse,
     ProtocolError,
+    ServerBusyError,
     SimpleResponse,
     StatsCommand,
     StatsResponse,
     StoreCommand,
     TouchCommand,
 )
+from repro.resilience.breaker import BreakerOpenError, CircuitBreaker
 from repro.protocol.text import ResponseParser, encode_command
 
 READ_SIZE = 65536
 
 #: Exceptions that mark a connection dead and the attempt retryable.
+#: BreakerOpenError subclasses ConnectionError but is raised outside the
+#: retry try-block, so it propagates without retry; ServerBusyError is a
+#: ProtocolError and deliberately not retryable (see its docstring).
 RETRYABLE = (ConnectionError, OSError, asyncio.TimeoutError)
+
+
+def _unexpected(response, what: str) -> ProtocolError:
+    """The error for a response of the wrong shape — busy-aware.
+
+    Overload shedding answers any command with ``SERVER_ERROR busy``, so
+    every "that's not the response type I sent a command for" path funnels
+    through here to surface :class:`ServerBusyError` instead of a generic
+    protocol error.
+    """
+    if isinstance(response, SimpleResponse) and response.line.startswith(
+        b"SERVER_ERROR busy"
+    ):
+        return ServerBusyError("server is shedding load (SERVER_ERROR busy)")
+    return ProtocolError(f"unexpected {what} response: {response!r}")
 
 
 class BatchResult:
@@ -109,6 +129,12 @@ class AsyncStoreClient:
         timeout: per-response timeout in seconds (also bounds connect).
         retry: backoff schedule for retryable failures.
         rng: randomness source for jitter (inject for determinism).
+        breaker: optional per-host circuit breaker.  When it is open,
+            requests fail fast with
+            :class:`~repro.resilience.BreakerOpenError` — no dial, no
+            backoff sleeps.  The breaker observes transport results only
+            (connect failures, timeouts, drops); ``SERVER_ERROR busy``
+            shedding replies do not count against it.
     """
 
     def __init__(
@@ -119,6 +145,7 @@ class AsyncStoreClient:
         timeout: Optional[float] = 5.0,
         retry: Optional[RetryPolicy] = None,
         rng: Optional[random.Random] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
@@ -127,9 +154,11 @@ class AsyncStoreClient:
         self.pool_size = pool_size
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker
         self._rng = rng if rng is not None else random.Random()
         self._idle: Deque[_Connection] = deque()
         self._slots: Optional[asyncio.Semaphore] = None
+        self._closing: Optional[asyncio.Event] = None
         self._closed = False
         # -- observability -----------------------------------------------------
         self.connects = 0
@@ -143,6 +172,12 @@ class AsyncStoreClient:
         if self._slots is None:
             self._slots = asyncio.Semaphore(self.pool_size)
         return self._slots
+
+    def _closing_event(self) -> asyncio.Event:
+        # lazy for the same reason as the semaphore
+        if self._closing is None:
+            self._closing = asyncio.Event()
+        return self._closing
 
     # -- pool management -------------------------------------------------------
 
@@ -166,18 +201,27 @@ class AsyncStoreClient:
             raise ConnectionError("client is closed")
         if not commands:
             return BatchResult(())
+        breaker = self.breaker
         self.requests += 1
         attempt = 0
         slots = self._semaphore()
         while True:
+            if breaker is not None and not breaker.allow():
+                raise BreakerOpenError(
+                    f"circuit open for {self.host}:{self.port}"
+                )
             await slots.acquire()
             connection: Optional[_Connection] = None
             try:
                 connection = self._idle.popleft() if self._idle else await self._dial()
                 responses = await connection.execute(commands, self.timeout)
                 self._idle.append(connection)
+                if breaker is not None:
+                    breaker.record_success()
                 return BatchResult(responses)
             except RETRYABLE as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 if isinstance(exc, asyncio.TimeoutError):
                     self.timeouts += 1
                 if connection is not None:
@@ -192,10 +236,29 @@ class AsyncStoreClient:
                 delay = self.retry.delay_for(attempt, self._rng)
             finally:
                 slots.release()
-            await asyncio.sleep(delay)
+            await self._backoff_sleep(delay)
+
+    async def _backoff_sleep(self, delay: float) -> None:
+        """Sleep between retry attempts, interruptible by :meth:`aclose`.
+
+        A plain ``asyncio.sleep`` here would let a closed client sleep
+        through its backoff and redial; instead the sleep races the
+        closing event and the loop re-checks ``_closed`` afterwards, so
+        ``aclose()`` cuts in-flight retry loops short.
+        """
+        if delay > 0:
+            closing = self._closing_event()
+            try:
+                await asyncio.wait_for(closing.wait(), delay)
+            except asyncio.TimeoutError:
+                pass
+        if self._closed:
+            raise ConnectionError("client closed during retry backoff")
 
     async def aclose(self) -> None:
         self._closed = True
+        if self._closing is not None:
+            self._closing.set()  # wake any retry loop out of its backoff
         while self._idle:
             await self._idle.popleft().aclose()
 
@@ -211,7 +274,7 @@ class AsyncStoreClient:
         result = await self.execute([GetCommand(keys=(key,))])
         response = result[0]
         if not isinstance(response, GetResponse):
-            raise ProtocolError(f"unexpected GET response: {response!r}")
+            raise _unexpected(response, "GET")
         return response.values[0].value if response.values else None
 
     async def set(
@@ -249,7 +312,7 @@ class AsyncStoreClient:
             return response.value
         if isinstance(response, SimpleResponse) and response.line == b"NOT_FOUND":
             return None
-        raise ProtocolError(f"unexpected INCR response: {response!r}")
+        raise _unexpected(response, "INCR")
 
     async def flush_all(self) -> bool:
         result = await self.execute([FlushCommand()])
@@ -260,7 +323,7 @@ class AsyncStoreClient:
         result = await self.execute([StatsCommand(subcommand=subcommand)])
         response = result[0]
         if not isinstance(response, StatsResponse):
-            raise ProtocolError(f"unexpected STATS response: {response!r}")
+            raise _unexpected(response, "STATS")
         return dict(response.stats)
 
     async def stats_reset(self) -> bool:
@@ -278,7 +341,7 @@ class AsyncStoreClient:
         result = await self.execute([GetCommand(keys=tuple(keys))])
         response = result[0]
         if not isinstance(response, GetResponse):
-            raise ProtocolError(f"unexpected GET response: {response!r}")
+            raise _unexpected(response, "GET")
         return {v.key: v.value for v in response.values}
 
     async def set_many(
@@ -298,9 +361,13 @@ class AsyncStoreClient:
     @staticmethod
     def _check_stored(response) -> bool:
         if not isinstance(response, SimpleResponse):
-            raise ProtocolError(f"unexpected store response: {response!r}")
+            raise _unexpected(response, "store")
         if response.line == b"STORED":
             return True
         if response.line == b"NOT_STORED":
             return False
+        if response.line.startswith(b"SERVER_ERROR busy"):
+            raise ServerBusyError(
+                "server is shedding load (SERVER_ERROR busy)"
+            )
         raise ProtocolError(response.line.decode())

@@ -33,6 +33,17 @@ class AsyncStorePool:
         self._ring = ConsistentHashRing(list(clients), replicas=replicas)
         #: per-node operation counters, for balance diagnostics
         self.node_ops: Dict[str, int] = {name: 0 for name in clients}
+        #: per-node failed fan-out requests (multi_get partial accounting)
+        self.node_failures: Dict[str, int] = {}
+
+    @property
+    def breakers(self) -> Dict[str, object]:
+        """Per-node circuit breakers for clients that carry one."""
+        return {
+            name: client.breaker
+            for name, client in self._clients.items()
+            if client.breaker is not None
+        }
 
     @property
     def clients(self) -> Dict[str, AsyncStoreClient]:
@@ -73,23 +84,44 @@ class AsyncStorePool:
 
     # -- scatter/gather --------------------------------------------------------
 
-    async def multi_get(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:
+    async def multi_get(
+        self, keys: Sequence[bytes], partial: bool = False
+    ) -> Dict[bytes, bytes]:
         """Concurrent multi-key GET: group per node, fan out, merge.
 
         Each node receives one pipelined ``get`` carrying all its keys;
         the node requests run concurrently under ``asyncio.gather``.
+
+        Partial-failure contract: by default a node whose request fails
+        (after the client's own retries, or fast via an open circuit
+        breaker) makes the *whole* call raise that node's error — but only
+        after every other node's request has completed, so no fan-out task
+        is left running.  With ``partial=True`` the failed node's keys are
+        instead treated as misses and the merged dict carries whatever the
+        live nodes returned; per-node failures are tallied in
+        :attr:`node_failures`.  Breaker short-circuiting preserves both
+        shapes — it only changes how fast the dead node's error arrives.
         """
         grouped = self.group_by_node(keys)
         if not grouped:
             return {}
         nodes = list(grouped)
         results = await asyncio.gather(
-            *(self._clients[node].get_many(grouped[node]) for node in nodes)
+            *(self._clients[node].get_many(grouped[node]) for node in nodes),
+            return_exceptions=True,
         )
         merged: Dict[bytes, bytes] = {}
+        first_error: Optional[BaseException] = None
         for node, found in zip(nodes, results):
             self.node_ops[node] += 1
+            if isinstance(found, BaseException):
+                self.node_failures[node] = self.node_failures.get(node, 0) + 1
+                if first_error is None:
+                    first_error = found
+                continue
             merged.update(found)
+        if first_error is not None and not partial:
+            raise first_error
         return merged
 
     async def multi_set(

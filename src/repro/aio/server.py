@@ -14,11 +14,14 @@ and wait for their handler tasks to finish.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Optional, Set, Tuple
 
 from repro.kvstore.store import KVStore
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import ConnectionRejectedEvent, IdleDisconnectEvent
 from repro.protocol.server import StoreConnection, StoreServer
+from repro.resilience.overload import OverloadPolicy
 
 #: Per-read chunk; large enough that a deep pipeline arrives in few reads.
 READ_SIZE = 65536
@@ -37,6 +40,10 @@ class AsyncTCPStoreServer:
         max_connections: beyond this many concurrent connections, new
             clients get ``SERVER_ERROR too many connections`` and are
             closed (memcached's ``-c`` limit behaviour).  ``None`` = no cap.
+        overload: an :class:`~repro.resilience.OverloadPolicy` arming idle
+            timeouts, per-batch request deadlines, and queue-depth/latency
+            load shedding (``SERVER_ERROR busy``).  ``None`` (default)
+            keeps the unprotected fast path byte-for-byte.
     """
 
     def __init__(
@@ -47,6 +54,7 @@ class AsyncTCPStoreServer:
         max_connections: Optional[int] = None,
         engine: Optional[StoreServer] = None,
         registry: Optional[MetricsRegistry] = None,
+        overload: Optional[OverloadPolicy] = None,
     ) -> None:
         if engine is None:
             if store is None:
@@ -56,6 +64,11 @@ class AsyncTCPStoreServer:
         self._host = host
         self._port = port
         self.max_connections = max_connections
+        self.overload = (
+            overload if overload is not None and overload.enabled else None
+        )
+        self._inflight = 0          # batches between read and fully-sent reply
+        self._latency_ewma_us = 0.0  # smoothed per-batch dispatch latency
         self._server: Optional[asyncio.AbstractServer] = None
         self._handlers: Set[asyncio.Task] = set()
         self._writers: Set[asyncio.StreamWriter] = set()
@@ -81,6 +94,11 @@ class AsyncTCPStoreServer:
         self._rejected = self.metrics.counter(
             "server_rejected_connections_total",
             help="connections refused over the max_connections cap",
+            transport="async",
+        )
+        self._idle_closed = self.metrics.counter(
+            "server_idle_disconnects_total",
+            help="connections closed by the idle timeout",
             transport="async",
         )
         self._bytes_in = self.metrics.counter(
@@ -117,6 +135,15 @@ class AsyncTCPStoreServer:
     @property
     def bytes_out(self) -> int:
         return self._bytes_out.value
+
+    @property
+    def idle_disconnects(self) -> int:
+        return self._idle_closed.value
+
+    @property
+    def dispatch_latency_ewma_us(self) -> float:
+        """Smoothed per-batch dispatch latency (overload-protected mode)."""
+        return self._latency_ewma_us
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -174,6 +201,13 @@ class AsyncTCPStoreServer:
             and self.current_connections >= self.max_connections
         ):
             self._rejected.inc()
+            if self.engine.trace is not None:
+                self.engine.trace.record(
+                    ConnectionRejectedEvent(
+                        current=self.current_connections,
+                        limit=self.max_connections,
+                    )
+                )
             try:
                 writer.write(TOO_MANY_CONNECTIONS)
                 await writer.drain()
@@ -187,26 +221,93 @@ class AsyncTCPStoreServer:
         self._peak.set(max(self._peak.value, self._current.value))
         connection = StoreConnection(self.engine)
         try:
-            while connection.open:
-                data = await reader.read(READ_SIZE)
-                if not data:
-                    break
-                self._bytes_in.inc(len(data))
-                # one feed may dispatch many pipelined commands; the
-                # responses come back as one coalesced buffer
-                response = connection.feed(data)
-                if response:
-                    self._bytes_out.inc(len(response))
-                    writer.write(response)
-                    # backpressure: suspend this connection (only) until the
-                    # client drains its receive window
-                    await writer.drain()
+            if self.overload is not None:
+                await self._serve_protected(reader, writer, connection)
+            else:
+                while connection.open:
+                    data = await reader.read(READ_SIZE)
+                    if not data:
+                        break
+                    self._bytes_in.inc(len(data))
+                    # one feed may dispatch many pipelined commands; the
+                    # responses come back as one coalesced buffer
+                    response = connection.feed(data)
+                    if response:
+                        self._bytes_out.inc(len(response))
+                        writer.write(response)
+                        # backpressure: suspend this connection (only) until
+                        # the client drains its receive window
+                        await writer.drain()
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         finally:
             self._current.dec()
             self._writers.discard(writer)
             await self._close_writer(writer)
+
+    async def _serve_protected(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        connection: StoreConnection,
+    ) -> None:
+        """The overload-armed connection loop (self.overload is not None).
+
+        Mirrors the fast path, adding: ``wait_for`` idle timeout around the
+        read, queue-depth/latency shed decisions before dispatch (whole
+        batch answered busy via ``budget=0``), a per-batch deadline budget,
+        and EWMA latency tracking over the dispatch time.
+        """
+        policy = self.overload
+        alpha = policy.latency_alpha
+        while connection.open:
+            if policy.idle_timeout is not None:
+                try:
+                    data = await asyncio.wait_for(
+                        reader.read(READ_SIZE), policy.idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self._idle_closed.inc()
+                    if self.engine.trace is not None:
+                        self.engine.trace.record(
+                            IdleDisconnectEvent(
+                                idle_timeout=policy.idle_timeout
+                            )
+                        )
+                    break
+            else:
+                data = await reader.read(READ_SIZE)
+            if not data:
+                break
+            self._bytes_in.inc(len(data))
+            budget = policy.request_deadline
+            shed_reason = "deadline"
+            if (
+                policy.max_inflight is not None
+                and self._inflight >= policy.max_inflight
+            ):
+                budget, shed_reason = 0.0, "queue_depth"
+            elif (
+                policy.shed_latency_us is not None
+                and self._latency_ewma_us > policy.shed_latency_us
+            ):
+                budget, shed_reason = 0.0, "latency"
+            self._inflight += 1
+            try:
+                started = time.perf_counter()
+                response = connection.feed(
+                    data, budget=budget, shed_reason=shed_reason
+                )
+                elapsed_us = (time.perf_counter() - started) * 1e6
+                self._latency_ewma_us += alpha * (
+                    elapsed_us - self._latency_ewma_us
+                )
+                if response:
+                    self._bytes_out.inc(len(response))
+                    writer.write(response)
+                    await writer.drain()
+            finally:
+                self._inflight -= 1
 
     @staticmethod
     async def _close_writer(writer: asyncio.StreamWriter) -> None:

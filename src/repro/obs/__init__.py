@@ -27,9 +27,13 @@ from repro.obs.registry import (
 )
 from repro.obs.reporter import SnapshotReporter, diff_snapshots, format_snapshot
 from repro.obs.trace import (
+    BreakerTransitionEvent,
     CascadeEvent,
+    ConnectionRejectedEvent,
     EventTrace,
     EvictionEvent,
+    IdleDisconnectEvent,
+    OverloadShedEvent,
     SlabMoveEvent,
     TraceEvent,
     key_fingerprint,
@@ -37,11 +41,15 @@ from repro.obs.trace import (
 
 __all__ = [
     "BoundedHistogram",
+    "BreakerTransitionEvent",
     "CascadeEvent",
+    "ConnectionRejectedEvent",
     "Counter",
     "EventTrace",
     "EvictionEvent",
     "Gauge",
+    "IdleDisconnectEvent",
+    "OverloadShedEvent",
     "Histogram",
     "LatencyHistogram",
     "MetricFamily",

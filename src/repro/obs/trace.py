@@ -76,6 +76,48 @@ class CascadeEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class ConnectionRejectedEvent(TraceEvent):
+    """A client connection refused at accept time (over ``max_connections``)."""
+
+    kind = "conn_rejected"
+
+    reason: str = "max_connections"
+    current: int = 0
+    limit: int = 0
+
+
+@dataclass(frozen=True)
+class OverloadShedEvent(TraceEvent):
+    """A batch of commands answered ``SERVER_ERROR busy`` instead of served."""
+
+    kind = "overload_shed"
+
+    #: what tripped the shed: "queue_depth", "latency", or "deadline"
+    reason: str = ""
+    shed_commands: int = 0
+
+
+@dataclass(frozen=True)
+class IdleDisconnectEvent(TraceEvent):
+    """A silent connection closed by the server's idle timeout."""
+
+    kind = "idle_disconnect"
+
+    idle_timeout: float = 0.0
+
+
+@dataclass(frozen=True)
+class BreakerTransitionEvent(TraceEvent):
+    """A client-side circuit breaker changed state for one node."""
+
+    kind = "breaker"
+
+    node: str = ""
+    old_state: str = ""
+    new_state: str = ""
+
+
+@dataclass(frozen=True)
 class SlabMoveEvent(TraceEvent):
     """One slab reassigned between classes by the active rebalancer."""
 

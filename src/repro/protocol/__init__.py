@@ -32,6 +32,7 @@ from repro.protocol.commands import (
     ProtocolError,
     QuitCommand,
     STORED,
+    ServerBusyError,
     SimpleResponse,
     StatsCommand,
     StatsResponse,
@@ -78,6 +79,7 @@ __all__ = [
     "RequestParser",
     "ResponseParser",
     "STORED",
+    "ServerBusyError",
     "SimpleResponse",
     "StatsCommand",
     "StatsResponse",

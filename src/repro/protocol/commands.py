@@ -14,6 +14,16 @@ class ProtocolError(Exception):
     """Malformed input; the server answers ``CLIENT_ERROR``."""
 
 
+class ServerBusyError(ProtocolError):
+    """The server answered ``SERVER_ERROR busy`` (overload shedding).
+
+    Raised client-side so callers can distinguish "the shard is shedding
+    load, back off" from a transport failure — deliberately *not* in the
+    client's retryable set: hammering a shedding server with reconnects is
+    exactly what load shedding exists to prevent.
+    """
+
+
 @dataclass(frozen=True)
 class GetCommand:
     """``get <key>+`` / ``gets <key>+`` — fetch one or more keys.
@@ -147,6 +157,10 @@ NOT_FOUND_CAS = SimpleResponse(b"NOT_FOUND")
 
 def server_error(message: str) -> SimpleResponse:
     return SimpleResponse(b"SERVER_ERROR " + message.encode())
+
+
+#: the overload-shedding reply: "try again later, this box is protecting itself"
+BUSY = SimpleResponse(b"SERVER_ERROR busy")
 
 
 def client_error(message: str) -> SimpleResponse:

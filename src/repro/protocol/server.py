@@ -14,6 +14,7 @@ import time
 from typing import Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import IdleDisconnectEvent, OverloadShedEvent
 from repro.kvstore.errors import (
     CasMismatchError,
     NotStoredError,
@@ -23,6 +24,7 @@ from repro.kvstore.errors import (
 from repro.kvstore.item import NEVER_EXPIRES
 from repro.kvstore.store import KVStore
 from repro.protocol.commands import (
+    BUSY,
     DELETED,
     DeleteCommand,
     EXISTS,
@@ -99,6 +101,7 @@ class StoreServer:
         self.trace = trace if trace is not None else store.trace
         self._timing = self.metrics.enabled
         self._cmd_hists: dict = {}
+        self._shed_counters: dict = {}
         self._perf_counter = time.perf_counter
 
     def _observe_command(self, label: str, elapsed_us: float) -> None:
@@ -120,12 +123,57 @@ class StoreServer:
         if len(pending) >= flush_at:
             flush()
 
-    def handle_bytes(self, parser: RequestParser, data: bytes) -> Tuple[bytes, bool]:
+    def handle_bytes(
+        self,
+        parser: RequestParser,
+        data: bytes,
+        budget: Optional[float] = None,
+        shed_reason: str = "deadline",
+    ) -> Tuple[bytes, bool]:
         """Feed raw request bytes; returns (response bytes, keep_open).
 
         Every response of a pipelined batch serializes into one shared
         buffer, converted to ``bytes`` once per flush.
+
+        ``budget`` is the overload-protection hook: the batch may spend
+        that many wall-clock seconds dispatching, after which every
+        remaining command is answered ``SERVER_ERROR busy`` instead of
+        executed (``budget=0`` sheds the whole batch).  Framing is
+        preserved — exactly one reply per reply-expecting command, and
+        ``noreply`` commands are shed silently — so pipelined clients
+        stay in sync.  ``quit`` is honoured even while shedding.
         """
+        if budget is None:
+            return self._handle_unbudgeted(parser, data)
+        out = bytearray()
+        perf_counter = self._perf_counter
+        deadline = perf_counter() + budget
+        shed = 0
+        keep_open = True
+        try:
+            parser.feed(data)
+            for command in parser:
+                if isinstance(command, QuitCommand):
+                    keep_open = False
+                    break
+                if shed or perf_counter() >= deadline:
+                    shed += 1
+                    if not getattr(command, "noreply", False):
+                        encode_response_into(out, BUSY)
+                    continue
+                response, reply = self.dispatch(command)
+                if reply:
+                    encode_response_into(out, response)
+        except ProtocolError as exc:
+            encode_response_into(out, client_error(str(exc)))
+            keep_open = False
+        if shed:
+            self._record_shed(shed, "deadline" if budget > 0 else shed_reason)
+        return bytes(out), keep_open
+
+    def _handle_unbudgeted(
+        self, parser: RequestParser, data: bytes
+    ) -> Tuple[bytes, bool]:
         out = bytearray()
         try:
             parser.feed(data)
@@ -139,6 +187,20 @@ class StoreServer:
             encode_response_into(out, client_error(str(exc)))
             return bytes(out), False
         return bytes(out), True
+
+    def _record_shed(self, shed: int, reason: str) -> None:
+        counter = self._shed_counters.get(reason)
+        if counter is None:
+            counter = self._shed_counters[reason] = self.metrics.counter(
+                "server_shed_commands_total",
+                help="commands answered SERVER_ERROR busy under overload",
+                reason=reason,
+            )
+        counter.inc(shed)
+        if self.trace is not None:
+            self.trace.record(
+                OverloadShedEvent(reason=reason, shed_commands=shed)
+            )
 
     def dispatch(self, command) -> Tuple[object, bool]:
         """Execute one command; returns (response, should_reply).
@@ -342,15 +404,24 @@ class StoreConnection:
         self.parser = RequestParser()
         self.open = True
 
-    def feed(self, data: bytes) -> bytes:
+    def feed(
+        self,
+        data: bytes,
+        budget: Optional[float] = None,
+        shed_reason: str = "deadline",
+    ) -> bytes:
         """Feed one raw read; returns coalesced response bytes (may be empty).
 
         After a ``quit`` or a protocol error :attr:`open` flips to False and
         the transport should close after flushing the returned bytes.
+        ``budget``/``shed_reason`` pass through to
+        :meth:`StoreServer.handle_bytes` for overload shedding.
         """
         if not self.open:
             raise ConnectionError("connection closed")
-        response, keep_open = self.engine.handle_bytes(self.parser, data)
+        response, keep_open = self.engine.handle_bytes(
+            self.parser, data, budget=budget, shed_reason=shed_reason
+        )
         if not keep_open:
             self.open = False
         return response
@@ -372,6 +443,7 @@ class LoopbackConnection(StoreConnection):
 class _TCPHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
         engine: StoreServer = self.server.engine  # type: ignore[attr-defined]
+        overload = getattr(self.server, "overload", None)
         metrics = engine.metrics
         current = metrics.gauge(
             "server_current_connections", help="open client connections",
@@ -390,18 +462,33 @@ class _TCPHandler(socketserver.BaseRequestHandler):
             transport="threaded",
         ).inc()
         current.inc()
+        idle_timeout = overload.idle_timeout if overload is not None else None
+        budget = overload.request_deadline if overload is not None else None
+        if idle_timeout is not None:
+            self.request.settimeout(idle_timeout)
         connection = StoreConnection(engine)
         try:
             while connection.open:
                 try:
                     data = self.request.recv(65536)
+                except socket.timeout:
+                    metrics.counter(
+                        "server_idle_disconnects_total",
+                        help="connections closed by the idle timeout",
+                        transport="threaded",
+                    ).inc()
+                    if engine.trace is not None:
+                        engine.trace.record(
+                            IdleDisconnectEvent(idle_timeout=idle_timeout)
+                        )
+                    return
                 except (ConnectionError, OSError):
                     return
                 if not data:
                     return
                 bytes_in.inc(len(data))
                 try:
-                    response = connection.feed(data)
+                    response = connection.feed(data, budget=budget)
                 except ConnectionError:
                     return
                 if response:
@@ -431,6 +518,7 @@ class TCPStoreServer:
         host: str = "127.0.0.1",
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        overload=None,
     ) -> None:
         self.engine = StoreServer(store, registry=registry)
 
@@ -442,6 +530,10 @@ class TCPStoreServer:
 
         self._server = _Server((host, port), _TCPHandler)
         self._server.engine = self.engine  # type: ignore[attr-defined]
+        # idle-timeout + request-deadline protection (an
+        # :class:`repro.resilience.OverloadPolicy`); None = unprotected
+        self._server.overload = overload  # type: ignore[attr-defined]
+        self.overload = overload
         self._thread: Optional[threading.Thread] = None
         self._closed = False
 

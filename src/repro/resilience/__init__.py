@@ -1,0 +1,46 @@
+"""``repro.resilience`` — chaos injection and failure containment.
+
+The serving stack (``repro.aio``, ``repro.shard``) recovers from clean
+kills; this package makes it survive the messy middle and proves it:
+
+* :class:`ChaosProxy` / :class:`FaultSchedule` / :class:`FaultSpec` — a
+  seeded, deterministic TCP man-in-the-middle injecting latency, jitter,
+  partial writes, truncation, resets, blackholes, and bandwidth caps in
+  declarative time windows.
+* :class:`CircuitBreaker` / :class:`BreakerPolicy` /
+  :class:`BreakerOpenError` — per-node closed/open/half-open breakers so
+  a dead shard fails fast instead of charging every request the full
+  retry+backoff schedule.
+* :class:`OverloadPolicy` — server-side idle timeouts, per-batch request
+  deadlines, and queue-depth/latency load shedding (``SERVER_ERROR
+  busy``).
+
+``tests/resilience`` drives mixed workloads through the proxy under
+seeded schedules and asserts the invariants: no acknowledged write lost
+on a live shard, every call terminates in bounded time, breakers open
+and recover.
+"""
+
+from repro.resilience.breaker import (
+    BreakerOpenError,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from repro.resilience.chaos import (
+    CLEAN,
+    ChaosProxy,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.resilience.overload import OverloadPolicy
+
+__all__ = [
+    "BreakerOpenError",
+    "BreakerPolicy",
+    "CLEAN",
+    "ChaosProxy",
+    "CircuitBreaker",
+    "FaultSchedule",
+    "FaultSpec",
+    "OverloadPolicy",
+]

@@ -1,0 +1,203 @@
+"""Client-side circuit breaker: closed → open → half-open → closed.
+
+A dead shard costs a retry-with-backoff schedule *per request* — every
+caller pays connect timeout × attempts before learning what the previous
+caller already knew.  The breaker remembers: consecutive transport
+failures open the circuit, open requests fail fast with
+:class:`BreakerOpenError` (no dial, no sleep), and after a recovery
+period a bounded number of half-open probes test the water.  Probe
+success closes the circuit; probe failure re-opens it.
+
+The breaker tracks *transport* health (connect failures, timeouts,
+dropped connections).  ``SERVER_ERROR busy`` shedding replies are a
+healthy transport saying "back off" and are deliberately not counted —
+opening the breaker on them would turn graceful degradation into an
+outage.
+
+State, transitions, and short-circuit counts export through a
+:class:`~repro.obs.registry.MetricsRegistry` and (optionally) a
+:class:`~repro.obs.trace.EventTrace`, so chaos runs can correlate breaker
+flips with injected fault windows.  The clock is injectable for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import BreakerTransitionEvent, EventTrace
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: gauge encoding of the state, for ``breaker_state`` metric series
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class BreakerOpenError(ConnectionError):
+    """Request short-circuited: the breaker for this host is open."""
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to trip, how long to stay open, and how to probe recovery.
+
+    Args:
+        failure_threshold: consecutive transport failures that open the
+            circuit from closed.
+        recovery_time: seconds the circuit stays open before allowing
+            half-open probes.
+        half_open_max_probes: concurrent trial requests admitted while
+            half-open; everything beyond that fails fast.
+        success_threshold: probe successes needed to close the circuit.
+    """
+
+    failure_threshold: int = 5
+    recovery_time: float = 1.0
+    half_open_max_probes: int = 1
+    success_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.recovery_time < 0:
+            raise ValueError("recovery_time must be non-negative")
+        if self.half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
+        if self.success_threshold < 1:
+            raise ValueError("success_threshold must be >= 1")
+
+
+class CircuitBreaker:
+    """One breaker guarding one node (host:port or shard name).
+
+    Args:
+        policy: thresholds and timings.
+        name: node label for metrics/trace (e.g. ``"shard-0"``).
+        clock: monotonic seconds source (inject for deterministic tests).
+        registry: metrics registry for state/transition/short-circuit
+            series; defaults to a no-op-free private registry omitted
+            entirely when ``None``.
+        trace: optional event trace receiving
+            :class:`BreakerTransitionEvent` records.
+    """
+
+    __slots__ = (
+        "policy", "name", "_clock", "_state", "_failures", "_successes",
+        "_probes", "_opened_at", "_trace",
+        "_state_gauge", "_opens", "_short_circuits",
+    )
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        name: str = "",
+        clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.name = name
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0      # consecutive failures while closed
+        self._successes = 0     # probe successes while half-open
+        self._probes = 0        # in-flight half-open probes
+        self._opened_at = 0.0
+        self._trace = trace
+        if registry is not None:
+            self._state_gauge = registry.gauge(
+                "client_breaker_state",
+                help="circuit state (0=closed, 1=half_open, 2=open)",
+                node=name,
+            )
+            self._opens = registry.counter(
+                "client_breaker_opens_total",
+                help="closed/half_open -> open transitions", node=name,
+            )
+            self._short_circuits = registry.counter(
+                "client_breaker_short_circuits_total",
+                help="requests failed fast while open", node=name,
+            )
+        else:
+            self._state_gauge = None
+            self._opens = None
+            self._short_circuits = None
+
+    # -- state machine ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when recovery is due."""
+        self._maybe_half_open()
+        return self._state
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if old_state == new_state:
+            return
+        if self._state_gauge is not None:
+            self._state_gauge.set(STATE_CODES[new_state])
+            if new_state == OPEN:
+                self._opens.inc()
+        if self._trace is not None:
+            self._trace.record(
+                BreakerTransitionEvent(
+                    node=self.name, old_state=old_state, new_state=new_state
+                )
+            )
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.policy.recovery_time
+        ):
+            self._probes = 0
+            self._successes = 0
+            self._transition(HALF_OPEN)
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  Counts half-open probes."""
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN:
+            if self._probes < self.policy.half_open_max_probes:
+                self._probes += 1
+                return True
+            return False
+        # open and not yet recovered
+        if self._short_circuits is not None:
+            self._short_circuits.inc()
+        return False
+
+    def record_success(self) -> None:
+        """A request completed over a healthy transport."""
+        if self._state == HALF_OPEN:
+            self._probes = max(0, self._probes - 1)
+            self._successes += 1
+            if self._successes >= self.policy.success_threshold:
+                self._failures = 0
+                self._transition(CLOSED)
+        elif self._state == CLOSED:
+            self._failures = 0
+        # success while open: a straggler from before the trip — ignore
+
+    def record_failure(self) -> None:
+        """A request failed at the transport layer."""
+        if self._state == HALF_OPEN:
+            self._probes = max(0, self._probes - 1)
+            self._open()
+        elif self._state == CLOSED:
+            self._failures += 1
+            if self._failures >= self.policy.failure_threshold:
+                self._open()
+        # failure while already open: nothing new to learn
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._transition(OPEN)

@@ -1,0 +1,373 @@
+"""ChaosProxy: a deterministic fault-injecting TCP man-in-the-middle.
+
+Real memcached fleets do not fail by dying cleanly — they fail slow,
+lossy, and half-broken: added latency and jitter, kernel buffers flushing
+half a write before the rest, connections reset mid-stream, bytes
+silently swallowed, links capped far below line rate.  The proxy sits in
+front of any :class:`~repro.aio.server.AsyncTCPStoreServer` (or shard
+worker) and injects exactly those faults, per forwarded chunk, under a
+declarative :class:`FaultSchedule`:
+
+    schedule = (
+        FaultSchedule(seed=7)
+        .always(latency=0.001, jitter=0.002)
+        .window(0.0, 0.5, reset_prob=0.1, direction="out")
+        .window(0.5, 1.0, blackhole=True)
+    )
+    async with ChaosProxy("127.0.0.1", server_port, schedule) as proxy:
+        client = AsyncStoreClient(*proxy.address, ...)
+
+Every random decision draws from a per-connection, per-direction
+``random.Random`` derived from the schedule seed and the connection's
+accept index — two runs with the same seed, workload, and timing windows
+inject the same faults, which is what lets the invariant suite assert
+exact recovery behaviour.  Injected-fault counts export through a
+:class:`~repro.obs.registry.MetricsRegistry`
+(``chaos_faults_total{kind=...}``) and a plain :attr:`fault_counts` dict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+#: per-read chunk size for both pump directions
+CHUNK_SIZE = 65536
+
+#: pause inserted between the two halves of an injected partial write
+PARTIAL_WRITE_PAUSE = 0.02
+
+#: client→server and server→client pump directions
+INBOUND = "in"
+OUTBOUND = "out"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The faults active for one direction of one connection, per chunk.
+
+    Args:
+        latency: fixed added delay (seconds) before forwarding a chunk.
+        jitter: extra uniform [0, jitter) delay on top of ``latency``.
+        reset_prob: probability the connection is hard-aborted (RST-style)
+            instead of forwarding this chunk.
+        partial_write_prob: probability a chunk is forwarded in two
+            flushes separated by a pause (stresses incremental parsers).
+        truncate_prob: probability a chunk loses its tail bytes —
+            *corrupting* the stream; peers must fail or time out, never
+            silently mis-parse.
+        blackhole: swallow every chunk (delivered nowhere, no error).
+        bandwidth: cap in bytes/second, applied as per-chunk pacing.
+        direction: which pump this spec applies to — ``"in"``
+            (client→server), ``"out"`` (server→client), or ``"both"``.
+    """
+
+    latency: float = 0.0
+    jitter: float = 0.0
+    reset_prob: float = 0.0
+    partial_write_prob: float = 0.0
+    truncate_prob: float = 0.0
+    blackhole: bool = False
+    bandwidth: Optional[float] = None
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        for name in ("latency", "jitter"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        for name in ("reset_prob", "partial_write_prob", "truncate_prob"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.direction not in (INBOUND, OUTBOUND, "both"):
+            raise ValueError("direction must be 'in', 'out', or 'both'")
+
+    def applies_to(self, direction: str) -> bool:
+        return self.direction == "both" or self.direction == direction
+
+    @property
+    def clean(self) -> bool:
+        return (
+            not self.latency and not self.jitter and not self.reset_prob
+            and not self.partial_write_prob and not self.truncate_prob
+            and not self.blackhole and self.bandwidth is None
+        )
+
+
+CLEAN = FaultSpec()
+
+
+class FaultSchedule:
+    """A base fault spec plus time-windowed overrides, all seeded.
+
+    The *base* spec (set via :meth:`always`) applies whenever no window
+    covers the current elapsed time; windows are checked newest-first so a
+    later-declared window overrides an earlier overlapping one.  Elapsed
+    time is measured from :meth:`start` (the proxy calls it on
+    ``start()``), so windows are relative to proxy startup — declarative
+    and reproducible, not wall-clock dependent.
+    """
+
+    def __init__(self, seed: int = 0, clock: Callable[[], float] = time.monotonic) -> None:
+        self.seed = seed
+        self._clock = clock
+        self._base = CLEAN
+        self._windows: List[Tuple[float, float, FaultSpec]] = []
+        self._epoch: Optional[float] = None
+
+    # -- declaration (chainable) -----------------------------------------------
+
+    def always(self, **faults: object) -> "FaultSchedule":
+        """Set the base spec active outside every window."""
+        self._base = replace(CLEAN, **faults)  # type: ignore[arg-type]
+        return self
+
+    def window(self, start: float, end: float, **faults: object) -> "FaultSchedule":
+        """Add a ``[start, end)`` override window (seconds since start)."""
+        if end <= start:
+            raise ValueError("window end must be after start")
+        self._windows.append(
+            (start, end, replace(CLEAN, **faults))  # type: ignore[arg-type]
+        )
+        return self
+
+    # -- evaluation --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Anchor the schedule's t=0 (idempotent once started)."""
+        if self._epoch is None:
+            self._epoch = self._clock()
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0 if self._epoch is None else self._clock() - self._epoch
+
+    def spec_at(self, elapsed: float, direction: str) -> FaultSpec:
+        """The spec governing ``direction`` at ``elapsed`` seconds."""
+        for start, end, spec in reversed(self._windows):
+            if start <= elapsed < end and spec.applies_to(direction):
+                return spec
+        if self._base.applies_to(direction):
+            return self._base
+        return CLEAN
+
+    def current_spec(self, direction: str) -> FaultSpec:
+        return self.spec_at(self.elapsed, direction)
+
+    def rng_for(self, connection_id: int, direction: str) -> random.Random:
+        """Deterministic per-connection, per-direction randomness source."""
+        stream = 2 * connection_id + (0 if direction == INBOUND else 1)
+        return random.Random(self.seed * 1_000_003 + stream)
+
+
+class ChaosProxy:
+    """Seeded asyncio TCP proxy injecting :class:`FaultSchedule` faults.
+
+    Args:
+        upstream_host/upstream_port: the real server behind the proxy.
+        schedule: what to inject and when; defaults to a clean pass-through.
+        host/port: the proxy's own bind address (port 0 = ephemeral,
+            exposed via :attr:`address` after :meth:`start`).
+        registry: metrics registry for ``chaos_*`` series; ``None`` keeps
+            counting in :attr:`fault_counts` only.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        schedule: Optional[FaultSchedule] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: set = set()
+        self._writers: set = set()
+        self._accepted = 0
+        #: injected faults by kind: latency/reset/partial_write/truncate/
+        #: blackhole_chunk/bandwidth/upstream_refused
+        self.fault_counts: Dict[str, int] = {}
+        self._registry = registry
+
+    # -- accounting --------------------------------------------------------------
+
+    def _count(self, kind: str, amount: int = 1) -> None:
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + amount
+        if self._registry is not None:
+            self._registry.counter(
+                "chaos_faults_total", help="injected faults", kind=kind
+            ).inc(amount)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.fault_counts.values())
+
+    @property
+    def connections(self) -> int:
+        """Client connections accepted since start."""
+        return self._accepted
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("proxy already started")
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+        self.schedule.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The proxy's bound (host, port) — what clients should dial."""
+        if self._server is None:
+            raise RuntimeError("proxy not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Close the listener, abort live links, wait for pump tasks."""
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for writer in list(self._writers):
+            self._abort(writer)
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        self._writers.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- data path ---------------------------------------------------------------
+
+    @staticmethod
+    def _abort(writer: asyncio.StreamWriter) -> None:
+        """RST-style teardown: no FIN handshake, no lingering buffers."""
+        try:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            else:  # pragma: no cover - transport always set for streams
+                writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def _handle_client(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        connection_id = self._accepted
+        self._accepted += 1
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except (ConnectionError, OSError):
+            self._count("upstream_refused")
+            self._abort(client_writer)
+            return
+        self._writers.add(client_writer)
+        self._writers.add(upstream_writer)
+        inbound = asyncio.ensure_future(
+            self._pump(client_reader, upstream_writer, INBOUND, connection_id)
+        )
+        outbound = asyncio.ensure_future(
+            self._pump(upstream_reader, client_writer, OUTBOUND, connection_id)
+        )
+        for pump in (inbound, outbound):
+            self._tasks.add(pump)
+            pump.add_done_callback(self._tasks.discard)
+        try:
+            await asyncio.gather(inbound, outbound, return_exceptions=True)
+        finally:
+            self._writers.discard(client_writer)
+            self._writers.discard(upstream_writer)
+            self._abort(client_writer)
+            self._abort(upstream_writer)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        direction: str,
+        connection_id: int,
+    ) -> None:
+        """Forward ``reader`` → ``writer`` applying the active fault spec."""
+        rng = self.schedule.rng_for(connection_id, direction)
+        try:
+            while True:
+                data = await reader.read(CHUNK_SIZE)
+                if not data:
+                    break
+                spec = self.schedule.current_spec(direction)
+                if spec.clean:
+                    writer.write(data)
+                    await writer.drain()
+                    continue
+                if spec.blackhole:
+                    self._count("blackhole_chunk")
+                    continue
+                delay = spec.latency
+                if spec.jitter:
+                    delay += rng.random() * spec.jitter
+                if delay > 0:
+                    self._count("latency")
+                    await asyncio.sleep(delay)
+                if spec.bandwidth is not None:
+                    self._count("bandwidth")
+                    await asyncio.sleep(len(data) / spec.bandwidth)
+                if spec.reset_prob and rng.random() < spec.reset_prob:
+                    self._count("reset")
+                    self._abort(writer)
+                    return
+                if (
+                    spec.truncate_prob
+                    and len(data) > 1
+                    and rng.random() < spec.truncate_prob
+                ):
+                    self._count("truncate")
+                    data = data[: rng.randrange(1, len(data))]
+                if (
+                    spec.partial_write_prob
+                    and len(data) > 1
+                    and rng.random() < spec.partial_write_prob
+                ):
+                    self._count("partial_write")
+                    split = rng.randrange(1, len(data))
+                    writer.write(data[:split])
+                    await writer.drain()
+                    await asyncio.sleep(PARTIAL_WRITE_PAUSE)
+                    writer.write(data[split:])
+                else:
+                    writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass

@@ -24,6 +24,7 @@ from repro.aio.backoff import RetryPolicy
 from repro.aio.client import AsyncStoreClient
 from repro.aio.pool import AsyncStorePool
 from repro.cluster.consistent import ConsistentHashRing
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
 
 Endpoint = Tuple[str, int]
 
@@ -84,6 +85,9 @@ class ShardRouter:
         timeout: Optional[float] = 5.0,
         retry: Optional[RetryPolicy] = None,
         rng: Optional[random.Random] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        registry=None,
+        trace=None,
     ) -> AsyncStorePool:
         """A live :class:`AsyncStorePool` over the current endpoints.
 
@@ -91,11 +95,25 @@ class ShardRouter:
         count, so ``pool.node_for(key) == router.shard_for(key)`` for every
         key; clients inherit the PR 1 retry/backoff behaviour, which is
         what rides out a worker respawn.
+
+        With ``breaker_policy`` set, every shard's client gets its own
+        :class:`~repro.resilience.CircuitBreaker` (named after the shard,
+        exporting state through ``registry``/``trace`` when given), so a
+        dead shard fails fast with
+        :class:`~repro.resilience.BreakerOpenError` instead of charging
+        each request the full retry+backoff schedule.
         """
         clients = {
             shard: AsyncStoreClient(
                 host, port, pool_size=pool_size, timeout=timeout,
                 retry=retry, rng=rng,
+                breaker=(
+                    CircuitBreaker(
+                        breaker_policy, name=shard,
+                        registry=registry, trace=trace,
+                    )
+                    if breaker_policy is not None else None
+                ),
             )
             for shard, (host, port) in self._endpoints.items()
         }

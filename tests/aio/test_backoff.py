@@ -38,6 +38,35 @@ class TestRetryPolicy:
         assert NO_RETRY.max_attempts == 1
         assert list(NO_RETRY.delays()) == []
 
+    def test_single_attempt_policy_never_sleeps(self):
+        # max_attempts=1 is "no retries" even with generous delays set
+        policy = RetryPolicy(max_attempts=1, base_delay=5.0, max_delay=60.0)
+        assert list(policy.delays()) == []
+        assert list(policy.delays(random.Random(3))) == []
+
+    def test_factor_one_gives_constant_schedule(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.25, factor=1.0,
+                             max_delay=10.0, jitter=0.0)
+        assert list(policy.delays()) == [0.25] * 5
+
+    def test_zero_jitter_ignores_rng(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, factor=2.0,
+                             max_delay=1.0, jitter=0.0)
+        assert list(policy.delays(random.Random(1))) == list(policy.delays())
+
+    def test_max_delay_below_base_clamps_first_delay(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=2.0, factor=2.0,
+                             max_delay=0.5, jitter=0.0)
+        assert list(policy.delays()) == [0.5, 0.5]
+
+    def test_jitter_band_respects_max_delay_cap(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=1.0, factor=10.0,
+                             max_delay=2.0, jitter=0.25)
+        rng = random.Random(13)
+        for attempt in range(3, 8):  # all capped attempts
+            delay = policy.delay_for(attempt, rng)
+            assert 1.5 <= delay <= 2.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)

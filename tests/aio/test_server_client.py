@@ -302,3 +302,54 @@ class TestClientValidation:
                 await client.get(b"k")
 
         run(main())
+
+
+class TestCloseDuringBackoff:
+    def test_aclose_interrupts_retry_backoff_sleep(self):
+        # regression: aclose() used to wait out in-flight backoff sleeps,
+        # so closing a client mid-retry could hang for the full schedule
+        async def main():
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            host, port = probe.sockets[0].getsockname()[:2]
+            probe.close()
+            await probe.wait_closed()
+            client = AsyncStoreClient(
+                host, port, pool_size=1, timeout=0.2,
+                retry=RetryPolicy(max_attempts=3, base_delay=30.0, jitter=0.0),
+            )
+            task = asyncio.create_task(client.get(b"k"))
+            await asyncio.sleep(0.2)  # first dial failed; now deep in backoff
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            await client.aclose()
+            with pytest.raises((ConnectionError, OSError)):
+                await task
+            assert loop.time() - started < 1.0  # not the 30s schedule
+
+        run(main())
+
+
+class TestRejectionTracing:
+    def test_over_cap_rejection_records_trace_event(self):
+        async def main():
+            from repro.obs import EventTrace
+
+            trace = EventTrace()
+            engine = StoreServer(fresh_store(), trace=trace)
+            async with AsyncTCPStoreServer(
+                engine=engine, max_connections=1
+            ) as server:
+                host, port = server.address
+                holder = AsyncStoreClient(host, port, pool_size=1)
+                await holder.set(b"a", b"1")  # pins the only slot
+                reader, writer = await asyncio.open_connection(host, port)
+                line = await asyncio.wait_for(reader.readline(), 5)
+                assert line == b"SERVER_ERROR too many connections\r\n"
+                writer.close()
+                events = trace.events(kind="conn_rejected")
+                assert len(events) == 1
+                assert events[0].reason == "max_connections"
+                assert events[0].current == 1 and events[0].limit == 1
+                await holder.aclose()
+
+        run(main())

@@ -1,0 +1,175 @@
+"""CircuitBreaker state machine: trip, fast-fail, probe, recover."""
+
+import pytest
+
+from repro.obs import EventTrace, MetricsRegistry
+from repro.resilience import BreakerPolicy, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(policy=None, **kwargs):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        policy or BreakerPolicy(failure_threshold=3, recovery_time=1.0),
+        name="node0", clock=clock, **kwargs,
+    )
+    return breaker, clock
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(recovery_time=-1)
+        with pytest.raises(ValueError):
+            BreakerPolicy(half_open_max_probes=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(success_threshold=0)
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+
+    def test_success_resets_consecutive_failures(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # streak broken
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_opens_at_threshold(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):
+            assert breaker.state == "closed"
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.allow() is False
+
+
+class TestOpenState:
+    def test_short_circuits_until_recovery(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.5)
+        assert breaker.allow() is False
+        clock.advance(0.6)  # past recovery_time
+        assert breaker.state == "half_open"
+        assert breaker.allow() is True
+
+    def test_straggler_success_while_open_is_ignored(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.record_success()  # a request from before the trip
+        assert breaker.state == "open"
+
+
+class TestHalfOpenState:
+    def test_probe_budget_enforced(self):
+        breaker, clock = make_breaker(
+            BreakerPolicy(failure_threshold=1, recovery_time=1.0,
+                          half_open_max_probes=2)
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() is True   # probe 1
+        assert breaker.allow() is True   # probe 2
+        assert breaker.allow() is False  # over probe budget
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(
+            BreakerPolicy(failure_threshold=1, recovery_time=1.0)
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = make_breaker(
+            BreakerPolicy(failure_threshold=1, recovery_time=1.0)
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() is True
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.allow() is False
+        # the open window restarts from the probe failure
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_multi_success_threshold(self):
+        breaker, clock = make_breaker(
+            BreakerPolicy(failure_threshold=1, recovery_time=1.0,
+                          half_open_max_probes=3, success_threshold=2)
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == "half_open"  # one success is not enough
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+
+class TestObservability:
+    def test_metrics_exported(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2, recovery_time=1.0),
+            name="shard-1", clock=clock, registry=registry,
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allow() is False  # short circuit
+        snapshot = registry.snapshot()
+        assert snapshot["client_breaker_state{node=shard-1}"] == 2
+        assert snapshot["client_breaker_opens_total{node=shard-1}"] == 1
+        assert snapshot["client_breaker_short_circuits_total{node=shard-1}"] == 1
+        clock.advance(1.0)
+        assert breaker.allow() is True
+        breaker.record_success()
+        assert registry.snapshot()["client_breaker_state{node=shard-1}"] == 0
+
+    def test_trace_records_transitions(self):
+        trace = EventTrace()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, recovery_time=1.0),
+            name="shard-2", clock=clock, trace=trace,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        kinds = [(e.old_state, e.new_state) for e in trace.events(kind="breaker")]
+        assert kinds == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        assert all(e.node == "shard-2" for e in trace.events(kind="breaker"))

@@ -1,0 +1,251 @@
+"""ChaosProxy fault primitives and FaultSchedule semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer
+from repro.aio.backoff import NO_RETRY, RetryPolicy
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.obs import MetricsRegistry
+from repro.resilience import ChaosProxy, FaultSchedule, FaultSpec
+
+
+def fresh_store(limit=4 * 1024 * 1024):
+    return KVStore(
+        memory_limit=limit, slab_size=64 * 1024, policy_factory=GDWheelPolicy
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(latency=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(reset_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(bandwidth=0)
+        with pytest.raises(ValueError):
+            FaultSpec(direction="sideways")
+
+    def test_clean_flag(self):
+        assert FaultSpec().clean
+        assert not FaultSpec(latency=0.1).clean
+        assert not FaultSpec(blackhole=True).clean
+        assert not FaultSpec(bandwidth=1024).clean
+
+
+class TestFaultSchedule:
+    def test_base_and_windows(self):
+        schedule = (
+            FaultSchedule(seed=1)
+            .always(latency=0.01)
+            .window(1.0, 2.0, reset_prob=0.5)
+        )
+        assert schedule.spec_at(0.5, "in").latency == 0.01
+        assert schedule.spec_at(1.5, "in").reset_prob == 0.5
+        assert schedule.spec_at(1.5, "in").latency == 0.0  # window overrides
+        assert schedule.spec_at(2.0, "in").latency == 0.01  # end-exclusive
+
+    def test_later_window_wins(self):
+        schedule = (
+            FaultSchedule()
+            .window(0.0, 10.0, latency=0.01)
+            .window(5.0, 6.0, blackhole=True)
+        )
+        assert schedule.spec_at(5.5, "out").blackhole is True
+        assert schedule.spec_at(4.0, "out").latency == 0.01
+
+    def test_direction_filter(self):
+        schedule = (
+            FaultSchedule()
+            .always(latency=0.01, direction="both")
+            .window(0.0, 1.0, blackhole=True, direction="out")
+        )
+        # the window only covers the outbound pump; inbound falls to base
+        assert schedule.spec_at(0.5, "out").blackhole is True
+        assert schedule.spec_at(0.5, "in").blackhole is False
+        assert schedule.spec_at(0.5, "in").latency == 0.01
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().window(1.0, 1.0, latency=0.1)
+
+    def test_rng_is_deterministic_per_connection_and_direction(self):
+        schedule = FaultSchedule(seed=7)
+        a = schedule.rng_for(0, "in").random()
+        b = schedule.rng_for(0, "in").random()
+        assert a == b
+        assert schedule.rng_for(0, "in").random() != schedule.rng_for(0, "out").random()
+        assert schedule.rng_for(0, "in").random() != schedule.rng_for(1, "in").random()
+        assert FaultSchedule(seed=8).rng_for(0, "in").random() != a
+
+
+class TestProxyPassThrough:
+    def test_clean_proxy_is_transparent(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                async with ChaosProxy(*server.address) as proxy:
+                    client = AsyncStoreClient(*proxy.address, retry=NO_RETRY)
+                    items = [(b"k%d" % i, b"v%d" % i, i) for i in range(40)]
+                    assert await client.set_many(items) == 40
+                    found = await client.get_many([k for k, _, _ in items])
+                    assert len(found) == 40
+                    await client.aclose()
+                    assert proxy.total_injected == 0
+                    assert proxy.connections == 1
+
+        run(main())
+
+    def test_address_requires_start(self):
+        proxy = ChaosProxy("127.0.0.1", 1)
+        with pytest.raises(RuntimeError):
+            proxy.address
+
+    def test_upstream_refused_counts_and_closes(self):
+        async def main():
+            # bind-then-close to get a dead port
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            dead_port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            async with ChaosProxy("127.0.0.1", dead_port) as proxy:
+                reader, writer = await asyncio.open_connection(*proxy.address)
+                assert await asyncio.wait_for(reader.read(100), 2) == b""
+                writer.close()
+                assert proxy.fault_counts.get("upstream_refused") == 1
+
+        run(main())
+
+
+class TestFaultPrimitives:
+    def test_latency_fault_slows_but_preserves_data(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                schedule = FaultSchedule(seed=2).always(latency=0.03, jitter=0.01)
+                async with ChaosProxy(*server.address, schedule) as proxy:
+                    client = AsyncStoreClient(*proxy.address, retry=NO_RETRY)
+                    loop = asyncio.get_event_loop()
+                    started = loop.time()
+                    assert await client.set(b"k", b"v", cost=3)
+                    elapsed = loop.time() - started
+                    # request and response chunks each pay >= 30ms
+                    assert elapsed >= 0.05
+                    assert proxy.fault_counts["latency"] >= 2
+                    await client.aclose()
+
+        run(main())
+
+    def test_blackhole_swallows_and_client_times_out(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                schedule = FaultSchedule().always(blackhole=True)
+                async with ChaosProxy(*server.address, schedule) as proxy:
+                    client = AsyncStoreClient(
+                        *proxy.address, timeout=0.15, retry=NO_RETRY
+                    )
+                    with pytest.raises(asyncio.TimeoutError):
+                        await client.get(b"k")
+                    assert proxy.fault_counts["blackhole_chunk"] >= 1
+                    assert store.stats.snapshot().get("get_misses", 0) == 0
+                    await client.aclose()
+
+        run(main())
+
+    def test_reset_aborts_connection(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                schedule = FaultSchedule(seed=5).always(reset_prob=1.0)
+                async with ChaosProxy(*server.address, schedule) as proxy:
+                    client = AsyncStoreClient(
+                        *proxy.address, timeout=1.0, retry=NO_RETRY
+                    )
+                    with pytest.raises((ConnectionError, OSError, asyncio.TimeoutError)):
+                        await client.get(b"k")
+                    assert proxy.fault_counts["reset"] >= 1
+                    await client.aclose()
+
+        run(main())
+
+    def test_partial_writes_keep_protocol_intact(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                schedule = FaultSchedule(seed=4).always(partial_write_prob=1.0)
+                async with ChaosProxy(*server.address, schedule) as proxy:
+                    client = AsyncStoreClient(*proxy.address, retry=NO_RETRY)
+                    items = [(b"key-%03d" % i, b"value-%03d" % i, i) for i in range(20)]
+                    assert await client.set_many(items) == 20
+                    found = await client.get_many([k for k, _, _ in items])
+                    assert len(found) == 20  # split flushes never corrupt
+                    assert proxy.fault_counts["partial_write"] >= 1
+                    await client.aclose()
+
+        run(main())
+
+    def test_bandwidth_cap_paces_transfer(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                # ~4 KB payload over a 20 KB/s link: >= 0.2s just for pacing
+                schedule = FaultSchedule().always(bandwidth=20_000, direction="in")
+                async with ChaosProxy(*server.address, schedule) as proxy:
+                    client = AsyncStoreClient(*proxy.address, retry=NO_RETRY)
+                    loop = asyncio.get_event_loop()
+                    started = loop.time()
+                    assert await client.set(b"big", b"x" * 4096, cost=1)
+                    elapsed = loop.time() - started
+                    assert elapsed >= 0.15
+                    assert proxy.fault_counts["bandwidth"] >= 1
+                    await client.aclose()
+
+        run(main())
+
+    def test_truncation_corrupts_but_terminates(self):
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                schedule = FaultSchedule(seed=11).always(
+                    truncate_prob=1.0, direction="out"
+                )
+                async with ChaosProxy(*server.address, schedule) as proxy:
+                    client = AsyncStoreClient(
+                        *proxy.address, timeout=0.2,
+                        retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+                    )
+                    # a truncated response stream must end in an error (parse
+                    # failure, dropped connection, or timeout) — never a hang
+                    with pytest.raises(Exception):
+                        for i in range(50):
+                            await client.set(b"k%d" % i, b"v" * 64, cost=1)
+                    assert proxy.fault_counts["truncate"] >= 1
+                    await client.aclose()
+
+        run(main())
+
+    def test_metrics_registry_export(self):
+        async def main():
+            store = fresh_store()
+            registry = MetricsRegistry()
+            async with AsyncTCPStoreServer(store) as server:
+                schedule = FaultSchedule(seed=2).always(latency=0.001)
+                async with ChaosProxy(
+                    *server.address, schedule, registry=registry
+                ) as proxy:
+                    client = AsyncStoreClient(*proxy.address, retry=NO_RETRY)
+                    await client.set(b"k", b"v")
+                    await client.aclose()
+                    assert proxy.fault_counts["latency"] >= 1
+            snapshot = registry.snapshot()
+            assert snapshot["chaos_faults_total{kind=latency}"] >= 1
+
+        run(main())
