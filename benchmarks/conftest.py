@@ -40,7 +40,20 @@ def emit():
 
 
 @pytest.fixture(scope="session")
-def single_suite(scale):
+def prefilled(scale):
+    """One parallel pass filling the cache for every simulation suite.
+
+    Both figure grids (and Table 4, which reuses them) read pure cache
+    hits afterwards, so the whole harness pays for each cell once — in
+    parallel when the machine has cores to spare.
+    """
+    from repro.experiments.parallel import default_jobs, prefill_suites
+
+    return prefill_suites(scale=scale, jobs=default_jobs())
+
+
+@pytest.fixture(scope="session")
+def single_suite(scale, prefilled):
     """The 10x2 single-size result grid (Figures 9-12, hit-rate parity)."""
     from repro.experiments.single_size import run_single_size_suite
 
@@ -48,7 +61,7 @@ def single_suite(scale):
 
 
 @pytest.fixture(scope="session")
-def multi_suite(scale):
+def multi_suite(scale, prefilled):
     """The 3x3 multi-size result grid (Figures 13-15)."""
     from repro.experiments.multi_size import run_multi_size_suite
 

@@ -1,0 +1,337 @@
+"""Frozen copy of the pre-optimization simulation request path.
+
+``run_simulation_frozen`` replays one experiment cell through the request
+path exactly as it stood before the hot-path pass (PR 5): the per-request
+driver loop (one Python call per request for key bytes, cost lookup, value
+construction, clock advance, and request-log recording) driving a store
+whose GET/SET bodies, hash-table probe, item constructor, and policy
+touch/insert methods carry the old, un-inlined implementations.  The
+frozen pieces are subclasses pinning the old method bodies, so workload
+generation, slab accounting, eviction logic, and result summarization stay
+shared with the live code — the A/B difference is exactly the hot-path
+work this PR removed.
+
+``benchmarks/run_sim_bench.py`` A/B-interleaves this against the live
+driver and asserts the results are identical (same hit rate, same
+miss-cost sequence, same store stats) before trusting any speedup number.
+Do not "improve" this file: its value is that it does not move.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+from repro.core.gdpq import GDPQPolicy
+from repro.core.gdwheel import GDWheelPolicy
+from repro.core.lru import LRUPolicy
+from repro.core.policy import EvictionError, PolicyEntry
+from repro.kvstore import KVStore, SimClock
+from repro.kvstore.hashtable import HashTable
+from repro.kvstore.item import ITEM_HEADER_SIZE, Item, NEVER_EXPIRES
+from repro.obs.reporter import diff_snapshots
+from repro.sim.driver import (
+    SimConfig,
+    estimate_capacity_items,
+    make_policy_factory,
+    make_rebalancer,
+    resolve_num_keys,
+)
+from repro.sim.metrics import RequestLog
+from repro.sim.results import SimResult
+
+
+class FrozenLRUPolicy(LRUPolicy):
+    """LRU with the old two-call touch (unlink then relink)."""
+
+    def touch(self, entry: PolicyEntry) -> None:
+        queue = self._queue
+        queue.remove(entry)
+        queue.push_head(entry)
+
+
+class FrozenGDWheelPolicy(GDWheelPolicy):
+    """GD-Wheel with the old _unlink/_place call chain on touch/insert."""
+
+    def _place(self, entry: PolicyEntry) -> None:
+        delta = entry.policy_h - self._inflation
+        level = 0
+        while level + 1 < self.num_wheels and delta >= self._pow[level + 1]:
+            level += 1
+        slot = (entry.policy_h // self._pow[level]) % self.num_queues
+        self._wheels[level][slot].push_head(entry)
+        self._level_counts[level] += 1
+        entry.policy_slot = level
+
+    def _unlink(self, entry: PolicyEntry) -> None:
+        owner = entry.owner
+        if owner is None or not isinstance(entry.policy_slot, int):
+            raise ValueError("entry is not tracked by this policy")
+        owner.remove(entry)
+        self._level_counts[entry.policy_slot] -= 1
+        entry.policy_slot = None
+
+    def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
+        cost = self._effective_cost(cost)
+        entry.cost = cost
+        entry.policy_h = self._inflation + cost
+        entry.policy_seq = 0
+        self._place(entry)
+        self._count += 1
+
+    def touch(self, entry: PolicyEntry) -> None:
+        self._unlink(entry)
+        entry.policy_h = self._inflation + self._effective_cost(entry.cost)
+        entry.policy_seq = 0
+        self._place(entry)
+
+    def select_victim(self) -> PolicyEntry:
+        if self._count == 0:
+            raise EvictionError("GD-Wheel tracks no entries")
+        nq = self.num_queues
+        wheel0 = self._wheels[0]
+        while True:
+            if self._level_counts[0]:
+                queue = wheel0[self._inflation % nq]
+                if queue:
+                    victim: PolicyEntry = queue.pop_tail()  # type: ignore[assignment]
+                    self._level_counts[0] -= 1
+                    victim.policy_slot = None
+                    self._count -= 1
+                    if self._inflation_gauge is not None:
+                        self._inflation_gauge.set(self._inflation)
+                    return victim
+                self._inflation += 1
+                if self._inflation % nq == 0:
+                    self._cascade()
+            else:
+                lowest = min(
+                    i for i in range(self.num_wheels) if self._level_counts[i]
+                )
+                step = self._pow[lowest]
+                self._inflation = (self._inflation // step + 1) * step
+                self._cascade()
+
+
+class FrozenGDPQPolicy(GDPQPolicy):
+    """GD-PQ with the old method-per-step touch and heapq attribute calls."""
+
+    def touch(self, entry: PolicyEntry) -> None:
+        self._invalidate(entry)
+        entry.policy_h = self._inflation + entry.cost
+        self._push(entry)
+        self._maybe_compact()
+
+    def select_victim(self) -> PolicyEntry:
+        while self._heap:
+            slot = heapq.heappop(self._heap)
+            entry = slot[2]
+            if entry is None:
+                continue
+            entry.policy_ref = None
+            self._live -= 1
+            self._inflation = entry.policy_h
+            self._maybe_deflate()
+            if self._inflation_gauge is not None:
+                self._inflation_gauge.set(self._inflation)
+            return entry
+        raise EvictionError("GD-PQ tracks no entries")
+
+
+class FrozenHashTable(HashTable):
+    """Hash table with the old find() (always through _locate)."""
+
+    def find(self, key: bytes):
+        _, _, _, item = self._locate(key, self._hash(key))
+        return item
+
+
+class FrozenItem(Item):
+    """Item with the old super().__init__ construction chain."""
+
+    __slots__ = ()
+
+    def __init__(self, key, value, cost=0, flags=0, exptime=NEVER_EXPIRES):
+        if not isinstance(key, bytes):
+            raise TypeError("key must be bytes")
+        if not isinstance(value, bytes):
+            raise TypeError("value must be bytes")
+        PolicyEntry.__init__(
+            self, cost=cost, size=ITEM_HEADER_SIZE + len(key) + len(value), key=key
+        )
+        self.value = value
+        self.flags = flags
+        self.exptime = exptime
+        self.h_next = None
+        self.slab = None
+        self.chunk_index = None
+        self.last_access = 0.0
+        self.cas_unique = 0
+
+
+class FrozenKVStore(KVStore):
+    """KVStore with the old GET/SET bodies (property-backed stats bumps,
+    clock reads through the ``now`` property, un-inlined hash probe)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        hash_func = kwargs.get("hash_func")
+        power = kwargs.get("hash_power", 10)
+        if hash_func is not None:
+            self.hashtable = FrozenHashTable(
+                initial_power=power, hash_func=hash_func
+            )
+        else:
+            self.hashtable = FrozenHashTable(initial_power=power)
+
+    def get(self, key):
+        on_request = self._on_request
+        if on_request is not None:
+            on_request()
+        item = self.hashtable.find(key)
+        stats = self.stats
+        if item is None:
+            stats.get_misses += 1
+            return None
+        now = self.clock.now
+        exptime = item.exptime
+        if exptime != NEVER_EXPIRES and now >= exptime:
+            self._unlink_item(item, item.slab.owner)
+            stats.get_expired += 1
+            stats.get_misses += 1
+            return None
+        stats.get_hits += 1
+        item.last_access = now
+        slab = item.slab
+        slab.last_access = now
+        slab_class = slab.owner
+        policy = slab_class.policy
+        if policy is None:
+            policy = self.policy_for(slab_class)
+        policy.touch(item)
+        return item
+
+    def _store_item(self, key, value, cost, exptime, flags):
+        old = self.hashtable.find(key)
+        if old is not None:
+            self._unlink_item(old, old.slab.owner)
+        item = FrozenItem(
+            key=key, value=value, cost=cost, flags=flags, exptime=exptime
+        )
+        slab_class = self.allocator.class_for_size(item.footprint)
+        slab, index = self._allocate_chunk(slab_class)
+        slab_class.store_item(item, slab, index)
+        self.hashtable.insert(item)
+        now = self.clock.now
+        item.last_access = now
+        slab.last_access = now
+        self._cas_counter += 1
+        item.cas_unique = self._cas_counter
+        policy = slab_class.policy
+        if policy is None:
+            policy = self.policy_for(slab_class)
+        policy.insert(item, cost)
+        self.stats.sets += 1
+        return item
+
+
+def _frozen_policy_factory(name, capacity_items, max_cost, **kwargs):
+    """make_policy_factory with the frozen variants for the bench policies."""
+    if name == "lru":
+        return lambda: FrozenLRUPolicy(**kwargs)
+    if name == "gd-wheel":
+        options = {"num_queues": 256, "num_wheels": 2}
+        options.update(kwargs)
+        wheel_capacity = options["num_queues"] ** options["num_wheels"] - 1
+        if max_cost > wheel_capacity:
+            raise ValueError(
+                f"workload max cost {max_cost} exceeds wheel capacity "
+                f"{wheel_capacity}; widen num_queues/num_wheels"
+            )
+        return lambda: FrozenGDWheelPolicy(**options)
+    if name == "gd-pq":
+        return lambda: FrozenGDPQPolicy(**kwargs)
+    return make_policy_factory(name, capacity_items, max_cost, **kwargs)
+
+
+def run_simulation_frozen(config: SimConfig) -> SimResult:
+    """Warmup, measure, and summarize one cell — the pre-PR-5 request path."""
+    started = time.perf_counter()
+    num_keys = resolve_num_keys(config)
+    workload = config.spec.materialize(num_keys=num_keys, seed=config.seed)
+    probe_capacity = estimate_capacity_items(config, workload)
+
+    clock = SimClock()
+    measurement_seconds = config.num_requests * config.request_interval_s
+    policy_factory = _frozen_policy_factory(
+        config.policy, probe_capacity, workload.max_cost(), **config.policy_kwargs
+    )
+    rebalancer = make_rebalancer(
+        config.rebalancer, measurement_seconds, **config.rebalancer_kwargs
+    )
+    store = FrozenKVStore(
+        memory_limit=config.memory_limit,
+        policy_factory=policy_factory,
+        rebalancer=rebalancer,
+        slab_size=config.slab_size,
+        clock=clock,
+        hash_power=14,
+        hash_func=hash,
+    )
+
+    dt = config.request_interval_s
+    key_bytes = workload.key_bytes
+    # The pre-PR-5 Workload accessors resolved cost/value per request from
+    # the numpy arrays (scalar index + int() + a fresh bytes allocation);
+    # the live Workload now serves both from precomputed lists, so the
+    # frozen behavior is replicated here rather than called.
+    costs_arr = workload.costs
+    sizes_arr = workload.value_sizes
+
+    def cost_of(key_id):
+        return int(costs_arr[key_id])
+
+    def value_of(key_id):
+        return b"v" * int(sizes_arr[key_id])
+
+    # --- warmup phase: load the whole universe in seeded random order ----------
+    for key_id in workload.warmup_order(seed=config.seed + 101).tolist():
+        clock.advance(dt)
+        store.set(key_bytes(key_id), value_of(key_id), cost=cost_of(key_id))
+
+    warmup_stats = store.stats.snapshot()
+
+    # --- measurement phase: Zipf GETs; miss -> recompute + SET ----------------
+    log = RequestLog(config.num_requests)
+    requests = workload.sample_requests(config.num_requests)
+    get = store.get
+    set_ = store.set
+    for key_id in requests.tolist():
+        clock.advance(dt)
+        key = key_bytes(key_id)
+        if get(key) is not None:
+            log.record_hit()
+        else:
+            cost = cost_of(key_id)
+            log.record_miss(cost)
+            set_(key, value_of(key_id), cost=cost)
+
+    store.check_invariants()
+    measured_stats = diff_snapshots(warmup_stats, store.stats.snapshot())
+    return SimResult(
+        workload_id=config.spec.workload_id,
+        workload_name=config.spec.name,
+        policy=config.policy,
+        rebalancer=config.rebalancer,
+        num_keys=num_keys,
+        num_requests=config.num_requests,
+        capacity_items=probe_capacity,
+        hit_rate=log.hit_rate,
+        total_recomputation_cost=log.total_recomputation_cost,
+        average_latency_us=log.average_latency_us(),
+        p99_latency_us=log.percentile_latency_us(99.0),
+        miss_costs=log.miss_costs(),
+        store_stats=measured_stats,
+        class_stats=[vars(cs) for cs in store.class_stats()],
+        wall_seconds=time.perf_counter() - started,
+    )

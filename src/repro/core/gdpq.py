@@ -22,7 +22,7 @@ triggers the same O(n) deflation rescan.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Iterator, List, Optional
 
 from repro.core.policy import EvictionError, PolicyEntry, ReplacementPolicy
@@ -89,7 +89,7 @@ class GDPQPolicy(ReplacementPolicy):
         entry.policy_seq = self._seq
         slot: _SlotType = [entry.policy_h, self._seq, entry]
         entry.policy_ref = slot
-        heapq.heappush(self._heap, slot)
+        heappush(self._heap, slot)
 
     def _invalidate(self, entry: PolicyEntry) -> None:
         slot = entry.policy_ref
@@ -101,7 +101,7 @@ class GDPQPolicy(ReplacementPolicy):
     def _maybe_compact(self) -> None:
         if len(self._heap) > self._compact_ratio * max(self._live, 16):
             self._heap = [slot for slot in self._heap if slot[2] is not None]
-            heapq.heapify(self._heap)
+            heapify(self._heap)
 
     def _maybe_deflate(self) -> None:
         if self._inflation_limit is None or self._inflation < self._inflation_limit:
@@ -121,7 +121,7 @@ class GDPQPolicy(ReplacementPolicy):
             entry.policy_h = max(0, entry.policy_h - delta)
             slot[0] = entry.policy_h
             fresh.append(slot)
-        heapq.heapify(fresh)
+        heapify(fresh)
         self._heap = fresh
 
     def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
@@ -132,10 +132,21 @@ class GDPQPolicy(ReplacementPolicy):
         self._live += 1
 
     def touch(self, entry: PolicyEntry) -> None:
-        self._invalidate(entry)
-        entry.policy_h = self._inflation + entry.cost
-        self._push(entry)
-        self._maybe_compact()
+        # The GET-hit hot path: invalidate + push inlined (one heappush,
+        # no intermediate method calls), then the usual compaction check.
+        stale = entry.policy_ref
+        if stale is None or stale[2] is not entry:
+            raise ValueError("entry is not tracked by this policy")
+        stale[2] = None
+        seq = self._seq = self._seq + 1
+        entry.policy_seq = seq
+        slot: _SlotType = [self._inflation + entry.cost, seq, entry]
+        entry.policy_h = slot[0]
+        entry.policy_ref = slot
+        heappush(self._heap, slot)
+        if len(self._heap) > self._compact_ratio * max(self._live, 16):
+            self._heap = [s for s in self._heap if s[2] is not None]
+            heapify(self._heap)
 
     def remove(self, entry: PolicyEntry) -> None:
         self._invalidate(entry)
@@ -143,8 +154,9 @@ class GDPQPolicy(ReplacementPolicy):
         self._maybe_compact()
 
     def select_victim(self) -> PolicyEntry:
-        while self._heap:
-            slot = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            slot = heappop(heap)
             entry = slot[2]
             if entry is None:
                 continue
@@ -165,5 +177,5 @@ class GDPQPolicy(ReplacementPolicy):
 
     def peek_victim(self) -> Optional[PolicyEntry]:
         while self._heap and self._heap[0][2] is None:
-            heapq.heappop(self._heap)
+            heappop(self._heap)
         return self._heap[0][2] if self._heap else None

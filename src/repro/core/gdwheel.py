@@ -74,6 +74,20 @@ class GDWheelPolicy(ReplacementPolicy):
         self._pow = [num_queues**i for i in range(num_wheels + 1)]
         #: maximum representable cost
         self.max_cost = self._pow[num_wheels] - 1
+        # Precomputed digit table: the wheel level for every expressible
+        # cost (the level of H depends only on H - L, which at insert/touch
+        # time is exactly the effective cost).  Gated on table size so
+        # exotic wide geometries don't allocate gigabytes.
+        if self.max_cost < (1 << 20):
+            table = []
+            level = 0
+            for delta in range(self.max_cost + 1):
+                while level + 1 < num_wheels and delta >= self._pow[level + 1]:
+                    level += 1
+                table.append(level)
+            self._cost_level: Optional[List[int]] = table
+        else:
+            self._cost_level = None
         self._wheels: List[List[IntrusiveList]] = [
             [IntrusiveList() for _ in range(num_queues)] for _ in range(num_wheels)
         ]
@@ -138,16 +152,15 @@ class GDWheelPolicy(ReplacementPolicy):
             return self.max_cost
         return cost
 
-    def _place(self, entry: PolicyEntry) -> None:
-        """Link ``entry`` into the wheel/slot dictated by its ``policy_h``."""
-        delta = entry.policy_h - self._inflation
+    def _level_for(self, delta: int) -> int:
+        """Wheel level for a priority ``delta`` above the inflation value."""
+        table = self._cost_level
+        if table is not None:
+            return table[delta]
         level = 0
         while level + 1 < self.num_wheels and delta >= self._pow[level + 1]:
             level += 1
-        slot = (entry.policy_h // self._pow[level]) % self.num_queues
-        self._wheels[level][slot].push_head(entry)
-        self._level_counts[level] += 1
-        entry.policy_slot = level
+        return level
 
     def _unlink(self, entry: PolicyEntry) -> None:
         owner = entry.owner
@@ -162,16 +175,36 @@ class GDWheelPolicy(ReplacementPolicy):
     def insert(self, entry: PolicyEntry, cost: int = 0) -> None:
         cost = self._effective_cost(cost)
         entry.cost = cost
-        entry.policy_h = self._inflation + cost
+        h = entry.policy_h = self._inflation + cost
         entry.policy_seq = 0  # migrations since last insert/touch
-        self._place(entry)
+        level = self._level_for(cost)
+        self._wheels[level][(h // self._pow[level]) % self.num_queues].push_head(
+            entry
+        )
+        self._level_counts[level] += 1
+        entry.policy_slot = level
         self._count += 1
 
     def touch(self, entry: PolicyEntry) -> None:
-        self._unlink(entry)
-        entry.policy_h = self._inflation + self._effective_cost(entry.cost)
+        # The GET-hit hot path: unlink + re-place inlined.  ``entry.cost``
+        # was validated (and, if configured, clamped) by insert(), so it is
+        # a non-negative int <= max_cost and needs no re-validation here.
+        owner = entry._list
+        level = entry.policy_slot
+        if owner is None or not isinstance(level, int):
+            raise ValueError("entry is not tracked by this policy")
+        owner.remove(entry)
+        counts = self._level_counts
+        counts[level] -= 1
+        cost = entry.cost
+        h = entry.policy_h = self._inflation + cost
         entry.policy_seq = 0
-        self._place(entry)
+        level = self._level_for(cost)
+        self._wheels[level][(h // self._pow[level]) % self.num_queues].push_head(
+            entry
+        )
+        counts[level] += 1
+        entry.policy_slot = level
 
     def remove(self, entry: PolicyEntry) -> None:
         self._unlink(entry)
@@ -182,28 +215,36 @@ class GDWheelPolicy(ReplacementPolicy):
             raise EvictionError("GD-Wheel tracks no entries")
         nq = self.num_queues
         wheel0 = self._wheels[0]
+        counts = self._level_counts
+        # The hand position lives in a local while scanning; it is synced
+        # back to self._inflation before anything that reads it (_cascade)
+        # and before returning.
+        inflation = self._inflation
         while True:
-            if self._level_counts[0]:
-                queue = wheel0[self._inflation % nq]
+            if counts[0]:
+                queue = wheel0[inflation % nq]
                 if queue:
+                    self._inflation = inflation
                     victim: PolicyEntry = queue.pop_tail()  # type: ignore[assignment]
-                    self._level_counts[0] -= 1
+                    counts[0] -= 1
                     victim.policy_slot = None
                     self._count -= 1
                     if self._inflation_gauge is not None:
-                        self._inflation_gauge.set(self._inflation)
+                        self._inflation_gauge.set(inflation)
                     return victim
-                self._inflation += 1
-                if self._inflation % nq == 0:
+                inflation += 1
+                if inflation % nq == 0:
+                    self._inflation = inflation
                     self._cascade()
             else:
                 # Level 0 is empty: jump the hand straight to the next
                 # boundary of the lowest populated level and cascade there.
                 lowest = min(
-                    i for i in range(self.num_wheels) if self._level_counts[i]
+                    i for i in range(self.num_wheels) if counts[i]
                 )
                 step = self._pow[lowest]
-                self._inflation = (self._inflation // step + 1) * step
+                inflation = (inflation // step + 1) * step
+                self._inflation = inflation
                 self._cascade()
 
     def _cascade(self) -> None:

@@ -128,9 +128,27 @@ class IntrusiveList:
         return node
 
     def move_to_head(self, node: IntrusiveNode) -> None:
-        """Move an already-linked node to the head of this list."""
-        self.remove(node)
-        self.push_head(node)
+        """Move an already-linked node to the head of this list.
+
+        Unlink + relink are fused in place (LRU's touch path runs this once
+        per GET hit): no membership churn, no size update, and a no-op when
+        the node already heads the list.
+        """
+        if node._list is not self:
+            raise ValueError("node does not belong to this list")
+        head = self._head
+        if head is node:
+            return
+        # node is linked and not the head, so node._prev exists
+        node._prev._next = node._next
+        if node._next is not None:
+            node._next._prev = node._prev
+        else:
+            self._tail = node._prev
+        node._prev = None
+        node._next = head
+        head._prev = node  # type: ignore[union-attr]
+        self._head = node
 
     def __iter__(self) -> Iterator[IntrusiveNode]:
         """Iterate head → tail.  Do not mutate the list while iterating."""

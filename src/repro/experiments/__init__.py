@@ -5,9 +5,26 @@
 * :mod:`repro.experiments.single_size` — Figures 9-12 and hit-rate parity
 * :mod:`repro.experiments.multi_size` — Figures 13-15
 * :mod:`repro.experiments.summary` — Table 4
+* :mod:`repro.experiments.parallel` — multiprocessing grid runner
 * :mod:`repro.experiments.cli` — the ``gdwheel-repro`` command
 """
 
+from repro.experiments.parallel import (
+    GridProgress,
+    default_jobs,
+    prefill_suites,
+    run_grid,
+)
 from repro.experiments.scales import DEFAULT, LARGE, SMALL, ExperimentScale, active_scale
 
-__all__ = ["DEFAULT", "LARGE", "SMALL", "ExperimentScale", "active_scale"]
+__all__ = [
+    "DEFAULT",
+    "LARGE",
+    "SMALL",
+    "ExperimentScale",
+    "GridProgress",
+    "active_scale",
+    "default_jobs",
+    "prefill_suites",
+    "run_grid",
+]

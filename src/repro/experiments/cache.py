@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Optional
 
@@ -53,25 +54,67 @@ def config_fingerprint(config: SimConfig) -> str:
     return hashlib.sha256(blob).hexdigest()[:24]
 
 
+def _write_npz_atomic(path: Path, miss_costs) -> None:
+    """Write the npz half to a temp file, then rename into place."""
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        # open() first so numpy can't append a second suffix to the temp name
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, miss_costs=miss_costs)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Write the json half to a temp file, then rename into place."""
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
 def save_result(config: SimConfig, result: SimResult) -> None:
+    """Persist one result as a json + npz pair, crash/concurrency-safely.
+
+    Both halves are written to process-unique temp files and renamed into
+    place with :func:`os.replace`, so a reader (e.g. a parallel worker
+    sharing ``REPRO_CACHE_DIR``) never observes a partially written file.
+    The npz half lands first: :func:`load_result` keys its existence check
+    on the json half, so a crash between the two renames leaves a pair
+    that is simply treated as absent and rewritten on the next run.
+    """
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     stem = directory / config_fingerprint(config)
-    with open(stem.with_suffix(".json"), "w") as fh:
-        json.dump(result.to_dict(), fh, indent=2)
-    np.savez_compressed(stem.with_suffix(".npz"), miss_costs=result.miss_costs)
+    _write_npz_atomic(stem.with_suffix(".npz"), result.miss_costs)
+    _write_json_atomic(stem.with_suffix(".json"), result.to_dict())
 
 
 def load_result(config: SimConfig) -> Optional[SimResult]:
+    """Read back a cached result, or ``None`` if absent or unreadable.
+
+    Tolerant of torn state left by a crashed writer (missing halves,
+    truncated json, corrupt npz): any such pair reads as a cache miss and
+    will be overwritten by the next :func:`save_result`.
+    """
     stem = cache_dir() / config_fingerprint(config)
     json_path = stem.with_suffix(".json")
     npz_path = stem.with_suffix(".npz")
     if not json_path.exists() or not npz_path.exists():
         return None
-    with open(json_path) as fh:
-        data = json.load(fh)
-    with np.load(npz_path) as arrays:
-        miss_costs = arrays["miss_costs"]
+    try:
+        with open(json_path) as fh:
+            data = json.load(fh)
+        with np.load(npz_path) as arrays:
+            miss_costs = arrays["miss_costs"]
+    except (OSError, ValueError, KeyError, json.JSONDecodeError, zipfile.BadZipFile):
+        return None
     return SimResult(
         workload_id=data["workload_id"],
         workload_name=data["workload_name"],

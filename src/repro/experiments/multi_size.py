@@ -35,17 +35,18 @@ CONFIGURATIONS: Tuple[Tuple[str, str, str], ...] = (
 ResultKey = Tuple[str, str]  # (workload_id, configuration label)
 
 
-def run_multi_size_suite(
+def multi_size_configs(
     scale: Optional[ExperimentScale] = None,
     configurations: Sequence[Tuple[str, str, str]] = CONFIGURATIONS,
     workload_ids: Optional[Iterable[str]] = None,
-    use_cache: bool = True,
-) -> Dict[ResultKey, SimResult]:
+) -> List[Tuple[ResultKey, SimConfig]]:
+    """The study's cells as ((workload_id, label), config) pairs, in suite
+    order; seeds are a pure function of the cell (see single_size)."""
     scale = scale or active_scale()
     ids = list(workload_ids) if workload_ids is not None else list(
         MULTI_SIZE_WORKLOADS
     )
-    results: Dict[ResultKey, SimResult] = {}
+    cells: List[Tuple[ResultKey, SimConfig]] = []
     for wid in ids:
         spec = MULTI_SIZE_WORKLOADS[wid]
         for label, policy, rebalancer in configurations:
@@ -58,8 +59,29 @@ def run_multi_size_suite(
                 num_requests=scale.num_requests,
                 seed=scale.seed,
             )
-            results[(wid, label)] = run_cached(config, use_cache=use_cache)
-    return results
+            cells.append(((wid, label), config))
+    return cells
+
+
+def run_multi_size_suite(
+    scale: Optional[ExperimentScale] = None,
+    configurations: Sequence[Tuple[str, str, str]] = CONFIGURATIONS,
+    workload_ids: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+    jobs: Optional[int] = None,
+) -> Dict[ResultKey, SimResult]:
+    cells = multi_size_configs(
+        scale=scale, configurations=configurations, workload_ids=workload_ids
+    )
+    if jobs is not None and jobs > 1:
+        from repro.experiments.parallel import run_grid
+
+        values = run_grid(
+            [config for _, config in cells], jobs=jobs, use_cache=use_cache
+        )
+    else:
+        values = [run_cached(config, use_cache=use_cache) for _, config in cells]
+    return {key: result for (key, _), result in zip(cells, values)}
 
 
 def _baseline(results: Dict[ResultKey, SimResult], wid: str) -> SimResult:

@@ -1,0 +1,214 @@
+"""Parallel experiment engine — fan simulation cells across processes.
+
+The figure suites are embarrassingly parallel: every (workload, policy,
+rebalancer) cell is an independent :class:`SimConfig` whose seed is a pure
+function of the cell's configuration — never of execution order, worker
+identity, or wall time — so a grid run under ``--jobs N`` produces results
+byte-identical to the serial loop (``tests/experiments/test_parallel.py``
+asserts this).  The runner:
+
+* consults the ``.repro-results`` fingerprint cache in the parent before
+  dispatching, so already-computed cells never cost a worker;
+* fans the remaining cells over a :mod:`multiprocessing` pool (fork when
+  available, spawn otherwise), each worker writing its cell back through
+  the crash-safe :func:`~repro.experiments.cache.save_result`;
+* streams per-cell progress and an ETA through a
+  :class:`~repro.obs.registry.MetricsRegistry` (the repo's one metrics
+  spine) plus an optional line emitter; and
+* merges results in input order, exactly as serial execution would.
+
+``prefill_suites`` is the one-call warm-up used by ``experiments.cli
+--jobs`` and ``benchmarks/conftest.py``: it computes the union of the
+single-size and multi-size grids so that figures 9-15 and Table 4 all hit
+the cache afterwards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.cache import load_result, run_cached
+from repro.experiments.scales import ExperimentScale, active_scale
+from repro.obs.registry import MetricsRegistry
+from repro.sim.driver import SimConfig
+from repro.sim.results import SimResult
+
+
+def default_jobs() -> int:
+    """Usable CPUs for worker processes (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _mp_context():
+    """Fork when the platform offers it (cheap, inherits env); else default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context()
+
+
+class GridProgress:
+    """Per-cell progress/ETA for a grid run, backed by registry counters.
+
+    The counters (``experiment_cells_total`` / ``_done_total`` /
+    ``_cached_total``) live in a :class:`MetricsRegistry` so any exposition
+    path can watch a long grid; ``emit`` (when given) receives one
+    human-readable line per finished cell, with an ETA extrapolated from
+    the mean wall time of the cells actually computed so far.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        registry: Optional[MetricsRegistry] = None,
+        emit: Optional[Callable[[str], None]] = None,
+        jobs: int = 1,
+        label: str = "grid",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.emit = emit
+        self.label = label
+        self.jobs = max(1, jobs)
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self._computed_seconds = 0.0
+        self._counter_total = self.registry.counter(
+            "experiment_cells_total", help="cells submitted to the grid runner"
+        )
+        self._counter_done = self.registry.counter(
+            "experiment_cells_done_total", help="cells finished (any source)"
+        )
+        self._counter_cached = self.registry.counter(
+            "experiment_cells_cached_total", help="cells served from the cache"
+        )
+        self._counter_total.inc(total)
+
+    def cell_done(self, config: SimConfig, result: SimResult, cached: bool) -> None:
+        self.done += 1
+        self._counter_done.inc()
+        if cached:
+            self.cached += 1
+            self._counter_cached.inc()
+        else:
+            self._computed_seconds += result.wall_seconds
+        if self.emit is not None:
+            self.emit(self._line(config, cached))
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining-work estimate; None until a cell has been computed."""
+        computed = self.done - self.cached
+        if computed <= 0:
+            return None
+        mean = self._computed_seconds / computed
+        remaining = self.total - self.done
+        return mean * remaining / self.jobs
+
+    def _line(self, config: SimConfig, cached: bool) -> str:
+        cell = f"{config.spec.workload_id}/{config.policy}"
+        if config.rebalancer != "none":
+            cell += f"+{config.rebalancer}"
+        source = "cache" if cached else "run"
+        line = (
+            f"[{self.label}] {self.done}/{self.total} cells "
+            f"({self.cached} cached) {source}: {cell}"
+        )
+        eta = self.eta_seconds()
+        if eta is not None and self.done < self.total:
+            line += f" eta ~{eta:.0f}s"
+        return line
+
+
+def _run_cell(args: Tuple[int, SimConfig, bool]) -> Tuple[int, SimResult]:
+    """Worker body: run one cell (through the cache) and ship it back."""
+    index, config, use_cache = args
+    return index, run_cached(config, use_cache=use_cache)
+
+
+def run_grid(
+    configs: Iterable[SimConfig],
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    progress: Optional[GridProgress] = None,
+    registry: Optional[MetricsRegistry] = None,
+    emit: Optional[Callable[[str], None]] = None,
+) -> List[SimResult]:
+    """Run every cell, fanning cache misses across ``jobs`` processes.
+
+    Results come back in input order regardless of completion order, and
+    each cell is bit-identical to what a serial ``run_cached`` loop would
+    produce (deterministic per-cell seeding; no shared mutable state).
+    ``jobs=None`` means :func:`default_jobs`; ``jobs<=1`` runs inline with
+    no pool at all.
+    """
+    cells: List[SimConfig] = list(configs)
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    if progress is None:
+        progress = GridProgress(
+            len(cells), registry=registry, emit=emit, jobs=jobs
+        )
+    results: List[Optional[SimResult]] = [None] * len(cells)
+
+    pending: List[Tuple[int, SimConfig]] = []
+    for index, config in enumerate(cells):
+        cached = load_result(config) if use_cache else None
+        if cached is not None:
+            results[index] = cached
+            progress.cell_done(config, cached, cached=True)
+        else:
+            pending.append((index, config))
+
+    if pending and (jobs <= 1 or len(pending) == 1):
+        for index, config in pending:
+            result = run_cached(config, use_cache=use_cache)
+            results[index] = result
+            progress.cell_done(config, result, cached=False)
+    elif pending:
+        ctx = _mp_context()
+        workers = min(jobs, len(pending))
+        payload = [(index, config, use_cache) for index, config in pending]
+        with ctx.Pool(processes=workers) as pool:
+            for index, result in pool.imap_unordered(_run_cell, payload, chunksize=1):
+                results[index] = result
+                progress.cell_done(cells[index], result, cached=False)
+    return results  # type: ignore[return-value]
+
+
+def prefill_suites(
+    scale: Optional[ExperimentScale] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    single: bool = True,
+    multi: bool = True,
+    registry: Optional[MetricsRegistry] = None,
+    emit: Optional[Callable[[str], None]] = None,
+) -> Dict[str, int]:
+    """One parallel pass over the union of the figure suites' grids.
+
+    After this returns, ``run_single_size_suite`` / ``run_multi_size_suite``
+    / ``table4_measured`` (figures 9-15 and Table 4) are pure cache reads.
+    Returns ``{"cells": total, "cached": served_from_cache}``.
+    """
+    from repro.experiments.multi_size import multi_size_configs
+    from repro.experiments.single_size import single_size_configs
+
+    scale = scale or active_scale()
+    cells: List[SimConfig] = []
+    if single:
+        cells.extend(config for _, config in single_size_configs(scale=scale))
+    if multi:
+        cells.extend(config for _, config in multi_size_configs(scale=scale))
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    progress = GridProgress(
+        len(cells), registry=registry, emit=emit, jobs=jobs, label="prefill"
+    )
+    run_grid(
+        cells, jobs=jobs, use_cache=use_cache, progress=progress
+    )
+    return {"cells": progress.total, "cached": progress.cached}

@@ -22,18 +22,19 @@ ResultKey = Tuple[str, str]  # (workload_id, policy)
 DEFAULT_POLICIES = ("lru", "gd-wheel")
 
 
-def run_single_size_suite(
+def single_size_configs(
     scale: Optional[ExperimentScale] = None,
     policies: Sequence[str] = DEFAULT_POLICIES,
     workload_ids: Optional[Iterable[str]] = None,
-    use_cache: bool = True,
-) -> Dict[ResultKey, SimResult]:
-    """Run (or load) every (workload, policy) cell of the single-size study."""
+) -> List[Tuple[ResultKey, SimConfig]]:
+    """The study's cells as ((workload_id, policy), config) pairs, in suite
+    order.  Seeds come from the scale preset, so a cell's configuration
+    fully determines its result — the parallel runner relies on this."""
     scale = scale or active_scale()
     ids = list(workload_ids) if workload_ids is not None else list(
         SINGLE_SIZE_WORKLOADS
     )
-    results: Dict[ResultKey, SimResult] = {}
+    cells: List[Tuple[ResultKey, SimConfig]] = []
     for wid in ids:
         spec = SINGLE_SIZE_WORKLOADS[wid]
         for policy in policies:
@@ -46,8 +47,35 @@ def run_single_size_suite(
                 num_requests=scale.num_requests,
                 seed=scale.seed,
             )
-            results[(wid, policy)] = run_cached(config, use_cache=use_cache)
-    return results
+            cells.append(((wid, policy), config))
+    return cells
+
+
+def run_single_size_suite(
+    scale: Optional[ExperimentScale] = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    workload_ids: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+    jobs: Optional[int] = None,
+) -> Dict[ResultKey, SimResult]:
+    """Run (or load) every (workload, policy) cell of the single-size study.
+
+    ``jobs`` > 1 fans cache misses across worker processes (identical
+    results, see :mod:`repro.experiments.parallel`); the default runs the
+    cells serially in this process.
+    """
+    cells = single_size_configs(
+        scale=scale, policies=policies, workload_ids=workload_ids
+    )
+    if jobs is not None and jobs > 1:
+        from repro.experiments.parallel import run_grid
+
+        values = run_grid(
+            [config for _, config in cells], jobs=jobs, use_cache=use_cache
+        )
+    else:
+        values = [run_cached(config, use_cache=use_cache) for _, config in cells]
+    return {key: result for (key, _), result in zip(cells, values)}
 
 
 def comparisons(

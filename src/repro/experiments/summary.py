@@ -22,11 +22,17 @@ PAPER_TABLE4 = {
 
 
 def table4_measured(
-    scale: Optional[ExperimentScale] = None, use_cache: bool = True
+    scale: Optional[ExperimentScale] = None,
+    use_cache: bool = True,
+    jobs: Optional[int] = None,
 ) -> Dict:
-    """Compute the reproduction's Table 4 from both suites."""
-    single = run_single_size_suite(scale=scale, use_cache=use_cache)
-    multi = run_multi_size_suite(scale=scale, use_cache=use_cache)
+    """Compute the reproduction's Table 4 from both suites.
+
+    ``jobs`` > 1 parallelizes any cells not already cached (one
+    ``prefill_suites`` call makes this a pure cache read).
+    """
+    single = run_single_size_suite(scale=scale, use_cache=use_cache, jobs=jobs)
+    multi = run_multi_size_suite(scale=scale, use_cache=use_cache, jobs=jobs)
 
     single_comps = comparisons(single)
     s_lat = [c.latency_reduction_pct for c in single_comps]

@@ -133,6 +133,17 @@ class HashTable:
 
     def find(self, key: bytes) -> Optional[Item]:
         """Look up ``key``; returns the item or ``None``."""
+        # Steady state (no expansion in flight) walks the chain inline —
+        # find() is the single hottest call in the simulation driver and
+        # the _locate/_bucket_index detour costs two frames per probe.
+        if self._old_buckets is None:
+            buckets = self._buckets
+            item = buckets[self._hash(key) & (len(buckets) - 1)]
+            while item is not None:
+                if item.key == key:
+                    return item
+                item = item.h_next
+            return None
         _, _, _, item = self._locate(key, self._hash(key))
         return item
 

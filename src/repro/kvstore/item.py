@@ -56,7 +56,20 @@ class Item(PolicyEntry):
             raise TypeError("key must be bytes")
         if not isinstance(value, bytes):
             raise TypeError("value must be bytes")
-        super().__init__(cost=cost, size=ITEM_HEADER_SIZE + len(key) + len(value), key=key)
+        # Base-class field setup is flattened inline: an Item is built on
+        # every SET, and the two super().__init__ frames (PolicyEntry ->
+        # IntrusiveNode) are measurable in the simulation driver.  Keep in
+        # sync with those classes' __init__ bodies.
+        self._prev = None
+        self._next = None
+        self._list = None
+        self.cost = cost
+        self.size = ITEM_HEADER_SIZE + len(key) + len(value)
+        self.key = key
+        self.policy_h = 0
+        self.policy_seq = 0
+        self.policy_slot = None
+        self.policy_ref = None
         self.value = value
         self.flags = flags
         #: absolute expiry time on the simulated clock; 0 = never

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -16,7 +16,13 @@ class RequestLog:
     A hit incurs cost 0; a miss incurs the key's recomputation cost.  The
     log is a preallocated numpy array, so recording is O(1) per request and
     all statistics are vectorized afterwards.
+
+    The batched driver loop does not call :meth:`record_hit` /
+    :meth:`record_miss` per request; it accumulates the miss costs in
+    request order and builds the log in one shot via :meth:`from_misses`.
     """
+
+    __slots__ = ("_incurred", "_missed", "_pos")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -24,6 +30,28 @@ class RequestLog:
         self._incurred = np.zeros(capacity, dtype=np.int64)
         self._missed = np.zeros(capacity, dtype=bool)
         self._pos = 0
+
+    @classmethod
+    def from_misses(cls, num_requests: int, miss_costs: Sequence[int]) -> "RequestLog":
+        """Build a full log from the miss costs of ``num_requests`` requests.
+
+        ``miss_costs`` must be in request order.  Miss *positions* are not
+        retained (the misses occupy the first slots): every derived
+        statistic — hit rate, totals, :meth:`miss_costs`, and the
+        order-free latency aggregates — is identical to a log recorded
+        request by request.
+        """
+        misses = len(miss_costs)
+        if misses > num_requests:
+            raise ValueError(
+                f"{misses} misses exceed {num_requests} requests"
+            )
+        log = cls(num_requests)
+        if misses:
+            log._incurred[:misses] = np.asarray(miss_costs, dtype=np.int64)
+            log._missed[:misses] = True
+        log._pos = num_requests
+        return log
 
     def record_hit(self) -> None:
         self._pos += 1

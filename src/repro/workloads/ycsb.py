@@ -55,7 +55,27 @@ class WorkloadSpec:
 
 
 class Workload:
-    """A materialized workload: keys, per-key costs/sizes, request sampler."""
+    """A materialized workload: keys, per-key costs/sizes, request sampler.
+
+    Per-key facts (key bytes, cost, value) are materialized once into
+    plain Python lists so the driver's per-request loop pays a single
+    list index instead of a method call plus numpy scalar conversion.
+    Values of equal size share one ``bytes`` object (contents don't
+    matter), so the value table costs one object per distinct size.
+    """
+
+    __slots__ = (
+        "spec",
+        "num_keys",
+        "seed",
+        "costs",
+        "value_sizes",
+        "_rank_to_key",
+        "_sampler",
+        "_keys",
+        "_cost_list",
+        "_value_list",
+    )
 
     def __init__(self, spec: WorkloadSpec, num_keys: int, seed: int) -> None:
         if num_keys < 1:
@@ -71,16 +91,35 @@ class Workload:
         self._keys: List[bytes] = [
             b"k%0*d" % (width, i) for i in range(num_keys)
         ]
+        self._cost_list: List[int] = self.costs.tolist()
+        shared = {int(s): b"v" * int(s) for s in np.unique(self.value_sizes)}
+        self._value_list: List[bytes] = [
+            shared[s] for s in self.value_sizes.tolist()
+        ]
 
     def key_bytes(self, key_id: int) -> bytes:
         return self._keys[key_id]
 
     def cost_of(self, key_id: int) -> int:
-        return int(self.costs[key_id])
+        return self._cost_list[key_id]
 
     def value_of(self, key_id: int) -> bytes:
         """A synthetic value of the assigned size (contents don't matter)."""
-        return b"v" * int(self.value_sizes[key_id])
+        return self._value_list[key_id]
+
+    # -- batch views for the driver's hot loop (index once per request) --------
+
+    def key_list(self) -> List[bytes]:
+        """Key bytes per key id (shared list; do not mutate)."""
+        return self._keys
+
+    def cost_list(self) -> List[int]:
+        """Recomputation cost per key id (shared list; do not mutate)."""
+        return self._cost_list
+
+    def value_list(self) -> List[bytes]:
+        """Value bytes per key id, shared per size (do not mutate)."""
+        return self._value_list
 
     def sample_requests(self, count: int) -> np.ndarray:
         """``count`` Zipf-distributed key ids (popularity decorrelated)."""

@@ -1,0 +1,117 @@
+"""Crash/concurrency safety of the on-disk result cache.
+
+``save_result`` writes both halves (npz, then json) through temp files
+renamed into place; ``load_result`` keys its existence check on the json
+half and treats any torn or corrupt pair as a cache miss.  These tests
+simulate the failure windows directly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import cache
+from repro.experiments.cache import load_result, run_cached, save_result
+from repro.sim.driver import SimConfig
+from repro.workloads.ycsb import SINGLE_SIZE_WORKLOADS
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+@pytest.fixture(scope="module")
+def computed():
+    """One real (config, result) pair, tiny enough to recompute freely."""
+    config = SimConfig(
+        spec=SINGLE_SIZE_WORKLOADS["1"],
+        policy="gd-wheel",
+        memory_limit=2 * 1024 * 1024,
+        slab_size=64 * 1024,
+        num_requests=3_000,
+        num_keys=800,
+        seed=5,
+    )
+    return config, run_cached(config, use_cache=False)
+
+
+def cache_files(tmp_path):
+    directory = tmp_path / "cache"
+    return sorted(p.name for p in directory.iterdir()) if directory.exists() else []
+
+
+def test_round_trip(tmp_path, computed):
+    config, result = computed
+    save_result(config, result)
+    loaded = load_result(config)
+    assert loaded is not None
+    assert loaded.to_dict() == result.to_dict()
+    assert np.array_equal(loaded.miss_costs, result.miss_costs)
+    # both renames happened; no temp debris left behind
+    names = cache_files(tmp_path)
+    assert len(names) == 2
+    assert not any(".tmp." in name for name in names)
+
+
+def test_crash_between_npz_and_json_reads_as_miss(tmp_path, monkeypatch, computed):
+    """The ordering contract: npz lands first, so a crash before the json
+    rename leaves a pair load_result treats as absent."""
+    config, result = computed
+
+    def boom(path, payload):
+        raise OSError("simulated crash after the npz rename")
+
+    real = cache._write_json_atomic
+    monkeypatch.setattr(cache, "_write_json_atomic", boom)
+    with pytest.raises(OSError):
+        save_result(config, result)
+    monkeypatch.setattr(cache, "_write_json_atomic", real)
+
+    names = cache_files(tmp_path)
+    assert any(name.endswith(".npz") for name in names)  # first half landed
+    assert not any(name.endswith(".json") for name in names)
+    assert load_result(config) is None
+    # recovery: the next save overwrites the orphan and the pair is whole
+    save_result(config, result)
+    assert load_result(config) is not None
+
+
+def test_crash_mid_npz_leaves_no_debris(tmp_path, monkeypatch, computed):
+    config, result = computed
+
+    def boom(*args, **kwargs):
+        raise OSError("simulated crash mid-write")
+
+    monkeypatch.setattr(np, "savez_compressed", boom)
+    with pytest.raises(OSError):
+        save_result(config, result)
+
+    assert cache_files(tmp_path) == []  # temp file unlinked, nothing renamed
+    assert load_result(config) is None
+
+
+def test_corrupt_json_reads_as_miss(tmp_path, computed):
+    config, result = computed
+    save_result(config, result)
+    stem = cache.cache_dir() / cache.config_fingerprint(config)
+    stem.with_suffix(".json").write_text('{"workload_id": "1", "trunca')
+    assert load_result(config) is None
+
+
+def test_corrupt_npz_reads_as_miss(tmp_path, computed):
+    config, result = computed
+    save_result(config, result)
+    stem = cache.cache_dir() / cache.config_fingerprint(config)
+    stem.with_suffix(".npz").write_bytes(b"PK\x03\x04 not really a zip")
+    assert load_result(config) is None
+
+
+def test_temp_names_are_process_unique(computed):
+    config, result = computed
+    save_result(config, result)
+    stem = cache.cache_dir() / cache.config_fingerprint(config)
+    # the implementation detail two concurrent writers rely on
+    tmp = stem.with_name(stem.with_suffix(".json").name + f".tmp.{os.getpid()}")
+    assert str(os.getpid()) in tmp.name

@@ -31,9 +31,9 @@ def test_single_size_targets_at_small_scale(monkeypatch, tmp_path, capsys):
     original = single_size.run_single_size_suite
 
     def narrowed(scale=None, policies=("lru", "gd-wheel"), workload_ids=None,
-                 use_cache=True):
+                 use_cache=True, jobs=None):
         return original(scale=scale, policies=policies, workload_ids=["1"],
-                        use_cache=use_cache)
+                        use_cache=use_cache, jobs=jobs)
 
     monkeypatch.setattr(single_size, "run_single_size_suite", narrowed)
     assert main(["fig10", "hitrate"]) == 0

@@ -1,0 +1,91 @@
+"""The parallel grid runner: identical results, honest progress, cache reuse."""
+
+import pytest
+
+from repro.experiments.cache import run_cached
+from repro.experiments.parallel import GridProgress, default_jobs, run_grid
+from repro.obs.registry import MetricsRegistry
+from repro.sim.driver import SimConfig
+from repro.workloads.ycsb import SINGLE_SIZE_WORKLOADS
+
+
+def tiny_config(workload_id="1", policy="lru", seed=7):
+    return SimConfig(
+        spec=SINGLE_SIZE_WORKLOADS[workload_id],
+        policy=policy,
+        memory_limit=2 * 1024 * 1024,
+        slab_size=64 * 1024,
+        num_requests=4_000,
+        num_keys=1_000,
+        seed=seed,
+    )
+
+
+GRID = [
+    tiny_config("1", "lru"),
+    tiny_config("1", "gd-wheel"),
+    tiny_config("2", "lru"),
+    tiny_config("2", "gd-wheel"),
+]
+
+
+def fingerprint(result):
+    data = result.to_dict()
+    data.pop("wall_seconds")
+    return data, result.miss_costs.tobytes()
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+
+
+def test_parallel_results_match_serial():
+    """The determinism contract: jobs=N is invisible in the results."""
+    serial = run_grid(GRID, jobs=1, use_cache=False)
+    parallel = run_grid(GRID, jobs=4, use_cache=False)
+    assert len(serial) == len(parallel) == len(GRID)
+    for a, b in zip(serial, parallel):
+        assert fingerprint(a) == fingerprint(b)
+
+
+def test_results_come_back_in_input_order():
+    """imap_unordered completion order must never leak into the output."""
+    results = run_grid(GRID, jobs=4, use_cache=False)
+    for config, result in zip(GRID, results):
+        assert result.workload_id == config.spec.workload_id
+        assert result.policy == config.policy
+
+
+def test_cached_cells_are_served_without_workers():
+    precomputed = run_cached(GRID[0], use_cache=True)
+    registry = MetricsRegistry()
+    progress = GridProgress(len(GRID), registry=registry, jobs=2)
+    results = run_grid(GRID, jobs=2, use_cache=True, progress=progress)
+    assert progress.cached == 1
+    assert progress.done == len(GRID)
+    assert fingerprint(results[0]) == fingerprint(precomputed)
+    assert registry.counter("experiment_cells_total").value == len(GRID)
+    assert registry.counter("experiment_cells_done_total").value == len(GRID)
+    assert registry.counter("experiment_cells_cached_total").value == 1
+    # second pass: everything was written back, nothing left to compute
+    progress2 = GridProgress(len(GRID), jobs=2)
+    run_grid(GRID, jobs=2, use_cache=True, progress=progress2)
+    assert progress2.cached == len(GRID)
+
+
+def test_progress_lines_and_eta():
+    lines = []
+    progress = GridProgress(len(GRID), emit=lines.append, jobs=1, label="t")
+    assert progress.eta_seconds() is None  # nothing computed yet
+    run_grid(GRID, jobs=1, use_cache=False, progress=progress)
+    assert len(lines) == len(GRID)
+    assert lines[0].startswith("[t] 1/4 cells")
+    assert "run: 1/lru" in lines[0]
+    assert "eta ~" in lines[0]  # computed cells drive the estimate
+    assert lines[-1].startswith("[t] 4/4 cells")
+    assert progress.eta_seconds() == 0.0
