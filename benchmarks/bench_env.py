@@ -1,0 +1,53 @@
+"""Shared environment stamping for the ``BENCH_*.json`` writers.
+
+Every benchmark document carries the facts needed to interpret its
+numbers on a different machine: the CPU count actually available to this
+process (affinity-aware — a 64-core host running us in a 1-core cgroup
+reports 1), the Python version, and the platform string.  Scaling
+benchmarks additionally attach a note when the machine cannot express the
+claim being measured, so a ~1x speedup in the JSON reads as "expected
+here", not "regression".
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Dict, Optional
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def environment_facts() -> Dict[str, object]:
+    """The ``environment`` block shared by every BENCH_*.json document."""
+    return {
+        "cpus": available_cpus(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def scaling_note(cpus: int, required: int, subject: str,
+                 unaffected: str = "") -> Optional[str]:
+    """The small-machine disclaimer, or ``None`` when cores suffice.
+
+    ``subject`` names what time-slices (e.g. "shard processes"); the
+    optional ``unaffected`` clause names measurements the reader can still
+    trust on this machine.
+    """
+    if cpus >= required:
+        return None
+    note = (
+        f"only {cpus} CPU(s) available: {subject} time-slice the same "
+        f"core(s), so the parallel speedup cannot exceed ~1x here; rerun "
+        f"on a >={required}-core machine to observe the scaling claim"
+    )
+    if unaffected:
+        note += f" ({unaffected})"
+    return note

@@ -43,12 +43,11 @@ import argparse
 import asyncio
 import json
 import multiprocessing
-import os
-import platform
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from bench_env import available_cpus, environment_facts, scaling_note
 from repro.shard import ShardRouter, ShardSupervisor
 from repro.sim.histogram import LatencyHistogram
 from repro.workloads import SINGLE_SIZE_WORKLOADS
@@ -63,13 +62,6 @@ DEFAULT_WORKLOAD = "1"
 #: timed phase => ~100% hits; serving scalability, not eviction, is measured)
 PER_SHARD_MEMORY = 32 * 1024 * 1024
 SLAB_SIZE = 256 * 1024
-
-
-def available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux fallback
-        return os.cpu_count() or 1
 
 
 def _driver_main(
@@ -247,11 +239,7 @@ def run_shard_scaling(
     document: Dict[str, object] = {
         "benchmark": "shard_scaling",
         "generated_unix": int(time.time()),
-        "environment": {
-            "cpus": cpus,
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
+        "environment": environment_facts(),
         "config": {
             "workload": workload_id,
             "num_keys": num_keys,
@@ -263,12 +251,9 @@ def run_shard_scaling(
         },
         "results": results,
     }
-    if cpus < max(shard_counts):
-        document["note"] = (
-            f"only {cpus} CPU(s) available: shard processes time-slice the "
-            "same core(s), so multi-shard speedup cannot exceed ~1x here; "
-            "rerun on a >=4-core machine to observe the scaling claim"
-        )
+    note = scaling_note(cpus, max(shard_counts), "shard processes")
+    if note is not None:
+        document["note"] = note
     return document
 
 

@@ -32,14 +32,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from bench_env import available_cpus, environment_facts, scaling_note
 from frozen_sim_driver import run_simulation_frozen
 from repro.sim.driver import SimConfig, run_simulation
 from repro.sim.results import SimResult
@@ -60,13 +59,6 @@ DEFAULT_GRID_POLICIES = ("lru", "gd-wheel")
 DEFAULT_GRID_REQUESTS = 60_000
 DEFAULT_GRID_KEYS = 8_000
 DEFAULT_GRID_JOBS = 4
-
-
-def available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux fallback
-        return os.cpu_count() or 1
 
 
 def bench_config(
@@ -231,11 +223,7 @@ def run_sim_bench(
     document: Dict[str, object] = {
         "benchmark": "sim_throughput",
         "generated_unix": int(time.time()),
-        "environment": {
-            "cpus": cpus,
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
+        "environment": environment_facts(),
         "config": {
             "workload": DEFAULT_WORKLOAD,
             "num_requests": num_requests,
@@ -252,13 +240,12 @@ def run_sim_bench(
         },
         "grid": grid,
     }
-    if cpus < grid_jobs:
-        document["note"] = (
-            f"only {cpus} CPU(s) available: grid workers time-slice the same "
-            f"core(s), so jobs={grid_jobs} speedup cannot exceed ~1x here; "
-            "rerun on a >=4-core machine to observe the scaling claim "
-            "(single-process driver_ab numbers are unaffected)"
-        )
+    note = scaling_note(
+        cpus, grid_jobs, f"grid workers (jobs={grid_jobs})",
+        unaffected="single-process driver_ab numbers are unaffected",
+    )
+    if note is not None:
+        document["note"] = note
     return document
 
 

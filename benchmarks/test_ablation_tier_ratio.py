@@ -1,0 +1,59 @@
+"""A-7 — ablation: recomputation cost saved vs flash:RAM tier ratio.
+
+The flash tier catches evictions that would otherwise become expensive
+recomputations.  This ablation sweeps the tier budget from 0 (single-tier
+baseline) to 4x RAM for a spread of RAM policies and maps how much of the
+miss cost the second tier absorbs — and whether a cost-aware RAM policy
+(which evicts *cheap* items first, sending the tier a low-value stream)
+still benefits as much as LRU (which spills expensive items the tier can
+profitably catch).
+"""
+
+import pytest
+
+from repro.experiments import tier_exp
+
+_results = {}
+
+
+def suite(scale, jobs=None):
+    if not _results:
+        _results.update(
+            tier_exp.run_tier_ratio_suite(scale=scale, jobs=jobs)
+        )
+    return _results
+
+
+@pytest.mark.parametrize("policy", tier_exp.DEFAULT_TIER_POLICIES)
+def test_tier_cell(benchmark, scale, policy):
+    results = benchmark.pedantic(
+        lambda: suite(scale), rounds=1, iterations=1
+    )
+    for ratio in tier_exp.DEFAULT_RATIOS:
+        assert (policy, ratio) in results
+
+
+def test_tier_ratio_report(emit, benchmark, scale):
+    results = benchmark.pedantic(
+        lambda: suite(scale), rounds=1, iterations=1
+    )
+    emit("ablation_tier_ratio", tier_exp.tier_ratio_report(results))
+
+    for policy in tier_exp.DEFAULT_TIER_POLICIES:
+        base = results[(policy, 0.0)]
+        # ratio 0 is a genuinely tierless run
+        assert base.tier_stats == {}
+
+        # an enabled tier absorbs evictions and serves real hits
+        biggest = results[(policy, max(tier_exp.DEFAULT_RATIOS))]
+        assert biggest.tier_stats.get("spills", 0) > 0
+        assert biggest.tier_stats.get("hits", 0) > 0
+
+        # ...which must translate into recomputation cost saved
+        base_cost = base.total_recomputation_cost
+        big_cost = biggest.total_recomputation_cost
+        assert big_cost < base_cost, (policy, base_cost, big_cost)
+
+        # more flash never makes things *worse* than a token tier
+        small_cost = results[(policy, 0.5)].total_recomputation_cost
+        assert big_cost <= small_cost, (policy, small_cost, big_cost)

@@ -1,0 +1,190 @@
+"""Tier-disabled overhead guard: shipping store vs the pre-tier hot path.
+
+The flash tier threads three hooks through the KVStore hot path: a
+RAM-miss fallthrough in ``get``, an invalidate in ``_store_item``, and the
+``_evict_item`` choke point under ``_evict_one``.  The contract is that a
+store built with ``tier=None`` pays for none of it beyond a handful of
+``is None`` branches.
+
+This benchmark holds it to that: a frozen inline copy of the pre-tier
+``get`` / ``_store_item`` / ``_evict_one`` serves as the baseline arm, the
+shipping :class:`KVStore` with ``tier=None`` is the candidate arm, and the
+candidate's mixed GET/SET throughput must stay within 3% of the baseline.
+The arms are interleaved and best-of-N compared so host-load drift hits
+both symmetrically.
+
+Sized by ``TIER_OVERHEAD_OPS`` (default 60_000); raise it locally (e.g.
+500_000) for a low-variance measurement.  Marked ``slow`` so quick local
+runs can deselect it with ``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.kvstore.item import Item, NEVER_EXPIRES
+
+pytestmark = pytest.mark.slow
+
+TOTAL_OPS = int(os.environ.get("TIER_OVERHEAD_OPS", "60000"))
+ROUNDS = int(os.environ.get("TIER_OVERHEAD_ROUNDS", "5"))
+NUM_KEYS = 4_000
+VALUE = b"v" * 100
+MEMORY = 384 * 1024  # overcommitted ~2x so evictions stay in the mix
+#: tier-disabled throughput must stay within this fraction of pre-tier
+MAX_OVERHEAD = 0.03
+
+
+class _FrozenPreTierStore(KVStore):
+    """The pre-tier hot path, frozen verbatim as the baseline arm.
+
+    Deliberately NOT kept in sync with the shipping methods: it preserves
+    ``get``, ``_store_item``, and ``_evict_one`` exactly as they were
+    before the tier existed, so the guard measures exactly what this PR
+    added to the disabled path.
+    """
+
+    def get(self, key):
+        on_request = self._on_request
+        if on_request is not None:
+            on_request()
+        item = self.hashtable.find(key)
+        if item is None:
+            self._count_get_miss()
+            return None
+        now = self.clock._now
+        exptime = item.exptime
+        if exptime != NEVER_EXPIRES and now >= exptime:
+            self._unlink_item(item, item.slab.owner)
+            stats = self.stats
+            stats.get_expired += 1
+            stats.get_misses += 1
+            return None
+        self._count_get_hit()
+        item.last_access = now
+        slab = item.slab
+        slab.last_access = now
+        slab_class = slab.owner
+        policy = slab_class.policy
+        if policy is None:
+            policy = self.policy_for(slab_class)
+        policy.touch(item)
+        return item
+
+    def _store_item(self, key, value, cost, exptime, flags, count_set=True):
+        old = self.hashtable.find(key)
+        if old is not None:
+            self._unlink_item(old, old.slab.owner)
+        item = Item(key=key, value=value, cost=cost, flags=flags, exptime=exptime)
+        slab_class = self.allocator.class_for_size(item.footprint)
+        slab, index = self._allocate_chunk(slab_class)
+        slab_class.store_item(item, slab, index)
+        self.hashtable.insert(item)
+        now = self.clock._now
+        item.last_access = now
+        slab.last_access = now
+        self._cas_counter += 1
+        item.cas_unique = self._cas_counter
+        policy = slab_class.policy
+        if policy is None:
+            policy = self.policy_for(slab_class)
+        policy.insert(item, cost)
+        self._count_set()
+        return item
+
+    def _evict_one(self, slab_class):
+        policy = self.policy_for(slab_class)
+        now = self.clock.now
+        iter_tail = getattr(policy, "iter_tail", None)
+        if iter_tail is not None:
+            scanned = 0
+            for entry in iter_tail():
+                if scanned >= self.RECLAIM_SCAN_DEPTH:
+                    break
+                scanned += 1
+                item = entry
+                if item.expired(now):
+                    self._unlink_item(item, slab_class)
+                    self.stats.reclaims += 1
+                    if self.trace is not None:
+                        self._trace_eviction(policy, slab_class, item, expired=True)
+                    return item
+        victim = policy.select_victim()
+        self.hashtable.delete(victim.key)
+        slab_class.free_item(victim)
+        expired = victim.expired(now)
+        if expired:
+            self.stats.reclaims += 1
+        else:
+            self.stats.evictions += 1
+            self.stats.evicted_cost += victim.cost
+            slab_class.evictions += 1
+        if self.trace is not None:
+            self._trace_eviction(policy, slab_class, victim, expired=expired)
+        if not expired:
+            self.rebalancer.on_eviction(slab_class, victim)
+        return victim
+
+
+def make_ops():
+    """A deterministic 70/30 GET/SET stream over a fixed key universe."""
+    rng = random.Random(17)
+    keys = [f"key-{i:05d}".encode() for i in range(NUM_KEYS)]
+    return [
+        (rng.random() < 0.7, keys[int(rng.random() ** 2 * NUM_KEYS)])
+        for _ in range(TOTAL_OPS)
+    ]
+
+
+def measure(store_cls, ops) -> float:
+    """One mixed GET/SET run against a fresh tierless store; ops/s."""
+    store = store_cls(
+        memory_limit=MEMORY,
+        slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+    assert store.tier is None
+    for i in range(NUM_KEYS):  # warm fill: steady-state eviction from op 0
+        store.set(f"key-{i:05d}".encode(), VALUE, cost=1 + i % 100)
+    get = store.get
+    set_ = store.set
+    start = time.perf_counter()
+    for is_get, key in ops:
+        if is_get:
+            get(key)
+        else:
+            set_(key, VALUE, cost=7)
+    elapsed = time.perf_counter() - start
+    assert store.stats.evictions > 0, "no eviction pressure; shrink MEMORY"
+    return len(ops) / elapsed
+
+
+def test_disabled_tier_overhead_under_three_percent(emit):
+    ops = make_ops()
+    measure(KVStore, ops)  # joint warm-up (bytecode + allocator caches)
+    baseline_runs, shipping_runs = [], []
+    for _ in range(ROUNDS):
+        baseline_runs.append(measure(_FrozenPreTierStore, ops))
+        shipping_runs.append(measure(KVStore, ops))
+    baseline = max(baseline_runs)
+    shipping = max(shipping_runs)
+    overhead = 1.0 - shipping / baseline
+    emit(
+        "tier_overhead",
+        "== tier-disabled overhead guard ==\n"
+        f"ops per run         {TOTAL_OPS}  (best of {ROUNDS})\n"
+        f"frozen pre-tier     {baseline:12,.0f} ops/s\n"
+        f"shipping (off)      {shipping:12,.0f} ops/s\n"
+        f"overhead            {overhead:+.1%}  (budget {MAX_OVERHEAD:.0%})",
+    )
+    assert shipping >= (1.0 - MAX_OVERHEAD) * baseline, (
+        f"tier-disabled throughput {shipping:,.0f} ops/s is more than "
+        f"{MAX_OVERHEAD:.0%} below the frozen pre-tier baseline "
+        f"{baseline:,.0f}"
+    )

@@ -5,6 +5,7 @@
 * :mod:`repro.experiments.single_size` — Figures 9-12 and hit-rate parity
 * :mod:`repro.experiments.multi_size` — Figures 13-15
 * :mod:`repro.experiments.summary` — Table 4
+* :mod:`repro.experiments.tier_exp` — the tiered-storage ratio ablation
 * :mod:`repro.experiments.parallel` — multiprocessing grid runner
 * :mod:`repro.experiments.cli` — the ``gdwheel-repro`` command
 """
@@ -13,6 +14,7 @@ from repro.experiments.parallel import (
     GridProgress,
     default_jobs,
     prefill_suites,
+    resolve_jobs,
     run_grid,
 )
 from repro.experiments.scales import DEFAULT, LARGE, SMALL, ExperimentScale, active_scale
@@ -26,5 +28,6 @@ __all__ = [
     "active_scale",
     "default_jobs",
     "prefill_suites",
+    "resolve_jobs",
     "run_grid",
 ]

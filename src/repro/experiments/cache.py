@@ -50,6 +50,10 @@ def config_fingerprint(config: SimConfig) -> str:
         "rebalancer_kwargs": sorted(config.rebalancer_kwargs.items()),
         "version": 2,  # bump to invalidate after semantic changes
     }
+    if config.tier_bytes:
+        # added only when enabled so pre-tier cache entries stay valid
+        payload["tier_bytes"] = config.tier_bytes
+        payload["tier_segment_bytes"] = config.tier_segment_bytes
     blob = json.dumps(payload, sort_keys=True, default=str).encode()
     return hashlib.sha256(blob).hexdigest()[:24]
 
@@ -130,6 +134,7 @@ def load_result(config: SimConfig) -> Optional[SimResult]:
         miss_costs=miss_costs,
         store_stats=data["store_stats"],
         wall_seconds=data["wall_seconds"],
+        tier_stats=data.get("tier_stats", {}),
     )
 
 

@@ -7,6 +7,7 @@ Usage (installed as ``gdwheel-repro`` or via ``python -m repro.experiments.cli``
     gdwheel-repro fig9 fig10 fig11 fig12 hitrate
     gdwheel-repro fig13 fig14 fig15
     gdwheel-repro table4           # the summary
+    gdwheel-repro tier             # tiered-storage ratio ablation
     gdwheel-repro all              # everything
 
 Scale is taken from ``REPRO_SCALE`` (small / default / large); results are
@@ -31,7 +32,7 @@ ALL_TARGETS = (
     + sorted(OPCOST_TARGETS)
     + sorted(SINGLE_TARGETS)
     + sorted(MULTI_TARGETS)
-    + ["table4", "pooling"]
+    + ["table4", "pooling", "tier"]
 )
 
 
@@ -64,11 +65,16 @@ def main(argv: List[str] = None) -> int:
         help="worker processes for simulation cells (default: all CPUs)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(
+            f"--jobs must be a positive integer, got {args.jobs} "
+            "(use --jobs 1 for serial execution)"
+        )
     targets = set(args.targets)
     if "all" in targets:
         targets = set(ALL_TARGETS)
     use_cache = not args.no_cache
-    jobs = max(1, args.jobs)
+    jobs = args.jobs
     scale = active_scale()
     print(f"scale: {scale.name} ({scale.memory_limit // (1024 * 1024)} MB cache, "
           f"{scale.num_requests:,} requests, jobs={jobs})\n")
@@ -166,6 +172,15 @@ def main(argv: List[str] = None) -> int:
         from repro.cluster import pooling_report, run_pooling_comparison
 
         print(pooling_report(run_pooling_comparison()))
+        print()
+
+    if "tier" in targets:
+        from repro.experiments import tier_exp
+
+        results = tier_exp.run_tier_ratio_suite(
+            scale=scale, use_cache=use_cache, jobs=jobs
+        )
+        print(tier_exp.tier_ratio_report(results))
         print()
     return 0
 

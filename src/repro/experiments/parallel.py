@@ -45,6 +45,23 @@ def default_jobs() -> int:
         return os.cpu_count() or 1
 
 
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Validate a ``jobs`` argument; ``None`` means :func:`default_jobs`.
+
+    ``0`` and negative values used to be silently clamped to 1, which made
+    a mistyped ``--jobs 0`` look like a deliberate serial run; now they are
+    rejected loudly everywhere a job count enters the engine.
+    """
+    if jobs is None:
+        return default_jobs()
+    if jobs < 1:
+        raise ValueError(
+            f"jobs must be a positive integer, got {jobs} "
+            "(pass jobs=1 for serial execution or jobs=None for all CPUs)"
+        )
+    return jobs
+
+
 def _mp_context():
     """Fork when the platform offers it (cheap, inherits env); else default."""
     try:
@@ -148,7 +165,7 @@ def run_grid(
     no pool at all.
     """
     cells: List[SimConfig] = list(configs)
-    jobs = default_jobs() if jobs is None else max(1, jobs)
+    jobs = resolve_jobs(jobs)
     if progress is None:
         progress = GridProgress(
             len(cells), registry=registry, emit=emit, jobs=jobs
@@ -204,7 +221,7 @@ def prefill_suites(
         cells.extend(config for _, config in single_size_configs(scale=scale))
     if multi:
         cells.extend(config for _, config in multi_size_configs(scale=scale))
-    jobs = default_jobs() if jobs is None else max(1, jobs)
+    jobs = resolve_jobs(jobs)
     progress = GridProgress(
         len(cells), registry=registry, emit=emit, jobs=jobs, label="prefill"
     )

@@ -1,0 +1,128 @@
+"""The tiered-storage ablation: miss cost vs RAM:flash ratio per policy.
+
+The question the tier answers is "how much recomputation does a flash
+second tier save, and does a cost-aware RAM policy make the tier more or
+less useful?".  One suite run sweeps the tier-capacity-to-RAM ratio over a
+set of replacement policies on the baseline single-size workload; ratio 0
+is the plain single-tier store every other cell is normalized against.
+
+The suite rides the same fingerprint cache and parallel grid runner as the
+figure suites (tier cells add ``tier_bytes`` to the fingerprint, so they
+never collide with the single-tier studies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import run_cached
+from repro.experiments.report import render_table
+from repro.experiments.scales import ExperimentScale, active_scale
+from repro.sim.driver import SimConfig
+from repro.sim.results import SimResult
+from repro.workloads.ycsb import SINGLE_SIZE_WORKLOADS
+
+TierKey = Tuple[str, float]  # (policy, tier_ratio)
+
+#: tier capacity as a multiple of RAM capacity; 0.0 = tier disabled
+DEFAULT_RATIOS = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+DEFAULT_TIER_POLICIES = ("lru", "gd-wheel", "gd-pq")
+
+
+def tier_ratio_configs(
+    scale: Optional[ExperimentScale] = None,
+    policies: Sequence[str] = DEFAULT_TIER_POLICIES,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    workload_id: str = "1",
+) -> List[Tuple[TierKey, SimConfig]]:
+    """The ablation's cells as ((policy, ratio), config) pairs.
+
+    Every cell shares the workload, universe, and request stream; only the
+    RAM policy and the flash budget vary, so differences are attributable
+    to the tier alone.
+    """
+    scale = scale or active_scale()
+    spec = SINGLE_SIZE_WORKLOADS[workload_id]
+    cells: List[Tuple[TierKey, SimConfig]] = []
+    for policy in policies:
+        for ratio in ratios:
+            config = SimConfig(
+                spec=spec,
+                policy=policy,
+                rebalancer="none",
+                memory_limit=scale.memory_limit,
+                slab_size=scale.slab_size,
+                num_requests=scale.num_requests,
+                seed=scale.seed,
+                tier_bytes=int(scale.memory_limit * ratio),
+            )
+            cells.append(((policy, ratio), config))
+    return cells
+
+
+def run_tier_ratio_suite(
+    scale: Optional[ExperimentScale] = None,
+    policies: Sequence[str] = DEFAULT_TIER_POLICIES,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    workload_id: str = "1",
+    use_cache: bool = True,
+    jobs: Optional[int] = None,
+) -> Dict[TierKey, SimResult]:
+    """Run (or load) every (policy, ratio) cell of the tier ablation."""
+    cells = tier_ratio_configs(
+        scale=scale, policies=policies, ratios=ratios, workload_id=workload_id
+    )
+    if jobs is not None and jobs > 1:
+        from repro.experiments.parallel import run_grid
+
+        values = run_grid(
+            [config for _, config in cells], jobs=jobs, use_cache=use_cache
+        )
+    else:
+        values = [run_cached(config, use_cache=use_cache) for _, config in cells]
+    return {key: result for (key, _), result in zip(cells, values)}
+
+
+def tier_ratio_rows(results: Dict[TierKey, SimResult]) -> List[list]:
+    """One row per cell: cost saved vs the same policy's ratio-0 run."""
+    rows: List[list] = []
+    for (policy, ratio), result in sorted(results.items()):
+        base = results.get((policy, 0.0))
+        base_cost = base.total_recomputation_cost if base else 0
+        cost = result.total_recomputation_cost
+        saved_pct = (
+            100.0 * (base_cost - cost) / base_cost if base_cost else 0.0
+        )
+        tier = result.tier_stats
+        rows.append(
+            [
+                policy,
+                f"{ratio:g}x",
+                result.hit_rate * 100,
+                tier.get("hits", 0),
+                tier.get("spills", 0),
+                cost,
+                saved_pct,
+            ]
+        )
+    return rows
+
+
+def tier_ratio_report(results: Dict[TierKey, SimResult]) -> str:
+    return render_table(
+        [
+            "policy",
+            "tier:RAM",
+            "hit %",
+            "tier hits",
+            "spills",
+            "total cost",
+            "cost saved %",
+        ],
+        tier_ratio_rows(results),
+        title=(
+            "Tier ablation: recomputation cost vs flash:RAM ratio "
+            "(baseline workload; saved % vs the policy's own ratio-0 run)"
+        ),
+    )

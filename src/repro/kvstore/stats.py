@@ -28,6 +28,9 @@ STORE_COUNTER_FIELDS = {
     "rebalance_evictions": "items dropped because their slab moved classes",
     "evicted_cost": "sum of cost over all policy-evicted unexpired items",
     "slab_moves": "slab moves performed by the active rebalancer",
+    "tier_spills": "evictions admitted into the flash tier",
+    "tier_hits": "GET misses answered from the flash tier",
+    "tier_promotions": "tier hits re-inserted into RAM (not client SETs)",
 }
 
 

@@ -58,6 +58,8 @@ class KVStore:
         hash_func=None,
         registry: Optional[MetricsRegistry] = None,
         trace: Optional[EventTrace] = None,
+        tier=None,
+        on_evict: Optional[Callable] = None,
     ) -> None:
         """
         Args:
@@ -75,6 +77,15 @@ class KVStore:
                 every instrument a no-op and skip op timing entirely.
             trace: optional bounded event trace recording structured
                 eviction / cascade / slab-move events.
+            tier: optional :class:`~repro.tier.tier.FlashTier`; unexpired
+                evictions are offered to it through the eviction hook and
+                GET misses fall through to it with promotion back into RAM
+                on a hit.  ``None`` (the default) keeps the single-tier
+                hot path: one attribute check on the miss/eviction paths.
+            on_evict: optional callable ``(item, reason)`` fired for every
+                item leaving the store under pressure, with ``reason`` one
+                of ``"evicted"``, ``"expired"``, or ``"rebalance"``.  Runs
+                after the tier spill when both are configured.
         """
         self.clock = clock if clock is not None else SimClock()
         self.allocator = SlabAllocator(
@@ -101,6 +112,15 @@ class KVStore:
         )
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.trace = trace
+        self.tier = tier
+        if tier is not None:
+            tier.bind_observability(self.metrics, self.trace, clock=self.clock)
+        # The eviction choke point (_evict_item) fires this hook; the tier
+        # spill is composed in front of any user hook so both observe the
+        # same stream.  None = nothing to call (the common fast path).
+        self._on_evict: Optional[Callable] = (
+            self._make_tier_hook(tier, on_evict) if tier is not None else on_evict
+        )
         self.stats = StoreStats(self.metrics)
         # Prebound bumps for the three hottest counters: one call instead
         # of a property fget+fset round trip per event.  Equally valid for
@@ -190,10 +210,57 @@ class KVStore:
         policy.remove(item)
         slab_class.free_item(item)
 
+    def _make_tier_hook(self, tier, user_hook: Optional[Callable]) -> Callable:
+        """The eviction hook installed when a tier is attached.
+
+        Unexpired pressure victims are offered to the tier's admission
+        filter; ``"expired"`` reclaims carry no recomputation value and
+        are never spilled.  A user-supplied hook still sees every event.
+        """
+
+        def tier_on_evict(item: Item, reason: str) -> None:
+            if reason != "expired":
+                if tier.spill(
+                    item.key, item.value, item.cost, item.flags, item.exptime
+                ):
+                    self.stats.tier_spills += 1
+            if user_hook is not None:
+                user_hook(item, reason)
+
+        return tier_on_evict
+
+    def _evict_item(
+        self,
+        item: Item,
+        slab_class: SlabClass,
+        policy: ReplacementPolicy,
+        reason: str,
+        detached: bool = False,
+    ) -> None:
+        """The single eviction choke point.
+
+        Every item that leaves the store under pressure — policy eviction
+        (``"evicted"``), expiry reclaim at the eviction end
+        (``"expired"``), or a slab move (``"rebalance"``) — is unlinked
+        here, and the ``on_evict`` hook (tier spill and/or user callback)
+        fires exactly once per departure.  ``detached=True`` means the
+        policy already dropped the item (``select_victim`` does), so only
+        the hash table and allocator need unlinking.
+        """
+        self.hashtable.delete(item.key)
+        if not detached:
+            policy.remove(item)
+        slab_class.free_item(item)
+        on_evict = self._on_evict
+        if on_evict is not None:
+            on_evict(item, reason)
+
     def _drop_for_rebalance(self, item: Item) -> None:
         """Eviction callback used during slab reassignment."""
         slab_class = item.slab.owner
-        self._unlink_item(item, slab_class)
+        self._evict_item(
+            item, slab_class, self.policy_for(slab_class), "rebalance"
+        )
         self.stats.rebalance_evictions += 1
 
     def move_slab(self, slab, dest: SlabClass) -> int:
@@ -232,15 +299,17 @@ class KVStore:
                 scanned += 1
                 item: Item = entry  # type: ignore[assignment]
                 if item.expired(now):
-                    self._unlink_item(item, slab_class)
+                    self._evict_item(item, slab_class, policy, "expired")
                     self.stats.reclaims += 1
                     if self.trace is not None:
                         self._trace_eviction(policy, slab_class, item, expired=True)
                     return item
         victim: Item = policy.select_victim()  # type: ignore[assignment]
-        self.hashtable.delete(victim.key)
-        slab_class.free_item(victim)
         expired = victim.expired(now)
+        self._evict_item(
+            victim, slab_class, policy,
+            "expired" if expired else "evicted", detached=True,
+        )
         if expired:
             self.stats.reclaims += 1
         else:
@@ -308,6 +377,11 @@ class KVStore:
             on_request()
         item = self.hashtable.find(key)
         if item is None:
+            if self.tier is not None:
+                item = self._promote_from_tier(key)
+                if item is not None:
+                    self._count_get_hit()
+                    return item
             self._count_get_miss()
             return None
         now = self.clock._now
@@ -365,11 +439,34 @@ class KVStore:
             raise NotStoredError(f"key {key!r} not stored")
         return self._store_item(key, value, cost, exptime, flags)
 
+    def _promote_from_tier(self, key: bytes) -> Optional[Item]:
+        """RAM-miss fallthrough: promote a live tier record back into RAM.
+
+        The record is re-inserted with its original cost (so the
+        replacement policy values it exactly as the client's SET did) and
+        counted as a ``tier_promotion``, not a client SET; the flash copy
+        is invalidated because the RAM copy is authoritative again.
+        """
+        record = self.tier.lookup(key)
+        if record is None:
+            return None
+        stats = self.stats
+        stats.tier_hits += 1
+        item = self._store_item(
+            key, record.value, record.cost, record.exptime, record.flags, False
+        )
+        stats.tier_promotions += 1
+        return item
+
     def _store_item(self, key: bytes, value: bytes, cost: int,
-                    exptime: float, flags: int) -> Item:
+                    exptime: float, flags: int, count_set: bool = True) -> Item:
         old = self.hashtable.find(key)
         if old is not None:
             self._unlink_item(old, old.slab.owner)
+        tier = self.tier
+        if tier is not None:
+            # any flash copy is stale the moment RAM stores a new value
+            tier.invalidate(key)
         item = Item(key=key, value=value, cost=cost, flags=flags, exptime=exptime)
         slab_class = self.allocator.class_for_size(item.footprint)
         slab, index = self._allocate_chunk(slab_class)
@@ -384,7 +481,8 @@ class KVStore:
         if policy is None:
             policy = self.policy_for(slab_class)
         policy.insert(item, cost)
-        self._count_set()
+        if count_set:
+            self._count_set()
         return item
 
     def append(self, key: bytes, suffix: bytes) -> Item:
@@ -464,13 +562,23 @@ class KVStore:
         return self.incr(key, -delta)
 
     def delete(self, key: bytes) -> bool:
-        """DELETE: returns True if the key was present and removed."""
+        """DELETE: returns True if the key was present and removed.
+
+        With a tier attached the flash copy is dropped too — a delete
+        must never be undone by a later tier fallthrough.
+        """
         if self._on_request is not None:
             self._on_request()
+        tier = self.tier
         item = self.hashtable.find(key)
         if item is None:
+            if tier is not None and tier.invalidate(key):
+                self.stats.deletes += 1
+                return True
             self.stats.delete_misses += 1
             return False
+        if tier is not None:
+            tier.invalidate(key)
         self._unlink_item(item, item.slab.owner)
         self.stats.deletes += 1
         return True
@@ -486,13 +594,15 @@ class KVStore:
         return True
 
     def flush_all(self) -> int:
-        """Drop every cached item; returns the number removed."""
+        """Drop every cached item (both tiers); returns the number removed."""
         if self._on_request is not None:
             self._on_request()
         removed = 0
         for item in list(self.hashtable.items()):
             self._unlink_item(item, item.slab.owner)
             removed += 1
+        if self.tier is not None:
+            removed += self.tier.flush()
         return removed
 
     # -- introspection ---------------------------------------------------------------
@@ -547,6 +657,8 @@ class KVStore:
         ).set(self.allocator.memory_limit)
         for snapshot in self.class_stats():
             snapshot.publish(registry)
+        if self.tier is not None:
+            self.tier.publish_metrics()
 
     def check_invariants(self) -> None:
         """Cross-structure consistency (used by property/integration tests)."""

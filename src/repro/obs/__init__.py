@@ -35,6 +35,8 @@ from repro.obs.trace import (
     IdleDisconnectEvent,
     OverloadShedEvent,
     SlabMoveEvent,
+    SpillEvent,
+    TierGCEvent,
     TraceEvent,
     key_fingerprint,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "NullRegistry",
     "SlabMoveEvent",
     "SnapshotReporter",
+    "SpillEvent",
+    "TierGCEvent",
     "TraceEvent",
     "as_number",
     "diff_snapshots",

@@ -118,6 +118,35 @@ class BreakerTransitionEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class SpillEvent(TraceEvent):
+    """One evicted item offered to the flash tier by the admission filter."""
+
+    kind = "spill"
+
+    key_hash: int = 0
+    cost: int = 0
+    size: int = 0
+    #: False = rejected (below the watermark, zero cost, or tier full)
+    admitted: bool = False
+    #: the admission cost-per-byte watermark at decision time
+    watermark: float = 0.0
+
+
+@dataclass(frozen=True)
+class TierGCEvent(TraceEvent):
+    """One tier GC round: a victim segment cleaned and reclaimed."""
+
+    kind = "tier_gc"
+
+    victim_segment: int = -1
+    copied: int = 0
+    dropped: int = 0
+    reclaimed_bytes: int = 0
+    #: admission watermark used as the copy-forward bar
+    watermark: float = 0.0
+
+
+@dataclass(frozen=True)
 class SlabMoveEvent(TraceEvent):
     """One slab reassigned between classes by the active rebalancer."""
 

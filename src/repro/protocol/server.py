@@ -76,6 +76,15 @@ def command_label(command) -> str:
     return type(command).__name__.lower()
 
 
+def _stat_str(value) -> str:
+    """Render one stats value the way memcached does (floats trimmed)."""
+    if isinstance(value, float) and value != int(value):
+        return f"{value:.6f}".rstrip("0").rstrip(".")
+    if isinstance(value, float):
+        return str(int(value))
+    return str(value)
+
+
 class StoreServer:
     """Byte-in / byte-out protocol engine over one store.
 
@@ -375,6 +384,30 @@ class StoreServer:
             stats.append(("growth_factor", str(allocator.growth_factor)))
             stats.append(("evictions", "on"))
             stats.append(("rebalancer", store.rebalancer.name))
+            tier = getattr(store, "tier", None)
+            stats.append(
+                ("tier", "on" if tier is not None else "off")
+            )
+            if tier is not None:
+                stats.append(
+                    ("tier_maxbytes", str(tier.config.capacity_bytes))
+                )
+                stats.append(
+                    ("tier_segment_bytes", str(tier.config.segment_bytes))
+                )
+        elif subcommand == "tier":
+            tier = getattr(store, "tier", None)
+            if tier is None:
+                stats.append(("tier", "disabled"))
+            else:
+                snapshot = tier.snapshot()
+                for name in sorted(snapshot):
+                    value = snapshot[name]
+                    if isinstance(value, dict):
+                        for sub in sorted(value):
+                            stats.append((f"{name}:{sub}", _stat_str(value[sub])))
+                    else:
+                        stats.append((name, _stat_str(value)))
         else:
             snapshot = store.stats.snapshot()
             stats = [

@@ -191,11 +191,11 @@ class RequestParser:
         if verb == b"stats":
             if len(parts) > 2:
                 raise ProtocolError(
-                    "stats [slabs|items|settings|metrics|trace|reset]"
+                    "stats [slabs|items|settings|metrics|trace|tier|reset]"
                 )
             sub = parts[1].decode() if len(parts) == 2 else ""
             if sub not in ("", "slabs", "items", "settings",
-                           "metrics", "trace", "reset"):
+                           "metrics", "trace", "tier", "reset"):
                 raise ProtocolError(f"unknown stats subcommand {sub!r}")
             return StatsCommand(subcommand=sub)
         if verb == b"quit":

@@ -64,6 +64,9 @@ class ShardSupervisor:
             into each worker's :class:`~repro.shard.worker.ShardConfig`.
             ``memory_limit`` is the PER-SHARD budget (a 4-shard fleet with
             the default serves 4x the memory of one process).
+        tier_bytes / tier_dir / tier_segment_bytes: per-shard flash tier;
+            each worker opens ``tier_dir/<shard-name>``, so a respawned
+            worker recovers its predecessor's spilled entries.
         replicas: ketama points per shard for routers/pools built here.
         start_method: multiprocessing start method; default prefers
             ``fork`` and falls back to ``spawn``.
@@ -92,6 +95,9 @@ class ShardSupervisor:
         monitor_interval: float = 0.2,
         name_prefix: str = "shard",
         startup_timeout: float = 30.0,
+        tier_bytes: int = 0,
+        tier_dir: Optional[str] = None,
+        tier_segment_bytes: int = 256 * 1024,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -103,6 +109,9 @@ class ShardSupervisor:
         self.memory_limit = memory_limit
         self.slab_size = slab_size
         self.max_connections = max_connections
+        self.tier_bytes = tier_bytes
+        self.tier_dir = tier_dir
+        self.tier_segment_bytes = tier_segment_bytes
         self.replicas = replicas
         self.respawn = respawn
         self.max_respawns = max_respawns
@@ -152,6 +161,9 @@ class ShardSupervisor:
             memory_limit=self.memory_limit,
             slab_size=self.slab_size,
             max_connections=self.max_connections,
+            tier_bytes=self.tier_bytes,
+            tier_dir=self.tier_dir,
+            tier_segment_bytes=self.tier_segment_bytes,
         )
         parent_end, child_end = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(

@@ -71,6 +71,13 @@ class ShardConfig:
     min_chunk_size: int = DEFAULT_MIN_CHUNK
     hash_power: int = 10
     max_connections: Optional[int] = None
+    #: flash-tier capacity per shard; 0 = no tier
+    tier_bytes: int = 0
+    #: parent directory for shard tiers; each shard uses ``tier_dir/<name>``
+    #: (required when ``tier_bytes > 0`` — workers must survive restarts,
+    #: so the tier cannot live in an ephemeral tempdir)
+    tier_dir: Optional[str] = None
+    tier_segment_bytes: int = 256 * 1024
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_FACTORIES:
@@ -78,10 +85,33 @@ class ShardConfig:
                 f"unknown policy {self.policy!r}; "
                 f"known: {sorted(POLICY_FACTORIES)}"
             )
+        if self.tier_bytes < 0:
+            raise ValueError(f"tier_bytes must be >= 0, got {self.tier_bytes}")
+        if self.tier_bytes > 0 and not self.tier_dir:
+            raise ValueError(
+                "tier_bytes > 0 requires tier_dir (the tier must persist "
+                "across worker restarts)"
+            )
 
 
 def build_store(config: ShardConfig) -> KVStore:
-    """The shard's store, exactly as a single-process deployment builds it."""
+    """The shard's store, exactly as a single-process deployment builds it.
+
+    With ``tier_bytes > 0`` the shard gets its own :class:`FlashTier` under
+    ``tier_dir/<name>``; a respawned worker reopens the same directory and
+    recovers the tier's contents (torn tails truncated) before serving.
+    """
+    tier = None
+    if config.tier_bytes > 0:
+        from repro.tier import FlashTier, TierConfig
+
+        tier = FlashTier(
+            os.path.join(config.tier_dir, config.name),
+            TierConfig(
+                capacity_bytes=config.tier_bytes,
+                segment_bytes=config.tier_segment_bytes,
+            ),
+        )
     return KVStore(
         memory_limit=config.memory_limit,
         policy_factory=POLICY_FACTORIES[config.policy],
@@ -89,6 +119,7 @@ def build_store(config: ShardConfig) -> KVStore:
         growth_factor=config.growth_factor,
         min_chunk_size=config.min_chunk_size,
         hash_power=config.hash_power,
+        tier=tier,
     )
 
 
@@ -97,8 +128,9 @@ async def _serve(config: ShardConfig, ready) -> None:
     stop = asyncio.Event()
     for signum in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(signum, stop.set)
+    store = build_store(config)
     server = AsyncTCPStoreServer(
-        build_store(config),
+        store,
         host=config.host,
         port=config.port,
         max_connections=config.max_connections,
@@ -111,6 +143,8 @@ async def _serve(config: ShardConfig, ready) -> None:
         await stop.wait()
     finally:
         await server.stop()
+        if store.tier is not None:
+            store.tier.close()
 
 
 def worker_main(config: ShardConfig, ready) -> None:

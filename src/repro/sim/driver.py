@@ -73,6 +73,12 @@ class SimConfig:
     request_interval_s: float = DEFAULT_REQUEST_INTERVAL_S
     policy_kwargs: Dict = field(default_factory=dict)
     rebalancer_kwargs: Dict = field(default_factory=dict)
+    #: flash-tier capacity in bytes; 0 (the default) = no tier, and the
+    #: request loop stays on the PR 5 single-tier hot path
+    tier_bytes: int = 0
+    tier_segment_bytes: int = 64 * 1024
+    #: tier directory; None = a temporary directory deleted after the run
+    tier_dir: Optional[str] = None
 
 
 def make_policy_factory(
@@ -198,6 +204,25 @@ def run_simulation(config: SimConfig) -> SimResult:
     rebalancer = make_rebalancer(
         config.rebalancer, measurement_seconds, **config.rebalancer_kwargs
     )
+    tier = None
+    tier_tmpdir = None
+    if config.tier_bytes > 0:
+        import tempfile
+
+        from repro.tier import FlashTier, TierConfig
+
+        tier_path = config.tier_dir
+        if tier_path is None:
+            tier_tmpdir = tempfile.TemporaryDirectory(prefix="repro-tier-")
+            tier_path = tier_tmpdir.name
+        tier = FlashTier(
+            tier_path,
+            TierConfig(
+                capacity_bytes=config.tier_bytes,
+                segment_bytes=config.tier_segment_bytes,
+            ),
+            clock=clock,
+        )
     store = KVStore(
         memory_limit=config.memory_limit,
         policy_factory=policy_factory,
@@ -206,6 +231,7 @@ def run_simulation(config: SimConfig) -> SimResult:
         clock=clock,
         hash_power=14,
         hash_func=hash,  # layout-only choice; FNV is 20x slower in Python
+        tier=tier,
     )
 
     dt = config.request_interval_s
@@ -259,6 +285,12 @@ def run_simulation(config: SimConfig) -> SimResult:
     log = RequestLog.from_misses(config.num_requests, miss_costs)
 
     store.check_invariants()
+    tier_stats: Dict = {}
+    if tier is not None:
+        tier_stats = tier.snapshot()
+        tier.close()
+        if tier_tmpdir is not None:
+            tier_tmpdir.cleanup()
     # one snapshot-diff code path for the whole repo (repro.obs.reporter)
     measured_stats = diff_snapshots(warmup_stats, store.stats.snapshot())
     return SimResult(
@@ -277,4 +309,5 @@ def run_simulation(config: SimConfig) -> SimResult:
         store_stats=measured_stats,
         class_stats=[vars(cs) for cs in store.class_stats()],
         wall_seconds=time.perf_counter() - started,
+        tier_stats=tier_stats,
     )

@@ -30,6 +30,8 @@ class SimResult:
     store_stats: Dict[str, int]
     class_stats: List[dict] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: flash-tier snapshot from the end of the run ({} when tier disabled)
+    tier_stats: Dict = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -53,6 +55,7 @@ class SimResult:
             "misses": int(len(self.miss_costs)),
             "store_stats": self.store_stats,
             "wall_seconds": self.wall_seconds,
+            "tier_stats": self.tier_stats,
         }
 
 

@@ -1,0 +1,69 @@
+"""repro.tier — cost-aware tiered storage behind the RAM cache.
+
+GD-Wheel fights to keep high-recomputation-cost items in RAM, but the
+seed store dropped every eviction on the floor — exactly the items the
+policy valued most are the most expensive to lose.  This package adds an
+emulated flash second tier:
+
+* :mod:`repro.tier.segments` — fixed-size append-only log segments with
+  CRC'd records and torn-tail-tolerant recovery;
+* :mod:`repro.tier.mapping` — the compact in-RAM mapping table,
+  partitioned into translation pages;
+* :mod:`repro.tier.cmt` — the bounded LRU cache over translation pages
+  (mapping pressure shows up as extra emulated flash reads);
+* :mod:`repro.tier.gc` — segment GC that copies forward still-live,
+  still-valuable entries (victim = min live-bytes x cost-per-byte);
+* :mod:`repro.tier.admission` — the adaptive cost-per-byte admission
+  watermark deciding which evictees deserve flash space;
+* :mod:`repro.tier.tier` — the :class:`FlashTier` facade the
+  :class:`~repro.kvstore.store.KVStore` spills to and reads through.
+
+Wire-up: pass ``tier=FlashTier(...)`` to a ``KVStore``; evictions flow
+through the store's ``on_evict`` choke point into :meth:`FlashTier.spill`
+and RAM misses fall through to :meth:`FlashTier.lookup` with promotion
+back into RAM on a hit.
+"""
+
+from repro.tier.admission import CostPerByteAdmission
+from repro.tier.cmt import CachedMappingTable
+from repro.tier.gc import GarbageCollector, select_victim
+from repro.tier.mapping import MappingEntry, MappingTable
+from repro.tier.segments import (
+    HEADER_SIZE,
+    RECORD_MAGIC,
+    Segment,
+    SegmentStore,
+    TierRecord,
+    decode_record,
+    encode_record,
+    record_size,
+    scan_segment,
+)
+from repro.tier.tier import (
+    DEFAULT_READ_LATENCY_US,
+    DEFAULT_SEGMENT_BYTES,
+    FlashTier,
+    TierConfig,
+)
+
+__all__ = [
+    "CachedMappingTable",
+    "CostPerByteAdmission",
+    "DEFAULT_READ_LATENCY_US",
+    "DEFAULT_SEGMENT_BYTES",
+    "FlashTier",
+    "GarbageCollector",
+    "HEADER_SIZE",
+    "MappingEntry",
+    "MappingTable",
+    "RECORD_MAGIC",
+    "Segment",
+    "SegmentStore",
+    "TierConfig",
+    "TierRecord",
+    "decode_record",
+    "encode_record",
+    "record_size",
+    "scan_segment",
+    "select_victim",
+]

@@ -1,0 +1,102 @@
+"""Cost-per-byte admission control for the flash tier.
+
+Flash space is scarcer than the eviction stream is wide: under memory
+pressure the RAM tier can evict far more bytes than the tier can absorb,
+and unfiltered spilling turns the tier into a FIFO of mostly-worthless
+items plus endless GC churn.  The admission filter applies the CAMP
+insight — value an item by ``cost / size`` — with an **adaptive
+watermark**:
+
+* every candidate updates an EWMA of the eviction stream's cost-per-byte
+  (the "going rate" for a byte of flash);
+* the watermark is that mean scaled by how full the tier is: an empty
+  tier admits any positive-cost item (cheap insurance), a tier past the
+  ``pressure_floor`` fill fraction demands progressively more value, and
+  a full tier only accepts items above the stream's average rate.
+
+The same watermark doubles as the GC's copy-forward bar: an entry whose
+cost-per-byte no longer clears it is not worth the write amplification
+of relocating, so segment cleaning sheds exactly the items admission
+would reject today.  Everything is deterministic — no randomness, no
+wall clock — so simulation results are reproducible cell-for-cell.
+"""
+
+from __future__ import annotations
+
+
+class CostPerByteAdmission:
+    """Adaptive ``cost/size`` watermark over the observed eviction stream."""
+
+    __slots__ = ("alpha", "pressure_floor", "mean_cost_per_byte", "pressure",
+                 "offered", "admitted", "rejected")
+
+    def __init__(self, alpha: float = 0.05, pressure_floor: float = 0.5) -> None:
+        """
+        Args:
+            alpha: EWMA smoothing for the observed cost-per-byte stream.
+            pressure_floor: tier fill fraction below which everything with
+                positive cost is admitted; above it the watermark ramps
+                linearly from 0 to the stream's mean cost-per-byte.
+        """
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= pressure_floor < 1.0:
+            raise ValueError("pressure_floor must be in [0, 1)")
+        self.alpha = alpha
+        self.pressure_floor = pressure_floor
+        #: EWMA of candidate cost/size (the stream's going rate)
+        self.mean_cost_per_byte = 0.0
+        #: tier fill fraction, pushed by the tier after spills/GC
+        self.pressure = 0.0
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def watermark(self) -> float:
+        """Current cost-per-byte bar a candidate must clear."""
+        floor = self.pressure_floor
+        if self.pressure <= floor:
+            return 0.0
+        ramp = (self.pressure - floor) / (1.0 - floor)
+        return self.mean_cost_per_byte * min(ramp, 1.0)
+
+    def set_pressure(self, fill_fraction: float) -> None:
+        """Tell the filter how full the tier is (0.0 empty .. 1.0 full)."""
+        self.pressure = max(0.0, min(fill_fraction, 1.0))
+
+    def offer(self, cost: int, size: int) -> bool:
+        """Should this evictee be spilled?  Updates the EWMA either way."""
+        self.offered += 1
+        cpb = cost / size if size > 0 else 0.0
+        if self.offered == 1:
+            self.mean_cost_per_byte = cpb
+        else:
+            alpha = self.alpha
+            self.mean_cost_per_byte += alpha * (cpb - self.mean_cost_per_byte)
+        if cost <= 0 or cpb < self.watermark:
+            self.rejected += 1
+            return False
+        self.admitted += 1
+        return True
+
+    def still_valuable(self, cost: int, size: int) -> bool:
+        """GC copy-forward bar: would this entry be admitted today?
+
+        Unlike :meth:`offer` this does not update the EWMA — GC relocations
+        are not part of the eviction stream whose rate we are estimating.
+        """
+        if cost <= 0:
+            return False
+        cpb = cost / size if size > 0 else 0.0
+        return cpb >= self.watermark
+
+    def snapshot(self) -> dict:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "mean_cost_per_byte": self.mean_cost_per_byte,
+            "watermark": self.watermark,
+            "pressure": self.pressure,
+        }

@@ -1,0 +1,78 @@
+"""Cached mapping table — a bounded LRU over translation pages.
+
+The mapping table (:mod:`repro.tier.mapping`) is partitioned into
+translation pages; a real device keeps those pages on flash and caches
+the recently-used ones in a small RAM structure.  The CMT emulates that
+cache: it is an LRU of page *ids* with a fixed capacity.  A tier lookup
+touches the CMT first —
+
+* **hit**: the page is RAM-resident, the mapping read is free;
+* **miss**: the device would read one translation page from flash before
+  the data page, so the tier charges one extra emulated flash read (and
+  the page becomes cached, possibly evicting the LRU page).
+
+Nothing is actually copied in or out — the authoritative mapping stays
+in the process — but the hit/miss stream and the extra charged reads
+make mapping-table pressure visible in the tier's latency accounting,
+the same shape as the CMT in the kv-emulator this subsystem is
+modelled on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class CachedMappingTable:
+    """Bounded LRU of translation-page ids with hit/miss accounting."""
+
+    __slots__ = ("capacity", "_pages", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("CMT capacity must be >= 1")
+        self.capacity = capacity
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def touch(self, page_id: int) -> bool:
+        """Visit a translation page; True = cached (no flash read charged).
+
+        On a miss the page is inserted most-recently-used and the LRU
+        page is evicted once over capacity.
+        """
+        pages = self._pages
+        if page_id in pages:
+            pages.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        pages[page_id] = None
+        if len(pages) > self.capacity:
+            pages.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def invalidate(self, page_id: int) -> None:
+        """Drop a page (its translation page was rewritten by GC)."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "resident": len(self._pages),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

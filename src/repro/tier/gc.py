@@ -1,0 +1,153 @@
+"""Segment garbage collection — reclaim flash by copying forward the
+still-live, still-valuable entries of one victim segment.
+
+Append-only segments never shrink in place: when a tier entry is
+superseded (its key was re-spilled), invalidated (the key was re-SET,
+deleted, or promoted back to RAM), or expires, its record becomes dead
+weight in whatever segment holds it.  The GC reclaims whole segments:
+
+* **victim selection** scores every sealed segment by
+  ``live_bytes x cost_per_byte`` — the total recomputation value that
+  would have to be relocated to free it — and takes the minimum, so
+  mostly-dead and low-value segments are cleaned first and a segment
+  full of expensive live items is left alone;
+* **copy-forward** re-appends each live entry to the active segment
+  *iff* it still clears the admission watermark
+  (:meth:`~repro.tier.admission.CostPerByteAdmission.still_valuable`)
+  and has not expired; everything else is simply dropped, shrinking the
+  tier's working set to what is worth its flash;
+* the victim's file is then deleted, reclaiming its full size.
+
+A GC round that cannot find a victim, or whose victim is so live that
+relocation writes back as much as it frees, reports no progress; the
+tier responds by rejecting the spill rather than looping forever.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.tier.admission import CostPerByteAdmission
+from repro.tier.mapping import MappingTable
+from repro.tier.segments import SegmentStore, TierRecord
+
+
+def select_victim(
+    segments: SegmentStore,
+    mapping: MappingTable,
+    exclude: Optional[int] = None,
+) -> Optional[int]:
+    """The sealed segment cheapest to reclaim, or ``None`` if there is none.
+
+    Score is ``live_bytes x cost_per_byte`` (== the live recomputation
+    value stranded in the segment); a segment with no live entries scores
+    zero and is reclaimed for free.  Ties break toward the oldest segment,
+    which is also the one whose surviving entries have proven durable.
+    """
+    best_id = None
+    best_score = None
+    for segment_id in sorted(segments.segments):
+        if segment_id == exclude:
+            continue
+        live = mapping.segment_live.get(segment_id)
+        if live is None:
+            live_bytes, live_cost = 0, 0
+        else:
+            live_bytes, live_cost = live
+        # live_bytes * (live_cost / live_bytes) reduces to the live cost,
+        # but guard the degenerate empty case explicitly
+        score = float(live_cost) if live_bytes > 0 else 0.0
+        if best_score is None or score < best_score:
+            best_id = segment_id
+            best_score = score
+    return best_id
+
+
+class GarbageCollector:
+    """Reclaims segments for a :class:`~repro.tier.tier.FlashTier`.
+
+    The tier hands the GC its segment store, mapping table, and admission
+    filter, plus a ``relocate`` callback that appends a record through the
+    tier's normal write path (so relocation rolls the active segment
+    exactly like a spill would, minus recursive GC).
+    """
+
+    def __init__(
+        self,
+        segments: SegmentStore,
+        mapping: MappingTable,
+        admission: CostPerByteAdmission,
+        relocate: Callable[[bytes, TierRecord], None],
+        now: Callable[[], float],
+    ) -> None:
+        self.segments = segments
+        self.mapping = mapping
+        self.admission = admission
+        self._relocate = relocate
+        self._now = now
+        self.runs = 0
+        self.segments_reclaimed = 0
+        self.records_copied = 0
+        self.records_dropped = 0
+        self.bytes_copied = 0
+        self.bytes_reclaimed = 0
+
+    def run(self, exclude: Optional[int] = None) -> Dict[str, int]:
+        """One GC round: clean the cheapest sealed segment.
+
+        Returns a stats dict for the round; ``reclaimed_bytes`` is 0 when
+        no victim existed (the caller should stop retrying).
+        """
+        self.runs += 1
+        round_stats = {
+            "victim": -1, "copied": 0, "dropped": 0,
+            "copied_bytes": 0, "reclaimed_bytes": 0,
+        }
+        victim = select_victim(self.segments, self.mapping, exclude=exclude)
+        if victim is None:
+            return round_stats
+        round_stats["victim"] = victim
+        segment = self.segments.segments[victim]
+        victim_size = segment.size
+        now = self._now()
+        copied = dropped = copied_bytes = 0
+        for key, entry in self.mapping.entries_in_segment(victim):
+            record = self.segments.read_record(
+                entry.segment_id, entry.offset, entry.length
+            )
+            keep = (
+                record is not None
+                and not (record.exptime and now >= record.exptime)
+                and self.admission.still_valuable(entry.cost, entry.length)
+            )
+            if keep:
+                # relocation re-points the mapping entry at the new home
+                self._relocate(key, record)
+                copied += 1
+                copied_bytes += entry.length
+            else:
+                self.mapping.remove(key)
+                dropped += 1
+        self.segments.drop_segment(victim)
+        self.mapping.forget_segment(victim)
+        self.segments_reclaimed += 1
+        self.records_copied += copied
+        self.records_dropped += dropped
+        self.bytes_copied += copied_bytes
+        reclaimed = victim_size - copied_bytes
+        self.bytes_reclaimed += max(reclaimed, 0)
+        round_stats.update(
+            copied=copied, dropped=dropped,
+            copied_bytes=copied_bytes, reclaimed_bytes=max(reclaimed, 0),
+        )
+        return round_stats
+
+    def snapshot(self) -> dict:
+        return {
+            "runs": self.runs,
+            "segments_reclaimed": self.segments_reclaimed,
+            "records_copied": self.records_copied,
+            "records_dropped": self.records_dropped,
+            "bytes_copied": self.bytes_copied,
+            "bytes_reclaimed": self.bytes_reclaimed,
+        }

@@ -1,0 +1,138 @@
+"""The tier's in-RAM mapping table, organised into translation pages.
+
+A flash KV tier needs to answer "where on flash is this key?" without
+holding a full per-key index in precious RAM.  Real devices keep the
+mapping itself on flash, in *translation pages*, and cache the hot pages
+in a small RAM table (the CMT in :mod:`repro.tier.cmt`); we emulate that
+layout: the authoritative mapping lives in this process (it is rebuilt
+from a segment scan on recovery, exactly as a device replays its log),
+but it is partitioned into ``num_pages`` translation pages by a stable
+key fingerprint, and every lookup first asks the CMT whether the page is
+cached — a CMT miss is charged one emulated translation-page read before
+the data read, which is how the tier's read-latency accounting reflects
+mapping pressure, not just data reads.
+
+Per-segment live-bytes / live-cost accounting hangs off the table too:
+it is exactly the information GC victim selection needs, and the
+mapping table is the one place that sees every entry birth and death.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.obs.trace import key_fingerprint
+
+
+class MappingEntry:
+    """Where one key lives on flash, plus what the GC needs to score it."""
+
+    __slots__ = ("segment_id", "offset", "length", "cost")
+
+    def __init__(self, segment_id: int, offset: int, length: int, cost: int) -> None:
+        self.segment_id = segment_id
+        self.offset = offset
+        #: full record length in bytes (header + key + value)
+        self.length = length
+        self.cost = cost
+
+
+class MappingTable:
+    """Key -> :class:`MappingEntry`, partitioned into translation pages."""
+
+    def __init__(self, num_pages: int = 256) -> None:
+        if num_pages < 1:
+            raise ValueError("num_pages must be >= 1")
+        self.num_pages = num_pages
+        self._pages: Dict[int, Dict[bytes, MappingEntry]] = {}
+        #: per-segment [live_bytes, live_cost] — the GC's scoring input
+        self.segment_live: Dict[int, list] = {}
+        self.live_entries = 0
+        self.live_bytes = 0
+
+    def page_of(self, key: bytes) -> int:
+        """The translation page a key's entry lives on (stable fingerprint)."""
+        return key_fingerprint(key) % self.num_pages
+
+    # -- lookups ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Tuple[int, Optional[MappingEntry]]:
+        """``(page_id, entry-or-None)`` — page id is needed either way,
+        because even a negative lookup costs a translation-page visit."""
+        page_id = self.page_of(key)
+        page = self._pages.get(page_id)
+        if page is None:
+            return page_id, None
+        return page_id, page.get(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        page = self._pages.get(self.page_of(key))
+        return page is not None and key in page
+
+    def __len__(self) -> int:
+        return self.live_entries
+
+    # -- mutation -----------------------------------------------------------------
+
+    def put(self, key: bytes, entry: MappingEntry) -> Optional[MappingEntry]:
+        """Install ``entry``; returns the superseded entry if there was one."""
+        page_id = self.page_of(key)
+        page = self._pages.get(page_id)
+        if page is None:
+            page = self._pages[page_id] = {}
+        old = page.get(key)
+        page[key] = entry
+        if old is not None:
+            self._account_dead(old)
+        else:
+            self.live_entries += 1
+        self.live_bytes += entry.length
+        live = self.segment_live.get(entry.segment_id)
+        if live is None:
+            live = self.segment_live[entry.segment_id] = [0, 0]
+        live[0] += entry.length
+        live[1] += entry.cost
+        return old
+
+    def remove(self, key: bytes) -> Optional[MappingEntry]:
+        """Drop the entry for ``key`` (tier invalidation); None if absent."""
+        page = self._pages.get(self.page_of(key))
+        if page is None:
+            return None
+        entry = page.pop(key, None)
+        if entry is not None:
+            self.live_entries -= 1
+            self._account_dead(entry)
+        return entry
+
+    def _account_dead(self, entry: MappingEntry) -> None:
+        self.live_bytes -= entry.length
+        live = self.segment_live.get(entry.segment_id)
+        if live is not None:
+            live[0] -= entry.length
+            live[1] -= entry.cost
+            if live[0] <= 0:
+                # fully dead segment: drop the accounting row (GC treats
+                # a missing row as zero live bytes)
+                self.segment_live.pop(entry.segment_id, None)
+
+    def forget_segment(self, segment_id: int) -> None:
+        """Drop accounting for a reclaimed segment (entries already moved)."""
+        self.segment_live.pop(segment_id, None)
+
+    def entries_in_segment(
+        self, segment_id: int
+    ) -> Iterator[Tuple[bytes, MappingEntry]]:
+        """Live entries housed in ``segment_id`` (snapshot, GC copy-forward)."""
+        out = []
+        for page in self._pages.values():
+            for key, entry in page.items():
+                if entry.segment_id == segment_id:
+                    out.append((key, entry))
+        return iter(out)
+
+    def clear(self) -> None:
+        self._pages.clear()
+        self.segment_live.clear()
+        self.live_entries = 0
+        self.live_bytes = 0

@@ -1,0 +1,272 @@
+"""Append-only log segments — the emulated flash device under the tier.
+
+The second tier stores spilled items in fixed-size *segments*: plain
+files of back-to-back records, written strictly append-only (flash pages
+are never overwritten in place; reclamation is segment-granular, by the
+GC in :mod:`repro.tier.gc`).  Each record is::
+
+    MAGIC(4s) key_len(H) value_len(I) flags(I) cost(Q) exptime(d) crc(I)
+    key bytes  value bytes
+
+with the CRC-32 taken over the header fields *and* the payload, so any
+byte of damage is detected.  A record is only addressable through the
+mapping table once its append returned, which gives the crash contract:
+
+* a record either decodes completely and checksums clean, or it is part
+  of a **torn tail** — the suffix a crashed writer left behind;
+* :func:`scan_segment` stops at the first incomplete/corrupt record and
+  reports how many clean bytes precede it, so reopening after a
+  mid-spill kill silently drops the tail and keeps everything before it
+  (``tests/tier/test_crash.py`` kills real processes to prove it).
+
+Segment files are named ``seg-<id>.log`` inside the tier directory; the
+id order is the write order, which recovery relies on (later records for
+the same key supersede earlier ones).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+#: per-record magic — also the format version; bump on layout changes
+RECORD_MAGIC = b"GDT1"
+
+#: ``magic key_len value_len flags cost exptime crc``
+_HEADER = struct.Struct("<4sHIIQdI")
+HEADER_SIZE = _HEADER.size
+
+#: filename pattern for segment files
+SEGMENT_PREFIX = "seg-"
+SEGMENT_SUFFIX = ".log"
+
+
+class TierRecord:
+    """One decoded spill record (what the store gets back on a tier hit)."""
+
+    __slots__ = ("key", "value", "cost", "flags", "exptime")
+
+    def __init__(self, key: bytes, value: bytes, cost: int,
+                 flags: int = 0, exptime: float = 0.0) -> None:
+        self.key = key
+        self.value = value
+        self.cost = cost
+        self.flags = flags
+        self.exptime = exptime
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TierRecord(key={self.key!r}, {len(self.value)}B value, "
+                f"cost={self.cost})")
+
+
+def record_size(key: bytes, value: bytes) -> int:
+    """On-flash footprint of a record for ``key``/``value``."""
+    return HEADER_SIZE + len(key) + len(value)
+
+
+def encode_record(key: bytes, value: bytes, cost: int,
+                  flags: int = 0, exptime: float = 0.0) -> bytes:
+    """Serialize one record, CRC included."""
+    header_wo_crc = _HEADER.pack(
+        RECORD_MAGIC, len(key), len(value), flags, cost, exptime, 0
+    )[:-4]
+    crc = zlib.crc32(key, zlib.crc32(value, zlib.crc32(header_wo_crc)))
+    return (
+        header_wo_crc + struct.pack("<I", crc & 0xFFFFFFFF) + key + value
+    )
+
+
+def decode_record(buf: bytes, offset: int = 0) -> Optional[Tuple[TierRecord, int]]:
+    """Decode the record at ``offset``; ``None`` if torn or corrupt.
+
+    Returns ``(record, end_offset)`` on success.  Every failure mode a
+    torn tail can produce — short header, bad magic, lengths past the end
+    of the buffer, CRC mismatch — reads as ``None`` rather than raising,
+    because recovery treats it as "the log ends here".
+    """
+    end_header = offset + HEADER_SIZE
+    if end_header > len(buf):
+        return None
+    magic, key_len, value_len, flags, cost, exptime, crc = _HEADER.unpack_from(
+        buf, offset
+    )
+    if magic != RECORD_MAGIC:
+        return None
+    end = end_header + key_len + value_len
+    if end > len(buf):
+        return None
+    key = buf[end_header:end_header + key_len]
+    value = buf[end_header + key_len:end]
+    header_wo_crc = buf[offset:end_header - 4]
+    expected = zlib.crc32(key, zlib.crc32(value, zlib.crc32(header_wo_crc)))
+    if (expected & 0xFFFFFFFF) != crc:
+        return None
+    return TierRecord(key, value, cost, flags, exptime), end
+
+
+def scan_segment(path: Path) -> Tuple[List[Tuple[int, TierRecord]], int]:
+    """All clean records in a segment file, plus the clean-bytes length.
+
+    Returns ``([(offset, record), ...], clean_end)``; anything at or past
+    ``clean_end`` is a torn tail the caller may truncate away.
+    """
+    data = path.read_bytes()
+    records: List[Tuple[int, TierRecord]] = []
+    offset = 0
+    while offset < len(data):
+        decoded = decode_record(data, offset)
+        if decoded is None:
+            break
+        record, end = decoded
+        records.append((offset, record))
+        offset = end
+    return records, offset
+
+
+def segment_path(directory: Path, segment_id: int) -> Path:
+    return directory / f"{SEGMENT_PREFIX}{segment_id:08d}{SEGMENT_SUFFIX}"
+
+
+def parse_segment_id(path: Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    try:
+        return int(name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+    except ValueError:
+        return None
+
+
+class Segment:
+    """One append-only segment file and its write cursor."""
+
+    __slots__ = ("segment_id", "path", "size", "_writer")
+
+    def __init__(self, segment_id: int, path: Path, size: int = 0) -> None:
+        self.segment_id = segment_id
+        self.path = path
+        #: clean bytes in the file (the append cursor)
+        self.size = size
+        self._writer = None
+
+    def has_room(self, nbytes: int, capacity: int) -> bool:
+        return self.size + nbytes <= capacity
+
+    def append(self, payload: bytes) -> int:
+        """Append ``payload``; returns the record's start offset.
+
+        The write is flushed to the OS before the offset is returned, so
+        a record the mapping table points at is never still sitting in a
+        user-space buffer when the process dies (the crash tests SIGKILL
+        the process, not the machine; OS-buffered bytes survive).
+        """
+        writer = self._writer
+        if writer is None:
+            writer = self._writer = open(self.path, "ab")
+        offset = self.size
+        writer.write(payload)
+        writer.flush()
+        self.size = offset + len(payload)
+        return offset
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` raw bytes at ``offset`` (one emulated page read)."""
+        with open(self.path, "rb") as fh:
+            fh.seek(offset)
+            return fh.read(length)
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def delete(self) -> None:
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+
+class SegmentStore:
+    """The tier's segment files: allocation, recovery, reads, reclamation."""
+
+    def __init__(self, directory: Path, segment_bytes: int) -> None:
+        if segment_bytes <= HEADER_SIZE:
+            raise ValueError("segment_bytes too small for a single record")
+        self.directory = Path(directory)
+        self.segment_bytes = segment_bytes
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segments: dict = {}  # segment_id -> Segment
+        self._next_id = 0
+
+    # -- recovery -----------------------------------------------------------------
+
+    def recover(self) -> Iterator[Tuple[int, int, TierRecord]]:
+        """Open existing segment files, truncating torn tails.
+
+        Yields ``(segment_id, offset, record)`` for every clean record in
+        write (segment-id, then offset) order, so the caller can rebuild
+        the mapping table by simple last-write-wins replay.
+        """
+        paths = []
+        for path in self.directory.iterdir():
+            segment_id = parse_segment_id(path)
+            if segment_id is not None:
+                paths.append((segment_id, path))
+        paths.sort()
+        for segment_id, path in paths:
+            records, clean_end = scan_segment(path)
+            if clean_end < path.stat().st_size:
+                # torn tail from a crashed writer: drop it on the floor
+                with open(path, "r+b") as fh:
+                    fh.truncate(clean_end)
+            self.segments[segment_id] = Segment(segment_id, path, size=clean_end)
+            self._next_id = max(self._next_id, segment_id + 1)
+            for offset, record in records:
+                yield segment_id, offset, record
+
+    # -- allocation / io ----------------------------------------------------------
+
+    def create_segment(self) -> Segment:
+        segment_id = self._next_id
+        self._next_id += 1
+        segment = Segment(
+            segment_id, segment_path(self.directory, segment_id)
+        )
+        # create the file eagerly so recovery sees even an empty segment
+        segment.append(b"")
+        self.segments[segment_id] = segment
+        return segment
+
+    def read_record(self, segment_id: int, offset: int,
+                    length: int) -> Optional[TierRecord]:
+        """Decode the record stored at ``(segment_id, offset)``."""
+        segment = self.segments.get(segment_id)
+        if segment is None:
+            return None
+        raw = segment.read(offset, length)
+        decoded = decode_record(raw)
+        return decoded[0] if decoded is not None else None
+
+    def drop_segment(self, segment_id: int) -> None:
+        segment = self.segments.pop(segment_id, None)
+        if segment is not None:
+            segment.delete()
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of flash consumed (live + dead, all segments)."""
+        return sum(seg.size for seg in self.segments.values())
+
+    def close(self) -> None:
+        for segment in self.segments.values():
+            segment.close()
+
+    def clear(self) -> None:
+        """Delete every segment (``flush_all`` semantics)."""
+        for segment_id in list(self.segments):
+            self.drop_segment(segment_id)

@@ -1,0 +1,61 @@
+"""``--jobs`` / ``jobs=`` validation: 0 and negatives fail loudly.
+
+Before this guard a mistyped ``--jobs 0`` was silently clamped to 1 and
+looked like a deliberate serial run; now every entrance to the parallel
+engine rejects non-positive job counts.
+"""
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.parallel import (
+    default_jobs,
+    prefill_suites,
+    resolve_jobs,
+    run_grid,
+)
+
+
+class TestResolveJobs:
+    def test_none_means_all_cpus(self):
+        assert resolve_jobs(None) == default_jobs()
+
+    def test_positive_passes_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_jobs(bad)
+
+
+class TestEngineGuards:
+    def test_run_grid_rejects_zero_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_grid([], jobs=0)
+
+    def test_run_grid_rejects_negative_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_grid([], jobs=-2)
+
+    def test_prefill_rejects_zero_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            prefill_suites(jobs=0, single=False, multi=False)
+
+    def test_run_grid_accepts_empty_serial(self):
+        assert run_grid([], jobs=1) == []
+
+
+class TestCLIGuard:
+    @pytest.mark.parametrize("bad", ["0", "-4"])
+    def test_cli_exits_with_clear_error(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--jobs", bad])
+        assert excinfo.value.code == 2  # argparse usage-error exit code
+        err = capsys.readouterr().err
+        assert "--jobs must be a positive integer" in err
+
+    def test_cli_accepts_jobs_one(self, capsys):
+        assert main(["table1", "--jobs", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,96 @@
+"""The ``on_evict`` choke point: every policy's departures fire the hook.
+
+The tier (and any user callback) relies on one invariant: an item never
+leaves the store under pressure without passing through
+``KVStore._evict_item``.  These tests pin that invariant for every
+replacement policy the sim driver can name, for expiry reclaims, and for
+slab-rebalance drops — and pin the negative space too (DELETE and
+``flush_all`` are not evictions).
+"""
+
+import pytest
+
+from repro.kvstore import KVStore, SimClock
+from repro.sim.driver import make_policy_factory
+
+#: every policy the driver can build, exercised through the same harness
+ALL_POLICIES = [
+    "lru", "clock", "random", "gd-wheel", "gd-pq", "gd-naive",
+    "gds", "gdsf", "camp", "lru-k", "2q", "arc",
+]
+
+
+def make_hooked_store(policy_name, memory=128 * 1024):
+    events = []
+    clock = SimClock()
+    store = KVStore(
+        memory_limit=memory,
+        slab_size=64 * 1024,
+        policy_factory=make_policy_factory(
+            policy_name, capacity_items=4096, max_cost=1000
+        ),
+        clock=clock,
+        on_evict=lambda item, reason: events.append((item.key, reason)),
+    )
+    return store, events, clock
+
+
+@pytest.mark.parametrize("policy_name", ALL_POLICIES)
+def test_every_policy_eviction_passes_through_hook(policy_name):
+    store, events, _ = make_hooked_store(policy_name)
+    for i in range(3000):
+        store.set(f"key-{i:05d}".encode(), b"v" * 64, cost=1 + i % 100)
+        if len(events) >= 50:
+            break
+    assert events, f"{policy_name}: never evicted under pressure"
+    # the hook saw exactly what the counters counted, reason-for-reason
+    assert len(events) == store.stats.evictions + store.stats.reclaims
+    assert {reason for _, reason in events} == {"evicted"}
+    # evicted keys really left the store (hook fires after unlink)
+    gone = {key for key, _ in events}
+    assert all(store.get(k) is None for k in list(gone)[:10])
+    store.check_invariants()
+
+
+@pytest.mark.parametrize("policy_name", ["lru", "gd-wheel"])
+def test_expiry_reclaim_fires_hook_with_expired_reason(policy_name):
+    store, events, clock = make_hooked_store(policy_name)
+    for i in range(200):
+        store.set(f"old-{i:03d}".encode(), b"v" * 64, cost=10, exptime=5.0)
+    clock.advance(100.0)  # everything above is now expired
+    for i in range(3000):
+        store.set(f"new-{i:05d}".encode(), b"v" * 64, cost=10)
+        if any(reason == "expired" for _, reason in events):
+            break
+    assert any(reason == "expired" for _, reason in events)
+    assert len(events) == store.stats.evictions + store.stats.reclaims
+
+
+def test_rebalance_drop_fires_hook_with_rebalance_reason():
+    store, events, _ = make_hooked_store("lru", memory=256 * 1024)
+    # two populated classes, then move one slab between them
+    for i in range(200):
+        store.set(f"small-{i:03d}".encode(), b"s" * 32, cost=5)
+        store.set(f"large-{i:03d}".encode(), b"l" * 512, cost=5)
+    src = next(
+        cls for cls in store.allocator.classes
+        if cls.live_items and cls.num_slabs > 1
+    )
+    dest = next(
+        cls for cls in store.allocator.classes
+        if cls.class_id != src.class_id and cls.live_items
+    )
+    dropped = store.move_slab(src.slabs[0], dest)
+    assert dropped > 0
+    rebalanced = [key for key, reason in events if reason == "rebalance"]
+    assert len(rebalanced) == dropped == store.stats.rebalance_evictions
+    store.check_invariants()
+
+
+def test_delete_and_flush_are_not_evictions():
+    store, events, _ = make_hooked_store("lru")
+    store.set(b"a", b"v", cost=1)
+    store.set(b"b", b"v", cost=1)
+    store.delete(b"a")
+    store.flush_all()
+    assert events == []

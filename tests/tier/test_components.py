@@ -1,0 +1,135 @@
+"""Unit tests for the tier's mapping table, CMT, admission, and GC parts."""
+
+import pytest
+
+from repro.tier import (
+    CachedMappingTable,
+    CostPerByteAdmission,
+    MappingEntry,
+    MappingTable,
+    select_victim,
+)
+
+
+class TestMappingTable:
+    def test_put_get_remove(self):
+        table = MappingTable(num_pages=8)
+        page_id, entry = table.get(b"k")
+        assert entry is None
+        assert table.put(b"k", MappingEntry(0, 0, 32, 10)) is None
+        same_page, entry = table.get(b"k")
+        assert same_page == page_id
+        assert (entry.segment_id, entry.offset, entry.length) == (0, 0, 32)
+        assert b"k" in table and len(table) == 1
+        assert table.remove(b"k").cost == 10
+        assert table.remove(b"k") is None
+        assert len(table) == 0 and table.live_bytes == 0
+
+    def test_supersede_returns_old_and_reaccounts(self):
+        table = MappingTable(num_pages=8)
+        table.put(b"k", MappingEntry(0, 0, 32, 10))
+        old = table.put(b"k", MappingEntry(1, 0, 48, 20))
+        assert old.segment_id == 0
+        assert len(table) == 1
+        assert table.live_bytes == 48
+        # segment 0 is now fully dead: its accounting row is gone
+        assert 0 not in table.segment_live
+        assert table.segment_live[1] == [48, 20]
+
+    def test_segment_live_accounting(self):
+        table = MappingTable(num_pages=8)
+        table.put(b"a", MappingEntry(0, 0, 10, 5))
+        table.put(b"b", MappingEntry(0, 10, 20, 7))
+        assert table.segment_live[0] == [30, 12]
+        table.remove(b"a")
+        assert table.segment_live[0] == [20, 7]
+        entries = dict(table.entries_in_segment(0))
+        assert set(entries) == {b"b"}
+
+    def test_stable_page_assignment(self):
+        table = MappingTable(num_pages=16)
+        assert table.page_of(b"key") == table.page_of(b"key")
+        assert 0 <= table.page_of(b"key") < 16
+
+
+class TestCachedMappingTable:
+    def test_lru_eviction(self):
+        cmt = CachedMappingTable(capacity=2)
+        assert cmt.touch(1) is False  # cold
+        assert cmt.touch(2) is False
+        assert cmt.touch(1) is True  # resident
+        assert cmt.touch(3) is False  # evicts 2 (LRU)
+        assert cmt.touch(2) is False  # 2 was evicted
+        assert cmt.hits == 1
+        assert cmt.misses == 4
+        assert cmt.evictions >= 1
+
+    def test_invalidate(self):
+        cmt = CachedMappingTable(capacity=4)
+        cmt.touch(1)
+        cmt.invalidate(1)
+        assert cmt.touch(1) is False
+
+
+class TestAdmission:
+    def test_empty_tier_admits_any_positive_cost(self):
+        adm = CostPerByteAdmission()
+        assert adm.offer(cost=1, size=1000) is True
+        assert adm.offer(cost=0, size=10) is False  # zero cost never stored
+
+    def test_watermark_ramps_with_pressure(self):
+        adm = CostPerByteAdmission(alpha=0.5, pressure_floor=0.5)
+        for _ in range(20):
+            adm.offer(cost=100, size=10)  # stream rate: 10 cost/byte
+        adm.set_pressure(0.4)
+        assert adm.watermark == 0.0  # below the floor: free admission
+        adm.set_pressure(1.0)
+        assert adm.watermark == pytest.approx(adm.mean_cost_per_byte)
+        adm.set_pressure(0.75)
+        assert 0.0 < adm.watermark < adm.mean_cost_per_byte
+
+    def test_full_tier_rejects_below_average(self):
+        adm = CostPerByteAdmission(alpha=0.5)
+        for _ in range(20):
+            adm.offer(cost=100, size=10)
+        adm.set_pressure(1.0)
+        assert adm.offer(cost=1, size=10) is False  # 0.1 cpb << watermark
+        assert adm.offer(cost=10_000, size=10) is True
+
+    def test_still_valuable_does_not_update_ewma(self):
+        adm = CostPerByteAdmission()
+        adm.offer(cost=100, size=10)
+        mean = adm.mean_cost_per_byte
+        adm.still_valuable(cost=1, size=1000)
+        assert adm.mean_cost_per_byte == mean
+
+
+class TestVictimSelection:
+    def _tier(self, tmp_path, capacity=4 * 4096, segment=4096):
+        from repro.tier import FlashTier, TierConfig
+
+        return FlashTier(
+            tmp_path, TierConfig(capacity_bytes=capacity, segment_bytes=segment)
+        )
+
+    def test_min_live_cost_wins(self, tmp_path):
+        tier = self._tier(tmp_path)
+        mapping = tier.mapping
+        for i in range(3):
+            tier.segments.create_segment()
+        mapping.put(b"a", MappingEntry(0, 0, 100, 500))  # expensive
+        mapping.put(b"b", MappingEntry(1, 0, 100, 5))  # cheap
+        # segment 2 has no live entries: free to reclaim, scores 0
+        assert select_victim(tier.segments, mapping) == 2
+        mapping.put(b"c", MappingEntry(2, 0, 100, 50))
+        assert select_victim(tier.segments, mapping) == 1
+        tier.close()
+
+    def test_exclude_and_empty(self, tmp_path):
+        tier = self._tier(tmp_path)
+        assert select_victim(tier.segments, tier.mapping) is None
+        seg = tier.segments.create_segment()
+        assert select_victim(
+            tier.segments, tier.mapping, exclude=seg.segment_id
+        ) is None
+        tier.close()

@@ -1,0 +1,165 @@
+"""Segment format tests: round-trip, corruption detection, torn tails."""
+
+import random
+
+import pytest
+
+from repro.tier import (
+    HEADER_SIZE,
+    Segment,
+    SegmentStore,
+    decode_record,
+    encode_record,
+    record_size,
+    scan_segment,
+)
+from repro.tier.segments import segment_path
+
+
+class TestRecordRoundTrip:
+    def test_basic_round_trip(self):
+        payload = encode_record(b"key", b"value", cost=42, flags=7, exptime=9.5)
+        record, end = decode_record(payload)
+        assert end == len(payload) == record_size(b"key", b"value")
+        assert record.key == b"key"
+        assert record.value == b"value"
+        assert record.cost == 42
+        assert record.flags == 7
+        assert record.exptime == 9.5
+
+    def test_empty_value(self):
+        record, _ = decode_record(encode_record(b"k", b"", cost=1))
+        assert record.value == b""
+
+    def test_binary_key_and_value(self):
+        key = bytes(range(256))[:250]
+        value = bytes(reversed(range(256))) * 4
+        record, _ = decode_record(encode_record(key, value, cost=3))
+        assert record.key == key
+        assert record.value == value
+
+    def test_round_trip_property(self):
+        """Randomized round-trip over many shapes (seeded, deterministic)."""
+        rng = random.Random(1234)
+        for _ in range(200):
+            key = rng.randbytes(rng.randint(1, 64))
+            value = rng.randbytes(rng.randint(0, 512))
+            cost = rng.randint(0, 2**40)
+            flags = rng.randint(0, 2**32 - 1)
+            exptime = rng.random() * 1e6
+            payload = encode_record(key, value, cost, flags, exptime)
+            decoded = decode_record(payload)
+            assert decoded is not None
+            record, end = decoded
+            assert end == len(payload)
+            assert (record.key, record.value, record.cost, record.flags) == (
+                key, value, cost, flags
+            )
+            assert record.exptime == pytest.approx(exptime)
+
+    def test_offset_decoding_chains(self):
+        blob = b"".join(
+            encode_record(f"k{i}".encode(), b"v" * i, cost=i) for i in range(5)
+        )
+        offset = 0
+        seen = []
+        while offset < len(blob):
+            record, offset = decode_record(blob, offset)
+            seen.append(record.key)
+        assert seen == [b"k0", b"k1", b"k2", b"k3", b"k4"]
+
+
+class TestCorruption:
+    def test_every_single_byte_flip_is_detected(self):
+        payload = bytearray(encode_record(b"key", b"some value", cost=9))
+        for i in range(len(payload)):
+            payload[i] ^= 0xFF
+            decoded = decode_record(bytes(payload))
+            # a flipped length field may make the record read past the end
+            # (None) or CRC-mismatch (None); either way: never a bad record
+            if decoded is not None:
+                record, _ = decoded
+                assert (record.key, record.value) == (b"key", b"some value")
+                pytest.fail(f"byte {i} flip went undetected")
+            payload[i] ^= 0xFF
+
+    def test_short_buffer_is_torn(self):
+        payload = encode_record(b"key", b"value", cost=1)
+        for cut in range(len(payload)):
+            assert decode_record(payload[:cut]) is None
+
+    def test_garbage_is_torn(self):
+        assert decode_record(b"\x00" * (HEADER_SIZE + 16)) is None
+
+
+class TestTornTail:
+    def _write_segment(self, tmp_path, records, tail=b""):
+        path = segment_path(tmp_path, 0)
+        blob = b"".join(
+            encode_record(k, v, cost=c) for k, v, c in records
+        )
+        path.write_bytes(blob + tail)
+        return path, len(blob)
+
+    def test_scan_stops_at_torn_tail(self, tmp_path):
+        records = [(b"a", b"1", 1), (b"b", b"22", 2), (b"c", b"333", 3)]
+        torn = encode_record(b"d", b"4444", cost=4)[:-3]
+        path, clean = self._write_segment(tmp_path, records, tail=torn)
+        scanned, clean_end = scan_segment(path)
+        assert clean_end == clean
+        assert [r.key for _, r in scanned] == [b"a", b"b", b"c"]
+
+    def test_recover_truncates_tail(self, tmp_path):
+        records = [(b"a", b"1", 1), (b"b", b"22", 2)]
+        path, clean = self._write_segment(tmp_path, records, tail=b"\xffgarbage")
+        store = SegmentStore(tmp_path, segment_bytes=4096)
+        recovered = list(store.recover())
+        assert [r.key for _, _, r in recovered] == [b"a", b"b"]
+        assert path.stat().st_size == clean  # tail gone from disk
+        store.close()
+
+    def test_recover_then_append_continues_cleanly(self, tmp_path):
+        self._write_segment(
+            tmp_path, [(b"a", b"1", 1)], tail=encode_record(b"x", b"y", 1)[:-1]
+        )
+        store = SegmentStore(tmp_path, segment_bytes=4096)
+        list(store.recover())
+        segment = store.segments[0]
+        payload = encode_record(b"b", b"22", cost=2)
+        offset = segment.append(payload)
+        scanned, _ = scan_segment(segment.path)
+        assert [r.key for _, r in scanned] == [b"a", b"b"]
+        assert scanned[-1][0] == offset
+        store.close()
+
+
+class TestSegmentStore:
+    def test_recovery_order_is_write_order(self, tmp_path):
+        store = SegmentStore(tmp_path, segment_bytes=4096)
+        for i in range(3):
+            seg = store.create_segment()
+            seg.append(encode_record(f"k{i}".encode(), b"v", cost=1))
+        store.close()
+
+        reopened = SegmentStore(tmp_path, segment_bytes=4096)
+        recovered = [(sid, r.key) for sid, _, r in reopened.recover()]
+        assert recovered == [(0, b"k0"), (1, b"k1"), (2, b"k2")]
+        reopened.close()
+
+    def test_read_record(self, tmp_path):
+        store = SegmentStore(tmp_path, segment_bytes=4096)
+        seg = store.create_segment()
+        payload = encode_record(b"k", b"v" * 10, cost=5)
+        offset = seg.append(payload)
+        record = store.read_record(seg.segment_id, offset, len(payload))
+        assert record.value == b"v" * 10
+        assert store.read_record(99, 0, 10) is None
+        store.close()
+
+    def test_drop_segment_deletes_file(self, tmp_path):
+        store = SegmentStore(tmp_path, segment_bytes=4096)
+        seg = store.create_segment()
+        assert seg.path.exists()
+        store.drop_segment(seg.segment_id)
+        assert not seg.path.exists()
+        assert store.used_bytes == 0

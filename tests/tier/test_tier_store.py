@@ -1,0 +1,236 @@
+"""KVStore + FlashTier integration: spill, promote, invalidate, observe."""
+
+import pytest
+
+from repro.core import LRUPolicy
+from repro.kvstore import KVStore, SimClock
+from repro.obs import EventTrace
+from repro.protocol.server import StoreServer
+from repro.tier import FlashTier, TierConfig
+
+
+def make_tiered_store(tmp_path, memory=256 * 1024, tier_bytes=1024 * 1024,
+                      trace=None, **store_kw):
+    clock = SimClock()
+    tier = FlashTier(
+        tmp_path / "tier",
+        TierConfig(capacity_bytes=tier_bytes, segment_bytes=64 * 1024),
+    )
+    store = KVStore(
+        memory_limit=memory,
+        slab_size=64 * 1024,
+        policy_factory=LRUPolicy,
+        clock=clock,
+        tier=tier,
+        trace=trace,
+        **store_kw,
+    )
+    return store, tier
+
+
+#: filler value size; tests that want a key evicted give it a value of the
+#: same size, so it shares the fillers' slab class (policies are per-class)
+FILL_VALUE = b"x" * 100
+
+
+def pad(value: bytes) -> bytes:
+    return value.ljust(len(FILL_VALUE), b".")
+
+
+def unpad(value: bytes) -> bytes:
+    return value.rstrip(b".")
+
+
+def fill_until_evictions(store, evicted, count=4000, until=None):
+    """SET distinct keys until evictions happen (or ``until`` is evicted)."""
+    for i in range(count):
+        store.set(f"key-{i:05d}".encode(), FILL_VALUE, cost=10 + i % 7)
+        if until is not None:
+            if until in evicted:
+                break
+        elif len(evicted) >= 20:
+            break
+    assert evicted, "store never evicted; enlarge count or shrink memory"
+    if until is not None:
+        assert until in evicted, f"{until!r} was never evicted"
+
+
+class TestSpillAndPromote:
+    def test_evictions_spill_to_tier(self, tmp_path):
+        evicted = []
+        store, tier = make_tiered_store(
+            tmp_path, on_evict=lambda item, reason: evicted.append(item.key)
+        )
+        fill_until_evictions(store, evicted)
+        assert tier.spills > 0
+        assert store.stats.tier_spills == tier.spills
+        assert any(tier.contains(k) for k in evicted)
+
+    def test_tier_hit_promotes_with_original_metadata(self, tmp_path):
+        evicted = []
+        store, tier = make_tiered_store(
+            tmp_path, on_evict=lambda item, reason: evicted.append(item.key)
+        )
+        store.set(b"victim", pad(b"precious"), cost=9999, flags=42)
+        fill_until_evictions(store, evicted, until=b"victim")
+        assert tier.contains(b"victim")
+
+        sets_before = store.stats.sets
+        item = store.get(b"victim")
+        assert item is not None
+        assert unpad(item.value) == b"precious"
+        assert item.cost == 9999  # promoted with its original cost
+        assert item.flags == 42
+        assert store.stats.tier_hits == 1
+        assert store.stats.tier_promotions == 1
+        assert store.stats.get_hits >= 1
+        # a promotion is not a client SET
+        assert store.stats.sets == sets_before
+        # RAM is authoritative again: the tier copy is gone
+        assert not tier.contains(b"victim")
+        # second GET is a plain RAM hit, no tier read
+        reads = tier.data_reads
+        assert unpad(store.get(b"victim").value) == b"precious"
+        assert tier.data_reads == reads
+
+    def test_ram_hit_never_touches_tier(self, tmp_path):
+        store, tier = make_tiered_store(tmp_path)
+        store.set(b"hot", b"v", cost=5)
+        for _ in range(10):
+            assert store.get(b"hot") is not None
+        assert tier.data_reads == 0
+        assert tier.translation_reads == 0
+
+    def test_miss_in_both_tiers_counts_one_miss(self, tmp_path):
+        store, tier = make_tiered_store(tmp_path)
+        assert store.get(b"absent") is None
+        assert store.stats.get_misses == 1
+        assert tier.misses == 1
+
+
+class TestInvalidation:
+    def test_reset_invalidates_tier_copy(self, tmp_path):
+        evicted = []
+        store, tier = make_tiered_store(
+            tmp_path, on_evict=lambda item, reason: evicted.append(item.key)
+        )
+        store.set(b"victim", pad(b"old"), cost=100)
+        fill_until_evictions(store, evicted, until=b"victim")
+        assert tier.contains(b"victim")
+        store.set(b"victim", pad(b"new"), cost=100)
+        assert not tier.contains(b"victim")
+        assert unpad(store.get(b"victim").value) == b"new"
+
+    def test_delete_reaches_into_tier(self, tmp_path):
+        evicted = []
+        store, tier = make_tiered_store(
+            tmp_path, on_evict=lambda item, reason: evicted.append(item.key)
+        )
+        store.set(b"victim", pad(b"v"), cost=100)
+        fill_until_evictions(store, evicted, until=b"victim")
+        assert tier.contains(b"victim")
+        deletes_before = store.stats.deletes
+        assert store.delete(b"victim") is True  # RAM miss, tier hit
+        assert store.stats.deletes == deletes_before + 1
+        assert not tier.contains(b"victim")
+        assert store.get(b"victim") is None
+
+    def test_flush_all_clears_tier(self, tmp_path):
+        evicted = []
+        store, tier = make_tiered_store(
+            tmp_path, on_evict=lambda item, reason: evicted.append(item.key)
+        )
+        fill_until_evictions(store, evicted)
+        assert len(tier) > 0
+        store.flush_all()
+        assert len(tier) == 0
+        assert tier.used_bytes == 0
+        assert len(store) == 0
+
+
+class TestDisabledPath:
+    def test_store_without_tier_has_no_tier_counters_moving(self, tmp_path):
+        store = KVStore(
+            memory_limit=256 * 1024, slab_size=64 * 1024,
+            policy_factory=LRUPolicy,
+        )
+        assert store.tier is None
+        for i in range(500):
+            store.set(f"k{i:04d}".encode(), b"x" * 200, cost=5)
+        store.get(b"k0000")
+        assert store.stats.tier_spills == 0
+        assert store.stats.tier_hits == 0
+        assert store.stats.tier_promotions == 0
+
+
+class TestObservability:
+    def test_metrics_and_trace_visible(self, tmp_path):
+        trace = EventTrace(capacity=512)
+        evicted = []
+        store, tier = make_tiered_store(
+            tmp_path, trace=trace,
+            on_evict=lambda item, reason: evicted.append(item.key),
+        )
+        fill_until_evictions(store, evicted)
+        victim = next(k for k in evicted if tier.contains(k))
+        assert store.get(victim) is not None
+
+        store.publish_metrics()
+        snapshot = dict(store.metrics.snapshot())
+        assert snapshot["tier_spills_total"] == tier.spills
+        assert snapshot["tier_hits_total"] == tier.hits
+        assert snapshot["tier_entries"] == len(tier)
+        assert snapshot["tier_capacity_bytes"] == tier.config.capacity_bytes
+        assert "tier_read_latency_us_count" in snapshot
+        assert snapshot["tier_read_latency_us_count"] >= 1
+        assert trace.counts.get("spill", 0) > 0
+
+    def test_stats_tier_subcommand(self, tmp_path):
+        evicted = []
+        store, tier = make_tiered_store(
+            tmp_path, on_evict=lambda item, reason: evicted.append(item.key)
+        )
+        fill_until_evictions(store, evicted)
+        server = StoreServer(store)
+        response = server._stats_response("tier")
+        stats = dict(response.stats)
+        assert int(stats["spills"]) == tier.spills
+        assert int(stats["entries"]) == len(tier)
+        assert "admission:watermark" in stats
+        assert "gc:runs" in stats
+
+        settings = dict(server._stats_response("settings").stats)
+        assert settings["tier"] == "on"
+        assert int(settings["tier_maxbytes"]) == tier.config.capacity_bytes
+
+    def test_stats_tier_disabled(self, tmp_path):
+        store = KVStore(
+            memory_limit=256 * 1024, slab_size=64 * 1024,
+            policy_factory=LRUPolicy,
+        )
+        server = StoreServer(store)
+        stats = dict(server._stats_response("tier").stats)
+        assert stats == {"tier": "disabled"}
+        settings = dict(server._stats_response("settings").stats)
+        assert settings["tier"] == "off"
+
+
+class TestRecoveryThroughStore:
+    def test_new_store_reads_previous_tier_contents(self, tmp_path):
+        evicted = []
+        store, tier = make_tiered_store(
+            tmp_path, on_evict=lambda item, reason: evicted.append(item.key)
+        )
+        store.set(b"victim", pad(b"durable"), cost=500)
+        fill_until_evictions(store, evicted, until=b"victim")
+        assert tier.contains(b"victim")
+        tier.close()
+
+        # a fresh store over the same tier directory sees the spilled key
+        store2, tier2 = make_tiered_store(tmp_path)
+        assert tier2.recovered_records > 0
+        item = store2.get(b"victim")
+        assert item is not None
+        assert unpad(item.value) == b"durable"
+        assert item.cost == 500
+        assert store2.stats.tier_hits == 1
