@@ -15,6 +15,10 @@ import os
 import platform
 from typing import Dict, Optional
 
+#: document marker stamped instead of a speedup when the machine cannot
+#: express the scaling claim (fewer cores than parallel participants)
+SCALING_UNVERIFIED = "scaling_unverified"
+
 
 def available_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
@@ -51,3 +55,15 @@ def scaling_note(cpus: int, required: int, subject: str,
     if unaffected:
         note += f" ({unaffected})"
     return note
+
+
+def scaling_verifiable(cpus: int, required: int) -> bool:
+    """Whether a multi-process speedup measured here is a *claim* or noise.
+
+    Benchmarks must not stamp speedup numbers into their BENCH_*.json
+    documents when this is False — a "0.97x speedup" measured on a 1-core
+    container is scheduler churn, not a regression, and a checked-in
+    number cannot carry that nuance.  Writers stamp
+    :data:`SCALING_UNVERIFIED` instead and omit the speedup fields.
+    """
+    return cpus >= required

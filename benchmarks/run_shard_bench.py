@@ -47,7 +47,13 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from bench_env import available_cpus, environment_facts, scaling_note
+from bench_env import (
+    SCALING_UNVERIFIED,
+    available_cpus,
+    environment_facts,
+    scaling_note,
+    scaling_verifiable,
+)
 from repro.shard import ShardRouter, ShardSupervisor
 from repro.sim.histogram import LatencyHistogram
 from repro.workloads import SINGLE_SIZE_WORKLOADS
@@ -233,9 +239,13 @@ def run_shard_scaling(
             f"(p99 {result['batch_latency_us']['p99']:,.0f} us/batch)",
             file=sys.stderr,
         )
-    baseline = results[0]["ops_per_sec"] or 1.0
-    for result in results:
-        result["speedup_vs_single"] = round(result["ops_per_sec"] / baseline, 3)
+    verifiable = scaling_verifiable(cpus, max(shard_counts))
+    if verifiable:
+        baseline = results[0]["ops_per_sec"] or 1.0
+        for result in results:
+            result["speedup_vs_single"] = round(
+                result["ops_per_sec"] / baseline, 3
+            )
     document: Dict[str, object] = {
         "benchmark": "shard_scaling",
         "generated_unix": int(time.time()),
@@ -251,6 +261,10 @@ def run_shard_scaling(
         },
         "results": results,
     }
+    if not verifiable:
+        # refuse to stamp a speedup the machine cannot express: raw
+        # per-config throughput stays, the scaling *claim* does not
+        document["scaling"] = SCALING_UNVERIFIED
     note = scaling_note(cpus, max(shard_counts), "shard processes")
     if note is not None:
         document["note"] = note

@@ -38,7 +38,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from bench_env import available_cpus, environment_facts, scaling_note
+from bench_env import (
+    SCALING_UNVERIFIED,
+    available_cpus,
+    environment_facts,
+    scaling_note,
+    scaling_verifiable,
+)
 from frozen_sim_driver import run_simulation_frozen
 from repro.sim.driver import SimConfig, run_simulation
 from repro.sim.results import SimResult
@@ -240,6 +246,11 @@ def run_sim_bench(
         },
         "grid": grid,
     }
+    if not scaling_verifiable(cpus, grid_jobs):
+        # the wall times stay (they are real), but the speedup is not a
+        # claim this machine can verify — drop it and stamp the marker
+        grid.pop("speedup", None)
+        grid["scaling"] = SCALING_UNVERIFIED
     note = scaling_note(
         cpus, grid_jobs, f"grid workers (jobs={grid_jobs})",
         unaffected="single-process driver_ab numbers are unaffected",

@@ -8,8 +8,10 @@ regenerating the committed numbers is one pytest (or one
 
 The ISSUE's >=2.5x 4-shard speedup is a *scaling* claim: it needs four
 cores for four shards to land on.  The assertion is therefore gated on
-``available_cpus() >= 4``; on smaller machines the harness still runs,
-still records honest numbers, and the JSON carries an explanatory note.
+``available_cpus() >= 4``; on smaller machines the harness still runs
+and records honest raw throughput, but refuses to stamp any
+``speedup_vs_single`` numbers — the document instead carries
+``"scaling": "scaling_unverified"`` plus an explanatory note.
 
 Marked ``slow`` so tier-1 runs (and ``-m 'not slow'``) skip it.
 """
@@ -51,12 +53,16 @@ def test_every_config_serves(document):
 def test_scaling_when_cores_allow(document):
     """The acceptance bar: 4 shards >= 2.5x one process — on >=4 cores."""
     by_shards = {r["shards"]: r for r in document["results"]}
-    speedup = by_shards[4]["speedup_vs_single"]
     if available_cpus() >= 4:
+        speedup = by_shards[4]["speedup_vs_single"]
         assert speedup >= 2.5, f"4-shard speedup {speedup} < 2.5"
+        assert "scaling" not in document
     else:
-        # time-slicing one core: record, don't pretend
-        assert speedup > 0
+        # time-slicing one core: no speedup claim is stamped at all
+        assert all(
+            "speedup_vs_single" not in r for r in document["results"]
+        )
+        assert document["scaling"] == "scaling_unverified"
         assert "note" in document
 
 
@@ -70,10 +76,13 @@ def test_writes_bench_document(document, emit):
         f"{'shards':>7} {'ops/s':>12} {'p99 us/batch':>13} {'speedup':>8}",
     ]
     for result in document["results"]:
+        speedup = (
+            f"{result['speedup_vs_single']:>8.2f}"
+            if "speedup_vs_single" in result else f"{'n/a':>8}"
+        )
         lines.append(
             f"{result['shards']:>7} {result['ops_per_sec']:>12,.0f} "
-            f"{result['batch_latency_us']['p99']:>13,.0f} "
-            f"{result['speedup_vs_single']:>8.2f}"
+            f"{result['batch_latency_us']['p99']:>13,.0f} {speedup}"
         )
     if "note" in document:
         lines += ["", f"note: {document['note']}"]

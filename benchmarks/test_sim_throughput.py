@@ -12,9 +12,10 @@ Two bars, guarded honestly:
   and asserted everywhere;
 * the *grid* bar (>=2.5x at ``jobs=4``) is a scaling claim that needs
   four cores for four workers to land on, so — exactly like
-  ``test_shard_scaling.py`` — it is gated on ``available_cpus() >= 4``
-  and on smaller machines the harness still runs, still records honest
-  numbers, and the JSON carries an explanatory note.
+  ``test_shard_scaling.py`` — it is gated on ``available_cpus() >= 4``;
+  on smaller machines the harness still runs and records the raw wall
+  times, but refuses to stamp a ``speedup`` — the grid block instead
+  carries ``"scaling": "scaling_unverified"`` plus an explanatory note.
 
 Neither number is trusted before the equivalence checks pass: frozen vs
 live results byte-identical per policy, serial vs parallel grids
@@ -81,12 +82,14 @@ def test_driver_speedup(document):
 
 def test_grid_scaling_when_cores_allow(document):
     """The parallel bar: >=2.5x at jobs=4 — on >=4 cores."""
-    speedup = document["grid"]["speedup"]
     if available_cpus() >= 4:
+        speedup = document["grid"]["speedup"]
         assert speedup >= 2.5, f"jobs=4 grid speedup {speedup} < 2.5"
+        assert "scaling" not in document["grid"]
     else:
-        # time-slicing one core: record, don't pretend
-        assert speedup > 0
+        # time-slicing one core: no speedup claim is stamped at all
+        assert "speedup" not in document["grid"]
+        assert document["grid"]["scaling"] == "scaling_unverified"
         assert "note" in document
 
 
@@ -109,11 +112,15 @@ def test_writes_bench_document(document, emit):
     lines.append(f"{'mean':>9} {'':>11} {'':>11} "
                  f"{document['driver_ab']['mean_speedup']:>8.2f}")
     grid = document["grid"]
+    grid_speedup = (
+        f"speedup {grid['speedup']:.2f}x"
+        if "speedup" in grid else "speedup n/a (scaling_unverified)"
+    )
     lines += [
         "",
         f"grid ({grid['cells']} cells): serial {grid['serial_seconds']:.2f}s, "
         f"jobs={grid['jobs']} {grid['parallel_seconds']:.2f}s, "
-        f"speedup {grid['speedup']:.2f}x",
+        f"{grid_speedup}",
     ]
     if "note" in document:
         lines += ["", f"note: {document['note']}"]

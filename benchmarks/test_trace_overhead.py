@@ -1,0 +1,116 @@
+"""Tracing overhead guard: tracer at 1-in-100 vs tracing disabled.
+
+The tracing contract (DESIGN.md §12): with no tracer attached nothing
+runs, and with the default 1-in-100 head sample an unsampled request pays
+one counter bump plus two ``perf_counter`` reads client-side and one
+attribute check server-side.  This benchmark holds the *enabled* path to
+that: the same closed-loop GET workload is driven over loopback with
+tracing off and with both ends tracing at ``sample_interval=100``, and
+the traced run must stay within 3% of the untraced throughput.
+
+Sized by ``TRACE_OVERHEAD_OPS`` (default 8_000) and
+``TRACE_OVERHEAD_ROUNDS`` (default 5); raise them locally for a
+low-variance measurement.  The arms are interleaved and best-of-N
+compared so host-load drift hits both symmetrically.
+
+Marked ``slow`` so quick local runs can deselect it with ``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.obs.tracing import Tracer
+
+pytestmark = pytest.mark.slow
+
+TOTAL_OPS = int(os.environ.get("TRACE_OVERHEAD_OPS", "8000"))
+ROUNDS = int(os.environ.get("TRACE_OVERHEAD_ROUNDS", "5"))
+NUM_KEYS = 1_000
+CONCURRENCY = 4
+VALUE = b"v" * 100
+#: traced-at-1/100 throughput must stay within this fraction of untraced
+MAX_OVERHEAD = 0.03
+SAMPLE_INTERVAL = 100
+
+
+def make_store() -> KVStore:
+    return KVStore(
+        memory_limit=8 * 1024 * 1024,
+        slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+
+
+def measure(traced: bool) -> float:
+    """One closed-loop GET run over loopback; returns ops/s."""
+    keys = [f"key-{i:05d}".encode() for i in range(NUM_KEYS)]
+
+    async def main() -> float:
+        store = make_store()
+        server_tracer = (
+            Tracer(process="server", sample_interval=SAMPLE_INTERVAL)
+            if traced else None
+        )
+        client_tracer = (
+            Tracer(process="client", sample_interval=SAMPLE_INTERVAL)
+            if traced else None
+        )
+        if server_tracer is not None:
+            server_tracer.instrument_store(store)
+        async with AsyncTCPStoreServer(store, tracer=server_tracer) as server:
+            host, port = server.address
+            client = AsyncStoreClient(
+                host, port, pool_size=CONCURRENCY, tracer=client_tracer
+            )
+            for key in keys:
+                await client.set(key, VALUE, cost=3)
+
+            per_worker = TOTAL_OPS // CONCURRENCY
+
+            async def worker(offset: int) -> None:
+                get = client.get
+                for i in range(per_worker):
+                    await get(keys[(offset + i * 7) % NUM_KEYS])
+
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await asyncio.gather(*(worker(i * 251) for i in range(CONCURRENCY)))
+            elapsed = loop.time() - start
+            await client.aclose()
+            if traced:
+                # sanity: the sampler actually fired, so the traced arm
+                # really paid for span recording on ~1% of requests
+                assert len(client_tracer.buffer) > 0
+            return per_worker * CONCURRENCY / elapsed
+
+    return asyncio.run(main())
+
+
+def test_trace_overhead_under_three_percent(emit):
+    # interleave the arms, compare best-of-N (least-disturbed run each)
+    untraced_runs, traced_runs = [], []
+    for _ in range(ROUNDS):
+        untraced_runs.append(measure(traced=False))
+        traced_runs.append(measure(traced=True))
+    baseline = max(untraced_runs)
+    traced = max(traced_runs)
+    overhead = 1.0 - traced / baseline
+    emit(
+        "trace_overhead",
+        "== tracing overhead guard ==\n"
+        f"ops per run        {TOTAL_OPS}  (best of {ROUNDS})\n"
+        f"tracing disabled   {baseline:12,.0f} ops/s\n"
+        f"traced @ 1/{SAMPLE_INTERVAL}     {traced:12,.0f} ops/s\n"
+        f"overhead           {overhead:+.1%}  (budget {MAX_OVERHEAD:.0%})",
+    )
+    assert traced >= (1.0 - MAX_OVERHEAD) * baseline, (
+        f"traced throughput {traced:,.0f} ops/s is more than "
+        f"{MAX_OVERHEAD:.0%} below the untraced baseline {baseline:,.0f}"
+    )

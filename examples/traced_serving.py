@@ -1,0 +1,125 @@
+"""Distributed tracing demo: follow one GET across a tiered 2-shard cluster.
+
+Spins up a real :class:`ShardSupervisor` (two worker processes, each with
+an emulated flash tier) with request tracing armed, then walks the whole
+observability loop with asserted invariants:
+
+1. a traced pool overcommits RAM so cold keys spill to flash, then reads
+   them back — every sampled GET propagates its trace context over the
+   plain memcached text protocol (a trailing ``tctx:`` pseudo-key),
+2. while the fleet is live, renders the ``gdwheel-repro top`` cluster
+   table and the fleet-merged ``stats trace`` event counts,
+3. shuts the fleet down (workers flush their span buffers to JSONL on
+   SIGTERM), exports the client's spans next to them, and
+4. runs the offline collector over the merged directory: rebuilds each
+   trace tree, prints the slowest traces, and renders one tier-hit trace
+   hop by hop with its critical path — client, router, server, store,
+   and flash tier stitched by one trace id.
+
+Run with::
+
+    PYTHONPATH=src python examples/traced_serving.py
+"""
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from repro.obs.tracing import Tracer
+from repro.obs.tracecollect import (
+    TraceTree,
+    group_traces,
+    load_span_dir,
+    render_trace,
+    render_trace_top,
+)
+from repro.shard import ShardSupervisor
+
+RAM_BYTES = 256 * 1024
+NUM_KEYS = 1200
+
+
+def print_section(title: str, body: str) -> None:
+    print(f"\n== {title} ==")
+    print(body)
+
+
+def value_for(key: bytes) -> bytes:
+    return (key + b":").ljust(1024, b"v")
+
+
+async def run_workload(sup: ShardSupervisor, tracer: Tracer) -> int:
+    keys = [f"demo-{i:05d}".encode() for i in range(NUM_KEYS)]
+    async with sup.connect_pool() as pool:
+        stored = await pool.multi_set(
+            [(key, value_for(key), 5) for key in keys]
+        )
+        assert stored == NUM_KEYS, "every write must land"
+    async with sup.connect_pool(tracer=tracer) as pool:
+        hits = 0
+        for key in keys[:400:7]:
+            value = await pool.get(key)
+            if value is not None:
+                assert value == value_for(key), "tier round-trip corrupted"
+                hits += 1
+    assert hits > 0, "no early key survived anywhere"
+    return hits
+
+
+def main() -> None:
+    tmp = tempfile.mkdtemp(prefix="gdwheel-traced-")
+    trace_dir = Path(tmp) / "traces"
+    client_tracer = Tracer(process="client", sample_interval=1)
+
+    with ShardSupervisor(
+        num_shards=2,
+        memory_limit=RAM_BYTES,
+        slab_size=64 * 1024,
+        policy="lru",
+        tier_bytes=8 * 1024 * 1024,
+        tier_dir=str(Path(tmp) / "tier"),
+        trace_dir=str(trace_dir),
+        trace_sample=1,
+    ) as sup:
+        hits = asyncio.run(run_workload(sup, client_tracer))
+        tier_stats = sup.per_shard_stats("tier")
+        spills = sum(int(s.get("spills", 0)) for s in tier_stats.values())
+        assert spills > 0, "RAM was never overcommitted"
+        print_section(
+            "cluster under load",
+            f"  {NUM_KEYS} keys written, {hits} early keys read back\n"
+            f"  {spills} evictions spilled to the flash tier",
+        )
+        print_section("live cluster top", sup.cluster_top(seconds=0.3))
+        aggregate = sup.aggregate_trace()
+        assert aggregate["counts"].get("spill", 0) > 0
+        print_section(
+            "fleet-merged stats trace",
+            "\n".join(
+                f"  {kind:12s} {count}"
+                for kind, count in sorted(aggregate["counts"].items())
+            ),
+        )
+
+    # SIGTERM flushed each worker's spans; add the client's and collect
+    client_tracer.export(str(trace_dir / "client.jsonl"))
+    spans = load_span_dir(str(trace_dir))
+    traces = group_traces(spans)
+    assert traces, "no spans were exported"
+    print_section("slowest traces", render_trace_top(traces, count=5))
+
+    tiered = [
+        tree for tree in (TraceTree(s) for s in traces.values())
+        if "tier.read" in tree.span_names()
+    ]
+    assert tiered, "no traced GET fell through to the flash tier"
+    tree = max(tiered, key=lambda t: t.duration_us)
+    assert {span.trace_id for span, _ in tree.walk()} == {tree.trace_id}
+    assert "client" in tree.processes() and len(tree.processes()) >= 2
+    print_section("one tier-hit GET, hop by hop", render_trace(tree))
+
+    print("\nall tracing invariants held")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.aio.backoff import RetryPolicy
+from repro.obs import tracing
+from repro.obs.trace import key_fingerprint
 from repro.protocol.commands import (
     DeleteCommand,
     FlushCommand,
@@ -61,6 +64,34 @@ def _unexpected(response, what: str) -> ProtocolError:
     ):
         return ServerBusyError("server is shedding load (SERVER_ERROR busy)")
     return ProtocolError(f"unexpected {what} response: {response!r}")
+
+
+def _batch_summary(commands: Sequence[object]) -> Tuple[str, Optional[int]]:
+    """(op label, first-key fingerprint) for span/slow-log attribution.
+
+    Fingerprints — never raw keys — are what leave the process, matching
+    the event-trace privacy stance.
+    """
+    first = commands[0]
+    if isinstance(first, GetCommand):
+        op = "get"
+        key = first.keys[0] if first.keys else None
+    else:
+        op = getattr(first, "verb", None) or type(first).__name__.lower()
+        key = getattr(first, "key", None)
+    if len(commands) > 1:
+        op = f"{op}[{len(commands)}]"
+    return op, key_fingerprint(key) if key is not None else None
+
+
+def _batch_shed(result: "BatchResult") -> bool:
+    """Did any response in the batch come back ``SERVER_ERROR busy``?"""
+    for response in result:
+        if isinstance(response, SimpleResponse) and response.line.startswith(
+            b"SERVER_ERROR busy"
+        ):
+            return True
+    return False
 
 
 class BatchResult:
@@ -135,6 +166,11 @@ class AsyncStoreClient:
             backoff sleeps.  The breaker observes transport results only
             (connect failures, timeouts, drops); ``SERVER_ERROR busy``
             shedding replies do not count against it.
+        tracer: optional :class:`~repro.obs.tracing.Tracer`.  Sampled
+            requests record client-side spans and propagate trace context
+            to the server on GET lines; slow/shed/breaker-rejected
+            requests are force-sampled even when the head decision said
+            no.  ``None`` (default) keeps the request path untouched.
     """
 
     def __init__(
@@ -146,6 +182,7 @@ class AsyncStoreClient:
         retry: Optional[RetryPolicy] = None,
         rng: Optional[random.Random] = None,
         breaker: Optional[CircuitBreaker] = None,
+        tracer: Optional["tracing.Tracer"] = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
@@ -155,6 +192,7 @@ class AsyncStoreClient:
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker
+        self.tracer = tracer
         self._rng = rng if rng is not None else random.Random()
         self._idle: Deque[_Connection] = deque()
         self._slots: Optional[asyncio.Semaphore] = None
@@ -196,13 +234,95 @@ class AsyncStoreClient:
         retryable failure the dead connection is dropped and the *whole
         batch* is retried on a fresh one — idempotent cache semantics make
         that safe the same way memcached client retries are.
+
+        With a tracer attached, sampled batches record ``client.request``
+        / ``pool.acquire`` / ``client.send_await`` spans and propagate the
+        context to the server on GET lines (see :meth:`_execute_sampled`).
+
+        Sampling is decided once per request tree: an active upstream span
+        (a routed pool op) means "sampled, attach here"; the
+        :data:`~repro.obs.tracing.NOT_SAMPLED` sentinel means an upstream
+        sampler already declined (so this layer must not re-roll); with
+        neither, this client is the root sampler.  Unsampled requests pay
+        one sample-counter bump plus two ``perf_counter`` reads — all
+        attribution work (fingerprints, wall-clock stamps) is deferred to
+        the rare force-sample, because the paper's tail requests are
+        exactly the ones a 1-in-N head sample would miss.
         """
         if self._closed:
             raise ConnectionError("client is closed")
         if not commands:
             return BatchResult(())
-        breaker = self.breaker
         self.requests += 1
+        tracer = self.tracer
+        if tracer is None:
+            return await self._execute(commands, None)
+        upstream = tracing.CURRENT.get()
+        if isinstance(upstream, tracing.Span):
+            return await self._execute_sampled(commands, upstream)
+        if upstream is not tracing.NOT_SAMPLED and tracer.sample():
+            return await self._execute_sampled(commands, None)
+        # unsampled fast path, inline so it costs no extra coroutine hop
+        t0 = time.perf_counter()
+        try:
+            result = await self._execute(commands, None)
+        except BreakerOpenError:
+            self._force_sample(commands, (time.perf_counter() - t0) * 1e6,
+                               "breaker_open")
+            raise
+        elapsed_us = (time.perf_counter() - t0) * 1e6
+        if _batch_shed(result):
+            self._force_sample(commands, elapsed_us, "shed")
+        elif elapsed_us >= tracer.slow_threshold_us:
+            self._force_sample(commands, elapsed_us, "slow")
+        return result
+
+    def _force_sample(self, commands, elapsed_us: float, reason: str) -> None:
+        """Retroactively record an unsampled request that turned out to
+        matter (slow / shed / breaker-rejected).  Off the fast path, so
+        this is where the batch summary and wall-clock stamp get paid."""
+        tracer = self.tracer
+        op, key_fp = _batch_summary(commands)
+        start_us = time.time_ns() // 1000 - int(elapsed_us)
+        span = tracer.record_complete(
+            "client.request", start_us, elapsed_us,
+            forced=reason, op=op, key_fp=key_fp,
+        )
+        tracer.note_slow(op, elapsed_us, key_fp, span.trace_id, reason=reason)
+
+    async def _execute_sampled(
+        self, commands: Sequence[object], parent: Optional["tracing.Span"]
+    ) -> BatchResult:
+        """The sampled request path: record the root and hop spans."""
+        tracer = self.tracer
+        op, key_fp = _batch_summary(commands)
+        # root sampler here => "client.request"; under a pool's root span
+        # this hop is the per-node batch leg
+        root = tracer.start_span(
+            "client.request" if parent is None else "client.batch",
+            parent=parent, op=op, ncmds=len(commands), key_fp=key_fp,
+        )
+        token = tracing.activate(root)
+        try:
+            result = await self._execute(commands, root)
+            if _batch_shed(result):
+                root.attrs["shed"] = True
+            return result
+        except BreakerOpenError:
+            root.attrs["error"] = "breaker_open"
+            raise
+        except RETRYABLE as exc:
+            root.attrs["error"] = type(exc).__name__
+            raise
+        finally:
+            tracing.deactivate(token)
+            tracer.end(root)
+
+    async def _execute(
+        self, commands: Sequence[object], root: Optional["tracing.Span"]
+    ) -> BatchResult:
+        """The retry loop; ``root`` (a live span) turns on span recording."""
+        breaker = self.breaker
         attempt = 0
         slots = self._semaphore()
         while True:
@@ -210,11 +330,30 @@ class AsyncStoreClient:
                 raise BreakerOpenError(
                     f"circuit open for {self.host}:{self.port}"
                 )
-            await slots.acquire()
+            if root is None:
+                await slots.acquire()
+            else:
+                acquire_span = self.tracer.start_span("pool.acquire", parent=root)
+                await slots.acquire()
+                self.tracer.end(acquire_span)
             connection: Optional[_Connection] = None
             try:
                 connection = self._idle.popleft() if self._idle else await self._dial()
-                responses = await connection.execute(commands, self.timeout)
+                if root is None:
+                    responses = await connection.execute(commands, self.timeout)
+                else:
+                    # the send/await span is the server's parent: its id
+                    # rides the wire, so the server hop nests right here
+                    send_span = self.tracer.start_span(
+                        "client.send_await", parent=root, attempt=attempt,
+                    )
+                    try:
+                        responses = await connection.execute(
+                            tracing.attach_context(commands, send_span.context()),
+                            self.timeout,
+                        )
+                    finally:
+                        self.tracer.end(send_span)
                 self._idle.append(connection)
                 if breaker is not None:
                     breaker.record_success()

@@ -15,7 +15,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aio.client import AsyncStoreClient
 from repro.cluster.consistent import ConsistentHashRing
+from repro.obs import tracing
 from repro.obs.aggregate import sum_numeric_stats
+from repro.obs.trace import key_fingerprint
 
 
 class AsyncStorePool:
@@ -24,13 +26,25 @@ class AsyncStorePool:
     Args:
         clients: node name -> connected :class:`AsyncStoreClient`.
         replicas: virtual ring points per node (ketama-style).
+        tracer: optional :class:`~repro.obs.tracing.Tracer`.  The pool is
+            then the root sampler: sampled routed ops open a
+            ``client.request`` root plus per-node ``router.route`` spans,
+            under which each node's client records its own hop spans.
+            Unsampled ops run with sampling *suppressed* downstream, so a
+            client sharing the tracer never re-rolls the decision.
     """
 
-    def __init__(self, clients: Dict[str, AsyncStoreClient], replicas: int = 100) -> None:
+    def __init__(
+        self,
+        clients: Dict[str, AsyncStoreClient],
+        replicas: int = 100,
+        tracer: Optional["tracing.Tracer"] = None,
+    ) -> None:
         if not clients:
             raise ValueError("a pool needs at least one client")
         self._clients = dict(clients)
         self._ring = ConsistentHashRing(list(clients), replicas=replicas)
+        self.tracer = tracer
         #: per-node operation counters, for balance diagnostics
         self.node_ops: Dict[str, int] = {name: 0 for name in clients}
         #: per-node failed fan-out requests (multi_get partial accounting)
@@ -66,21 +80,68 @@ class AsyncStorePool:
 
     # -- single-key ops (routed) -----------------------------------------------
 
+    async def _routed(self, op: str, key: bytes, node: str, call):
+        """Run one routed op under the pool's root + route spans.
+
+        Only reached when :attr:`tracer` is set.  An unsampled op costs
+        one counter bump plus a suppressed-context set/reset; the node's
+        client (sharing the tracer) still force-samples it if it turns
+        out slow or shed.
+        """
+        tracer = self.tracer
+        if not tracer.sample():
+            token = tracing.suppress()
+            try:
+                return await call()
+            finally:
+                tracing.deactivate(token)
+        root = tracer.start_span(
+            "client.request", op=op, key_fp=key_fingerprint(key)
+        )
+        root_token = tracing.activate(root)
+        try:
+            route = tracer.start_span("router.route", parent=root, shard=node)
+            route_token = tracing.activate(route)
+            try:
+                return await call()
+            finally:
+                tracing.deactivate(route_token)
+                tracer.end(route)
+        finally:
+            tracing.deactivate(root_token)
+            tracer.end(root)
+
     async def get(self, key: bytes) -> Optional[bytes]:
         node = self.node_for(key)
         self.node_ops[node] += 1
-        return await self._clients[node].get(key)
+        if self.tracer is None:
+            return await self._clients[node].get(key)
+        return await self._routed(
+            "get", key, node, lambda: self._clients[node].get(key)
+        )
 
     async def set(self, key: bytes, value: bytes, cost: int = 0,
                   exptime: float = 0) -> bool:
         node = self.node_for(key)
         self.node_ops[node] += 1
-        return await self._clients[node].set(key, value, cost=cost, exptime=exptime)
+        if self.tracer is None:
+            return await self._clients[node].set(
+                key, value, cost=cost, exptime=exptime
+            )
+        return await self._routed(
+            "set", key, node,
+            lambda: self._clients[node].set(key, value, cost=cost,
+                                            exptime=exptime),
+        )
 
     async def delete(self, key: bytes) -> bool:
         node = self.node_for(key)
         self.node_ops[node] += 1
-        return await self._clients[node].delete(key)
+        if self.tracer is None:
+            return await self._clients[node].delete(key)
+        return await self._routed(
+            "delete", key, node, lambda: self._clients[node].delete(key)
+        )
 
     # -- scatter/gather --------------------------------------------------------
 
@@ -106,10 +167,38 @@ class AsyncStorePool:
         if not grouped:
             return {}
         nodes = list(grouped)
-        results = await asyncio.gather(
-            *(self._clients[node].get_many(grouped[node]) for node in nodes),
-            return_exceptions=True,
-        )
+        tracer = self.tracer
+        root = None
+        context_token = None
+        if tracer is not None:
+            if tracer.sample():
+                root = tracer.start_span(
+                    "client.request", op="multi_get",
+                    nkeys=len(keys), nodes=len(nodes),
+                )
+                context_token = tracing.activate(root)
+            else:
+                context_token = tracing.suppress()
+        try:
+            if root is None:
+                results = await asyncio.gather(
+                    *(self._clients[node].get_many(grouped[node])
+                      for node in nodes),
+                    return_exceptions=True,
+                )
+            else:
+                # each fan-out leg activates its own route span inside its
+                # task, so concurrent legs nest correctly under one root
+                results = await asyncio.gather(
+                    *(self._traced_get_many(tracer, root, node, grouped[node])
+                      for node in nodes),
+                    return_exceptions=True,
+                )
+        finally:
+            if context_token is not None:
+                tracing.deactivate(context_token)
+            if root is not None:
+                tracer.end(root)
         merged: Dict[bytes, bytes] = {}
         first_error: Optional[BaseException] = None
         for node, found in zip(nodes, results):
@@ -123,6 +212,19 @@ class AsyncStorePool:
         if first_error is not None and not partial:
             raise first_error
         return merged
+
+    async def _traced_get_many(self, tracer, root, node: str, keys):
+        """One sampled fan-out leg: a ``router.route`` span around the
+        node's pipelined GET (the node's client hops nest beneath it)."""
+        route = tracer.start_span(
+            "router.route", parent=root, shard=node, nkeys=len(keys)
+        )
+        token = tracing.activate(route)
+        try:
+            return await self._clients[node].get_many(keys)
+        finally:
+            tracing.deactivate(token)
+            tracer.end(route)
 
     async def multi_set(
         self, items: Sequence[Tuple[bytes, bytes, int]], exptime: float = 0

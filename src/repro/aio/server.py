@@ -44,6 +44,9 @@ class AsyncTCPStoreServer:
             timeouts, per-batch request deadlines, and queue-depth/latency
             load shedding (``SERVER_ERROR busy``).  ``None`` (default)
             keeps the unprotected fast path byte-for-byte.
+        tracer: optional :class:`~repro.obs.tracing.Tracer` forwarded to
+            the protocol engine so sampled requests record server-side
+            spans (see :meth:`StoreServer.dispatch`).
     """
 
     def __init__(
@@ -55,11 +58,14 @@ class AsyncTCPStoreServer:
         engine: Optional[StoreServer] = None,
         registry: Optional[MetricsRegistry] = None,
         overload: Optional[OverloadPolicy] = None,
+        tracer=None,
     ) -> None:
         if engine is None:
             if store is None:
                 raise ValueError("either store or engine is required")
-            engine = StoreServer(store)
+            engine = StoreServer(store, tracer=tracer)
+        elif tracer is not None and engine.tracer is None:
+            engine.tracer = tracer
         self.engine = engine
         self._host = host
         self._port = port

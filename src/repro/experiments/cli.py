@@ -10,6 +10,12 @@ Usage (installed as ``gdwheel-repro`` or via ``python -m repro.experiments.cli``
     gdwheel-repro tier             # tiered-storage ratio ablation
     gdwheel-repro all              # everything
 
+Operational views (PR 7 observability) ride the same entry point::
+
+    gdwheel-repro trace show DIR [--trace HEX]   # one trace, hop by hop
+    gdwheel-repro trace top DIR [--count N]      # slowest traces table
+    gdwheel-repro top HOST:PORT [...] [--seconds S]  # live cluster health
+
 Scale is taken from ``REPRO_SCALE`` (small / default / large); results are
 cached under ``.repro-results/``.
 """
@@ -36,7 +42,96 @@ ALL_TARGETS = (
 )
 
 
+def _trace_main(argv: List[str]) -> int:
+    """``gdwheel-repro trace show|top DIR`` — offline span-file views."""
+    from repro.obs.tracecollect import (
+        TraceTree,
+        group_traces,
+        load_span_dir,
+        render_trace,
+        render_trace_top,
+        slowest_traces,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="gdwheel-repro trace",
+        description="Inspect exported trace spans (*.jsonl span files).",
+    )
+    parser.add_argument("action", choices=["show", "top"],
+                        help="show one trace, or rank the slowest")
+    parser.add_argument("directory",
+                        help="directory of span exports (trace_dir)")
+    parser.add_argument("--trace", metavar="HEX",
+                        help="show: a specific 16-hex-digit trace id "
+                             "(default: the slowest trace)")
+    parser.add_argument("--count", type=int, default=10, metavar="N",
+                        help="top: how many traces to rank (default 10)")
+    args = parser.parse_args(argv)
+    spans = load_span_dir(args.directory)
+    if not spans:
+        print(f"no spans under {args.directory}")
+        return 1
+    traces = group_traces(spans)
+    if args.action == "top":
+        print(render_trace_top(traces, count=args.count))
+        return 0
+    if args.trace is not None:
+        trace_id = int(args.trace, 16)
+        if trace_id not in traces:
+            print(f"trace {args.trace} not found "
+                  f"({len(traces)} traces available)")
+            return 1
+        tree = TraceTree(traces[trace_id])
+    else:
+        tree = slowest_traces(traces, count=1)[0]
+    print(render_trace(tree))
+    return 0
+
+
+def _top_main(argv: List[str]) -> int:
+    """``gdwheel-repro top HOST:PORT [...]`` — one live cluster frame."""
+    from repro.obs.top import top_table
+    from repro.protocol.client import CostAwareClient
+
+    parser = argparse.ArgumentParser(
+        prog="gdwheel-repro top",
+        description="Live cluster health table over running servers.",
+    )
+    parser.add_argument("endpoints", nargs="+", metavar="HOST:PORT",
+                        help="one text-protocol server endpoint per shard")
+    parser.add_argument("--seconds", type=float, default=1.0,
+                        help="sampling window for rates (default 1.0)")
+    args = parser.parse_args(argv)
+    endpoints = []
+    for endpoint in args.endpoints:
+        host, _, port = endpoint.rpartition(":")
+        if not host or not port.isdigit():
+            parser.error(f"malformed endpoint {endpoint!r} (want HOST:PORT)")
+        endpoints.append((endpoint, host, int(port)))
+
+    def stats_fetch(subcommand: str):
+        out = {}
+        for name, host, port in endpoints:
+            client = CostAwareClient.tcp(host, port)
+            try:
+                out[name] = client.stats(subcommand)
+            finally:
+                client.close()
+        return out
+
+    print(top_table(stats_fetch, seconds=args.seconds))
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # operational subcommands dispatch before the figure/table argparse so
+    # `trace`/`top` never collide with (or bloat) the artefact choices
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="gdwheel-repro",
         description="Regenerate the GD-Wheel paper's tables and figures.",

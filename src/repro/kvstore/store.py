@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 from repro.core.policy import ReplacementPolicy
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import EventTrace, EvictionEvent, SlabMoveEvent, key_fingerprint
+from repro.obs.tracing import child_span, finish_span
 from repro.kvstore.clock import SimClock
 from repro.kvstore.errors import OutOfMemoryError, NotStoredError
 from repro.kvstore.hashtable import HashTable
@@ -220,9 +221,17 @@ class KVStore:
 
         def tier_on_evict(item: Item, reason: str) -> None:
             if reason != "expired":
-                if tier.spill(
+                span = child_span("tier.spill")
+                admitted = tier.spill(
                     item.key, item.value, item.cost, item.flags, item.exptime
-                ):
+                )
+                if span is not None:
+                    finish_span(
+                        span, key_fp=key_fingerprint(item.key),
+                        nbytes=len(item.value), reason=reason,
+                        admitted=admitted,
+                    )
+                if admitted:
                     self.stats.tier_spills += 1
             if user_hook is not None:
                 user_hook(item, reason)
@@ -447,14 +456,29 @@ class KVStore:
         counted as a ``tier_promotion``, not a client SET; the flash copy
         is invalidated because the RAM copy is authoritative again.
         """
-        record = self.tier.lookup(key)
+        tier = self.tier
+        span = child_span("tier.read")
+        record = tier.lookup(key)
+        if span is not None:
+            # attrs are computed only when the span exists, so the
+            # untraced fallthrough pays one ContextVar read and nothing else
+            finish_span(
+                span, key_fp=key_fingerprint(key), hit=record is not None,
+                reads=getattr(tier, "last_lookup_reads", 0),
+            )
         if record is None:
             return None
         stats = self.stats
         stats.tier_hits += 1
+        promote = child_span("tier.promote")
         item = self._store_item(
             key, record.value, record.cost, record.exptime, record.flags, False
         )
+        if promote is not None:
+            finish_span(
+                promote, key_fp=key_fingerprint(key),
+                nbytes=len(record.value),
+            )
         stats.tier_promotions += 1
         return item
 

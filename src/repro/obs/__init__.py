@@ -11,9 +11,16 @@ Pass ``registry=NullRegistry()`` to a :class:`~repro.kvstore.store.KVStore`
 or server to turn the whole subsystem into no-ops; the overhead-guard
 benchmark (``benchmarks/test_obs_overhead.py``) holds the instrumented
 path to within 10% of that baseline.
+
+Since the tracing PR the spine also follows *individual requests* across
+processes: :mod:`repro.obs.tracing` samples per-request distributed
+traces whose context rides the wire protocol,
+:mod:`repro.obs.tracecollect` merges the exported span files back into
+trace trees, and :mod:`repro.obs.top` renders the live cluster health
+table.
 """
 
-from repro.obs.aggregate import as_number, sum_numeric_stats
+from repro.obs.aggregate import as_number, merge_trace_stats, sum_numeric_stats
 from repro.obs.histogram import BoundedHistogram, LatencyHistogram
 from repro.obs.promtext import parse_sample_lines, render_registry
 from repro.obs.registry import (
@@ -40,6 +47,19 @@ from repro.obs.trace import (
     TraceEvent,
     key_fingerprint,
 )
+from repro.obs.tracing import (
+    Span,
+    SpanBuffer,
+    TraceContext,
+    Tracer,
+    child_span,
+    current_span,
+    decode_token,
+    encode_token,
+    finish_span,
+    pack_trace_extras,
+    unpack_trace_extras,
+)
 
 __all__ = [
     "BoundedHistogram",
@@ -59,15 +79,27 @@ __all__ = [
     "NullRegistry",
     "SlabMoveEvent",
     "SnapshotReporter",
+    "Span",
+    "SpanBuffer",
     "SpillEvent",
     "TierGCEvent",
+    "TraceContext",
     "TraceEvent",
+    "Tracer",
     "as_number",
+    "child_span",
+    "current_span",
+    "decode_token",
     "diff_snapshots",
+    "encode_token",
+    "finish_span",
     "format_series",
     "format_snapshot",
     "key_fingerprint",
+    "merge_trace_stats",
+    "pack_trace_extras",
     "parse_sample_lines",
     "render_registry",
     "sum_numeric_stats",
+    "unpack_trace_extras",
 ]

@@ -14,7 +14,7 @@ meaningfully across shared-nothing workers; ratios and percentiles do not
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 Number = Union[int, float]
 
@@ -58,3 +58,51 @@ def sum_numeric_stats(
                 continue
             totals[name] = totals.get(name, 0) + number
     return totals
+
+
+def merge_trace_stats(
+    per_shard: Mapping[str, Mapping[str, str]],
+) -> Dict[str, object]:
+    """Merge per-worker ``stats trace`` responses into one fleet view.
+
+    Each worker's response carries ``trace:count:<kind>`` lifetime counts,
+    a ``trace:buffered`` ring size, and ``trace:<seq>`` tail lines (or a
+    single ``trace: disabled`` marker).  Counts and buffered totals sum;
+    tail events keep their shard of origin and per-shard sequence number,
+    ordered by shard name then sequence — per-shard order is exact, the
+    cross-shard interleaving is approximate (no global clock), which the
+    caller's rendering should say.
+
+    Returns ``{"counts": {kind: total}, "buffered": n,
+    "events": [(shard, seq, description), ...], "disabled": [shard, ...]}``.
+    """
+    counts: Dict[str, Number] = {}
+    buffered: Number = 0
+    events: List[Tuple[str, int, str]] = []
+    disabled: List[str] = []
+    for shard in sorted(per_shard):
+        snapshot = per_shard[shard]
+        if snapshot.get("trace") == "disabled":
+            disabled.append(shard)
+            continue
+        for name, value in snapshot.items():
+            if name.startswith("trace:count:"):
+                number = as_number(value)
+                if number is not None:
+                    kind = name[len("trace:count:"):]
+                    counts[kind] = counts.get(kind, 0) + number
+            elif name == "trace:buffered":
+                number = as_number(value)
+                if number is not None:
+                    buffered += number
+            elif name.startswith("trace:"):
+                seq = as_number(name[len("trace:"):])
+                if seq is not None:
+                    events.append((shard, int(seq), str(value)))
+    events.sort(key=lambda entry: (entry[0], entry[1]))
+    return {
+        "counts": counts,
+        "buffered": buffered,
+        "events": events,
+        "disabled": disabled,
+    }

@@ -1,0 +1,124 @@
+"""The live cluster health table behind ``gdwheel-repro top``.
+
+Two registry snapshots per shard, one interval apart, become one table
+row per shard: throughput (ops/s over the interval), GET p99, hit rate,
+eviction and tier spill rates, tier hit share, and shed counts.  Breaker
+state is a *client-side* fact (breakers live in pools, not servers), so
+callers that own a pool can pass its breaker states for an extra column;
+pure server-side callers get ``-``.
+
+Pure functions over plain stats dicts — the same data arrives whether
+the caller is a :class:`~repro.shard.supervisor.ShardSupervisor`
+(short-lived local connections) or the CLI dialing ``host:port``
+endpoints directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.obs.aggregate import as_number
+
+__all__ = ["build_top_rows", "render_top", "top_table"]
+
+#: stats fetcher shape: subcommand -> {shard: {stat: value}}
+StatsFetch = Callable[[str], Dict[str, Dict[str, str]]]
+
+
+def _num(snapshot: Mapping[str, object], key: str) -> float:
+    value = as_number(snapshot.get(key, 0))
+    return float(value) if value is not None else 0.0
+
+
+def _rate(before: Mapping[str, object], after: Mapping[str, object],
+          key: str, seconds: float) -> float:
+    return max(0.0, _num(after, key) - _num(before, key)) / seconds
+
+
+def build_top_rows(
+    before: Dict[str, Dict[str, str]],
+    after: Dict[str, Dict[str, str]],
+    metrics: Dict[str, Dict[str, str]],
+    seconds: float,
+    breakers: Optional[Mapping[str, str]] = None,
+) -> List[Dict[str, object]]:
+    """One row dict per shard from two ``stats`` snapshots + one ``stats
+    metrics`` read.
+
+    ``before``/``after`` are default-``stats`` snapshots (cumulative store
+    counters — deltas give rates); ``metrics`` supplies the level-style
+    latency summaries that do not delta (p99 over the histogram's life).
+    """
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    rows: List[Dict[str, object]] = []
+    for shard in sorted(after):
+        first = before.get(shard, {})
+        second = after[shard]
+        shard_metrics = metrics.get(shard, {})
+        gets = _rate(first, second, "gets", seconds)
+        hits = _rate(first, second, "get_hits", seconds)
+        sets = _rate(first, second, "sets", seconds)
+        tier_hits = _rate(first, second, "tier_hits", seconds)
+        shed = sum(
+            _num(shard_metrics, key)
+            for key in shard_metrics
+            if key.startswith("server_shed_commands_total")
+        )
+        rows.append(
+            {
+                "shard": shard,
+                "ops_per_sec": gets + sets,
+                "get_p99_us": _num(shard_metrics, "cmd_latency_us{cmd=get}_p99"),
+                "hit_rate": hits / gets if gets else 0.0,
+                "evictions_per_sec": _rate(first, second, "evictions", seconds),
+                "tier_hit_share": tier_hits / gets if gets else 0.0,
+                "tier_spills_per_sec": _rate(first, second, "tier_spills", seconds),
+                "shed_total": shed,
+                "curr_items": int(_num(second, "curr_items")),
+                "breaker": (breakers or {}).get(shard, "-"),
+            }
+        )
+    return rows
+
+
+def render_top(rows: List[Dict[str, object]], seconds: float) -> str:
+    """The fixed-width cluster table (one header, one line per shard)."""
+    lines = [
+        f"cluster top — rates over {seconds:.1f}s",
+        f"{'shard':<10} {'ops/s':>9} {'p99us':>8} {'hit%':>6} "
+        f"{'evic/s':>7} {'tierhit%':>8} {'spill/s':>8} {'shed':>6} "
+        f"{'items':>8} {'breaker':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['shard']:<10} {row['ops_per_sec']:>9,.0f} "
+            f"{row['get_p99_us']:>8,.0f} {row['hit_rate'] * 100:>5.1f}% "
+            f"{row['evictions_per_sec']:>7,.1f} "
+            f"{row['tier_hit_share'] * 100:>7.2f}% "
+            f"{row['tier_spills_per_sec']:>8,.1f} {row['shed_total']:>6,.0f} "
+            f"{row['curr_items']:>8,} {str(row['breaker']):>8}"
+        )
+    return "\n".join(lines)
+
+
+def top_table(
+    stats_fetch: StatsFetch,
+    seconds: float = 1.0,
+    sleep: Optional[Callable[[float], None]] = None,
+    breakers: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Sample the fleet twice, ``seconds`` apart, and render the table."""
+    import time as _time
+
+    sleeper = sleep if sleep is not None else _time.sleep
+    before = stats_fetch("")
+    started = _time.perf_counter()
+    sleeper(seconds)
+    elapsed = max(_time.perf_counter() - started, 1e-6)
+    after = stats_fetch("")
+    metrics = stats_fetch("metrics")
+    return render_top(
+        build_top_rows(before, after, metrics, elapsed, breakers=breakers),
+        elapsed,
+    )

@@ -1,0 +1,236 @@
+"""Offline trace collection: merge span files, rebuild trees, find the tail.
+
+Every traced process exports its :class:`~repro.obs.tracing.SpanBuffer`
+to a JSONL file (one span per line); this module is the other half —
+load a directory of those files, group spans by trace id, reconstruct
+each trace's parent/child tree, compute the critical path, and render
+the per-hop breakdowns behind ``gdwheel-repro trace show`` / ``trace
+top``.
+
+Everything here is pure data plumbing over
+:class:`~repro.obs.tracing.Span`; nothing imports the live serving
+stack, so the collector works on span files from any mix of processes
+(or machines, clock skew permitting).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "TraceTree",
+    "critical_path",
+    "group_traces",
+    "load_span_dir",
+    "load_span_file",
+    "render_trace",
+    "render_trace_top",
+    "slowest_traces",
+]
+
+
+def load_span_file(path: str) -> List[Span]:
+    """Spans from one JSONL export; malformed lines are skipped.
+
+    Tolerating bad lines matters operationally: a worker killed mid-write
+    leaves a torn tail, and one torn span must not hide every trace.
+    """
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(Span.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                continue
+    return spans
+
+
+def load_span_dir(directory: str) -> List[Span]:
+    """Every span from every ``*.jsonl`` file under ``directory``."""
+    spans: List[Span] = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".jsonl"):
+            spans.extend(load_span_file(os.path.join(directory, name)))
+    return spans
+
+
+def group_traces(spans: Sequence[Span]) -> Dict[int, List[Span]]:
+    """Spans bucketed by trace id, each bucket sorted by start time."""
+    traces: Dict[int, List[Span]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    for bucket in traces.values():
+        bucket.sort(key=lambda s: (s.start_us, -s.duration_us))
+    return traces
+
+
+class TraceTree:
+    """One trace's spans assembled into a parent/child tree.
+
+    Roots are spans whose parent is absent from the trace — normally the
+    client's request span, but also any orphan whose parent was dropped
+    by a full ring or a killed process (a *missing hop* renders as a
+    second root, which is exactly the signal chaos tests assert on).
+    """
+
+    def __init__(self, spans: Sequence[Span]) -> None:
+        if not spans:
+            raise ValueError("a trace needs at least one span")
+        self.spans = sorted(spans, key=lambda s: (s.start_us, -s.duration_us))
+        self.trace_id = self.spans[0].trace_id
+        by_id = {span.span_id: span for span in self.spans}
+        self.children: Dict[int, List[Span]] = {}
+        self.roots: List[Span] = []
+        for span in self.spans:
+            if span.parent_id is not None and span.parent_id in by_id:
+                self.children.setdefault(span.parent_id, []).append(span)
+            else:
+                self.roots.append(span)
+
+    @property
+    def root(self) -> Span:
+        """The primary root: earliest-starting parentless span."""
+        return self.roots[0]
+
+    @property
+    def start_us(self) -> int:
+        return min(span.start_us for span in self.spans)
+
+    @property
+    def duration_us(self) -> float:
+        """End-to-end wall time covered by the trace's spans."""
+        return max(span.end_us for span in self.spans) - self.start_us
+
+    def depth_of(self, span: Span) -> int:
+        by_id = {s.span_id: s for s in self.spans}
+        depth = 0
+        current = span
+        while current.parent_id is not None and current.parent_id in by_id:
+            current = by_id[current.parent_id]
+            depth += 1
+        return depth
+
+    def walk(self):
+        """Yield ``(span, depth)`` depth-first from each root."""
+        def visit(span: Span, depth: int):
+            yield span, depth
+            for child in self.children.get(span.span_id, ()):
+                yield from visit(child, depth + 1)
+
+        for root in self.roots:
+            yield from visit(root, 0)
+
+    def processes(self) -> List[str]:
+        seen: List[str] = []
+        for span in self.spans:
+            if span.process not in seen:
+                seen.append(span.process)
+        return seen
+
+    def span_names(self) -> List[str]:
+        return [span.name for span in self.spans]
+
+
+def critical_path(tree: TraceTree) -> List[Span]:
+    """The chain of spans that bounds the trace's wall time.
+
+    Walk from the primary root, descending at every step into the child
+    that finishes last — the hop the request was actually waiting on.
+    The returned list (root first) is where an optimizer should look.
+    """
+    path = [tree.root]
+    while True:
+        children = tree.children.get(path[-1].span_id)
+        if not children:
+            return path
+        path.append(max(children, key=lambda s: s.end_us))
+
+
+def slowest_traces(
+    traces: Dict[int, List[Span]], count: int = 10
+) -> List[TraceTree]:
+    """The ``count`` longest traces, slowest first."""
+    trees = [TraceTree(spans) for spans in traces.values()]
+    trees.sort(key=lambda t: t.duration_us, reverse=True)
+    return trees[:count]
+
+
+def render_trace(tree: TraceTree) -> str:
+    """One trace as an indented tree with per-hop offsets and durations.
+
+    Offsets are relative to the trace start, so the gap between a client
+    send span and the server dispatch span *is* the network + queue +
+    parse time of that hop.
+    """
+    critical = {span.span_id for span in critical_path(tree)}
+    lines = [
+        f"trace {tree.trace_id:016x}  "
+        f"({tree.duration_us / 1000:.2f} ms, {len(tree.spans)} spans, "
+        f"processes: {', '.join(tree.processes())})"
+    ]
+    for span, depth in tree.walk():
+        offset_ms = (span.start_us - tree.start_us) / 1000
+        marker = "*" if span.span_id in critical else " "
+        attrs = ""
+        if span.attrs:
+            attrs = "  " + " ".join(
+                f"{key}={value}" for key, value in sorted(span.attrs.items())
+            )
+        lines.append(
+            f" {marker}{'  ' * depth}{span.name:<{24 - 2 * min(depth, 8)}} "
+            f"+{offset_ms:8.2f}ms {span.duration_us / 1000:8.2f}ms "
+            f"[{span.process}]{attrs}"
+        )
+    lines.append(" (* = critical path)")
+    return "\n".join(lines)
+
+
+def render_trace_top(
+    traces: Dict[int, List[Span]],
+    count: int = 10,
+    slow_log: Optional[Sequence[dict]] = None,
+) -> str:
+    """The ``trace top`` table: slowest traces + slow-query exemplars."""
+    trees = slowest_traces(traces, count)
+    lines = [
+        f"{'trace':<17} {'ms':>9} {'spans':>6} {'critical path'}",
+    ]
+    for tree in trees:
+        path = critical_path(tree)
+        chain = " > ".join(span.name for span in path)
+        lines.append(
+            f"{tree.trace_id:016x}  {tree.duration_us / 1000:8.2f} "
+            f"{len(tree.spans):>6} {chain}"
+        )
+    forced = [
+        span
+        for spans in traces.values()
+        for span in spans
+        if span.attrs.get("forced")
+    ]
+    exemplars = list(slow_log or ())
+    if forced or exemplars:
+        lines.append("")
+        lines.append("slow-query exemplars (key fingerprints, never keys):")
+        for span in sorted(forced, key=lambda s: -s.duration_us)[:count]:
+            fp = span.attrs.get("key_fp")
+            lines.append(
+                f"  {span.name} {span.duration_us / 1000:.2f}ms "
+                f"reason={span.attrs['forced']}"
+                + (f" key_fp={fp:#010x}" if isinstance(fp, int) else "")
+            )
+        for entry in exemplars[:count]:
+            fp = entry.get("key_fp")
+            lines.append(
+                f"  {entry['op']} {entry['dur_us'] / 1000:.2f}ms "
+                f"reason={entry['reason']}"
+                + (f" key_fp={fp:#010x}" if isinstance(fp, int) else "")
+            )
+    return "\n".join(lines)

@@ -38,6 +38,7 @@ from repro.kvstore.errors import (
 )
 from repro.kvstore.item import NEVER_EXPIRES
 from repro.kvstore.store import KVStore
+from repro.obs import tracing
 from repro.protocol.commands import ProtocolError
 
 MAGIC_REQUEST = 0x80
@@ -186,12 +187,22 @@ def unpack_store_extras(extras: bytes) -> Tuple[int, int, int]:
 
 
 class BinaryStoreServer:
-    """Dispatches binary frames onto a :class:`KVStore`."""
+    """Dispatches binary frames onto a :class:`KVStore`.
+
+    With ``tracer`` set, a GET whose request extras carry a sampled
+    17-byte trace context (:func:`repro.obs.tracing.pack_trace_extras`)
+    records a ``server.dispatch`` span continuing the client's trace.
+    Stock dispatch ignores GET request extras, so trace-aware clients
+    interoperate with tracer-less servers — and any other extras length
+    degrades to "no context" here.
+    """
 
     VERSION = b"gdwheel-repro-1.0"
 
-    def __init__(self, store: KVStore) -> None:
+    def __init__(self, store: KVStore,
+                 tracer: Optional["tracing.Tracer"] = None) -> None:
         self.store = store
+        self.tracer = tracer
 
     def handle_bytes(self, parser: BinaryParser, data: bytes) -> Tuple[bytes, bool]:
         out = bytearray()
@@ -214,7 +225,19 @@ class BinaryStoreServer:
         opq = frame.opaque
 
         if op == OP_GET:
-            item = store.get(frame.key)
+            tracer = self.tracer
+            context = (
+                tracing.unpack_trace_extras(frame.extras)
+                if tracer is not None and frame.extras else None
+            )
+            if context is not None and context.sampled:
+                with tracer.span(
+                    "server.dispatch", trace_id=context.trace_id,
+                    parent_id=context.span_id, cmd="get", proto="binary",
+                ):
+                    item = store.get(frame.key)
+            else:
+                item = store.get(frame.key)
             if item is None:
                 return response(op, STATUS_KEY_NOT_FOUND, opaque=opq), True
             return (
@@ -398,8 +421,10 @@ class BinaryClient:
 
     # -- operations --------------------------------------------------------------
 
-    def get(self, key: bytes) -> Optional[bytes]:
-        reply = self._roundtrip(request(OP_GET, key=key))
+    def get(self, key: bytes,
+            context: Optional["tracing.TraceContext"] = None) -> Optional[bytes]:
+        extras = tracing.pack_trace_extras(context) if context is not None else b""
+        reply = self._roundtrip(request(OP_GET, key=key, extras=extras))
         return reply.value if reply.status == STATUS_OK else None
 
     def gets(self, key: bytes) -> Optional[Tuple[bytes, int]]:

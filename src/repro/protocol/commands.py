@@ -29,10 +29,17 @@ class GetCommand:
     """``get <key>+`` / ``gets <key>+`` — fetch one or more keys.
 
     ``gets`` additionally returns each item's CAS token.
+
+    ``trace_token`` carries a raw distributed-tracing context token when
+    the request line ended with a ``tctx:`` pseudo-key (see
+    :mod:`repro.obs.tracing`).  The parser strips that token out of
+    ``keys``, so dispatch never treats it as data; servers without a
+    tracer ignore the field entirely.
     """
 
     keys: Tuple[bytes, ...]
     with_cas: bool = False
+    trace_token: Optional[bytes] = None
 
 
 @dataclass(frozen=True)

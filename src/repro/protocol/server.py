@@ -13,6 +13,7 @@ import threading
 import time
 from typing import Optional, Tuple
 
+from repro.obs import tracing
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import IdleDisconnectEvent, OverloadShedEvent
 from repro.kvstore.errors import (
@@ -97,6 +98,12 @@ class StoreServer:
             all timing work.
         trace: event trace rendered by ``stats trace``; defaults to the
             store's trace (may be ``None``).
+        tracer: optional :class:`~repro.obs.tracing.Tracer` for per-request
+            distributed spans.  When set, a GET batch that arrived with a
+            sampled trace context records a ``server.dispatch`` span (and
+            activates it, so store/tier spans nest under it); untraced
+            commands pay one attribute check.  ``None`` (default) keeps
+            dispatch byte-for-byte identical to the pre-tracing path.
     """
 
     def __init__(
@@ -104,10 +111,12 @@ class StoreServer:
         store: KVStore,
         registry: Optional[MetricsRegistry] = None,
         trace=None,
+        tracer=None,
     ) -> None:
         self.store = store
         self.metrics = registry if registry is not None else store.metrics
         self.trace = trace if trace is not None else store.trace
+        self.tracer = tracer
         self._timing = self.metrics.enabled
         self._cmd_hists: dict = {}
         self._shed_counters: dict = {}
@@ -210,13 +219,48 @@ class StoreServer:
             self.trace.record(
                 OverloadShedEvent(reason=reason, shed_commands=shed)
             )
+        if self.tracer is not None:
+            # A shed batch never reaches dispatch, so rejected requests
+            # would otherwise be invisible to tracing: record a local
+            # zero-duration marker span (its own trace — the shed path by
+            # design does not read per-command tokens).
+            self.tracer.record_complete(
+                "server.shed",
+                start_us=time.time_ns() // 1000,
+                duration_us=0.0,
+                forced="shed",
+                reason=reason,
+                shed_commands=shed,
+            )
 
     def dispatch(self, command) -> Tuple[object, bool]:
         """Execute one command; returns (response, should_reply).
 
         When instrumented, each dispatch records into
         ``cmd_latency_us{cmd=...}`` (whose ``_count`` is the command count).
+        With a tracer attached, a command carrying a sampled trace token
+        additionally records a ``server.dispatch`` span and runs with that
+        span active, so store/tier spans attach beneath it.
         """
+        if self.tracer is not None:
+            raw = getattr(command, "trace_token", None)
+            if raw is not None:
+                context = tracing.decode_token(raw)
+                if context is not None and context.sampled:
+                    return self._dispatch_traced(command, context)
+        return self._timed_dispatch(command)
+
+    def _dispatch_traced(self, command, context) -> Tuple[object, bool]:
+        with self.tracer.span(
+            "server.dispatch",
+            trace_id=context.trace_id,
+            parent_id=context.span_id,
+            cmd=command_label(command),
+            nkeys=len(getattr(command, "keys", ()) or ()),
+        ):
+            return self._timed_dispatch(command)
+
+    def _timed_dispatch(self, command) -> Tuple[object, bool]:
         if not self._timing:
             return self._dispatch(command)
         perf_counter = self._perf_counter
@@ -552,8 +596,9 @@ class TCPStoreServer:
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
         overload=None,
+        tracer=None,
     ) -> None:
-        self.engine = StoreServer(store, registry=registry)
+        self.engine = StoreServer(store, registry=registry, tracer=tracer)
 
         class _Server(socketserver.ThreadingTCPServer):
             # set *before* bind so TIME_WAIT sockets from a previous run

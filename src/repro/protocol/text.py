@@ -47,6 +47,11 @@ CRLF = b"\r\n"
 MAX_KEY_LENGTH = 250
 MAX_LINE_LENGTH = 8192
 
+#: trailing ``get`` token carrying a trace context (kept literal here so
+#: the parser does not import the tracing stack; the codec lives in
+#: :mod:`repro.obs.tracing` and both spell the same prefix)
+_TRACE_TOKEN_PREFIX = b"tctx:"
+
 Command = Union[
     GetCommand,
     StoreCommand,
@@ -150,9 +155,21 @@ class RequestParser:
         if verb == b"get" or verb == b"gets":
             if len(parts) < 2:
                 raise ProtocolError("get requires at least one key")
+            keys = parts[1:]
+            # A trailing ``tctx:`` pseudo-key is a trace-context token
+            # (repro.obs.tracing): strip it so dispatch never looks it up.
+            # Servers predating this extension treat the token as one more
+            # requested key and answer a miss — that asymmetry is the whole
+            # backward-compatibility story, so only the *last* token is
+            # interpreted and at least one real key must remain.
+            trace_token = None
+            if len(keys) > 1 and keys[-1].startswith(_TRACE_TOKEN_PREFIX):
+                trace_token = keys[-1]
+                keys = keys[:-1]
             return GetCommand(
-                keys=tuple(_validate_key(k) for k in parts[1:]),
+                keys=tuple(_validate_key(k) for k in keys),
                 with_cas=verb == b"gets",
+                trace_token=trace_token,
             )
         if verb in (b"incr", b"decr"):
             if len(parts) not in (3, 4):

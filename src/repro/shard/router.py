@@ -88,6 +88,7 @@ class ShardRouter:
         breaker_policy: Optional[BreakerPolicy] = None,
         registry=None,
         trace=None,
+        tracer=None,
     ) -> AsyncStorePool:
         """A live :class:`AsyncStorePool` over the current endpoints.
 
@@ -102,6 +103,11 @@ class ShardRouter:
         dead shard fails fast with
         :class:`~repro.resilience.BreakerOpenError` instead of charging
         each request the full retry+backoff schedule.
+
+        With ``tracer`` set, the pool and every shard client share that
+        one :class:`~repro.obs.tracing.Tracer`: the pool makes the
+        sampling decision, per-node clients record their hop spans, and
+        the context propagates to each shard server on the wire.
         """
         clients = {
             shard: AsyncStoreClient(
@@ -114,7 +120,8 @@ class ShardRouter:
                     )
                     if breaker_policy is not None else None
                 ),
+                tracer=tracer,
             )
             for shard, (host, port) in self._endpoints.items()
         }
-        return AsyncStorePool(clients, replicas=self.replicas)
+        return AsyncStorePool(clients, replicas=self.replicas, tracer=tracer)

@@ -21,7 +21,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs.aggregate import sum_numeric_stats
+from repro.obs.aggregate import merge_trace_stats, sum_numeric_stats
 from repro.protocol.client import CostAwareClient
 from repro.shard.router import Endpoint, ShardRouter
 from repro.shard.worker import ShardConfig, worker_main
@@ -67,6 +67,14 @@ class ShardSupervisor:
         tier_bytes / tier_dir / tier_segment_bytes: per-shard flash tier;
             each worker opens ``tier_dir/<shard-name>``, so a respawned
             worker recovers its predecessor's spilled entries.
+        trace_dir / trace_sample / trace_events / trace_capacity: request
+            tracing (DESIGN.md §12).  ``trace_dir`` set arms a
+            server-side :class:`~repro.obs.tracing.Tracer` in every
+            worker; each exports its span ring to
+            ``trace_dir/<shard>-<pid>.jsonl`` on shutdown, ready for
+            :mod:`repro.obs.tracecollect`.  ``trace_events`` sizes the
+            per-worker :class:`~repro.obs.trace.EventTrace` ring that
+            ``stats trace`` (and :meth:`aggregate_trace`) reads.
         replicas: ketama points per shard for routers/pools built here.
         start_method: multiprocessing start method; default prefers
             ``fork`` and falls back to ``spawn``.
@@ -98,6 +106,10 @@ class ShardSupervisor:
         tier_bytes: int = 0,
         tier_dir: Optional[str] = None,
         tier_segment_bytes: int = 256 * 1024,
+        trace_dir: Optional[str] = None,
+        trace_sample: int = 100,
+        trace_events: int = 512,
+        trace_capacity: int = 4096,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -112,6 +124,10 @@ class ShardSupervisor:
         self.tier_bytes = tier_bytes
         self.tier_dir = tier_dir
         self.tier_segment_bytes = tier_segment_bytes
+        self.trace_dir = trace_dir
+        self.trace_sample = trace_sample
+        self.trace_events = trace_events
+        self.trace_capacity = trace_capacity
         self.replicas = replicas
         self.respawn = respawn
         self.max_respawns = max_respawns
@@ -164,6 +180,10 @@ class ShardSupervisor:
             tier_bytes=self.tier_bytes,
             tier_dir=self.tier_dir,
             tier_segment_bytes=self.tier_segment_bytes,
+            trace_dir=self.trace_dir,
+            trace_sample=self.trace_sample,
+            trace_events=self.trace_events,
+            trace_capacity=self.trace_capacity,
         )
         parent_end, child_end = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
@@ -338,3 +358,24 @@ class ShardSupervisor:
         series (see :mod:`repro.obs.aggregate`).
         """
         return sum_numeric_stats(self.per_shard_stats(subcommand).values())
+
+    def aggregate_trace(self) -> Dict[str, object]:
+        """Fleet-wide ``stats trace`` view: pull every worker's EventTrace
+        ring through the supervisor and merge (summed per-kind counts plus
+        a shard-tagged, per-shard-ordered event tail).
+
+        See :func:`repro.obs.aggregate.merge_trace_stats` for the shape.
+        """
+        return merge_trace_stats(self.per_shard_stats("trace"))
+
+    def cluster_top(self, seconds: float = 1.0) -> str:
+        """One rendered frame of the live cluster health table.
+
+        Samples every shard's default + metrics stats twice, ``seconds``
+        apart, and renders per-shard ops/s, GET p99, hit rate, evictions,
+        tier hit/spill rates, shed counts, and item counts (see
+        :mod:`repro.obs.top`).
+        """
+        from repro.obs.top import top_table
+
+        return top_table(self.per_shard_stats, seconds=seconds)

@@ -40,6 +40,8 @@ from repro.kvstore.slab import (
     DEFAULT_SLAB_SIZE,
 )
 from repro.kvstore.store import KVStore
+from repro.obs.trace import EventTrace
+from repro.obs.tracing import Tracer
 
 #: policy name -> factory, the picklable configuration surface
 POLICY_FACTORIES = {
@@ -78,6 +80,16 @@ class ShardConfig:
     #: so the tier cannot live in an ephemeral tempdir)
     tier_dir: Optional[str] = None
     tier_segment_bytes: int = 256 * 1024
+    #: bounded EventTrace ring per worker (0 disables); on by default so
+    #: the supervisor's ``stats trace`` aggregation always has rings to pull
+    trace_events: int = 512
+    #: directory for distributed-tracing span exports; ``None`` disables
+    #: request tracing entirely (the default — zero overhead)
+    trace_dir: Optional[str] = None
+    #: head-sampling interval for server-side tracing (1 = every request)
+    trace_sample: int = 100
+    #: span-ring capacity when tracing is enabled
+    trace_capacity: int = 4096
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_FACTORIES:
@@ -92,6 +104,14 @@ class ShardConfig:
                 "tier_bytes > 0 requires tier_dir (the tier must persist "
                 "across worker restarts)"
             )
+        if self.trace_events < 0:
+            raise ValueError(
+                f"trace_events must be >= 0, got {self.trace_events}"
+            )
+        if self.trace_sample < 1:
+            raise ValueError(
+                f"trace_sample must be >= 1, got {self.trace_sample}"
+            )
 
 
 def build_store(config: ShardConfig) -> KVStore:
@@ -100,6 +120,10 @@ def build_store(config: ShardConfig) -> KVStore:
     With ``tier_bytes > 0`` the shard gets its own :class:`FlashTier` under
     ``tier_dir/<name>``; a respawned worker reopens the same directory and
     recovers the tier's contents (torn tails truncated) before serving.
+    With ``trace_events > 0`` (the default) the store carries its own
+    bounded :class:`~repro.obs.trace.EventTrace`, so ``stats trace`` —
+    including the supervisor's fleet-wide aggregation — sees this worker's
+    eviction/spill/shed events.
     """
     tier = None
     if config.tier_bytes > 0:
@@ -112,6 +136,7 @@ def build_store(config: ShardConfig) -> KVStore:
                 segment_bytes=config.tier_segment_bytes,
             ),
         )
+    trace = EventTrace(capacity=config.trace_events) if config.trace_events else None
     return KVStore(
         memory_limit=config.memory_limit,
         policy_factory=POLICY_FACTORIES[config.policy],
@@ -119,6 +144,7 @@ def build_store(config: ShardConfig) -> KVStore:
         growth_factor=config.growth_factor,
         min_chunk_size=config.min_chunk_size,
         hash_power=config.hash_power,
+        trace=trace,
         tier=tier,
     )
 
@@ -129,11 +155,22 @@ async def _serve(config: ShardConfig, ready) -> None:
     for signum in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(signum, stop.set)
     store = build_store(config)
+    tracer = None
+    if config.trace_dir:
+        tracer = Tracer(
+            process=config.name,
+            capacity=config.trace_capacity,
+            sample_interval=config.trace_sample,
+        )
+        # store ops under a traced dispatch record store.* spans (one
+        # ContextVar read per op otherwise; nothing at all without a tracer)
+        tracer.instrument_store(store)
     server = AsyncTCPStoreServer(
         store,
         host=config.host,
         port=config.port,
         max_connections=config.max_connections,
+        tracer=tracer,
     )
     await server.start()
     host, port = server.address
@@ -143,6 +180,15 @@ async def _serve(config: ShardConfig, ready) -> None:
         await stop.wait()
     finally:
         await server.stop()
+        if tracer is not None:
+            # per-process file (pid-suffixed so a respawned worker appends
+            # a fresh file instead of interleaving with its predecessor)
+            os.makedirs(config.trace_dir, exist_ok=True)
+            tracer.export(
+                os.path.join(
+                    config.trace_dir, f"{config.name}-{os.getpid()}.jsonl"
+                )
+            )
         if store.tier is not None:
             store.tier.close()
 

@@ -124,6 +124,9 @@ class FlashTier:
         self.data_reads = 0
         self.translation_reads = 0
         self.recovered_records = 0
+        #: emulated page reads charged by the most recent :meth:`lookup`
+        #: (read by tier.read span attribution; not part of snapshots)
+        self.last_lookup_reads = 0
         self._read_hist = self.metrics.histogram(
             "tier_read_latency_us",
             help="emulated flash read latency per tier lookup (us)",
@@ -264,12 +267,14 @@ class FlashTier:
         self.translation_reads += reads
         if entry is None:
             self.misses += 1
+            self.last_lookup_reads = reads
             if reads:
                 self._read_hist.observe(reads * self.config.read_latency_us)
             return None
         record = self.segments.read_record(entry.segment_id, entry.offset, entry.length)
         reads += 1
         self.data_reads += 1
+        self.last_lookup_reads = reads
         self._read_hist.observe(reads * self.config.read_latency_us)
         if record is None or record.key != key:  # pragma: no cover - defensive
             self.mapping.remove(key)

@@ -1,6 +1,13 @@
 """Prometheus text-format rendering: headers, buckets, escaping, round-trip."""
 
-from repro.obs import MetricsRegistry, parse_sample_lines, render_registry
+import inspect
+
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    parse_sample_lines,
+    render_registry,
+)
 
 
 def test_help_and_type_headers():
@@ -57,3 +64,73 @@ def test_parse_skips_comments_and_reads_inf():
     samples = parse_sample_lines(text)
     assert samples["x"] == 5
     assert samples['b{le="+Inf"}'] == float("inf")
+
+
+def test_label_value_newline_escaping():
+    """Newlines in label values must render as literal \\n, never break
+    the line-oriented exposition format."""
+    registry = MetricsRegistry()
+    registry.gauge("g", msg="line1\nline2").set(1)
+    text = render_registry(registry)
+    assert 'g{msg="line1\\nline2"} 1' in text
+    # still one sample line: the parser round-trips it
+    assert parse_sample_lines(text) == {'g{msg="line1\\nline2"}': 1}
+
+
+def test_help_text_newline_and_backslash_escaping():
+    registry = MetricsRegistry()
+    registry.counter("c", help="first\nsecond \\ third").inc()
+    text = render_registry(registry)
+    assert "# HELP c first\\nsecond \\\\ third\n" in text
+    assert text.count("\n# TYPE") == 1
+
+
+def test_mixed_escapes_in_one_label_value():
+    registry = MetricsRegistry()
+    registry.counter("c", path='a\\b\n"c"').inc(7)
+    text = render_registry(registry)
+    assert 'c{path="a\\\\b\\n\\"c\\""} 7' in text
+
+
+def test_null_registry_renders_empty():
+    """A NullRegistry exposes no families, so it renders like an empty
+    registry — even after instruments have been used."""
+    registry = NullRegistry()
+    registry.counter("c", help="ignored").inc(5)
+    registry.gauge("g").set(3)
+    registry.histogram("h").observe(10)
+    assert render_registry(registry) == ""
+    assert list(registry.families()) == []
+
+
+def test_null_registry_method_parity():
+    """Every public method/attribute of the live instruments must exist
+    on the null instruments (and vice versa via subclassing), so swapping
+    ``registry=NullRegistry()`` in can never raise AttributeError."""
+    live = MetricsRegistry()
+    null = NullRegistry()
+    pairs = [
+        (live.counter("c"), null.counter("c")),
+        (live.gauge("g"), null.gauge("g")),
+        (live.histogram("h"), null.histogram("h")),
+    ]
+    for real, stub in pairs:
+        assert isinstance(stub, type(real))
+        for name, member in inspect.getmembers(type(real)):
+            if name.startswith("_") or not callable(member):
+                continue
+            stub_member = getattr(type(stub), name, None)
+            assert callable(stub_member), (
+                f"{type(stub).__name__} missing {name}()"
+            )
+            assert (
+                inspect.signature(member) == inspect.signature(stub_member)
+            ), f"{type(stub).__name__}.{name} signature drifted"
+    # the registry surface itself: NullRegistry must answer everything
+    # MetricsRegistry answers
+    for name, member in inspect.getmembers(MetricsRegistry):
+        if name.startswith("_") or not callable(member):
+            continue
+        assert callable(getattr(NullRegistry, name, None)), (
+            f"NullRegistry missing {name}()"
+        )

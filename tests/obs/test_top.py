@@ -1,0 +1,129 @@
+"""Cluster-top tests: row math from snapshots, rendering, trace merging."""
+
+import pytest
+
+from repro.obs.aggregate import merge_trace_stats
+from repro.obs.top import build_top_rows, render_top, top_table
+
+
+BEFORE = {
+    "shard-0": {"gets": "100", "get_hits": "80", "sets": "10",
+                "evictions": "5", "tier_hits": "4", "tier_spills": "2",
+                "curr_items": "50"},
+    "shard-1": {"gets": "0", "get_hits": "0", "sets": "0",
+                "evictions": "0", "tier_hits": "0", "tier_spills": "0",
+                "curr_items": "0"},
+}
+AFTER = {
+    "shard-0": {"gets": "300", "get_hits": "230", "sets": "30",
+                "evictions": "15", "tier_hits": "24", "tier_spills": "12",
+                "curr_items": "75"},
+    "shard-1": {"gets": "100", "get_hits": "50", "sets": "0",
+                "evictions": "0", "tier_hits": "0", "tier_spills": "0",
+                "curr_items": "20"},
+}
+METRICS = {
+    "shard-0": {
+        "cmd_latency_us{cmd=get}_p99": "420.5",
+        "server_shed_commands_total{transport=async}": "7",
+    },
+    "shard-1": {"cmd_latency_us{cmd=get}_p99": "90"},
+}
+
+
+def test_build_top_rows_rates_and_ratios():
+    rows = build_top_rows(BEFORE, AFTER, METRICS, seconds=2.0)
+    assert [row["shard"] for row in rows] == ["shard-0", "shard-1"]
+    row = rows[0]
+    assert row["ops_per_sec"] == pytest.approx((200 + 20) / 2.0)
+    assert row["get_p99_us"] == pytest.approx(420.5)
+    assert row["hit_rate"] == pytest.approx(150 / 200)
+    assert row["evictions_per_sec"] == pytest.approx(5.0)
+    assert row["tier_hit_share"] == pytest.approx(20 / 200)
+    assert row["tier_spills_per_sec"] == pytest.approx(5.0)
+    assert row["shed_total"] == 7
+    assert row["curr_items"] == 75
+    assert row["breaker"] == "-"
+    idle = rows[1]
+    assert idle["hit_rate"] == pytest.approx(0.5)
+    assert idle["shed_total"] == 0
+
+
+def test_build_top_rows_breaker_column():
+    rows = build_top_rows(
+        BEFORE, AFTER, METRICS, seconds=1.0,
+        breakers={"shard-0": "open"},
+    )
+    by_shard = {row["shard"]: row for row in rows}
+    assert by_shard["shard-0"]["breaker"] == "open"
+    assert by_shard["shard-1"]["breaker"] == "-"
+
+
+def test_build_top_rows_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        build_top_rows(BEFORE, AFTER, METRICS, seconds=0)
+
+
+def test_render_top_table_shape():
+    rows = build_top_rows(BEFORE, AFTER, METRICS, seconds=1.0)
+    text = render_top(rows, 1.0)
+    lines = text.splitlines()
+    assert lines[0].startswith("cluster top")
+    assert "ops/s" in lines[1] and "breaker" in lines[1]
+    assert lines[2].startswith("shard-0")
+    assert lines[3].startswith("shard-1")
+
+
+def test_top_table_samples_twice():
+    calls = []
+
+    def fetch(subcommand):
+        calls.append(subcommand)
+        return BEFORE if len(calls) == 1 else (
+            AFTER if subcommand == "" else METRICS
+        )
+
+    text = top_table(fetch, seconds=1.0, sleep=lambda s: None)
+    assert calls == ["", "", "metrics"]
+    assert "shard-0" in text
+
+
+# -- stats trace fleet merging (satellite: supervisor aggregation) -----------------
+
+
+def test_merge_trace_stats_sums_counts_and_tags_events():
+    per_shard = {
+        "shard-0": {
+            "trace:count:eviction": "3",
+            "trace:count:spill": "1",
+            "trace:buffered": "4",
+            "trace:0": "eviction key=1",
+            "trace:1": "spill key=2",
+        },
+        "shard-1": {
+            "trace:count:eviction": "2",
+            "trace:buffered": "2",
+            "trace:0": "eviction key=9",
+        },
+    }
+    merged = merge_trace_stats(per_shard)
+    assert merged["counts"] == {"eviction": 5, "spill": 1}
+    assert merged["buffered"] == 6
+    assert merged["disabled"] == []
+    assert merged["events"] == [
+        ("shard-0", 0, "eviction key=1"),
+        ("shard-0", 1, "spill key=2"),
+        ("shard-1", 0, "eviction key=9"),
+    ]
+
+
+def test_merge_trace_stats_reports_disabled_shards():
+    merged = merge_trace_stats(
+        {
+            "shard-0": {"trace": "disabled"},
+            "shard-1": {"trace:count:shed": "1", "trace:buffered": "1",
+                        "trace:0": "shed"},
+        }
+    )
+    assert merged["disabled"] == ["shard-0"]
+    assert merged["counts"] == {"shed": 1}

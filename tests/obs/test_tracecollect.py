@@ -1,0 +1,164 @@
+"""Collector tests: tree assembly, critical path, rendering, merge-from-files."""
+
+import json
+
+import pytest
+
+from repro.obs.tracecollect import (
+    TraceTree,
+    critical_path,
+    group_traces,
+    load_span_dir,
+    load_span_file,
+    render_trace,
+    render_trace_top,
+    slowest_traces,
+)
+from repro.obs.tracing import Span
+
+
+def make_span(trace=1, span=1, parent=None, name="s", proc="p",
+              start=0, dur=10.0, **attrs):
+    return Span(trace_id=trace, span_id=span, parent_id=parent, name=name,
+                process=proc, start_us=start, duration_us=dur,
+                attrs=attrs or {})
+
+
+def sample_trace():
+    """client.request > router.route > server.dispatch > store.get, plus a
+    sibling route leg that finishes earlier (off the critical path)."""
+    return [
+        make_span(span=1, name="client.request", proc="client",
+                  start=0, dur=1000.0, op="get"),
+        make_span(span=2, parent=1, name="router.route", proc="client",
+                  start=50, dur=900.0, shard="shard-0"),
+        make_span(span=5, parent=1, name="router.route", proc="client",
+                  start=50, dur=200.0, shard="shard-1"),
+        make_span(span=3, parent=2, name="server.dispatch", proc="shard-0",
+                  start=300, dur=500.0),
+        make_span(span=4, parent=3, name="store.get", proc="shard-0",
+                  start=350, dur=400.0),
+    ]
+
+
+def test_group_traces_buckets_and_sorts():
+    spans = [
+        make_span(trace=1, span=1, start=100),
+        make_span(trace=2, span=2, start=0),
+        make_span(trace=1, span=3, start=50),
+    ]
+    traces = group_traces(spans)
+    assert set(traces) == {1, 2}
+    assert [s.span_id for s in traces[1]] == [3, 1]
+
+
+def test_tree_structure_and_walk():
+    tree = TraceTree(sample_trace())
+    assert tree.trace_id == 1
+    assert tree.root.name == "client.request"
+    assert len(tree.roots) == 1
+    walked = [(span.name, depth) for span, depth in tree.walk()]
+    assert ("client.request", 0) in walked
+    assert ("router.route", 1) in walked
+    assert ("server.dispatch", 2) in walked
+    assert ("store.get", 3) in walked
+    assert tree.processes() == ["client", "shard-0"]
+    assert tree.duration_us == 1000.0  # bounded by the client root
+
+
+def test_orphan_span_becomes_second_root():
+    """A hop whose parent never made it (dropped ring, killed process)
+    must surface, not vanish — that's the chaos-test signal."""
+    spans = sample_trace()
+    spans.append(
+        make_span(span=9, parent=999, name="server.dispatch",
+                  proc="shard-1", start=60, dur=100.0)
+    )
+    tree = TraceTree(spans)
+    assert len(tree.roots) == 2
+    assert {root.name for root in tree.roots} == {
+        "client.request", "server.dispatch"
+    }
+    # the primary root is still the earliest-starting span
+    assert tree.root.name == "client.request"
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        TraceTree([])
+
+
+def test_critical_path_follows_latest_finisher():
+    tree = TraceTree(sample_trace())
+    path = [span.name for span in critical_path(tree)]
+    assert path == ["client.request", "router.route", "server.dispatch",
+                    "store.get"]
+    shards = [span.attrs.get("shard") for span in critical_path(tree)]
+    assert "shard-1" not in shards  # the fast leg is off the path
+
+
+def test_slowest_traces_orders_by_duration():
+    fast = [make_span(trace=10, span=1, dur=5.0)]
+    slow = [make_span(trace=20, span=2, dur=500.0)]
+    traces = group_traces(fast + slow)
+    trees = slowest_traces(traces, count=5)
+    assert [t.trace_id for t in trees] == [20, 10]
+    assert len(slowest_traces(traces, count=1)) == 1
+
+
+def test_render_trace_shows_hops_offsets_and_critical_path():
+    text = render_trace(TraceTree(sample_trace()))
+    assert "trace 0000000000000001" in text
+    assert "client.request" in text
+    assert "server.dispatch" in text
+    assert "[shard-0]" in text
+    assert "shard=shard-0" in text
+    assert "*" in text  # critical-path marker
+    assert "(* = critical path)" in text
+    # the store hop starts 350us in: offset column renders relative time
+    assert "+    0.35ms" in text
+
+
+def test_render_trace_top_table_and_exemplars():
+    spans = sample_trace()
+    spans.append(
+        make_span(trace=2, span=21, name="client.request", proc="client",
+                  start=0, dur=80_000.0, forced="slow", key_fp=0xAB)
+    )
+    traces = group_traces(spans)
+    slow_log = [{"op": "get", "dur_us": 60_000.0, "key_fp": 7,
+                 "reason": "shed", "trace": None}]
+    text = render_trace_top(traces, count=5, slow_log=slow_log)
+    lines = text.splitlines()
+    # slowest (the 80ms forced trace) first
+    assert lines[1].startswith("0000000000000002")
+    assert "slow-query exemplars" in text
+    assert "reason=slow" in text
+    assert "reason=shed" in text
+    assert "key_fp=0x000000ab" in text
+    assert "key_fp=0x00000007" in text
+
+
+def test_load_span_file_skips_torn_tail(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    good = json.dumps(make_span().to_dict())
+    path.write_text(good + "\n" + good[: len(good) // 2])
+    spans = load_span_file(str(path))
+    assert len(spans) == 1
+
+
+def test_load_span_dir_merges_processes(tmp_path):
+    client = sample_trace()[:3]
+    server = sample_trace()[3:]
+    for name, spans in (("client.jsonl", client), ("shard-0-99.jsonl", server)):
+        with open(tmp_path / name, "w") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_dict()) + "\n")
+    (tmp_path / "ignored.txt").write_text("not a span file")
+    merged = load_span_dir(str(tmp_path))
+    assert len(merged) == 5
+    tree = TraceTree(group_traces(merged)[1])
+    assert tree.processes() == ["client", "shard-0"]
+    assert [s.name for s in critical_path(tree)] == [
+        "client.request", "router.route", "server.dispatch", "store.get"
+    ]

@@ -1,0 +1,155 @@
+"""Trace-level chaos assertions: faults must be visible in the spans.
+
+The chaos suite so far proved the *client* survives faults; these tests
+prove the *trace* tells the story.  A blackholed hop leaves the server's
+span missing (the tree shows the client leg erroring with no child on
+the other side); slow and breaker-rejected requests that head sampling
+skipped are force-sampled after the fact, so the tail is never invisible.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer
+from repro.aio.backoff import NO_RETRY
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.obs.tracing import Tracer
+from repro.obs.tracecollect import TraceTree, group_traces
+from repro.resilience import (
+    BreakerOpenError,
+    BreakerPolicy,
+    ChaosProxy,
+    CircuitBreaker,
+    FaultSchedule,
+)
+
+
+def fresh_store():
+    return KVStore(
+        memory_limit=4 * 1024 * 1024, slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBlackholedHop:
+    def test_missing_server_span_and_error_attr(self):
+        """Blackhole the wire: the client's spans record the timeout, and
+        the merged trace simply has no server.dispatch — the missing hop
+        IS the diagnosis."""
+        client_tracer = Tracer(process="client", sample_interval=1)
+        server_tracer = Tracer(process="server", sample_interval=1)
+
+        async def main():
+            store = fresh_store()
+            store.set(b"k", b"v")
+            schedule = FaultSchedule().always(blackhole=True)
+            async with AsyncTCPStoreServer(store, tracer=server_tracer) as server:
+                async with ChaosProxy(*server.address, schedule=schedule) as proxy:
+                    client = AsyncStoreClient(
+                        *proxy.address, timeout=0.2, retry=NO_RETRY,
+                        tracer=client_tracer,
+                    )
+                    with pytest.raises((asyncio.TimeoutError, ConnectionError)):
+                        await client.get(b"k")
+                    await client.aclose()
+
+        run(main())
+        client_spans = client_tracer.buffer.spans()
+        roots = [s for s in client_spans if s.name == "client.request"]
+        assert len(roots) == 1
+        assert roots[0].attrs["error"] in ("TimeoutError", "ConnectionError",
+                                           "ConnectionResetError")
+        # the request never reached the server: no dispatch span exists
+        assert server_tracer.buffer.spans() == []
+        # the stitched tree shows a send hop with nothing on the far side
+        tree = TraceTree(group_traces(client_spans)[roots[0].trace_id])
+        names = set(tree.span_names())
+        assert "client.send_await" in names
+        assert "server.dispatch" not in names
+
+    def test_healthy_hop_has_the_server_leg_for_contrast(self):
+        """Same topology, no faults: the dispatch span appears.  Guards
+        against the blackhole test passing for the wrong reason."""
+        client_tracer = Tracer(process="client", sample_interval=1)
+        server_tracer = Tracer(process="server", sample_interval=1)
+
+        async def main():
+            store = fresh_store()
+            store.set(b"k", b"v")
+            async with AsyncTCPStoreServer(store, tracer=server_tracer) as server:
+                async with ChaosProxy(*server.address) as proxy:
+                    client = AsyncStoreClient(
+                        *proxy.address, retry=NO_RETRY, tracer=client_tracer,
+                    )
+                    assert await client.get(b"k") == b"v"
+                    await client.aclose()
+
+        run(main())
+        dispatches = [
+            s for s in server_tracer.buffer.spans()
+            if s.name == "server.dispatch"
+        ]
+        assert len(dispatches) == 1
+        client_ids = {s.span_id for s in client_tracer.buffer.spans()}
+        assert dispatches[0].parent_id in client_ids
+
+
+class TestForcedTailSampling:
+    def test_slow_request_is_sampled_despite_head_decision(self):
+        """Head sampling at 1-in-a-billion says no to everything; a
+        request over the slow threshold must still land in the buffer."""
+        tracer = Tracer(
+            process="client", sample_interval=10**9, slow_threshold_us=1.0,
+        )
+        tracer.sample()  # burn the cadence's first hit: everything after is "no"
+
+        async def main():
+            store = fresh_store()
+            store.set(b"k", b"v")
+            async with AsyncTCPStoreServer(store) as server:
+                client = AsyncStoreClient(*server.address, tracer=tracer)
+                assert await client.get(b"k") == b"v"
+                await client.aclose()
+
+        run(main())
+        spans = tracer.buffer.spans()
+        assert [s.name for s in spans] == ["client.request"]
+        assert spans[0].attrs["forced"] == "slow"
+        assert tracer.forced_samples >= 1
+        log = tracer.slow_queries()
+        assert log and log[-1]["reason"] == "slow"
+        # the exemplar carries a key fingerprint, never the key itself
+        assert "key" not in log[-1]
+        assert isinstance(log[-1]["key_fp"], int)
+
+    def test_breaker_rejection_is_sampled(self):
+        """An open breaker fails fast before any wire activity; the
+        rejection still records a forced span with the reason."""
+        tracer = Tracer(process="client", sample_interval=10**9)
+        tracer.sample()  # burn the cadence's first hit
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, recovery_time=60.0),
+            name="test",
+        )
+        breaker.record_failure()  # threshold 1: now open
+
+        async def main():
+            client = AsyncStoreClient(
+                "127.0.0.1", 1, breaker=breaker, tracer=tracer,
+                retry=NO_RETRY,
+            )
+            with pytest.raises(BreakerOpenError):
+                await client.get(b"k")
+            await client.aclose()
+
+        run(main())
+        spans = tracer.buffer.spans()
+        assert [s.name for s in spans] == ["client.request"]
+        assert spans[0].attrs["forced"] == "breaker_open"
+        assert tracer.slow_queries()[-1]["reason"] == "breaker_open"

@@ -1,0 +1,216 @@
+"""Acceptance: one sampled GET through a tiered 2-shard cluster yields one
+merged, renderable trace spanning client, router, server, store, and tier.
+
+This is the PR's end-to-end bar.  A real supervisor spawns two tiered
+worker processes with tracing armed at 1-in-1; a traced pool overcommits
+RAM so cold keys spill to flash, then reads them back.  Workers export
+their span buffers on SIGTERM; the client tracer exports into the same
+directory; the offline collector must then stitch one trace per GET with
+consistent ids and sane timings — exactly what an operator would do with
+``gdwheel-repro trace show``.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.obs.tracing import Tracer
+from repro.obs.tracecollect import (
+    TraceTree,
+    critical_path,
+    group_traces,
+    load_span_dir,
+    render_trace,
+)
+from repro.shard import ShardSupervisor
+
+
+def value_for(key: bytes) -> bytes:
+    return (key + b":").ljust(1024, b"v")
+
+
+#: spans every tiered GET trace must contain, layer by layer
+EXPECTED_HOPS = {
+    "client.request",     # pool root
+    "router.route",       # ring placement
+    "client.batch",       # per-node client leg
+    "pool.acquire",
+    "client.send_await",  # the wire hop: parent of the server span
+    "server.dispatch",    # worker process
+    "store.get",
+    "tier.read",          # flash fallthrough
+}
+
+#: these must be recorded by the worker, not the client (tier.spill shows
+#: up when promoting a key back into full RAM evicts something else)
+SERVER_SIDE = {
+    "server.dispatch", "store.get", "tier.read", "tier.promote", "tier.spill",
+}
+
+
+@pytest.fixture(scope="module")
+def trace_run(tmp_path_factory):
+    """Run the cluster workload once; every test reads the same spans."""
+    tmp_path = tmp_path_factory.mktemp("trace-cluster")
+    trace_dir = tmp_path / "traces"
+    client_tracer = Tracer(process="client", sample_interval=1)
+    with ShardSupervisor(
+        num_shards=2,
+        memory_limit=256 * 1024,
+        slab_size=64 * 1024,
+        policy="lru",
+        monitor_interval=0.1,
+        tier_bytes=8 * 1024 * 1024,
+        tier_dir=str(tmp_path / "tier"),
+        trace_dir=str(trace_dir),
+        trace_sample=1,
+    ) as sup:
+        keys = [f"trace-{i:05d}".encode() for i in range(1200)]
+
+        async def load_phase():
+            # untraced writer: overcommit RAM ~2x per shard so the LRU
+            # tail spills to flash
+            async with sup.connect_pool() as pool:
+                stored = await pool.multi_set(
+                    [(key, value_for(key), 5) for key in keys]
+                )
+                assert stored == len(keys)
+
+        async def read_phase():
+            async with sup.connect_pool(tracer=client_tracer) as pool:
+                hits = 0
+                for key in keys[:400:7]:
+                    got = await pool.get(key)
+                    if got is not None:
+                        assert got == value_for(key)
+                        hits += 1
+                assert hits > 0, "no early key survived anywhere"
+
+        asyncio.run(load_phase())
+        tier_stats = sup.per_shard_stats("tier")
+        assert any(
+            int(stats.get("spills", 0)) > 0 for stats in tier_stats.values()
+        ), "workload never spilled; shrink RAM"
+        asyncio.run(read_phase())
+        # while the fleet is live: the fleet-trace and cluster-top views
+        aggregate = sup.aggregate_trace()
+        top = sup.cluster_top(seconds=0.2)
+    # SIGTERM flushed each worker's spans; add the client's
+    client_tracer.export(str(trace_dir / "client.jsonl"))
+    spans = load_span_dir(str(trace_dir))
+    return {
+        "trace_dir": trace_dir,
+        "spans": spans,
+        "traces": group_traces(spans),
+        "aggregate": aggregate,
+        "top": top,
+    }
+
+
+def tiered_trees(trace_run):
+    trees = []
+    for spans in trace_run["traces"].values():
+        tree = TraceTree(spans)
+        if "tier.read" in tree.span_names():
+            trees.append(tree)
+    return trees
+
+
+def test_workers_exported_span_files(trace_run):
+    names = sorted(os.listdir(trace_run["trace_dir"]))
+    assert "client.jsonl" in names
+    assert any(name.startswith("shard-0-") for name in names)
+    assert any(name.startswith("shard-1-") for name in names)
+
+
+def test_tiered_get_trace_covers_every_layer(trace_run):
+    trees = tiered_trees(trace_run)
+    assert trees, "no traced GET fell through to the flash tier"
+    tree = trees[0]
+    assert EXPECTED_HOPS <= set(tree.span_names())
+    # one trace id end to end, client and worker processes stitched
+    assert {span.trace_id for span, _ in tree.walk()} == {tree.trace_id}
+    assert len(tree.processes()) >= 2
+    assert "client" in tree.processes()
+
+
+def test_span_ownership_and_parentage(trace_run):
+    tree = tiered_trees(trace_run)[0]
+    by_name = {}
+    for span, _ in tree.walk():
+        by_name.setdefault(span.name, span)
+        if span.name in SERVER_SIDE:
+            assert span.process.startswith("shard-")
+        else:
+            assert span.process == "client"
+    # the wire hop: the worker's dispatch hangs off client.send_await
+    assert (
+        by_name["server.dispatch"].parent_id
+        == by_name["client.send_await"].span_id
+    )
+    assert by_name["store.get"].parent_id == by_name["server.dispatch"].span_id
+    assert by_name["tier.read"].parent_id == by_name["store.get"].span_id
+    # a promoted key reports its emulated page reads and a hit
+    assert by_name["tier.read"].attrs["hit"] is True
+    assert by_name["tier.read"].attrs["reads"] >= 1
+
+
+def test_timings_are_monotonic_and_nested(trace_run):
+    tree = tiered_trees(trace_run)[0]
+    spans = {span.span_id: span for span, _ in tree.walk()}
+    #: same-host epoch-us clocks; allow 1ms of scheduler slop across
+    #: the process boundary
+    slack_us = 1000
+    for span in spans.values():
+        if span.parent_id is None or span.parent_id not in spans:
+            continue
+        parent = spans[span.parent_id]
+        assert span.start_us >= parent.start_us - slack_us
+        if span.process == parent.process:
+            # in-process nesting is strict: child inside parent
+            assert span.start_us >= parent.start_us
+            assert span.end_us <= parent.end_us + slack_us
+        assert span.duration_us >= 0
+
+
+def test_critical_path_reaches_the_tier(trace_run):
+    tree = tiered_trees(trace_run)[0]
+    path = [span.name for span in critical_path(tree)]
+    assert path[0] == "client.request"
+    # the deepest hop on the path is server-side work
+    assert set(path) & SERVER_SIDE
+
+
+def test_cli_renders_the_merged_directory(trace_run, capsys):
+    tree = tiered_trees(trace_run)[0]
+    assert cli_main(["trace", "show", str(trace_run["trace_dir"]),
+                     "--trace", f"{tree.trace_id:016x}"]) == 0
+    out = capsys.readouterr().out
+    assert f"trace {tree.trace_id:016x}" in out
+    assert "tier.read" in out
+    assert "(* = critical path)" in out
+    # and render_trace agrees with what the CLI printed
+    assert render_trace(tree) in out
+
+
+def test_cli_trace_top_lists_slowest(trace_run, capsys):
+    assert cli_main(["trace", "top", str(trace_run["trace_dir"])]) == 0
+    out = capsys.readouterr().out
+    assert "trace" in out and "critical path" in out
+
+
+def test_fleet_trace_aggregate_saw_tier_activity(trace_run):
+    aggregate = trace_run["aggregate"]
+    assert aggregate["disabled"] == []
+    assert aggregate["counts"].get("spill", 0) > 0
+    assert aggregate["buffered"] > 0
+
+
+def test_cluster_top_renders_live_table(trace_run):
+    top = trace_run["top"]
+    lines = top.splitlines()
+    assert lines[0].startswith("cluster top")
+    assert any(line.startswith("shard-0") for line in lines)
+    assert any(line.startswith("shard-1") for line in lines)
