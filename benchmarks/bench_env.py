@@ -57,6 +57,27 @@ def scaling_note(cpus: int, required: int, subject: str,
     return note
 
 
+def net_config(
+    batch_sizes, pipeline_depths, num_keys: int, value_size: int,
+    ops_per_mode: int,
+) -> Dict[str, object]:
+    """The ``config`` block for ``BENCH_net.json`` (net throughput A/B).
+
+    Batch size and pipeline depth are first-class config facts here —
+    the batched-wire-protocol claim ("MGET ≥ 1.25x per-key at batch 16")
+    is meaningless without them, so every net bench document stamps the
+    exact sweep it ran.
+    """
+    return {
+        "batch_sizes": list(batch_sizes),
+        "pipeline_depths": list(pipeline_depths),
+        "num_keys": num_keys,
+        "value_size_bytes": value_size,
+        "ops_per_mode": ops_per_mode,
+        "transport": "loopback_tcp",
+    }
+
+
 def scaling_verifiable(cpus: int, required: int) -> bool:
     """Whether a multi-process speedup measured here is a *claim* or noise.
 

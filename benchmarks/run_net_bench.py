@@ -1,0 +1,248 @@
+"""Net throughput A/B: batched MGET frames vs per-key GET frames.
+
+Measures ``multi_get`` ops/s against a live asyncio loopback server in
+two wire modes over a (batch size x pipeline depth) sweep and writes the
+results to ``BENCH_net.json``:
+
+* ``perkey`` — ``batching="none"``: one GET frame per key, pipelined into
+  one round trip.  N keys cost N parses, N dispatches, N response
+  encodes (the pre-PR-8 wire shape).
+* ``mget`` — ``batching="mget"``: one first-class MGET frame for the
+  whole batch — one parse, one vectored store dispatch under one lock
+  acquisition, one response encode into a shared buffer.
+
+Method
+------
+One event loop hosts both the server and the closed-loop drivers, so the
+two modes pay identical scheduling overhead and the comparison isolates
+*per-command wire cost* — exactly what batching amortizes.  The store is
+warmed with the full key universe first (~100% hits; serving cost, not
+eviction, is measured).  Before any timing, both modes fetch the same key
+batches and the results are asserted **identical** — a fast wrong answer
+is not a speedup.  Each timed phase then runs ``pipeline_depth``
+concurrent workers, each issuing one ``get_many`` batch at a time
+(closed loop: offered load adapts to service rate).
+
+The ratio is CPU-bound work on both sides of one core, so unlike the
+multi-process scaling benchmarks it is meaningful even on a 1-CPU
+machine — the per-key mode burns strictly more cycles per delivered
+value.  ``environment.cpus`` is stamped regardless.
+
+Run it::
+
+    PYTHONPATH=src python benchmarks/run_net_bench.py --out BENCH_net.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from bench_env import environment_facts, net_config
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.sim.histogram import LatencyHistogram
+
+DEFAULT_BATCH_SIZES = (4, 16, 64)
+DEFAULT_PIPELINE_DEPTHS = (1, 4)
+DEFAULT_OPS_PER_MODE = 24_000
+DEFAULT_KEYS = 2_000
+DEFAULT_VALUE_SIZE = 64
+MEMORY_LIMIT = 32 * 1024 * 1024
+SLAB_SIZE = 256 * 1024
+
+#: wire modes measured, in run order (baseline first)
+MODES = ("perkey", "mget")
+_MODE_TO_BATCHING = {"perkey": "none", "mget": "mget"}
+
+
+def _keys(num_keys: int) -> List[bytes]:
+    return [b"key%08d" % i for i in range(num_keys)]
+
+
+def _chunks(keys: List[bytes], batch: int, total_ops: int) -> List[List[bytes]]:
+    """A deterministic round-robin schedule of key batches covering
+    ``total_ops`` individual GETs."""
+    out = []
+    position = 0
+    issued = 0
+    while issued < total_ops:
+        chunk = [keys[(position + i) % len(keys)] for i in range(batch)]
+        position = (position + batch * 7 + 1) % len(keys)
+        out.append(chunk)
+        issued += batch
+    return out
+
+
+async def _warm(client: AsyncStoreClient, keys: List[bytes],
+                value_size: int) -> None:
+    value = b"v" * value_size
+    for start in range(0, len(keys), 64):
+        await client.set_many(
+            [(key, value, 1) for key in keys[start : start + 64]]
+        )
+
+
+async def _verify_identical(host: str, port: int,
+                            chunks: List[List[bytes]]) -> None:
+    """Both wire modes must return byte-identical results before timing."""
+    async with AsyncStoreClient(host, port, batching="none") as baseline:
+        async with AsyncStoreClient(host, port, batching="mget") as batched:
+            for chunk in chunks:
+                a = await baseline.get_many(chunk)
+                b = await batched.get_many(chunk)
+                if a != b:
+                    raise AssertionError(
+                        f"mode results diverge for batch {chunk[:2]}...: "
+                        f"{len(a)} vs {len(b)} hits"
+                    )
+
+
+async def _drive(client: AsyncStoreClient, chunks: List[List[bytes]],
+                 depth: int) -> Dict[str, object]:
+    """Closed-loop timed phase: ``depth`` workers share the chunk list."""
+    histogram = LatencyHistogram(max_value=1e9, sub_buckets=32)
+    perf_counter = time.perf_counter
+    cursor = [0]
+    hits = [0]
+    operations = [0]
+
+    async def worker() -> None:
+        while True:
+            index = cursor[0]
+            if index >= len(chunks):
+                return
+            cursor[0] = index + 1
+            chunk = chunks[index]
+            batch_start = perf_counter()
+            found = await client.get_many(chunk)
+            histogram.record((perf_counter() - batch_start) * 1e6)
+            hits[0] += len(found)
+            operations[0] += len(chunk)
+
+    # prime connections so the timed phase measures serving, not dialing
+    await client.get_many(chunks[0])
+    started = perf_counter()
+    await asyncio.gather(*(worker() for _ in range(depth)))
+    wall = perf_counter() - started
+    return {
+        "operations": operations[0],
+        "wall_seconds": round(wall, 4),
+        "ops_per_sec": round(operations[0] / wall, 1) if wall > 0 else 0.0,
+        "hit_rate": round(hits[0] / operations[0], 4) if operations[0] else 0.0,
+        "batch_latency_us": {
+            "mean": round(histogram.mean, 1),
+            "p50": round(histogram.percentile(50), 1),
+            "p99": round(histogram.percentile(99), 1),
+        },
+    }
+
+
+async def _measure(
+    batch_sizes: Sequence[int],
+    pipeline_depths: Sequence[int],
+    ops_per_mode: int,
+    num_keys: int,
+    value_size: int,
+) -> List[Dict[str, object]]:
+    store = KVStore(
+        memory_limit=MEMORY_LIMIT, slab_size=SLAB_SIZE,
+        policy_factory=GDWheelPolicy,
+    )
+    keys = _keys(num_keys)
+    results: List[Dict[str, object]] = []
+    async with AsyncTCPStoreServer(store) as server:
+        host, port = server.address
+        async with AsyncStoreClient(host, port) as warmer:
+            await _warm(warmer, keys, value_size)
+        for batch in batch_sizes:
+            # identical-results gate: a handful of batches through both
+            # modes, compared before any clock starts
+            await _verify_identical(host, port, _chunks(keys, batch, batch * 32))
+            for depth in pipeline_depths:
+                chunks = _chunks(keys, batch, ops_per_mode)
+                entry: Dict[str, object] = {
+                    "batch": batch,
+                    "pipeline_depth": depth,
+                    "modes": {},
+                }
+                for mode in MODES:
+                    async with AsyncStoreClient(
+                        host, port, pool_size=depth,
+                        batching=_MODE_TO_BATCHING[mode],
+                    ) as client:
+                        entry["modes"][mode] = await _drive(
+                            client, chunks, depth
+                        )
+                perkey = entry["modes"]["perkey"]["ops_per_sec"]
+                mget = entry["modes"]["mget"]["ops_per_sec"]
+                entry["mget_speedup"] = (
+                    round(mget / perkey, 3) if perkey else 0.0
+                )
+                results.append(entry)
+                print(
+                    f"batch={batch} depth={depth}: perkey {perkey:,.0f} "
+                    f"ops/s, mget {mget:,.0f} ops/s "
+                    f"({entry['mget_speedup']}x)",
+                    file=sys.stderr,
+                )
+    return results
+
+
+def run_net_bench(
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    pipeline_depths: Sequence[int] = DEFAULT_PIPELINE_DEPTHS,
+    ops_per_mode: int = DEFAULT_OPS_PER_MODE,
+    num_keys: int = DEFAULT_KEYS,
+    value_size: int = DEFAULT_VALUE_SIZE,
+) -> Dict[str, object]:
+    """Measure the sweep and assemble the BENCH_net document."""
+    results = asyncio.run(
+        _measure(batch_sizes, pipeline_depths, ops_per_mode, num_keys,
+                 value_size)
+    )
+    return {
+        "benchmark": "net_throughput",
+        "generated_unix": int(time.time()),
+        "environment": environment_facts(),
+        "config": net_config(
+            batch_sizes, pipeline_depths, num_keys, value_size, ops_per_mode
+        ),
+        "results": results,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_net.json",
+                        help="output JSON path (default: ./BENCH_net.json)")
+    parser.add_argument("--batch-sizes", type=int, nargs="+",
+                        default=list(DEFAULT_BATCH_SIZES))
+    parser.add_argument("--pipeline-depths", type=int, nargs="+",
+                        default=list(DEFAULT_PIPELINE_DEPTHS))
+    parser.add_argument("--ops-per-mode", type=int,
+                        default=DEFAULT_OPS_PER_MODE)
+    parser.add_argument("--keys", type=int, default=DEFAULT_KEYS)
+    parser.add_argument("--value-size", type=int, default=DEFAULT_VALUE_SIZE)
+    args = parser.parse_args(argv)
+    document = run_net_bench(
+        batch_sizes=tuple(args.batch_sizes),
+        pipeline_depths=tuple(args.pipeline_depths),
+        ops_per_mode=args.ops_per_mode,
+        num_keys=args.keys,
+        value_size=args.value_size,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

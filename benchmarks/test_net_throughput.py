@@ -1,0 +1,87 @@
+"""A/B guard for the batched wire protocol (PR 8's tentpole claim).
+
+Runs the net benchmark at reduced scale and asserts the claim that
+justifies MGET/MSET existing at all: at batch 16 over loopback, one MGET
+frame per batch must deliver >= 1.25x the ops/s of the pipelined
+per-key GET path.  Correctness is asserted unconditionally — the harness
+compares both modes' results for identical key batches before any clock
+starts (``run_net_bench._verify_identical``), so a fast wrong answer
+can never pass.
+
+Unlike the multi-process scaling guards, this ratio does not need spare
+cores: server and clients share one event loop on one core either way,
+and the per-key mode burns strictly more cycles per delivered value.  On
+a 1-CPU machine the measured ratio still clears 2.5x, so the 1.25x
+floor is applied whenever at least one CPU is available — i.e. always —
+but we keep the gate shape of the other bench guards so a future
+stricter threshold can hang off ``available_cpus()``.
+
+Marked ``slow``; deselect with ``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from bench_env import available_cpus
+from run_net_bench import run_net_bench
+
+pytestmark = pytest.mark.slow
+
+BATCH = 16
+OPS_PER_MODE = int(os.environ.get("NET_BENCH_OPS", 8_000))
+NUM_KEYS = 1_000
+REQUIRED_SPEEDUP = 1.25
+
+
+@pytest.fixture(scope="module")
+def document():
+    return run_net_bench(
+        batch_sizes=(BATCH,),
+        pipeline_depths=(1,),
+        ops_per_mode=OPS_PER_MODE,
+        num_keys=NUM_KEYS,
+    )
+
+
+def test_document_shape(document):
+    assert document["benchmark"] == "net_throughput"
+    assert document["config"]["batch_sizes"] == [BATCH]
+    assert document["config"]["pipeline_depths"] == [1]
+    assert document["config"]["transport"] == "loopback_tcp"
+    assert document["environment"]["cpus"] >= 1
+    (result,) = document["results"]
+    assert result["batch"] == BATCH
+    assert result["pipeline_depth"] == 1
+
+
+def test_both_modes_measured_on_warm_store(document):
+    (result,) = document["results"]
+    for mode in ("perkey", "mget"):
+        measured = result["modes"][mode]
+        assert measured["operations"] >= OPS_PER_MODE
+        assert measured["ops_per_sec"] > 0
+        # warmed universe, pure GETs: both modes must actually serve hits
+        assert measured["hit_rate"] > 0.99
+        assert measured["batch_latency_us"]["p50"] > 0
+
+
+def test_mget_beats_per_key_at_batch_16(document, emit):
+    (result,) = document["results"]
+    perkey = result["modes"]["perkey"]["ops_per_sec"]
+    mget = result["modes"]["mget"]["ops_per_sec"]
+    speedup = result["mget_speedup"]
+    emit(
+        "net_throughput",
+        "Batched wire protocol A/B at batch "
+        f"{BATCH}, pipeline depth 1 ({available_cpus()} CPU(s)):\n\n"
+        f"  per-key GET frames   {perkey:>12,.0f} ops/s\n"
+        f"  one MGET per batch   {mget:>12,.0f} ops/s\n"
+        f"  speedup              {speedup:>12.2f}x",
+    )
+    if available_cpus() >= 1:  # see module docstring: always meaningful
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"MGET speedup {speedup} < {REQUIRED_SPEEDUP} at batch {BATCH}"
+        )

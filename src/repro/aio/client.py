@@ -30,6 +30,9 @@ from repro.protocol.commands import (
     GetCommand,
     GetResponse,
     IncrCommand,
+    MultiGetCommand,
+    MultiSetCommand,
+    MultiSetResponse,
     NumberResponse,
     ProtocolError,
     ServerBusyError,
@@ -40,9 +43,18 @@ from repro.protocol.commands import (
     TouchCommand,
 )
 from repro.resilience.breaker import BreakerOpenError, CircuitBreaker
-from repro.protocol.text import ResponseParser, encode_command
+from repro.protocol.text import ResponseParser, encode_command_into
 
 READ_SIZE = 65536
+
+#: adaptive write coalescing: batches below this stay corked — the kernel
+#: (and asyncio's transport buffer) flush them when we await the response,
+#: and ``drain()`` only ever blocks above the transport's high-water mark
+#: anyway, so the extra coroutine hop buys nothing for small frames
+CORK_BYTES = 64 * 1024
+
+#: the negotiation signal an old text server answers to ``mget``/``mset``
+_UNKNOWN_COMMAND = b"CLIENT_ERROR unknown command"
 
 #: Exceptions that mark a connection dead and the attempt retryable.
 #: BreakerOpenError subclasses ConnectionError but is raised outside the
@@ -73,9 +85,12 @@ def _batch_summary(commands: Sequence[object]) -> Tuple[str, Optional[int]]:
     the event-trace privacy stance.
     """
     first = commands[0]
-    if isinstance(first, GetCommand):
-        op = "get"
+    if isinstance(first, (GetCommand, MultiGetCommand)):
+        op = "mget" if isinstance(first, MultiGetCommand) else "get"
         key = first.keys[0] if first.keys else None
+    elif isinstance(first, MultiSetCommand):
+        op = "mset"
+        key = first.items[0].key if first.items else None
     else:
         op = getattr(first, "verb", None) or type(first).__name__.lower()
         key = getattr(first, "key", None)
@@ -115,17 +130,27 @@ class BatchResult:
 class _Connection:
     """One live TCP connection with its incremental response parser."""
 
-    __slots__ = ("reader", "writer", "parser")
+    __slots__ = ("reader", "writer", "parser", "scratch")
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self.reader = reader
         self.writer = writer
         self.parser = ResponseParser()
+        # reusable encode buffer: the whole pipelined batch serializes into
+        # it (scatter-gather style) and goes out in ONE transport write
+        self.scratch = bytearray()
 
     async def execute(self, commands: Sequence[object], timeout: Optional[float]) -> List[object]:
-        payload = b"".join(encode_command(c) for c in commands)
-        self.writer.write(payload)
-        await self.writer.drain()
+        scratch = self.scratch
+        del scratch[:]
+        for command in commands:
+            encode_command_into(scratch, command)
+        self.writer.write(bytes(scratch))
+        if len(scratch) >= CORK_BYTES:
+            # only a payload that can cross the transport's high-water
+            # mark needs the drain handshake; small frames stay corked
+            # and flush while we await the first response
+            await self.writer.drain()
         responses = []
         for _ in commands:
             responses.append(
@@ -171,7 +196,17 @@ class AsyncStoreClient:
             to the server on GET lines; slow/shed/breaker-rejected
             requests are force-sampled even when the head decision said
             no.  ``None`` (default) keeps the request path untouched.
+        batching: how :meth:`get_many`/:meth:`set_many` hit the wire.
+            ``"mget"`` (default) sends one first-class MGET/MSET frame and
+            transparently falls back to per-key commands against an old
+            server (negotiated once, cached in :attr:`batch_supported`);
+            ``"get"`` sends the legacy multi-key ``get`` line; ``"none"``
+            sends one frame per key — the A/B baseline the net benchmark
+            measures against.
     """
+
+    #: batching modes accepted by the constructor
+    BATCHING_MODES = ("mget", "get", "none")
 
     def __init__(
         self,
@@ -183,9 +218,17 @@ class AsyncStoreClient:
         rng: Optional[random.Random] = None,
         breaker: Optional[CircuitBreaker] = None,
         tracer: Optional["tracing.Tracer"] = None,
+        batching: str = "mget",
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if batching not in self.BATCHING_MODES:
+            raise ValueError(f"batching must be one of {self.BATCHING_MODES}")
+        self.batching = batching
+        #: MGET/MSET support on the far side: ``None`` until the first
+        #: batched call negotiates it, then ``True``/``False`` for the
+        #: client's lifetime (one probe per endpoint, not per call)
+        self.batch_supported: Optional[bool] = None
         self.host = host
         self.port = port
         self.pool_size = pool_size
@@ -473,10 +516,66 @@ class AsyncStoreClient:
 
     # -- pipelined batches -----------------------------------------------------
 
+    @staticmethod
+    def _batch_refused(response) -> bool:
+        """Did the server answer ``CLIENT_ERROR unknown command``?
+
+        That is the negotiation signal from a build that predates
+        MGET/MSET; the text server also closes the connection after a
+        protocol error, but the reply flushes first, so the client sees
+        it.  Callers must follow up with :meth:`_discard_refused` so the
+        per-key replay never checks out the dead connection.
+        """
+        return isinstance(response, SimpleResponse) and response.line.startswith(
+            _UNKNOWN_COMMAND
+        )
+
+    async def _discard_refused(self) -> None:
+        """Drop idle pooled connections after a batch refusal.
+
+        The old server closed the connection that saw the unknown
+        command, and that connection was just returned to the idle pool;
+        closing the idle set (a one-time negotiation event) guarantees
+        the fallback replay dials fresh even under ``NO_RETRY``.
+        """
+        self.batch_supported = False
+        while self._idle:
+            await self._idle.popleft().aclose()
+
     async def get_many(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:
-        """Multi-key GET in one round trip."""
+        """Multi-key GET; ``{key: value}`` of the hits.
+
+        One MGET frame per call under ``batching="mget"`` (one parse, one
+        vectored dispatch, one response encode server-side); against an
+        old server the first call negotiates the fallback — per-key GET
+        frames, still pipelined in one round trip — and the outcome is
+        cached in :attr:`batch_supported` for the client's lifetime.
+        """
         if not keys:
             return {}
+        if self.batching == "mget" and self.batch_supported is not False:
+            result = await self.execute([MultiGetCommand(keys=tuple(keys))])
+            response = result[0]
+            if isinstance(response, GetResponse):
+                self.batch_supported = True
+                return {v.key: v.value for v in response.values}
+            if not self._batch_refused(response):
+                raise _unexpected(response, "MGET")
+            await self._discard_refused()
+        if self.batching == "none" or (
+            self.batching == "mget" and self.batch_supported is False
+        ):
+            # per-key frames (fallback, or the explicit A/B baseline),
+            # still pipelined into one round trip
+            commands = [GetCommand(keys=(key,)) for key in keys]
+            result = await self.execute(commands)
+            out: Dict[bytes, bytes] = {}
+            for key, response in zip(keys, result):
+                if not isinstance(response, GetResponse):
+                    raise _unexpected(response, "GET")
+                if response.values:
+                    out[key] = response.values[0].value
+            return out
         result = await self.execute([GetCommand(keys=tuple(keys))])
         response = result[0]
         if not isinstance(response, GetResponse):
@@ -486,9 +585,34 @@ class AsyncStoreClient:
     async def set_many(
         self, items: Sequence[Tuple[bytes, bytes, int]], exptime: float = 0
     ) -> int:
-        """Pipelined SETs of (key, value, cost) triples; returns #stored."""
+        """SETs of (key, value, cost) triples; returns #stored.
+
+        One MSET frame per call under ``batching="mget"``, with the same
+        negotiated per-key fallback as :meth:`get_many`.
+        """
         if not items:
             return 0
+        if self.batching == "mget" and self.batch_supported is not False:
+            command = MultiSetCommand(
+                items=tuple(
+                    StoreCommand(verb="set", key=key, flags=0,
+                                 exptime=exptime, value=value, cost=cost)
+                    for key, value, cost in items
+                )
+            )
+            result = await self.execute([command])
+            response = result[0]
+            if isinstance(response, MultiSetResponse):
+                self.batch_supported = True
+                if len(response.statuses) != len(items):
+                    raise ProtocolError(
+                        "MSET answered %d statuses for %d items"
+                        % (len(response.statuses), len(items))
+                    )
+                return response.stored
+            if not self._batch_refused(response):
+                raise _unexpected(response, "MSET")
+            await self._discard_refused()
         commands = [
             StoreCommand(verb="set", key=key, flags=0, exptime=exptime,
                          value=value, cost=cost)

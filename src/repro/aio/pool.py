@@ -20,6 +20,30 @@ from repro.obs.aggregate import sum_numeric_stats
 from repro.obs.trace import key_fingerprint
 
 
+class MultiGetResult(Dict[bytes, bytes]):
+    """A ``multi_get`` result: the merged hits, plus per-key attribution.
+
+    Behaves exactly like the plain ``{key: value}`` dict older callers
+    expect.  :attr:`errors` adds the partial-failure attribution: for
+    every key whose owning node's request failed, the exception that
+    killed that node's batch — so a caller can distinguish "miss" (absent
+    from both) from "unknown, the shard was down" (present in
+    :attr:`errors`) and retry exactly the affected keys.
+    """
+
+    __slots__ = ("errors",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: key -> the exception its owning node's request raised
+        self.errors: Dict[bytes, BaseException] = {}
+
+    @property
+    def complete(self) -> bool:
+        """True when every key was actually answered by a live node."""
+        return not self.errors
+
+
 class AsyncStorePool:
     """One logical cache over many async clients behind a hash ring.
 
@@ -62,6 +86,19 @@ class AsyncStorePool:
     @property
     def clients(self) -> Dict[str, AsyncStoreClient]:
         return dict(self._clients)
+
+    @property
+    def batch_support(self) -> Dict[str, Optional[bool]]:
+        """Negotiated MGET/MSET support per node.
+
+        ``None`` = not probed yet, ``True``/``False`` once the node's
+        client has negotiated (the outcome is cached on the client, so a
+        mixed-version fleet settles after one probe per node).
+        """
+        return {
+            name: client.batch_supported
+            for name, client in self._clients.items()
+        }
 
     def node_for(self, key: bytes) -> str:
         node = self._ring.node_for(key)
@@ -147,25 +184,31 @@ class AsyncStorePool:
 
     async def multi_get(
         self, keys: Sequence[bytes], partial: bool = False
-    ) -> Dict[bytes, bytes]:
+    ) -> MultiGetResult:
         """Concurrent multi-key GET: group per node, fan out, merge.
 
-        Each node receives one pipelined ``get`` carrying all its keys;
-        the node requests run concurrently under ``asyncio.gather``.
+        Each node receives exactly **one** MGET frame carrying all its
+        keys (the client negotiates a per-key fallback against old
+        servers); the node requests run concurrently under
+        ``asyncio.gather``.
 
         Partial-failure contract: by default a node whose request fails
         (after the client's own retries, or fast via an open circuit
         breaker) makes the *whole* call raise that node's error — but only
         after every other node's request has completed, so no fan-out task
-        is left running.  With ``partial=True`` the failed node's keys are
-        instead treated as misses and the merged dict carries whatever the
-        live nodes returned; per-node failures are tallied in
-        :attr:`node_failures`.  Breaker short-circuiting preserves both
-        shapes — it only changes how fast the dead node's error arrives.
+        is left running.  With ``partial=True`` the call instead returns a
+        :class:`MultiGetResult`: the merged hits from the live nodes, and
+        — the per-key attribution the old all-or-nothing shape lost —
+        ``result.errors[key]`` holding the failed node's exception for
+        every key that node owned, so "miss" and "shard down" are
+        distinguishable and callers can retry exactly the affected keys.
+        Per-node failures are also tallied in :attr:`node_failures`.
+        Breaker short-circuiting preserves both shapes — it only changes
+        how fast the dead node's error arrives.
         """
         grouped = self.group_by_node(keys)
         if not grouped:
-            return {}
+            return MultiGetResult()
         nodes = list(grouped)
         tracer = self.tracer
         root = None
@@ -199,12 +242,14 @@ class AsyncStorePool:
                 tracing.deactivate(context_token)
             if root is not None:
                 tracer.end(root)
-        merged: Dict[bytes, bytes] = {}
+        merged = MultiGetResult()
         first_error: Optional[BaseException] = None
         for node, found in zip(nodes, results):
             self.node_ops[node] += 1
             if isinstance(found, BaseException):
                 self.node_failures[node] = self.node_failures.get(node, 0) + 1
+                for key in grouped[node]:
+                    merged.errors[key] = found
                 if first_error is None:
                     first_error = found
                 continue

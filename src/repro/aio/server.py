@@ -26,6 +26,13 @@ from repro.resilience.overload import OverloadPolicy
 #: Per-read chunk; large enough that a deep pipeline arrives in few reads.
 READ_SIZE = 65536
 
+#: Adaptive write coalescing: responses below this skip the ``drain()``
+#: handshake (it only ever blocks above the transport's high-water mark),
+#: saving one coroutine hop per pipelined batch.  Undrained bytes are
+#: tracked cumulatively so a client that stops reading still backpressures
+#: within one cork window.
+CORK_BYTES = 64 * 1024
+
 TOO_MANY_CONNECTIONS = b"SERVER_ERROR too many connections\r\n"
 
 
@@ -47,6 +54,8 @@ class AsyncTCPStoreServer:
         tracer: optional :class:`~repro.obs.tracing.Tracer` forwarded to
             the protocol engine so sampled requests record server-side
             spans (see :meth:`StoreServer.dispatch`).
+        accept_batch: forwarded to :class:`StoreServer` — ``False``
+            emulates a pre-MGET build (compat-matrix tests).
     """
 
     def __init__(
@@ -59,11 +68,12 @@ class AsyncTCPStoreServer:
         registry: Optional[MetricsRegistry] = None,
         overload: Optional[OverloadPolicy] = None,
         tracer=None,
+        accept_batch: bool = True,
     ) -> None:
         if engine is None:
             if store is None:
                 raise ValueError("either store or engine is required")
-            engine = StoreServer(store, tracer=tracer)
+            engine = StoreServer(store, tracer=tracer, accept_batch=accept_batch)
         elif tracer is not None and engine.tracer is None:
             engine.tracer = tracer
         self.engine = engine
@@ -230,6 +240,7 @@ class AsyncTCPStoreServer:
             if self.overload is not None:
                 await self._serve_protected(reader, writer, connection)
             else:
+                undrained = 0
                 while connection.open:
                     data = await reader.read(READ_SIZE)
                     if not data:
@@ -241,9 +252,14 @@ class AsyncTCPStoreServer:
                     if response:
                         self._bytes_out.inc(len(response))
                         writer.write(response)
-                        # backpressure: suspend this connection (only) until
-                        # the client drains its receive window
-                        await writer.drain()
+                        # adaptive cork: small replies skip the drain
+                        # handshake; backpressure (suspending only this
+                        # connection) still kicks in within one cork
+                        # window of unread bytes
+                        undrained += len(response)
+                        if undrained >= CORK_BYTES:
+                            await writer.drain()
+                            undrained = 0
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         finally:

@@ -103,6 +103,19 @@ class ThreadSafeStore:
     def get(self, key: bytes) -> Optional[Item]:
         return self._locked(self._store.get, key)
 
+    def get_many(self, keys):
+        """Vectored GET under **one** lock acquisition for the whole batch.
+
+        This is the server-side half of the MGET story: an N-key frame
+        pays the lock handshake once instead of N times, and the batch
+        reads a consistent point-in-time view of the store.
+        """
+        return self._locked(self._store.get_many, keys)
+
+    def set_many(self, entries):
+        """Vectored SET under one lock acquisition (see ``KVStore.set_many``)."""
+        return self._locked(self._store.set_many, entries)
+
     def set(self, key: bytes, value: bytes, cost: int = 0,
             exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
         return self._locked(self._store.set, key, value, cost, exptime, flags)

@@ -26,7 +26,11 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import EventTrace, EvictionEvent, SlabMoveEvent, key_fingerprint
 from repro.obs.tracing import child_span, finish_span
 from repro.kvstore.clock import SimClock
-from repro.kvstore.errors import OutOfMemoryError, NotStoredError
+from repro.kvstore.errors import (
+    NotStoredError,
+    ObjectTooLargeError,
+    OutOfMemoryError,
+)
 from repro.kvstore.hashtable import HashTable
 from repro.kvstore.item import Item, NEVER_EXPIRES
 from repro.kvstore.rebalance import NullRebalancer, Rebalancer
@@ -411,6 +415,38 @@ class KVStore:
             policy = self.policy_for(slab_class)
         policy.touch(item)
         return item
+
+    def get_many(self, keys) -> List[Optional[Item]]:
+        """Vectored GET: one item (or ``None``) per key, in key order.
+
+        The per-key semantics are exactly :meth:`get` (expiry, policy
+        touch, tier promotion, stats); the vectored form exists so the
+        serving layer can dispatch a whole MGET frame in one store call —
+        one lock acquisition on a :class:`ThreadSafeStore`, one dispatch
+        entry on the protocol engine.
+        """
+        get = self.get
+        return [get(key) for key in keys]
+
+    def set_many(self, entries) -> List[object]:
+        """Vectored SET of ``(key, value, cost, exptime, flags)`` entries.
+
+        Returns one result per entry, in order: the stored :class:`Item`
+        on success, or the raised storage error instance
+        (:class:`ObjectTooLargeError` / :class:`OutOfMemoryError`) on
+        failure — errors are per-entry data, never aborts, so one
+        oversized value cannot void the rest of an MSET batch.
+        """
+        results: List[object] = []
+        set_ = self.set
+        for key, value, cost, exptime, flags in entries:
+            try:
+                results.append(
+                    set_(key, value, cost=cost, exptime=exptime, flags=flags)
+                )
+            except (ObjectTooLargeError, OutOfMemoryError) as exc:
+                results.append(exc)
+        return results
 
     def contains(self, key: bytes) -> bool:
         """Presence check without stats or policy side effects."""

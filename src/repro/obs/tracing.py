@@ -498,22 +498,31 @@ class Tracer:
     # -- store instrumentation -------------------------------------------------
 
     def instrument_store(self, store) -> None:
-        """Shadow ``get``/``set``/``delete`` with span-aware wrappers.
+        """Shadow store operations with span-aware wrappers.
 
-        The wrapper charges untraced operations exactly one ContextVar
-        read (the same instance-attribute shadowing trick the metrics
-        registry uses); with no tracer attached to the server the store
-        is never wrapped at all.
+        Covers the per-key ops (``get``/``set``/``delete``) and the
+        vectored batch ops (``get_many``/``set_many``) so an MGET frame's
+        store work lands as one child span under the frame's
+        ``server.dispatch`` — sharing the batch's trace id — instead of N
+        per-key spans.  The wrapper charges untraced operations exactly
+        one ContextVar read (the same instance-attribute shadowing trick
+        the metrics registry uses); with no tracer attached to the server
+        the store is never wrapped at all.
         """
-        for op in ("get", "set", "delete"):
-            setattr(store, op, self._traced_op(getattr(store, op), f"store.{op}"))
+        for op in ("get", "set", "delete", "get_many", "set_many"):
+            fn = getattr(store, op, None)
+            if fn is not None:
+                setattr(store, op, self._traced_op(fn, f"store.{op}"))
 
     def _traced_op(self, fn, name: str):
         get_active = CURRENT.get
 
         def traced(key, *args, **kwargs):
             live = get_active()
-            if not isinstance(live, Span):
+            # a live store.* parent means we're inside a vectored op
+            # (get_many fans out to self.get): the batch span already
+            # covers the work, so per-key children stay unrecorded
+            if not isinstance(live, Span) or live.name.startswith("store."):
                 return fn(key, *args, **kwargs)
             span = self.start_span(name, parent=live)
             token = CURRENT.set(span)
@@ -536,19 +545,23 @@ def attach_context(commands: Iterable, context: TraceContext) -> List:
     """Attach ``context`` to a batch for the text protocol.
 
     GET commands grow the pseudo-key token (old servers answer it as a
-    miss); every other command is forwarded untouched, because old
-    parsers reject unknown tokens on storage lines — those hops stay
-    client-side-only in the trace.
+    miss); an MGET frame fills its first-class ``trace_token`` slot —
+    exactly one context for the whole batch, never one per key.  Every
+    other command is forwarded untouched, because old parsers reject
+    unknown tokens on storage lines — those hops stay client-side-only
+    in the trace.
     """
     from dataclasses import replace
 
-    from repro.protocol.commands import GetCommand
+    from repro.protocol.commands import GetCommand, MultiGetCommand
 
     token = encode_token(context)
     out = []
     for command in commands:
         if isinstance(command, GetCommand):
             out.append(replace(command, keys=command.keys + (token,)))
+        elif isinstance(command, MultiGetCommand):
+            out.append(replace(command, trace_token=token))
         else:
             out.append(command)
     return out

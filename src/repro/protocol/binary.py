@@ -22,6 +22,23 @@ of costs interoperate, matching the paper's compatibility story.
 INCR/DECR carry ``delta(8) initial(8) exptime(4)`` extras and return the
 8-byte counter value; GET responses carry ``flags(4)`` extras.  CAS rides
 in the header's cas field, as in stock memcached.
+
+**Batched frames (this repo's extension, PR 8).**  ``OP_MGET`` (0x30) and
+``OP_MSET`` (0x31) live in the vendor opcode range, clear of every stock
+opcode, and carry a whole batch in one frame's value::
+
+    MGET request value   count(4) then count × [klen(2) key]
+    MGET response value  count(4) then count × [klen(2) flags(4) vlen(4)
+                         key value]            (found items only)
+    MSET request value   count(4) then count × [klen(2) flags(4)
+                         exptime(4) cost(4) vlen(4) key value]
+    MSET response value  count(4) then count × [status(2)]  (in item order)
+
+An MGET request may carry the 17-byte trace-context extras — **one**
+context for the whole frame, where the per-key path pays one per key.  A
+server that predates these opcodes answers ``STATUS_UNKNOWN_COMMAND``
+with the connection still open; clients treat that as the negotiation
+signal and fall back to per-key operations (cached per connection).
 """
 
 from __future__ import annotations
@@ -62,6 +79,10 @@ OP_APPEND = 0x0E
 OP_PREPEND = 0x0F
 OP_STAT = 0x10
 OP_TOUCH = 0x1C
+
+# -- batched opcodes (this repo's extension; vendor range, clear of stock ops) --
+OP_MGET = 0x30
+OP_MSET = 0x31
 
 # -- status codes ---------------------------------------------------------------
 STATUS_OK = 0x0000
@@ -121,13 +142,30 @@ def response(opcode: int, status: int = STATUS_OK, key: bytes = b"",
 
 
 class BinaryParser:
-    """Incremental frame parser (request or response side)."""
+    """Incremental frame parser (request or response side).
+
+    Single-pass and zero-copy: header fields unpack in place
+    (``unpack_from`` at the consumed offset) and each body part —
+    extras, key, value — is copied out of the receive buffer exactly
+    once, through a :class:`memoryview`, directly into its final
+    ``bytes`` object.  The old parser sliced the whole body out first
+    (``bytes(buffer[24:total])``) and then sliced that copy three more
+    times: 2× the bytes moved, plus a ``del buffer[:total]`` compaction
+    per frame.  Consumed frames now just advance ``_start``; the buffer
+    compacts once per :meth:`feed`, amortized across a pipelined batch.
+    """
+
+    __slots__ = ("_buffer", "_start", "_expect_magic")
 
     def __init__(self, expect_magic: int) -> None:
         self._buffer = bytearray()
+        self._start = 0
         self._expect_magic = expect_magic
 
     def feed(self, data: bytes) -> None:
+        if self._start:
+            del self._buffer[: self._start]
+            self._start = 0
         self._buffer.extend(data)
 
     def __iter__(self) -> Iterator[BinaryFrame]:
@@ -138,10 +176,12 @@ class BinaryParser:
             yield frame
 
     def try_parse(self) -> Optional[BinaryFrame]:
-        if len(self._buffer) < HEADER_SIZE:
+        buffer = self._buffer
+        start = self._start
+        if len(buffer) - start < HEADER_SIZE:
             return None
         (magic, opcode, key_len, extras_len, data_type, status, body_len,
-         opaque, cas) = HEADER.unpack_from(self._buffer)
+         opaque, cas) = HEADER.unpack_from(buffer, start)
         if magic != self._expect_magic:
             raise ProtocolError(f"bad magic byte 0x{magic:02x}")
         if data_type != 0:
@@ -149,13 +189,18 @@ class BinaryParser:
         if extras_len + key_len > body_len:
             raise ProtocolError("body length inconsistent with key/extras")
         total = HEADER_SIZE + body_len
-        if len(self._buffer) < total:
+        if len(buffer) - start < total:
             return None
-        body = bytes(self._buffer[HEADER_SIZE:total])
-        del self._buffer[:total]
-        extras = body[:extras_len]
-        key = body[extras_len : extras_len + key_len]
-        value = body[extras_len + key_len :]
+        extras_off = start + HEADER_SIZE
+        key_off = extras_off + extras_len
+        value_off = key_off + key_len
+        end = start + total
+        # scoped view: released before any feed() can resize the buffer
+        with memoryview(buffer) as view:
+            extras = bytes(view[extras_off:key_off])
+            key = bytes(view[key_off:value_off])
+            value = bytes(view[value_off:end])
+        self._start = end
         return BinaryFrame(magic=magic, opcode=opcode, status=status,
                            opaque=opaque, cas=cas, extras=extras, key=key,
                            value=value)
@@ -186,6 +231,152 @@ def unpack_store_extras(extras: bytes) -> Tuple[int, int, int]:
     raise ProtocolError(f"bad storage extras length {len(extras)}")
 
 
+# -- batched frame value codecs (OP_MGET / OP_MSET) -----------------------------
+
+_BATCH_COUNT = struct.Struct(">I")
+_MGET_KEY = struct.Struct(">H")  # klen
+_MGET_ITEM = struct.Struct(">HII")  # klen, flags, vlen
+_MSET_ITEM = struct.Struct(">HIIII")  # klen, flags, exptime, cost, vlen
+_MSET_STATUS = struct.Struct(">H")
+
+#: upper bound on items per batched frame (mirrors text MAX_MSET_ITEMS)
+MAX_BATCH_ITEMS = 4096
+
+
+def pack_mget_value(keys) -> bytes:
+    """Request value for OP_MGET: ``count`` then length-prefixed keys."""
+    out = bytearray(_BATCH_COUNT.pack(len(keys)))
+    for key in keys:
+        out += _MGET_KEY.pack(len(key))
+        out += key
+    return bytes(out)
+
+
+def unpack_mget_value(value: bytes) -> Tuple[bytes, ...]:
+    """Decode an OP_MGET request value into its key tuple."""
+    if len(value) < _BATCH_COUNT.size:
+        raise ProtocolError("truncated mget body")
+    (count,) = _BATCH_COUNT.unpack_from(value)
+    if count > MAX_BATCH_ITEMS:
+        raise ProtocolError(f"mget batch too large ({count})")
+    keys = []
+    offset = _BATCH_COUNT.size
+    with memoryview(value) as view:
+        for _ in range(count):
+            if len(value) - offset < _MGET_KEY.size:
+                raise ProtocolError("truncated mget body")
+            (klen,) = _MGET_KEY.unpack_from(value, offset)
+            offset += _MGET_KEY.size
+            if len(value) - offset < klen:
+                raise ProtocolError("truncated mget body")
+            keys.append(bytes(view[offset : offset + klen]))
+            offset += klen
+    if offset != len(value):
+        raise ProtocolError("trailing bytes after mget body")
+    return tuple(keys)
+
+
+def pack_mget_reply_value(keys, items) -> bytes:
+    """Response value for OP_MGET: found items only, in key order."""
+    out = bytearray(_BATCH_COUNT.size)
+    found = 0
+    for key, item in zip(keys, items):
+        if item is None:
+            continue
+        found += 1
+        out += _MGET_ITEM.pack(len(key), item.flags, len(item.value))
+        out += key
+        out += item.value
+    _BATCH_COUNT.pack_into(out, 0, found)
+    return bytes(out)
+
+
+def unpack_mget_reply_value(value: bytes):
+    """Decode an OP_MGET response value to ``[(key, flags, value)]``."""
+    if len(value) < _BATCH_COUNT.size:
+        raise ProtocolError("truncated mget reply")
+    (count,) = _BATCH_COUNT.unpack_from(value)
+    if count > MAX_BATCH_ITEMS:
+        raise ProtocolError(f"mget reply too large ({count})")
+    out = []
+    offset = _BATCH_COUNT.size
+    with memoryview(value) as view:
+        for _ in range(count):
+            if len(value) - offset < _MGET_ITEM.size:
+                raise ProtocolError("truncated mget reply")
+            klen, flags, vlen = _MGET_ITEM.unpack_from(value, offset)
+            offset += _MGET_ITEM.size
+            if len(value) - offset < klen + vlen:
+                raise ProtocolError("truncated mget reply")
+            key = bytes(view[offset : offset + klen])
+            offset += klen
+            item_value = bytes(view[offset : offset + vlen])
+            offset += vlen
+            out.append((key, flags, item_value))
+    if offset != len(value):
+        raise ProtocolError("trailing bytes after mget reply")
+    return out
+
+
+def pack_mset_value(items) -> bytes:
+    """Request value for OP_MSET from ``(key, value, cost, exptime, flags)``."""
+    out = bytearray(_BATCH_COUNT.pack(len(items)))
+    for key, value, cost, exptime, flags in items:
+        out += _MSET_ITEM.pack(len(key), flags, exptime, cost, len(value))
+        out += key
+        out += value
+    return bytes(out)
+
+
+def unpack_mset_value(value: bytes):
+    """Decode an OP_MSET request value to ``[(key, flags, exptime, cost, value)]``."""
+    if len(value) < _BATCH_COUNT.size:
+        raise ProtocolError("truncated mset body")
+    (count,) = _BATCH_COUNT.unpack_from(value)
+    if count > MAX_BATCH_ITEMS:
+        raise ProtocolError(f"mset batch too large ({count})")
+    out = []
+    offset = _BATCH_COUNT.size
+    with memoryview(value) as view:
+        for _ in range(count):
+            if len(value) - offset < _MSET_ITEM.size:
+                raise ProtocolError("truncated mset body")
+            klen, flags, exptime, cost, vlen = _MSET_ITEM.unpack_from(
+                value, offset
+            )
+            offset += _MSET_ITEM.size
+            if len(value) - offset < klen + vlen:
+                raise ProtocolError("truncated mset body")
+            key = bytes(view[offset : offset + klen])
+            offset += klen
+            item_value = bytes(view[offset : offset + vlen])
+            offset += vlen
+            out.append((key, flags, exptime, cost, item_value))
+    if offset != len(value):
+        raise ProtocolError("trailing bytes after mset body")
+    return out
+
+
+def pack_mset_reply_value(statuses) -> bytes:
+    """Response value for OP_MSET: per-item status codes, in order."""
+    out = bytearray(_BATCH_COUNT.pack(len(statuses)))
+    for status in statuses:
+        out += _MSET_STATUS.pack(status)
+    return bytes(out)
+
+
+def unpack_mset_reply_value(value: bytes) -> Tuple[int, ...]:
+    if len(value) < _BATCH_COUNT.size:
+        raise ProtocolError("truncated mset reply")
+    (count,) = _BATCH_COUNT.unpack_from(value)
+    if len(value) != _BATCH_COUNT.size + count * _MSET_STATUS.size:
+        raise ProtocolError("mset reply length mismatch")
+    return tuple(
+        _MSET_STATUS.unpack_from(value, _BATCH_COUNT.size + i * _MSET_STATUS.size)[0]
+        for i in range(count)
+    )
+
+
 class BinaryStoreServer:
     """Dispatches binary frames onto a :class:`KVStore`.
 
@@ -200,9 +391,14 @@ class BinaryStoreServer:
     VERSION = b"gdwheel-repro-1.0"
 
     def __init__(self, store: KVStore,
-                 tracer: Optional["tracing.Tracer"] = None) -> None:
+                 tracer: Optional["tracing.Tracer"] = None,
+                 accept_batch: bool = True) -> None:
         self.store = store
         self.tracer = tracer
+        # False emulates a pre-MGET build: the batched opcodes fall through
+        # to STATUS_UNKNOWN_COMMAND (connection stays open), which is the
+        # client's signal to fall back to per-key operations.
+        self.accept_batch = accept_batch
 
     def handle_bytes(self, parser: BinaryParser, data: bytes) -> Tuple[bytes, bool]:
         out = bytearray()
@@ -218,6 +414,14 @@ class BinaryStoreServer:
             out += response(0, status=STATUS_UNKNOWN_COMMAND).pack()
             return bytes(out), False
         return bytes(out), True
+
+    def _get_many(self, keys):
+        """Vectored read: one store call for the batch when supported."""
+        get_many = getattr(self.store, "get_many", None)
+        if get_many is not None:
+            return get_many(keys)
+        get = self.store.get
+        return [get(key) for key in keys]
 
     def dispatch(self, frame: BinaryFrame) -> Tuple[Optional[BinaryFrame], bool]:
         store = self.store
@@ -243,6 +447,72 @@ class BinaryStoreServer:
             return (
                 response(op, extras=_GET_EXTRAS.pack(item.flags),
                          value=item.value, opaque=opq, cas=item.cas_unique),
+                True,
+            )
+
+        if op == OP_MGET and self.accept_batch:
+            try:
+                keys = unpack_mget_value(frame.value)
+            except ProtocolError:
+                return response(op, STATUS_INVALID_ARGUMENTS, opaque=opq), True
+            tracer = self.tracer
+            context = (
+                tracing.unpack_trace_extras(frame.extras)
+                if tracer is not None and frame.extras else None
+            )
+            # one span for the whole frame — batching collapses N per-key
+            # trace contexts into one
+            if context is not None and context.sampled:
+                with tracer.span(
+                    "server.dispatch", trace_id=context.trace_id,
+                    parent_id=context.span_id, cmd="mget", proto="binary",
+                    nkeys=len(keys),
+                ):
+                    items = self._get_many(keys)
+            else:
+                items = self._get_many(keys)
+            return (
+                response(op, value=pack_mget_reply_value(keys, items),
+                         opaque=opq),
+                True,
+            )
+
+        if op == OP_MSET and self.accept_batch:
+            try:
+                items = unpack_mset_value(frame.value)
+            except ProtocolError:
+                return response(op, STATUS_INVALID_ARGUMENTS, opaque=opq), True
+            now = store.clock.now
+            entries = [
+                (key, value, cost,
+                 now + exptime if exptime else NEVER_EXPIRES, flags)
+                for key, flags, exptime, cost, value in items
+            ]
+            set_many = getattr(store, "set_many", None)
+            if set_many is not None:
+                results = set_many(entries)
+            else:
+                results = []
+                for key, value, cost, abs_exptime, flags in entries:
+                    try:
+                        results.append(store.set(key, value, cost=cost,
+                                                 exptime=abs_exptime,
+                                                 flags=flags))
+                    except (ObjectTooLargeError, OutOfMemoryError) as exc:
+                        results.append(exc)
+            statuses = []
+            for result in results:
+                if isinstance(result, ObjectTooLargeError):
+                    statuses.append(STATUS_VALUE_TOO_LARGE)
+                elif isinstance(result, OutOfMemoryError):
+                    statuses.append(STATUS_OUT_OF_MEMORY)
+                elif isinstance(result, BaseException):
+                    statuses.append(STATUS_NOT_STORED)
+                else:
+                    statuses.append(STATUS_OK)
+            return (
+                response(op, value=pack_mset_reply_value(statuses),
+                         opaque=opq),
                 True,
             )
 
@@ -389,6 +659,10 @@ class BinaryClient:
         self._request_parser = BinaryParser(MAGIC_REQUEST)
         self._response_parser = BinaryParser(MAGIC_RESPONSE)
         self._opaque = 0
+        #: MGET/MSET support, negotiated once per connection: None until
+        #: the first batched call, then True, or False after the server
+        #: answered STATUS_UNKNOWN_COMMAND (per-key fallback from then on).
+        self.batch_supported: Optional[bool] = None
 
     def _roundtrip(self, frame: BinaryFrame) -> BinaryFrame:
         self._opaque += 1
@@ -426,6 +700,71 @@ class BinaryClient:
         extras = tracing.pack_trace_extras(context) if context is not None else b""
         reply = self._roundtrip(request(OP_GET, key=key, extras=extras))
         return reply.value if reply.status == STATUS_OK else None
+
+    def get_many(self, keys,
+                 context: Optional["tracing.TraceContext"] = None) -> dict:
+        """Fetch a key batch with one OP_MGET frame; ``{key: value}`` of hits.
+
+        Falls back to per-key GETs against a server that answers
+        ``STATUS_UNKNOWN_COMMAND`` (a build without the batched opcodes);
+        the outcome is cached in :attr:`batch_supported` so the fallback
+        is negotiated once per connection, not per call.
+        """
+        keys = list(keys)
+        if not keys:
+            return {}
+        if self.batch_supported is not False:
+            extras = (
+                tracing.pack_trace_extras(context) if context is not None
+                else b""
+            )
+            reply = self._roundtrip(
+                request(OP_MGET, value=pack_mget_value(keys), extras=extras)
+            )
+            if reply.status == STATUS_OK:
+                self.batch_supported = True
+                return {
+                    key: value
+                    for key, _flags, value in unpack_mget_reply_value(reply.value)
+                }
+            if reply.status != STATUS_UNKNOWN_COMMAND:
+                raise ProtocolError(f"mget failed with status {reply.status}")
+            self.batch_supported = False
+        out = {}
+        for key in keys:
+            value = self.get(key, context=context)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def set_many(self, entries) -> Tuple[int, ...]:
+        """Store ``(key, value, cost, exptime, flags)`` entries in one
+        OP_MSET frame; returns per-item status codes in entry order.
+
+        Same negotiation as :meth:`get_many`: an old server's
+        ``STATUS_UNKNOWN_COMMAND`` flips :attr:`batch_supported` and the
+        batch is replayed as per-key SETs.
+        """
+        entries = list(entries)
+        if not entries:
+            return ()
+        if self.batch_supported is not False:
+            reply = self._roundtrip(
+                request(OP_MSET, value=pack_mset_value(entries))
+            )
+            if reply.status == STATUS_OK:
+                self.batch_supported = True
+                statuses = unpack_mset_reply_value(reply.value)
+                if len(statuses) != len(entries):
+                    raise ProtocolError("mset reply count mismatch")
+                return statuses
+            if reply.status != STATUS_UNKNOWN_COMMAND:
+                raise ProtocolError(f"mset failed with status {reply.status}")
+            self.batch_supported = False
+        return tuple(
+            self.set(key, value, cost=cost, exptime=exptime, flags=flags)
+            for key, value, cost, exptime, flags in entries
+        )
 
     def gets(self, key: bytes) -> Optional[Tuple[bytes, int]]:
         reply = self._roundtrip(request(OP_GET, key=key))

@@ -19,6 +19,9 @@ from repro.protocol.commands import (
     GetCommand,
     GetResponse,
     IncrCommand,
+    MultiGetCommand,
+    MultiSetCommand,
+    MultiSetResponse,
     NumberResponse,
     ProtocolError,
     SimpleResponse,
@@ -45,13 +48,21 @@ class Transport:
 
 
 class LoopbackTransport(Transport):
-    """Wraps :class:`LoopbackConnection` (synchronous: send returns reply)."""
+    """Wraps :class:`LoopbackConnection` (synchronous: send returns reply).
+
+    Emulates a pooled TCP client's redial: when the server closed the
+    connection (``quit``, protocol error — including an old server
+    refusing ``mget``), the next send opens a fresh connection to the
+    same engine instead of failing forever.
+    """
 
     def __init__(self, connection: LoopbackConnection) -> None:
         self._connection = connection
         self._pending = b""
 
     def send(self, data: bytes) -> None:
+        if not self._connection.open:
+            self._connection = LoopbackConnection(self._connection.engine)
         self._pending += self._connection.send(data)
 
     def recv(self) -> bytes:
@@ -84,6 +95,9 @@ class CostAwareClient:
     def __init__(self, transport: Transport) -> None:
         self._transport = transport
         self._parser = ResponseParser()
+        #: MGET/MSET support, negotiated on first batched call (None =
+        #: unprobed; False = old server, per-key fallback from then on)
+        self.batch_supported: Optional[bool] = None
 
     @classmethod
     def loopback(cls, server) -> "CostAwareClient":
@@ -117,10 +131,63 @@ class CostAwareClient:
         return response.values[0].value if response.values else None
 
     def get_many(self, keys: List[bytes]) -> dict:
+        """Batched GET: one MGET frame, falling back (once) on old servers.
+
+        An old server answers ``CLIENT_ERROR unknown command`` and closes;
+        loopback transports survive that (the reply arrives first), and
+        the outcome is cached in :attr:`batch_supported` so only the first
+        call pays the probe.
+        """
+        if not keys:
+            return {}
+        if self.batch_supported is not False:
+            response = self._roundtrip(MultiGetCommand(keys=tuple(keys)))
+            if isinstance(response, GetResponse):
+                self.batch_supported = True
+                return {v.key: v.value for v in response.values}
+            if not (
+                isinstance(response, SimpleResponse)
+                and response.line.startswith(b"CLIENT_ERROR unknown command")
+            ):
+                raise ProtocolError(f"unexpected MGET response: {response!r}")
+            self.batch_supported = False
         response = self._roundtrip(GetCommand(keys=tuple(keys)))
         if not isinstance(response, GetResponse):
             raise ProtocolError(f"unexpected GET response: {response!r}")
         return {v.key: v.value for v in response.values}
+
+    def set_many(self, items: List[Tuple[bytes, bytes, int]],
+                 exptime: float = 0) -> int:
+        """Batched SET of (key, value, cost) triples; returns #stored.
+
+        One MSET frame, with the same negotiated per-key fallback as
+        :meth:`get_many`.
+        """
+        if not items:
+            return 0
+        if self.batch_supported is not False:
+            command = MultiSetCommand(
+                items=tuple(
+                    StoreCommand(verb="set", key=key, flags=0,
+                                 exptime=exptime, value=value, cost=cost)
+                    for key, value, cost in items
+                )
+            )
+            response = self._roundtrip(command)
+            if isinstance(response, MultiSetResponse):
+                self.batch_supported = True
+                return response.stored
+            if not (
+                isinstance(response, SimpleResponse)
+                and response.line.startswith(b"CLIENT_ERROR unknown command")
+            ):
+                raise ProtocolError(f"unexpected MSET response: {response!r}")
+            self.batch_supported = False
+        stored = 0
+        for key, value, cost in items:
+            if self.set(key, value, cost=cost, exptime=exptime):
+                stored += 1
+        return stored
 
     def _store(self, verb: str, key: bytes, value: bytes, cost: int,
                exptime: float, flags: int) -> bool:

@@ -66,6 +66,42 @@ class StoreCommand:
 
 
 @dataclass(frozen=True)
+class MultiGetCommand:
+    """``mget <key>+ [tctx:...]`` — a first-class batched GET frame.
+
+    Unlike a multi-key ``get``, ``mget`` is dispatched *vectored*: the
+    server executes the whole key batch against the store in one call
+    (one lock acquisition on a :class:`~repro.kvstore.ThreadSafeStore`)
+    and encodes every response into one shared buffer.  ``trace_token``
+    carries at most one trace context for the entire frame — batching
+    collapses N per-key tokens into one.
+
+    A server that predates this command answers ``CLIENT_ERROR unknown
+    command`` (and closes), which is the negotiation signal clients use
+    to fall back to per-key GETs (see
+    :meth:`repro.aio.client.AsyncStoreClient.get_many`).
+    """
+
+    keys: Tuple[bytes, ...]
+    trace_token: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class MultiSetCommand:
+    """``mset <count> [noreply]`` followed by ``count`` item blocks.
+
+    Each item block is a storage spec line without the verb —
+    ``<key> <flags> <exptime> <bytes> [cost <cost>]`` plus its data
+    chunk — so one MSET frame carries a whole write batch with one
+    header line of framing overhead.  ``items`` reuses
+    :class:`StoreCommand` (verb ``"set"``) for dispatch symmetry.
+    """
+
+    items: Tuple[StoreCommand, ...]
+    noreply: bool = False
+
+
+@dataclass(frozen=True)
 class IncrCommand:
     """``incr/decr <key> <delta> [noreply]``."""
 
@@ -137,6 +173,23 @@ class NumberResponse:
 @dataclass(frozen=True)
 class GetResponse:
     values: Tuple[ValueResponse, ...]
+
+
+@dataclass(frozen=True)
+class MultiSetResponse:
+    """One ``MSET <status>...`` line: per-item storage outcomes, in order.
+
+    Statuses are the same words a single storage command would answer
+    (``STORED``, ``NOT_STORED``, ``SERVER_ERROR ...`` collapsed to
+    ``ERROR``), so a batch keeps per-key attribution while costing one
+    response frame.
+    """
+
+    statuses: Tuple[bytes, ...]
+
+    @property
+    def stored(self) -> int:
+        return sum(1 for status in self.statuses if status == b"STORED")
 
 
 @dataclass(frozen=True)

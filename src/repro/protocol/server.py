@@ -33,6 +33,9 @@ from repro.protocol.commands import (
     GetCommand,
     GetResponse,
     IncrCommand,
+    MultiGetCommand,
+    MultiSetCommand,
+    MultiSetResponse,
     NOT_FOUND,
     NOT_STORED,
     NumberResponse,
@@ -60,6 +63,10 @@ def command_label(command) -> str:
     """The metrics label for a parsed command (``cmd="get"`` etc.)."""
     if isinstance(command, GetCommand):
         return "gets" if command.with_cas else "get"
+    if isinstance(command, MultiGetCommand):
+        return "mget"
+    if isinstance(command, MultiSetCommand):
+        return "mset"
     if isinstance(command, StoreCommand):
         return command.verb
     if isinstance(command, IncrCommand):
@@ -104,6 +111,10 @@ class StoreServer:
             activates it, so store/tier spans nest under it); untraced
             commands pay one attribute check.  ``None`` (default) keeps
             dispatch byte-for-byte identical to the pre-tracing path.
+        accept_batch: when False the server refuses ``mget``/``mset``
+            with ``CLIENT_ERROR unknown command`` exactly like a build
+            that predates them — the knob compat-matrix tests use to
+            stand up an "old server" and exercise client fallback.
     """
 
     def __init__(
@@ -112,8 +123,10 @@ class StoreServer:
         registry: Optional[MetricsRegistry] = None,
         trace=None,
         tracer=None,
+        accept_batch: bool = True,
     ) -> None:
         self.store = store
+        self.accept_batch = accept_batch
         self.metrics = registry if registry is not None else store.metrics
         self.trace = trace if trace is not None else store.trace
         self.tracer = tracer
@@ -288,6 +301,24 @@ class StoreServer:
                         )
                     )
             return GetResponse(values=tuple(values)), True
+        if isinstance(command, MultiGetCommand):
+            # Vectored read: the whole batch goes through the store in one
+            # call (one lock acquisition on a ThreadSafeStore).
+            keys = command.keys
+            get_many = getattr(store, "get_many", None)
+            if get_many is not None:
+                items = get_many(keys)
+            else:  # store-like wrapper without the vectored API
+                items = [store.get(key) for key in keys]
+            values = []
+            for key, item in zip(keys, items):
+                if item is not None:
+                    values.append(
+                        ValueResponse(key=key, flags=item.flags, value=item.value)
+                    )
+            return GetResponse(values=tuple(values)), True
+        if isinstance(command, MultiSetCommand):
+            return self._dispatch_mset(command)
         if isinstance(command, IncrCommand):
             delta = -command.delta if command.negative else command.delta
             try:
@@ -352,6 +383,46 @@ class StoreServer:
         if isinstance(command, QuitCommand):
             return OK, False
         return client_error(f"unhandled command {type(command).__name__}"), True
+
+    def _dispatch_mset(self, command: MultiSetCommand) -> Tuple[object, bool]:
+        """Vectored write: one ``set_many`` call, per-item status words.
+
+        Status vocabulary (single tokens, so the one-line ``MSET``
+        response stays splittable): ``STORED``, ``TOO_LARGE`` (object
+        larger than a slab), ``OOM`` (allocation failed under memory
+        pressure).
+        """
+        store = self.store
+        now = store.clock.now
+        entries = []
+        for item in command.items:
+            exptime = item.exptime
+            if exptime and exptime != NEVER_EXPIRES:
+                exptime = now + exptime
+            entries.append((item.key, item.value, item.cost, exptime, item.flags))
+        set_many = getattr(store, "set_many", None)
+        if set_many is not None:
+            results = set_many(entries)
+        else:  # store-like wrapper without the vectored API
+            results = []
+            for key, value, cost, exptime, flags in entries:
+                try:
+                    results.append(
+                        store.set(key, value, cost=cost, exptime=exptime, flags=flags)
+                    )
+                except (ObjectTooLargeError, OutOfMemoryError) as exc:
+                    results.append(exc)
+        statuses = []
+        for result in results:
+            if isinstance(result, ObjectTooLargeError):
+                statuses.append(b"TOO_LARGE")
+            elif isinstance(result, OutOfMemoryError):
+                statuses.append(b"OOM")
+            elif isinstance(result, BaseException):  # defensive: unknown error
+                statuses.append(b"ERROR")
+            else:
+                statuses.append(b"STORED")
+        return MultiSetResponse(statuses=tuple(statuses)), not command.noreply
 
     def _stats_reset(self):
         """``stats reset``: zero resettable counters/histograms, keep gauges.
@@ -478,7 +549,9 @@ class StoreConnection:
 
     def __init__(self, engine: StoreServer) -> None:
         self.engine = engine
-        self.parser = RequestParser()
+        self.parser = RequestParser(
+            accept_batch=getattr(engine, "accept_batch", True)
+        )
         self.open = True
 
     def feed(
@@ -597,8 +670,11 @@ class TCPStoreServer:
         registry: Optional[MetricsRegistry] = None,
         overload=None,
         tracer=None,
+        accept_batch: bool = True,
     ) -> None:
-        self.engine = StoreServer(store, registry=registry, tracer=tracer)
+        self.engine = StoreServer(
+            store, registry=registry, tracer=tracer, accept_batch=accept_batch
+        )
 
         class _Server(socketserver.ThreadingTCPServer):
             # set *before* bind so TIME_WAIT sockets from a previous run

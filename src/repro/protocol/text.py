@@ -32,6 +32,9 @@ from repro.protocol.commands import (
     GetCommand,
     GetResponse,
     IncrCommand,
+    MultiGetCommand,
+    MultiSetCommand,
+    MultiSetResponse,
     NumberResponse,
     ProtocolError,
     QuitCommand,
@@ -46,6 +49,12 @@ from repro.protocol.commands import (
 CRLF = b"\r\n"
 MAX_KEY_LENGTH = 250
 MAX_LINE_LENGTH = 8192
+#: upper bound on items in one ``mset`` frame (bounds parser buffering)
+MAX_MSET_ITEMS = 4096
+
+#: sentinel: the parsed line was an ``mset`` item absorbed into the
+#: pending batch — keep scanning, no command is ready yet
+_ABSORBED = object()
 
 #: trailing ``get`` token carrying a trace context (kept literal here so
 #: the parser does not import the tracing stack; the codec lives in
@@ -54,6 +63,8 @@ _TRACE_TOKEN_PREFIX = b"tctx:"
 
 Command = Union[
     GetCommand,
+    MultiGetCommand,
+    MultiSetCommand,
     StoreCommand,
     IncrCommand,
     DeleteCommand,
@@ -88,15 +99,30 @@ class RequestParser:
     of ``del``-ing the buffer prefix, so a deep pipelined read is scanned
     without shifting the remaining bytes once per command.  The consumed
     prefix is dropped in one amortized compaction on the next :meth:`feed`.
+
+    Value payloads are sliced straight out of the receive buffer through a
+    :class:`memoryview` — one copy at hand-off, no intermediate
+    ``bytearray`` slice — which is what keeps deep MSET frames single-pass.
+
+    ``accept_batch=False`` makes the parser behave exactly like its
+    pre-MGET/MSET ancestor (``mget``/``mset`` raise "unknown command"),
+    which is how the compatibility matrix emulates an old server.
     """
 
-    __slots__ = ("_buffer", "_start", "_pending", "_pending_bytes")
+    __slots__ = (
+        "_buffer", "_start", "_pending", "_pending_bytes",
+        "_mset_items", "_mset_remaining", "_mset_noreply", "accept_batch",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, accept_batch: bool = True) -> None:
         self._buffer = bytearray()
         self._start = 0  # consumed prefix length (compacted on feed)
         self._pending: Optional[StoreCommand] = None
         self._pending_bytes = 0
+        self._mset_items: Optional[List[StoreCommand]] = None
+        self._mset_remaining = 0
+        self._mset_noreply = False
+        self.accept_batch = accept_batch
 
     def feed(self, data: bytes) -> None:
         buffer = self._buffer
@@ -117,40 +143,67 @@ class RequestParser:
             yield command
 
     def _next_command(self) -> Optional[Command]:
-        if self._pending is not None:
-            return self._finish_store()
-        start = self._start
-        newline = self._buffer.find(CRLF, start)
-        if newline < 0:
-            return None
-        line = bytes(self._buffer[start:newline])
-        self._start = newline + 2
-        return self._parse_line(line)
+        # loops only while mset item blocks are being absorbed; every
+        # other parse returns (or suspends on a partial frame) directly
+        while True:
+            if self._pending is not None:
+                result = self._finish_store()
+            else:
+                start = self._start
+                newline = self._buffer.find(CRLF, start)
+                if newline < 0:
+                    return None
+                line = bytes(self._buffer[start:newline])
+                self._start = newline + 2
+                result = self._parse_line(line)
+            if result is _ABSORBED:
+                continue
+            return result
 
-    def _finish_store(self) -> Optional[StoreCommand]:
+    def _finish_store(self):
         need = self._pending_bytes + 2  # data + CRLF
         start = self._start
-        if len(self._buffer) - start < need:
+        buffer = self._buffer
+        if len(buffer) - start < need:
             return None
         end = start + self._pending_bytes
-        data = bytes(self._buffer[start:end])
-        trailer = bytes(self._buffer[end : end + 2])
+        with memoryview(buffer) as view:
+            if view[end : end + 2] != b"\r\n":
+                self._start = start + need
+                self._pending = None
+                self._pending_bytes = 0
+                raise ProtocolError("bad data chunk terminator")
+            data = bytes(view[start:end])  # the one copy: value hand-off
         self._start = start + need
         pending = self._pending
         self._pending = None
         self._pending_bytes = 0
-        if trailer != CRLF:
-            raise ProtocolError("bad data chunk terminator")
         # the pending command is private to this parser and not yet
         # published, so filling in its value beats re-constructing the
         # frozen dataclass (field-by-field object.__setattr__) per SET
         object.__setattr__(pending, "value", data)
-        return pending
+        if self._mset_items is None:
+            return pending
+        return self._absorb_mset_item(pending)
+
+    def _absorb_mset_item(self, item: StoreCommand):
+        """Collect one completed mset item; emit the batch when full."""
+        items = self._mset_items
+        items.append(item)
+        self._mset_remaining -= 1
+        if self._mset_remaining > 0:
+            return _ABSORBED
+        self._mset_items = None
+        command = MultiSetCommand(items=tuple(items), noreply=self._mset_noreply)
+        self._mset_noreply = False
+        return command
 
     def _parse_line(self, line: bytes) -> Command:
         if not line:
             raise ProtocolError("empty command line")
         parts = line.split()
+        if self._mset_items is not None:
+            return self._parse_mset_item(parts)
         verb = parts[0].lower()
         if verb == b"get" or verb == b"gets":
             if len(parts) < 2:
@@ -171,6 +224,35 @@ class RequestParser:
                 with_cas=verb == b"gets",
                 trace_token=trace_token,
             )
+        if verb == b"mget" and self.accept_batch:
+            if len(parts) < 2:
+                raise ProtocolError("mget requires at least one key")
+            keys = parts[1:]
+            # same trailing-token rule as ``get``: the last token is a
+            # trace context only when at least one real key remains
+            trace_token = None
+            if len(keys) > 1 and keys[-1].startswith(_TRACE_TOKEN_PREFIX):
+                trace_token = keys[-1]
+                keys = keys[:-1]
+            return MultiGetCommand(
+                keys=tuple(_validate_key(k) for k in keys),
+                trace_token=trace_token,
+            )
+        if verb == b"mset" and self.accept_batch:
+            if len(parts) not in (2, 3):
+                raise ProtocolError("mset <count> [noreply]")
+            count = _parse_int(parts[1], "count")
+            if count < 0 or count > MAX_MSET_ITEMS:
+                raise ProtocolError(f"mset count out of range: {count}")
+            noreply = len(parts) == 3 and parts[2] == b"noreply"
+            if len(parts) == 3 and not noreply:
+                raise ProtocolError(f"unexpected token {parts[2]!r}")
+            if count == 0:
+                return MultiSetCommand(items=(), noreply=noreply)
+            self._mset_items = []
+            self._mset_remaining = count
+            self._mset_noreply = noreply
+            return _ABSORBED
         if verb in (b"incr", b"decr"):
             if len(parts) not in (3, 4):
                 raise ProtocolError(f"{verb.decode()} <key> <delta> [noreply]")
@@ -218,6 +300,44 @@ class RequestParser:
         if verb == b"quit":
             return QuitCommand()
         raise ProtocolError(f"unknown command {verb!r}")
+
+    def _parse_mset_item(self, parts: List[bytes]):
+        """One ``<key> <flags> <exptime> <bytes> [cost <n>]`` item line.
+
+        The data chunk that follows completes through the same
+        ``_pending`` path as a plain SET, then lands in the batch via
+        :meth:`_absorb_mset_item`.
+        """
+        if len(parts) not in (4, 6):
+            self._mset_items = None
+            self._mset_remaining = 0
+            raise ProtocolError(
+                "mset item: <key> <flags> <exptime> <bytes> [cost <cost>]"
+            )
+        try:
+            key = _validate_key(parts[0])
+            flags = _parse_int(parts[1], "flags")
+            exptime = float(_parse_int(parts[2], "exptime"))
+            nbytes = _parse_int(parts[3], "bytes")
+            cost = 0
+            if len(parts) == 6:
+                if parts[4] != b"cost":
+                    raise ProtocolError(f"unexpected token {parts[4]!r}")
+                cost = _parse_int(parts[5], "cost")
+                if cost < 0:
+                    raise ProtocolError("negative cost")
+            if nbytes < 0:
+                raise ProtocolError("negative byte count")
+        except ProtocolError:
+            self._mset_items = None
+            self._mset_remaining = 0
+            raise
+        self._pending = StoreCommand(
+            verb="set", key=key, flags=flags, exptime=exptime,
+            value=b"", cost=cost, noreply=False, cas_unique=None,
+        )
+        self._pending_bytes = nbytes
+        return self._finish_store()
 
     def _parse_storage(self, verb: bytes, parts: List[bytes]) -> Optional[Command]:
         if len(parts) < 5:
@@ -268,13 +388,42 @@ class RequestParser:
 # -- encoding -------------------------------------------------------------------
 
 
-def encode_command(command: Command) -> bytes:
-    """Client side: a command to wire bytes."""
+def encode_command_into(out: bytearray, command: Command) -> None:
+    """Client side: append one command's wire bytes to ``out``.
+
+    The pipelining client encodes a whole batch into one shared buffer
+    and flushes it with a single write — the client-side mirror of the
+    server's coalesced response buffer.
+    """
     if isinstance(command, GetCommand):
-        verb = b"gets " if command.with_cas else b"get "
-        return verb + b" ".join(command.keys) + CRLF
+        out += b"gets " if command.with_cas else b"get "
+        out += b" ".join(command.keys)
+        out += CRLF
+        return
+    if isinstance(command, MultiGetCommand):
+        out += b"mget "
+        out += b" ".join(command.keys)
+        if command.trace_token is not None:
+            out += b" "
+            out += command.trace_token
+        out += CRLF
+        return
+    if isinstance(command, MultiSetCommand):
+        out += b"mset %d%s\r\n" % (
+            len(command.items), b" noreply" if command.noreply else b""
+        )
+        for item in command.items:
+            out += b"%s %d %d %d" % (
+                item.key, item.flags, int(item.exptime), len(item.value)
+            )
+            if item.cost:
+                out += b" cost %d" % item.cost
+            out += CRLF
+            out += item.value
+            out += CRLF
+        return
     if isinstance(command, StoreCommand):
-        head = b"%s %s %d %d %d" % (
+        out += b"%s %s %d %d %d" % (
             command.verb.encode(),
             command.key,
             command.flags,
@@ -282,37 +431,56 @@ def encode_command(command: Command) -> bytes:
             len(command.value),
         )
         if command.verb == "cas":
-            head += b" %d" % (command.cas_unique or 0)
+            out += b" %d" % (command.cas_unique or 0)
         if command.cost:
-            head += b" cost %d" % command.cost
+            out += b" cost %d" % command.cost
         if command.noreply:
-            head += b" noreply"
-        return head + CRLF + command.value + CRLF
+            out += b" noreply"
+        out += CRLF
+        out += command.value
+        out += CRLF
+        return
     if isinstance(command, IncrCommand):
         verb = b"decr" if command.negative else b"incr"
-        line = b"%s %s %d" % (verb, command.key, command.delta)
+        out += b"%s %s %d" % (verb, command.key, command.delta)
         if command.noreply:
-            line += b" noreply"
-        return line + CRLF
+            out += b" noreply"
+        out += CRLF
+        return
     if isinstance(command, DeleteCommand):
-        line = b"delete " + command.key
+        out += b"delete " + command.key
         if command.noreply:
-            line += b" noreply"
-        return line + CRLF
+            out += b" noreply"
+        out += CRLF
+        return
     if isinstance(command, TouchCommand):
-        line = b"touch %s %d" % (command.key, int(command.exptime))
+        out += b"touch %s %d" % (command.key, int(command.exptime))
         if command.noreply:
-            line += b" noreply"
-        return line + CRLF
+            out += b" noreply"
+        out += CRLF
+        return
     if isinstance(command, FlushCommand):
-        return (b"flush_all noreply" if command.noreply else b"flush_all") + CRLF
+        out += b"flush_all noreply" if command.noreply else b"flush_all"
+        out += CRLF
+        return
     if isinstance(command, StatsCommand):
         if command.subcommand:
-            return b"stats " + command.subcommand.encode() + CRLF
-        return b"stats" + CRLF
+            out += b"stats " + command.subcommand.encode()
+        else:
+            out += b"stats"
+        out += CRLF
+        return
     if isinstance(command, QuitCommand):
-        return b"quit" + CRLF
+        out += b"quit" + CRLF
+        return
     raise TypeError(f"cannot encode {type(command).__name__}")
+
+
+def encode_command(command: Command) -> bytes:
+    """Client side: a command to wire bytes."""
+    out = bytearray()
+    encode_command_into(out, command)
+    return bytes(out)
 
 
 def encode_response_into(out: bytearray, response) -> None:
@@ -334,6 +502,12 @@ def encode_response_into(out: bytearray, response) -> None:
             out += data
             out += CRLF
         out += b"END\r\n"
+    elif isinstance(response, MultiSetResponse):
+        out += b"MSET"
+        for status in response.statuses:
+            out += b" "
+            out += status
+        out += CRLF
     elif isinstance(response, SimpleResponse):
         out += response.line
         out += CRLF
@@ -382,6 +556,8 @@ class ResponseParser:
         if first.startswith(b"STAT"):
             return self._try_parse_stats()
         del buffer[: newline + 2]
+        if first == b"MSET" or first.startswith(b"MSET "):
+            return MultiSetResponse(statuses=tuple(first.split()[1:]))
         if first.isdigit():
             return NumberResponse(value=int(first))
         return SimpleResponse(first)

@@ -89,6 +89,7 @@ class ShardRouter:
         registry=None,
         trace=None,
         tracer=None,
+        batching: str = "mget",
     ) -> AsyncStorePool:
         """A live :class:`AsyncStorePool` over the current endpoints.
 
@@ -108,6 +109,11 @@ class ShardRouter:
         one :class:`~repro.obs.tracing.Tracer`: the pool makes the
         sampling decision, per-node clients record their hop spans, and
         the context propagates to each shard server on the wire.
+
+        ``batching`` (default ``"mget"``) selects how each shard client
+        puts batches on the wire — one first-class MGET/MSET frame per
+        shard, with per-key fallback negotiated against old shard
+        servers; see :class:`AsyncStoreClient`.
         """
         clients = {
             shard: AsyncStoreClient(
@@ -121,6 +127,7 @@ class ShardRouter:
                     if breaker_policy is not None else None
                 ),
                 tracer=tracer,
+                batching=batching,
             )
             for shard, (host, port) in self._endpoints.items()
         }

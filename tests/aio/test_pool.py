@@ -3,7 +3,10 @@
 import asyncio
 import contextlib
 
+import pytest
+
 from repro.aio import AsyncStoreClient, AsyncStorePool, AsyncTCPStoreServer
+from repro.aio.backoff import NO_RETRY
 from repro.core import GDWheelPolicy
 from repro.kvstore import KVStore
 
@@ -120,5 +123,82 @@ class TestAsyncStorePool:
             async with three_node_pool() as (pool, _, __):
                 assert await pool.multi_get([]) == {}
                 assert await pool.multi_set([]) == 0
+
+        run(main())
+
+
+class TestMultiGetErrorAttribution:
+    """The partial-failure contract of ``multi_get`` (PR 8 satellite).
+
+    A miss and a dead shard must be distinguishable per key: misses are
+    simply absent from the result, while every key owned by a failed
+    node lands in ``result.errors`` with that node's exception.
+    """
+
+    def test_partial_result_attributes_errors_per_key(self):
+        async def main():
+            async with three_node_pool() as (pool, stores, servers):
+                keys = [b"key-%d" % i for i in range(30)]
+                await pool.multi_set([(k, b"v-" + k, 1) for k in keys])
+                grouped = pool.group_by_node(keys)
+                dead = next(iter(grouped))
+                await servers[dead].stop()
+                for client in pool._clients.values():
+                    client.retry = NO_RETRY
+                result = await pool.multi_get(keys, partial=True)
+                # live nodes answered every one of their keys
+                live_keys = [
+                    k for node, ks in grouped.items() if node != dead
+                    for k in ks
+                ]
+                assert sorted(result) == sorted(live_keys)
+                assert all(result[k] == b"v-" + k for k in live_keys)
+                # the dead node's keys carry its exception, per key
+                assert sorted(result.errors) == sorted(grouped[dead])
+                assert all(
+                    isinstance(e, (ConnectionError, OSError))
+                    for e in result.errors.values()
+                )
+                assert not result.complete
+                assert pool.node_failures[dead] == 1
+
+        run(main())
+
+    def test_miss_is_not_an_error(self):
+        async def main():
+            async with three_node_pool() as (pool, _, __):
+                await pool.multi_set([(b"present", b"v", 1)])
+                result = await pool.multi_get(
+                    [b"present", b"absent"], partial=True
+                )
+                assert result == {b"present": b"v"}
+                assert result.errors == {}
+                assert result.complete
+
+        run(main())
+
+    def test_default_mode_still_raises_after_all_nodes_finish(self):
+        async def main():
+            async with three_node_pool() as (pool, _, servers):
+                keys = [b"key-%d" % i for i in range(30)]
+                await pool.multi_set([(k, b"v", 1) for k in keys])
+                dead = next(iter(pool.group_by_node(keys)))
+                await servers[dead].stop()
+                for client in pool._clients.values():
+                    client.retry = NO_RETRY
+                with pytest.raises((ConnectionError, OSError)):
+                    await pool.multi_get(keys)
+
+        run(main())
+
+    def test_batch_support_surfaces_negotiation_state(self):
+        async def main():
+            async with three_node_pool() as (pool, _, __):
+                # unprobed until the first batched call
+                assert set(pool.batch_support.values()) == {None}
+                await pool.multi_set([(b"k%d" % i, b"v", 1) for i in range(9)])
+                support = pool.batch_support
+                assert all(v in (True, None) for v in support.values())
+                assert True in support.values()
 
         run(main())

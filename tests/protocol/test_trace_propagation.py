@@ -279,3 +279,116 @@ class TestEndToEnd:
         names = {span.name for span in client_tracer.buffer.spans()}
         # client-side spans record fine; the server simply missed the token
         assert "client.request" in names
+
+
+# -- batched frames: one tctx per MGET frame (PR 8) --------------------------------
+
+
+class TestBatchedFrameTracing:
+    def test_wire_carries_exactly_one_token_per_mget_frame(self):
+        from repro.obs import tracing
+        from repro.protocol.commands import MultiGetCommand
+        from repro.protocol.text import encode_command
+
+        commands = tracing.attach_context(
+            [MultiGetCommand(keys=(b"a", b"b", b"c"))], CONTEXT
+        )
+        wire = encode_command(commands[0])
+        assert wire.count(b"tctx:") == 1  # one frame, one token
+        parsed = parse_one(wire)
+        assert parsed.keys == (b"a", b"b", b"c")
+        assert parsed.trace_token == TOKEN
+
+    def test_text_mget_dispatch_records_one_span_for_the_batch(self):
+        from repro.protocol.commands import MultiGetCommand
+
+        tracer = make_tracer()
+        server = StoreServer(fresh_store(), tracer=tracer)
+        server.store.set(b"a", b"1")
+        server.store.set(b"b", b"2")
+        server.dispatch(
+            MultiGetCommand(keys=(b"a", b"b", b"miss"), trace_token=TOKEN)
+        )
+        spans = tracer.buffer.spans()
+        assert [span.name for span in spans] == ["server.dispatch"]
+        span = spans[0]
+        assert span.trace_id == CONTEXT.trace_id
+        assert span.parent_id == CONTEXT.span_id
+        assert span.attrs["cmd"] == "mget"
+        assert span.attrs["nkeys"] == 3
+
+    def test_store_get_many_span_shares_the_batch_trace_id(self):
+        from repro.protocol.commands import MultiGetCommand
+
+        tracer = make_tracer()
+        store = fresh_store()
+        tracer.instrument_store(store)
+        server = StoreServer(store, tracer=tracer)
+        store.set(b"a", b"1")
+        server.dispatch(MultiGetCommand(keys=(b"a", b"x"), trace_token=TOKEN))
+        spans = {span.name: span for span in tracer.buffer.spans()}
+        assert set(spans) == {"server.dispatch", "store.get_many"}
+        child = spans["store.get_many"]
+        assert child.trace_id == CONTEXT.trace_id
+        assert child.parent_id == spans["server.dispatch"].span_id
+
+    def test_binary_mget_extras_continue_the_context(self):
+        tracer = make_tracer()
+        server = BinaryStoreServer(fresh_store(), tracer=tracer)
+        client = BinaryClient(server)
+        client.set(b"a", b"1")
+        client.set(b"b", b"2")
+        found = client.get_many([b"a", b"b", b"miss"], context=CONTEXT)
+        assert found == {b"a": b"1", b"b": b"2"}
+        spans = tracer.buffer.spans()
+        assert [span.name for span in spans] == ["server.dispatch"]
+        span = spans[0]
+        assert span.trace_id == CONTEXT.trace_id
+        assert span.attrs["cmd"] == "mget"
+        assert span.attrs["proto"] == "binary"
+        assert span.attrs["nkeys"] == 3
+
+    def test_e2e_one_server_span_per_mget_frame(self):
+        # a 12-key multi_get in mget mode is ONE frame: the server must
+        # record exactly one dispatch span, linked under the client's
+        # send_await hop of the same trace
+        client_tracer = make_tracer(process="client")
+        server_tracer = make_tracer(process="server")
+
+        async def main():
+            store = fresh_store()
+            tracer = server_tracer
+            tracer.instrument_store(store)
+            async with AsyncTCPStoreServer(store, tracer=tracer) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port, tracer=client_tracer)
+                await client.set_many(
+                    [(b"k%d" % i, b"v%d" % i, 1) for i in range(12)]
+                )
+                found = await client.get_many([b"k%d" % i for i in range(12)])
+                assert len(found) == 12
+                await client.aclose()
+
+        asyncio.run(main())
+        dispatches = [
+            span for span in server_tracer.buffer.spans()
+            if span.name == "server.dispatch" and span.attrs["cmd"] == "mget"
+        ]
+        assert len(dispatches) == 1
+        dispatch = dispatches[0]
+        assert dispatch.attrs["nkeys"] == 12
+        # the vectored store op nests under it, same trace
+        children = [
+            span for span in server_tracer.buffer.spans()
+            if span.name == "store.get_many"
+        ]
+        assert len(children) == 1
+        assert children[0].trace_id == dispatch.trace_id
+        assert children[0].parent_id == dispatch.span_id
+        # and the trace id came from the client's send_await hop
+        client_by_id = {
+            span.span_id: span for span in client_tracer.buffer.spans()
+        }
+        send = client_by_id[dispatch.parent_id]
+        assert send.name == "client.send_await"
+        assert send.trace_id == dispatch.trace_id

@@ -246,7 +246,12 @@ class TestAsyncShedding:
             store.set = slow_set
             policy = OverloadPolicy(request_deadline=0.01)
             async with AsyncTCPStoreServer(store, overload=policy) as server:
-                client = AsyncStoreClient(*server.address, retry=NO_RETRY)
+                # per-key frames: an MSET is a single command (one shed
+                # unit), so the per-command tail shedding under test needs
+                # the pipelined per-key wire mode
+                client = AsyncStoreClient(
+                    *server.address, retry=NO_RETRY, batching="none"
+                )
                 # a deep pipelined batch cannot hold the loop past the
                 # deadline: the tail comes back busy, surfaced as
                 # ServerBusyError by _check_stored
