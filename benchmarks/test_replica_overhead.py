@@ -1,0 +1,137 @@
+"""Replication overhead guard: unreplicated store vs the pre-replica path.
+
+PR 9 threads last-writer-wins versioning through ``KVStore._store_item``
+so replica members can resolve concurrent writes.  The contract is that
+a store built *without* an HLC (``hlc=None`` — every unreplicated
+deployment) keeps the old SET fast path: the only added cost is the
+``if version`` / ``elif self.hlc is not None`` branch pair per store,
+both false and both falling through.
+
+This benchmark holds it to that: a frozen inline copy of the pre-PR 9
+``_store_item`` serves as the baseline arm, the shipping store with
+replication disabled is the candidate arm, and the candidate's mixed
+GET/SET serving throughput must stay within 3% of the baseline.  The
+arms run back-to-back in paired rounds and the BEST round's ratio is
+judged: host-load drift hits both halves of a pair about equally, and a
+real constant overhead would depress every round's ratio, not just the
+unlucky ones.
+
+Sized by ``REPLICA_OVERHEAD_OPS`` (default 20_000); raise it locally
+(e.g. 100_000) for a low-variance measurement.  Marked ``slow`` so quick
+local runs can deselect it with ``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.aio import AsyncTCPStoreServer, run_closed_loop
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.kvstore.item import Item
+from repro.workloads import SINGLE_SIZE_WORKLOADS
+
+pytestmark = pytest.mark.slow
+
+TOTAL_OPS = int(os.environ.get("REPLICA_OVERHEAD_OPS", "20000"))
+ROUNDS = int(os.environ.get("REPLICA_OVERHEAD_ROUNDS", "5"))
+NUM_KEYS = 1_000
+CONCURRENCY = 4
+BATCH = 16
+#: replication-disabled throughput must stay within this fraction of PR 8
+MAX_OVERHEAD = 0.03
+
+
+class _FrozenPreReplicaStore(KVStore):
+    """The PR 8 ``_store_item``, frozen verbatim as the baseline arm.
+
+    Deliberately NOT kept in sync with the shipping method: it preserves
+    the store path as it was before versioning existed, so the guard
+    measures exactly what this PR added to the unreplicated path.
+    """
+
+    def _store_item(self, key, value, cost, exptime, flags,
+                    count_set=True, version=0):
+        old = self.hashtable.find(key)
+        if old is not None:
+            self._unlink_item(old, old.slab.owner)
+        tier = self.tier
+        if tier is not None:
+            tier.invalidate(key)
+        item = Item(key=key, value=value, cost=cost, flags=flags,
+                    exptime=exptime)
+        slab_class = self.allocator.class_for_size(item.footprint)
+        slab, index = self._allocate_chunk(slab_class)
+        slab_class.store_item(item, slab, index)
+        self.hashtable.insert(item)
+        now = self.clock._now
+        item.last_access = now
+        slab.last_access = now
+        self._cas_counter += 1
+        item.cas_unique = self._cas_counter
+        policy = slab_class.policy
+        if policy is None:
+            policy = self.policy_for(slab_class)
+        policy.insert(item, cost)
+        if count_set:
+            self._count_set()
+        return item
+
+
+def make_store(store_cls) -> KVStore:
+    return store_cls(
+        memory_limit=8 * 1024 * 1024,
+        slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+
+
+def measure(store_cls) -> float:
+    """One mixed GET/SET serving run; returns ops/s."""
+    workload = SINGLE_SIZE_WORKLOADS["1"].materialize(NUM_KEYS, seed=29)
+
+    async def main() -> float:
+        async with AsyncTCPStoreServer(make_store(store_cls)) as server:
+            host, port = server.address
+            report = await run_closed_loop(
+                host,
+                port,
+                workload,
+                total_ops=TOTAL_OPS,
+                concurrency=CONCURRENCY,
+                batch_size=BATCH,
+                read_fraction=0.5,  # SETs are the path under guard
+                set_on_miss=True,
+                seed=29,
+            )
+            return report.throughput
+
+    return asyncio.run(main())
+
+
+def test_disabled_replication_overhead_under_three_percent(emit):
+    assert make_store(KVStore).hlc is None  # replication genuinely off
+
+    rounds = []
+    for _ in range(ROUNDS):
+        baseline = measure(_FrozenPreReplicaStore)
+        shipping = measure(KVStore)
+        rounds.append((shipping / baseline, baseline, shipping))
+    ratio, baseline, shipping = max(rounds)
+    overhead = 1.0 - ratio
+    emit(
+        "replica_overhead",
+        "== replication-disabled overhead guard ==\n"
+        f"ops per run         {TOTAL_OPS}  (best of {ROUNDS} paired rounds)\n"
+        f"frozen PR8 store    {baseline:12,.0f} ops/s\n"
+        f"shipping (off)      {shipping:12,.0f} ops/s\n"
+        f"overhead            {overhead:+.1%}  (budget {MAX_OVERHEAD:.0%})",
+    )
+    assert ratio >= 1.0 - MAX_OVERHEAD, (
+        f"replication-disabled throughput {shipping:,.0f} ops/s is more than "
+        f"{MAX_OVERHEAD:.0%} below the frozen PR 8 baseline {baseline:,.0f} "
+        f"in every one of {ROUNDS} paired rounds"
+    )

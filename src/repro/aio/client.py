@@ -26,10 +26,14 @@ from repro.obs import tracing
 from repro.obs.trace import key_fingerprint
 from repro.protocol.commands import (
     DeleteCommand,
+    DigestCommand,
+    DigestResponse,
     FlushCommand,
     GetCommand,
     GetResponse,
     IncrCommand,
+    KeyListCommand,
+    KeyListResponse,
     MultiGetCommand,
     MultiSetCommand,
     MultiSetResponse,
@@ -466,12 +470,13 @@ class AsyncStoreClient:
         cost: int = 0,
         exptime: float = 0,
         flags: int = 0,
+        version: int = 0,
     ) -> bool:
         result = await self.execute(
             [
                 StoreCommand(
                     verb="set", key=key, flags=flags, exptime=exptime,
-                    value=value, cost=cost,
+                    value=value, cost=cost, version=version,
                 )
             ]
         )
@@ -585,19 +590,41 @@ class AsyncStoreClient:
     async def set_many(
         self, items: Sequence[Tuple[bytes, bytes, int]], exptime: float = 0
     ) -> int:
-        """SETs of (key, value, cost) triples; returns #stored.
+        """SETs of (key, value, cost[, version]) tuples; returns #stored.
 
         One MSET frame per call under ``batching="mget"``, with the same
-        negotiated per-key fallback as :meth:`get_many`.
+        negotiated per-key fallback as :meth:`get_many`.  A 4th tuple
+        element carries a replication version (0 / omitted = none).
+        """
+        statuses = await self.set_many_statuses(items, exptime=exptime)
+        return sum(1 for status in statuses if status == b"STORED")
+
+    async def set_many_statuses(
+        self, items: Sequence[Tuple[bytes, bytes, int]], exptime: float = 0
+    ) -> List[bytes]:
+        """Like :meth:`set_many` but returns per-item status words.
+
+        The replication pool needs per-key attribution, not just a count:
+        ``NOT_STORED`` (a last-writer-wins reject — the replica already
+        holds something *newer*, so the write is durably resolved) must
+        count as an ack, while ``OOM``/``TOO_LARGE``/``ERROR`` must not.
+        Statuses come back verbatim from the MSET response; the per-key
+        fallback path maps each SimpleResponse line to the same
+        vocabulary.
         """
         if not items:
-            return 0
+            return []
+        normalized = [
+            item if len(item) == 4 else (item[0], item[1], item[2], 0)
+            for item in items
+        ]
         if self.batching == "mget" and self.batch_supported is not False:
             command = MultiSetCommand(
                 items=tuple(
                     StoreCommand(verb="set", key=key, flags=0,
-                                 exptime=exptime, value=value, cost=cost)
-                    for key, value, cost in items
+                                 exptime=exptime, value=value, cost=cost,
+                                 version=version)
+                    for key, value, cost, version in normalized
                 )
             )
             result = await self.execute([command])
@@ -609,17 +636,51 @@ class AsyncStoreClient:
                         "MSET answered %d statuses for %d items"
                         % (len(response.statuses), len(items))
                     )
-                return response.stored
+                return list(response.statuses)
             if not self._batch_refused(response):
                 raise _unexpected(response, "MSET")
             await self._discard_refused()
         commands = [
             StoreCommand(verb="set", key=key, flags=0, exptime=exptime,
-                         value=value, cost=cost)
-            for key, value, cost in items
+                         value=value, cost=cost, version=version)
+            for key, value, cost, version in normalized
         ]
         result = await self.execute(commands)
-        return sum(1 for response in result if self._check_stored(response))
+        statuses = []
+        for response in result:
+            if not isinstance(response, SimpleResponse):
+                raise _unexpected(response, "store")
+            if response.line.startswith(b"SERVER_ERROR busy"):
+                raise ServerBusyError(
+                    "server is shedding load (SERVER_ERROR busy)"
+                )
+            if response.line == b"STORED":
+                statuses.append(b"STORED")
+            elif response.line == b"NOT_STORED":
+                statuses.append(b"NOT_STORED")
+            elif response.line.startswith(b"SERVER_ERROR object too large"):
+                statuses.append(b"TOO_LARGE")
+            elif response.line.startswith(b"SERVER_ERROR out of memory"):
+                statuses.append(b"OOM")
+            else:
+                statuses.append(b"ERROR")
+        return statuses
+
+    async def digest(self, nslots: int) -> DigestResponse:
+        """Anti-entropy digest: per-slot (count, hash) over live keys."""
+        result = await self.execute([DigestCommand(nslots=nslots)])
+        response = result[0]
+        if not isinstance(response, DigestResponse):
+            raise _unexpected(response, "DIGEST")
+        return response
+
+    async def key_entries(self, slot: int, nslots: int) -> KeyListResponse:
+        """One digest slot's (key, version, cost, flags, exptime) entries."""
+        result = await self.execute([KeyListCommand(slot=slot, nslots=nslots)])
+        response = result[0]
+        if not isinstance(response, KeyListResponse):
+            raise _unexpected(response, "KEYS")
+        return response
 
     @staticmethod
     def _check_stored(response) -> bool:

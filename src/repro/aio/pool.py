@@ -63,16 +63,23 @@ class AsyncStorePool:
         clients: Dict[str, AsyncStoreClient],
         replicas: int = 100,
         tracer: Optional["tracing.Tracer"] = None,
+        read_fallback: bool = False,
     ) -> None:
         if not clients:
             raise ValueError("a pool needs at least one client")
         self._clients = dict(clients)
         self._ring = ConsistentHashRing(list(clients), replicas=replicas)
         self.tracer = tracer
+        #: when True, ``multi_get`` re-issues keys owned by a failed or
+        #: breaker-open node to the next *healthy* ring node instead of
+        #: burning the dead node's retry budget (see :meth:`multi_get`)
+        self.read_fallback = read_fallback
         #: per-node operation counters, for balance diagnostics
         self.node_ops: Dict[str, int] = {name: 0 for name in clients}
         #: per-node failed fan-out requests (multi_get partial accounting)
         self.node_failures: Dict[str, int] = {}
+        #: fan-out legs redirected to a fallback node (read_fallback only)
+        self.node_fallbacks: Dict[str, int] = {}
 
     @property
     def breakers(self) -> Dict[str, object]:
@@ -114,6 +121,29 @@ class AsyncStorePool:
         for key in keys:
             grouped.setdefault(self.node_for(key), []).append(key)
         return grouped
+
+    def _breaker_open(self, node: str) -> bool:
+        """Is ``node``'s breaker hard-open right now?
+
+        Reads ``.state`` rather than calling ``allow()`` — ``allow()``
+        consumes half-open probe budget, and a routing *pre-check* must
+        never eat the probe that would have closed the breaker.
+        """
+        breaker = self._clients[node].breaker
+        return breaker is not None and breaker.state == "open"
+
+    def fallback_node(self, key: bytes, exclude) -> Optional[str]:
+        """The first healthy non-excluded node on ``key``'s ring walk.
+
+        Healthy = breaker not hard-open.  Returns ``None`` when every
+        other node is excluded or open (the caller then sticks with the
+        original owner — failing there beats failing nowhere).
+        """
+        for node in self._ring.nodes_for(key):
+            if node in exclude or self._breaker_open(node):
+                continue
+            return node
+        return None
 
     # -- single-key ops (routed) -----------------------------------------------
 
@@ -205,10 +235,22 @@ class AsyncStorePool:
         Per-node failures are also tallied in :attr:`node_failures`.
         Breaker short-circuiting preserves both shapes — it only changes
         how fast the dead node's error arrives.
+
+        With ``read_fallback=True`` the pool routes around trouble
+        instead: keys owned by a node whose breaker is already open are
+        sent straight to the next healthy ring node (no retry budget is
+        spent dialing a node known to be dead), and keys whose owner
+        failed this call get one fallback round on a different healthy
+        node before the error is surfaced.  Without replication the
+        fallback node answers a miss for data it never held — an
+        acceptable degraded answer for a cache, and the exact read path
+        replica groups make lossless.
         """
         grouped = self.group_by_node(keys)
         if not grouped:
             return MultiGetResult()
+        if self.read_fallback:
+            grouped = self._redirect_open_breakers(grouped)
         nodes = list(grouped)
         tracer = self.tracer
         root = None
@@ -244,19 +286,83 @@ class AsyncStorePool:
                 tracer.end(root)
         merged = MultiGetResult()
         first_error: Optional[BaseException] = None
+        failed_nodes = set()
         for node, found in zip(nodes, results):
             self.node_ops[node] += 1
             if isinstance(found, BaseException):
                 self.node_failures[node] = self.node_failures.get(node, 0) + 1
+                failed_nodes.add(node)
                 for key in grouped[node]:
                     merged.errors[key] = found
                 if first_error is None:
                     first_error = found
                 continue
             merged.update(found)
+        if self.read_fallback and merged.errors:
+            await self._fallback_round(merged, failed_nodes)
+            first_error = next(iter(merged.errors.values()), None)
         if first_error is not None and not partial:
             raise first_error
         return merged
+
+    def _redirect_open_breakers(
+        self, grouped: Dict[str, List[bytes]]
+    ) -> Dict[str, List[bytes]]:
+        """Reroute keys owned by hard-open-breaker nodes before fan-out.
+
+        A node the breaker already condemned gets no traffic at all this
+        call — its keys ride the next healthy node's MGET frame instead
+        (tallied in :attr:`node_fallbacks`).  When every node is open the
+        original grouping stands, so the caller still gets a fast
+        :class:`~repro.resilience.BreakerOpenError` rather than nothing.
+        """
+        open_nodes = {node for node in grouped if self._breaker_open(node)}
+        if not open_nodes or len(open_nodes) == len(self._clients):
+            return grouped
+        regrouped: Dict[str, List[bytes]] = {}
+        for node, node_keys in grouped.items():
+            if node not in open_nodes:
+                regrouped.setdefault(node, []).extend(node_keys)
+                continue
+            for key in node_keys:
+                alt = self.fallback_node(key, open_nodes)
+                target = alt if alt is not None else node
+                if alt is not None:
+                    self.node_fallbacks[node] = (
+                        self.node_fallbacks.get(node, 0) + 1
+                    )
+                regrouped.setdefault(target, []).append(key)
+        return regrouped
+
+    async def _fallback_round(self, merged: MultiGetResult, failed_nodes) -> None:
+        """One retry round for failed keys, on different healthy nodes.
+
+        Successful keys drop out of ``merged.errors``; keys whose
+        fallback also failed keep their *original* error attribution.
+        """
+        retry_groups: Dict[str, List[bytes]] = {}
+        for key in merged.errors:
+            alt = self.fallback_node(key, failed_nodes)
+            if alt is not None:
+                retry_groups.setdefault(alt, []).append(key)
+        if not retry_groups:
+            return
+        alt_nodes = list(retry_groups)
+        results = await asyncio.gather(
+            *(self._clients[node].get_many(retry_groups[node])
+              for node in alt_nodes),
+            return_exceptions=True,
+        )
+        for node, found in zip(alt_nodes, results):
+            self.node_ops[node] += 1
+            if isinstance(found, BaseException):
+                continue
+            for key in retry_groups[node]:
+                merged.errors.pop(key, None)
+            self.node_fallbacks[node] = (
+                self.node_fallbacks.get(node, 0) + len(retry_groups[node])
+            )
+            merged.update(found)
 
     async def _traced_get_many(self, tracer, root, node: str, keys):
         """One sampled fan-out leg: a ``router.route`` span around the

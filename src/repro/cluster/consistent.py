@@ -80,6 +80,32 @@ class ConsistentHashRing:
             index = 0  # wrap around the ring
         return self._points[index][1]
 
+    def nodes_for(self, key: bytes, count: Optional[int] = None) -> List[str]:
+        """Distinct nodes walking clockwise from ``key``'s ring point.
+
+        The first element is :meth:`node_for`'s answer; the rest are the
+        successor nodes in ring order — the standard preference list for
+        routing around a dead owner (and, with replica groups, for
+        picking a fallback replica).  ``count=None`` returns every node.
+        """
+        if not self._points:
+            return []
+        if count is None:
+            count = len(self._nodes)
+        point = _ring_hash(key)
+        index = bisect.bisect_right(self._hashes, point)
+        out: List[str] = []
+        seen = set()
+        npoints = len(self._points)
+        for step in range(npoints):
+            node = self._points[(index + step) % npoints][1]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) >= count:
+                    break
+        return out
+
     def distribution(self, keys: Sequence[bytes]) -> Dict[str, int]:
         """How many of ``keys`` land on each node (balance diagnostics)."""
         counts = {node: 0 for node in self._nodes}

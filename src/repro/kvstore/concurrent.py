@@ -117,8 +117,11 @@ class ThreadSafeStore:
         return self._locked(self._store.set_many, entries)
 
     def set(self, key: bytes, value: bytes, cost: int = 0,
-            exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
-        return self._locked(self._store.set, key, value, cost, exptime, flags)
+            exptime: float = NEVER_EXPIRES, flags: int = 0,
+            version: int = 0) -> Item:
+        return self._locked(
+            self._store.set, key, value, cost, exptime, flags, version
+        )
 
     def add(self, key: bytes, value: bytes, cost: int = 0,
             exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
@@ -159,6 +162,13 @@ class ThreadSafeStore:
 
     def contains(self, key: bytes) -> bool:
         return self._locked(self._store.contains, key)
+
+    def digest(self, nslots: int):
+        """Anti-entropy digest under the cache lock (a consistent view)."""
+        return self._locked(self._store.digest, nslots)
+
+    def key_entries(self, slot: int, nslots: int):
+        return self._locked(self._store.key_entries, slot, nslots)
 
     def check_invariants(self) -> None:
         self._locked(self._store.check_invariants)

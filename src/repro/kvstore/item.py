@@ -42,6 +42,7 @@ class Item(PolicyEntry):
         "chunk_index",
         "last_access",
         "cas_unique",
+        "version",
     )
 
     def __init__(
@@ -51,6 +52,7 @@ class Item(PolicyEntry):
         cost: int = 0,
         flags: int = 0,
         exptime: float = NEVER_EXPIRES,
+        version: int = 0,
     ) -> None:
         if not isinstance(key, bytes):
             raise TypeError("key must be bytes")
@@ -84,6 +86,9 @@ class Item(PolicyEntry):
         self.last_access = 0.0
         #: compare-and-swap token (bumped on every mutation)
         self.cas_unique = 0
+        #: hybrid-logical-clock replication version (0 = unversioned);
+        #: last-writer-wins resolution compares these across replicas
+        self.version = version
 
     @property
     def footprint(self) -> int:

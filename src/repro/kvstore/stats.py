@@ -31,6 +31,8 @@ STORE_COUNTER_FIELDS = {
     "tier_spills": "evictions admitted into the flash tier",
     "tier_hits": "GET misses answered from the flash tier",
     "tier_promotions": "tier hits re-inserted into RAM (not client SETs)",
+    "lww_rejects": "versioned SETs rejected because a newer version is stored",
+    "bootstrap_keys": "items copied from a replica peer during bootstrap",
 }
 
 

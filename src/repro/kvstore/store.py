@@ -31,7 +31,7 @@ from repro.kvstore.errors import (
     ObjectTooLargeError,
     OutOfMemoryError,
 )
-from repro.kvstore.hashtable import HashTable
+from repro.kvstore.hashtable import HashTable, fnv1a_64
 from repro.kvstore.item import Item, NEVER_EXPIRES
 from repro.kvstore.rebalance import NullRebalancer, Rebalancer
 from repro.kvstore.slab import (
@@ -65,6 +65,7 @@ class KVStore:
         trace: Optional[EventTrace] = None,
         tier=None,
         on_evict: Optional[Callable] = None,
+        hlc=None,
     ) -> None:
         """
         Args:
@@ -91,6 +92,13 @@ class KVStore:
                 item leaving the store under pressure, with ``reason`` one
                 of ``"evicted"``, ``"expired"``, or ``"rebalance"``.  Runs
                 after the tier spill when both are configured.
+            hlc: optional :class:`~repro.replica.hlc.HybridLogicalClock`.
+                When set, unversioned SETs are stamped with a fresh local
+                version and versioned SETs feed :meth:`~.HybridLogicalClock.
+                observe` — replica members arm this so locally-originated
+                writes still participate in last-writer-wins resolution.
+                ``None`` (the default) keeps the single-copy hot path: one
+                attribute check per SET.
         """
         self.clock = clock if clock is not None else SimClock()
         self.allocator = SlabAllocator(
@@ -126,6 +134,7 @@ class KVStore:
         self._on_evict: Optional[Callable] = (
             self._make_tier_hook(tier, on_evict) if tier is not None else on_evict
         )
+        self.hlc = hlc
         self.stats = StoreStats(self.metrics)
         # Prebound bumps for the three hottest counters: one call instead
         # of a property fget+fset round trip per event.  Equally valid for
@@ -429,22 +438,23 @@ class KVStore:
         return [get(key) for key in keys]
 
     def set_many(self, entries) -> List[object]:
-        """Vectored SET of ``(key, value, cost, exptime, flags)`` entries.
+        """Vectored SET of ``(key, value, cost, exptime, flags[, version])``.
 
         Returns one result per entry, in order: the stored :class:`Item`
         on success, or the raised storage error instance
-        (:class:`ObjectTooLargeError` / :class:`OutOfMemoryError`) on
+        (:class:`ObjectTooLargeError` / :class:`OutOfMemoryError` /
+        :class:`NotStoredError` for a last-writer-wins reject) on
         failure — errors are per-entry data, never aborts, so one
         oversized value cannot void the rest of an MSET batch.
         """
         results: List[object] = []
         set_ = self.set
-        for key, value, cost, exptime, flags in entries:
+        # entry order matches set()'s positional signature, so 5-tuples
+        # (legacy) and 6-tuples (with version) both splat straight through
+        for entry in entries:
             try:
-                results.append(
-                    set_(key, value, cost=cost, exptime=exptime, flags=flags)
-                )
-            except (ObjectTooLargeError, OutOfMemoryError) as exc:
+                results.append(set_(*entry))
+            except (ObjectTooLargeError, OutOfMemoryError, NotStoredError) as exc:
                 results.append(exc)
         return results
 
@@ -460,11 +470,20 @@ class KVStore:
         cost: int = 0,
         exptime: float = NEVER_EXPIRES,
         flags: int = 0,
+        version: int = 0,
     ) -> Item:
-        """SET: unconditionally store, with the paper's optional cost."""
+        """SET: unconditionally store, with the paper's optional cost.
+
+        A nonzero ``version`` makes the store conditional on last-writer-
+        wins: if the live item carries a strictly newer version the write
+        raises :class:`NotStoredError` (answered ``NOT_STORED`` on the
+        wire) and the newer value survives.  Version 0 (the default)
+        keeps unconditional memcached semantics.
+        """
         if self._on_request is not None:
             self._on_request()
-        return self._store_item(key, value, cost, exptime, flags)
+        return self._store_item(key, value, cost, exptime, flags,
+                                version=version)
 
     def add(self, key: bytes, value: bytes, cost: int = 0,
             exptime: float = NEVER_EXPIRES, flags: int = 0) -> Item:
@@ -519,15 +538,32 @@ class KVStore:
         return item
 
     def _store_item(self, key: bytes, value: bytes, cost: int,
-                    exptime: float, flags: int, count_set: bool = True) -> Item:
+                    exptime: float, flags: int, count_set: bool = True,
+                    version: int = 0) -> Item:
         old = self.hashtable.find(key)
+        if version:
+            hlc = self.hlc
+            if hlc is not None:
+                hlc.observe(version)
+            # last-writer-wins: a strictly newer stored version survives;
+            # an equal version re-stores (idempotent anti-entropy repair)
+            if old is not None and old.version > version:
+                self.stats.lww_rejects += 1
+                raise NotStoredError(
+                    f"key {key!r} holds newer version {old.version}"
+                )
+        elif self.hlc is not None:
+            # replica member: stamp locally-originated unversioned writes
+            # so they still participate in LWW between replicas
+            version = self.hlc.tick()
         if old is not None:
             self._unlink_item(old, old.slab.owner)
         tier = self.tier
         if tier is not None:
             # any flash copy is stale the moment RAM stores a new value
             tier.invalidate(key)
-        item = Item(key=key, value=value, cost=cost, flags=flags, exptime=exptime)
+        item = Item(key=key, value=value, cost=cost, flags=flags,
+                    exptime=exptime, version=version)
         slab_class = self.allocator.class_for_size(item.footprint)
         slab, index = self._allocate_chunk(slab_class)
         slab_class.store_item(item, slab, index)
@@ -664,6 +700,49 @@ class KVStore:
         if self.tier is not None:
             removed += self.tier.flush()
         return removed
+
+    # -- anti-entropy ----------------------------------------------------------------
+
+    def digest(self, nslots: int) -> List[tuple]:
+        """Per-slot (count, hash) summary of live keys for anti-entropy.
+
+        Keys are bucketed by ``fnv1a_64(key) % nslots``; each slot's hash
+        is the XOR of per-item ``fnv1a_64(key \\x00 version)`` values, so
+        it is order-independent and two stores holding the same key/version
+        sets produce identical digests.  Expired items are skipped (not
+        deleted — digests must be read-only).  Returns a sorted list of
+        ``(slot, count, hash)`` for non-empty slots only.
+        """
+        now = self.clock.now
+        counts: dict = {}
+        hashes: dict = {}
+        for item in self.hashtable.items():
+            if item.expired(now):
+                continue
+            key = item.key
+            slot = fnv1a_64(key) % nslots
+            counts[slot] = counts.get(slot, 0) + 1
+            acc = fnv1a_64(b"%s\x00%d" % (key, item.version))
+            hashes[slot] = hashes.get(slot, 0) ^ acc
+        return sorted((slot, counts[slot], hashes[slot]) for slot in counts)
+
+    def key_entries(self, slot: int, nslots: int) -> List[tuple]:
+        """Metadata for live keys in one digest slot, for repair/bootstrap.
+
+        Returns ``(key, version, cost, flags, exptime)`` per item —
+        everything but the value (values travel over MGET so large
+        payloads ride the batched path).  Read-only, like :meth:`digest`.
+        """
+        now = self.clock.now
+        out = []
+        for item in self.hashtable.items():
+            if item.expired(now) or fnv1a_64(item.key) % nslots != slot:
+                continue
+            out.append(
+                (item.key, item.version, item.cost, item.flags, item.exptime)
+            )
+        out.sort()
+        return out
 
     # -- introspection ---------------------------------------------------------------
 

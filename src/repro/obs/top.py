@@ -41,6 +41,7 @@ def build_top_rows(
     metrics: Dict[str, Dict[str, str]],
     seconds: float,
     breakers: Optional[Mapping[str, str]] = None,
+    replica_groups: Optional[Mapping[str, str]] = None,
 ) -> List[Dict[str, object]]:
     """One row dict per shard from two ``stats`` snapshots + one ``stats
     metrics`` read.
@@ -48,11 +49,21 @@ def build_top_rows(
     ``before``/``after`` are default-``stats`` snapshots (cumulative store
     counters — deltas give rates); ``metrics`` supplies the level-style
     latency summaries that do not delta (p99 over the histogram's life).
+    ``replica_groups`` (worker name -> group name) is opt-in: when given,
+    each row carries a ``group`` field, rows sort group-first so replica
+    members render adjacent, and the rendered table grows a ``group``
+    column.  Without it the table shape is byte-for-byte the old one.
     """
     if seconds <= 0:
         raise ValueError("seconds must be positive")
     rows: List[Dict[str, object]] = []
-    for shard in sorted(after):
+    if replica_groups is not None:
+        ordered = sorted(
+            after, key=lambda s: (replica_groups.get(s, s), s)
+        )
+    else:
+        ordered = sorted(after)
+    for shard in ordered:
         first = before.get(shard, {})
         second = after[shard]
         shard_metrics = metrics.get(shard, {})
@@ -79,20 +90,30 @@ def build_top_rows(
                 "breaker": (breakers or {}).get(shard, "-"),
             }
         )
+        if replica_groups is not None:
+            rows[-1]["group"] = replica_groups.get(shard, "-")
     return rows
 
 
 def render_top(rows: List[Dict[str, object]], seconds: float) -> str:
-    """The fixed-width cluster table (one header, one line per shard)."""
+    """The fixed-width cluster table (one header, one line per shard).
+
+    Rows carrying a ``group`` field (see ``build_top_rows``'s
+    ``replica_groups``) add a ``group`` column; plain rows render the
+    original table untouched.
+    """
+    with_group = bool(rows) and "group" in rows[0]
+    group_header = f" {'group':<10}" if with_group else ""
     lines = [
         f"cluster top — rates over {seconds:.1f}s",
-        f"{'shard':<10} {'ops/s':>9} {'p99us':>8} {'hit%':>6} "
+        f"{'shard':<10}{group_header} {'ops/s':>9} {'p99us':>8} {'hit%':>6} "
         f"{'evic/s':>7} {'tierhit%':>8} {'spill/s':>8} {'shed':>6} "
         f"{'items':>8} {'breaker':>8}",
     ]
     for row in rows:
+        group_cell = f" {str(row['group']):<10}" if with_group else ""
         lines.append(
-            f"{row['shard']:<10} {row['ops_per_sec']:>9,.0f} "
+            f"{row['shard']:<10}{group_cell} {row['ops_per_sec']:>9,.0f} "
             f"{row['get_p99_us']:>8,.0f} {row['hit_rate'] * 100:>5.1f}% "
             f"{row['evictions_per_sec']:>7,.1f} "
             f"{row['tier_hit_share'] * 100:>7.2f}% "
@@ -107,6 +128,7 @@ def top_table(
     seconds: float = 1.0,
     sleep: Optional[Callable[[float], None]] = None,
     breakers: Optional[Mapping[str, str]] = None,
+    replica_groups: Optional[Mapping[str, str]] = None,
 ) -> str:
     """Sample the fleet twice, ``seconds`` apart, and render the table."""
     import time as _time
@@ -119,6 +141,7 @@ def top_table(
     after = stats_fetch("")
     metrics = stats_fetch("metrics")
     return render_top(
-        build_top_rows(before, after, metrics, elapsed, breakers=breakers),
+        build_top_rows(before, after, metrics, elapsed, breakers=breakers,
+                       replica_groups=replica_groups),
         elapsed,
     )

@@ -15,10 +15,14 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.protocol.commands import (
     DeleteCommand,
+    DigestCommand,
+    DigestResponse,
     FlushCommand,
     GetCommand,
     GetResponse,
     IncrCommand,
+    KeyListCommand,
+    KeyListResponse,
     MultiGetCommand,
     MultiSetCommand,
     MultiSetResponse,
@@ -158,19 +162,25 @@ class CostAwareClient:
 
     def set_many(self, items: List[Tuple[bytes, bytes, int]],
                  exptime: float = 0) -> int:
-        """Batched SET of (key, value, cost) triples; returns #stored.
+        """Batched SET of (key, value, cost[, version]) tuples; #stored.
 
         One MSET frame, with the same negotiated per-key fallback as
-        :meth:`get_many`.
+        :meth:`get_many`.  A 4th element per tuple carries a replication
+        version (0 / omitted = unversioned).
         """
         if not items:
             return 0
+        normalized = [
+            item if len(item) == 4 else (item[0], item[1], item[2], 0)
+            for item in items
+        ]
         if self.batch_supported is not False:
             command = MultiSetCommand(
                 items=tuple(
                     StoreCommand(verb="set", key=key, flags=0,
-                                 exptime=exptime, value=value, cost=cost)
-                    for key, value, cost in items
+                                 exptime=exptime, value=value, cost=cost,
+                                 version=version)
+                    for key, value, cost, version in normalized
                 )
             )
             response = self._roundtrip(command)
@@ -184,16 +194,31 @@ class CostAwareClient:
                 raise ProtocolError(f"unexpected MSET response: {response!r}")
             self.batch_supported = False
         stored = 0
-        for key, value, cost in items:
-            if self.set(key, value, cost=cost, exptime=exptime):
+        for key, value, cost, version in normalized:
+            if self.set(key, value, cost=cost, exptime=exptime,
+                        version=version):
                 stored += 1
         return stored
 
+    def digest(self, nslots: int) -> DigestResponse:
+        """Anti-entropy digest: per-slot (count, hash) over live keys."""
+        response = self._roundtrip(DigestCommand(nslots=nslots))
+        if not isinstance(response, DigestResponse):
+            raise ProtocolError(f"unexpected DIGEST response: {response!r}")
+        return response
+
+    def key_entries(self, slot: int, nslots: int) -> KeyListResponse:
+        """One digest slot's (key, version, cost, flags, exptime) entries."""
+        response = self._roundtrip(KeyListCommand(slot=slot, nslots=nslots))
+        if not isinstance(response, KeyListResponse):
+            raise ProtocolError(f"unexpected KEYS response: {response!r}")
+        return response
+
     def _store(self, verb: str, key: bytes, value: bytes, cost: int,
-               exptime: float, flags: int) -> bool:
+               exptime: float, flags: int, version: int = 0) -> bool:
         response = self._roundtrip(
             StoreCommand(verb=verb, key=key, flags=flags, exptime=exptime,
-                         value=value, cost=cost)
+                         value=value, cost=cost, version=version)
         )
         if not isinstance(response, SimpleResponse):
             raise ProtocolError(f"unexpected store response: {response!r}")
@@ -204,8 +229,8 @@ class CostAwareClient:
         raise ProtocolError(response.line.decode())
 
     def set(self, key: bytes, value: bytes, cost: int = 0,
-            exptime: float = 0, flags: int = 0) -> bool:
-        return self._store("set", key, value, cost, exptime, flags)
+            exptime: float = 0, flags: int = 0, version: int = 0) -> bool:
+        return self._store("set", key, value, cost, exptime, flags, version)
 
     def add(self, key: bytes, value: bytes, cost: int = 0,
             exptime: float = 0, flags: int = 0) -> bool:

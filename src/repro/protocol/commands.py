@@ -53,6 +53,12 @@ class StoreCommand:
     ``cost`` is the paper's protocol extension (Section 4.3): an optional
     trailing token pair on storage commands carrying the recomputation
     cost.
+
+    ``version`` is the replication extension: an optional ``version <v>``
+    token pair carrying a hybrid-logical-clock version (see
+    :mod:`repro.replica.hlc`).  A ``set`` whose version is older than the
+    stored item's answers ``NOT_STORED`` (last-writer-wins); version 0
+    means "unversioned" and always stores.
     """
 
     verb: str  # "set" | "add" | "replace" | "append" | "prepend" | "cas"
@@ -63,6 +69,7 @@ class StoreCommand:
     cost: int = 0
     noreply: bool = False
     cas_unique: Optional[int] = None
+    version: int = 0
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,56 @@ class MultiSetCommand:
 
     items: Tuple[StoreCommand, ...]
     noreply: bool = False
+
+
+@dataclass(frozen=True)
+class DigestCommand:
+    """``digest <nslots>`` — per-slot key/version summary for anti-entropy.
+
+    The store hashes every live key into ``nslots`` buckets and answers,
+    per non-empty bucket, the item count and an order-independent XOR hash
+    over (key, version) pairs.  Two replicas holding identical data answer
+    identical digests; a diverged slot pins down *where* to repair without
+    shipping the keyspace.  Gated behind the same negotiation as
+    MGET/MSET: pre-replication servers answer ``CLIENT_ERROR``.
+    """
+
+    nslots: int
+
+
+@dataclass(frozen=True)
+class DigestResponse:
+    """``DIGEST <nslots>`` + one ``SLOT <slot> <count> <hash>`` per bucket.
+
+    Only non-empty slots are listed; ``slots`` is sorted by slot index.
+    """
+
+    nslots: int
+    slots: Tuple[Tuple[int, int, int], ...]  # (slot, count, hash)
+
+    def as_map(self) -> dict:
+        return {slot: (count, digest) for slot, count, digest in self.slots}
+
+
+@dataclass(frozen=True)
+class KeyListCommand:
+    """``keys <slot> <nslots>`` — enumerate one digest slot's metadata.
+
+    The repair/bootstrap follow-up to :class:`DigestCommand`: answers
+    every live key whose hash falls in ``slot``, with its version, cost,
+    flags and absolute exptime — everything but the value, which the
+    caller fetches via MGET so large values ride the batched path.
+    """
+
+    slot: int
+    nslots: int
+
+
+@dataclass(frozen=True)
+class KeyListResponse:
+    """``KEYS <n>`` + one ``KEY <key> <version> <cost> <flags> <exptime>``."""
+
+    entries: Tuple[Tuple[bytes, int, int, int, float], ...]
 
 
 @dataclass(frozen=True)

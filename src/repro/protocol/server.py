@@ -28,8 +28,12 @@ from repro.protocol.commands import (
     BUSY,
     DELETED,
     DeleteCommand,
+    DigestCommand,
+    DigestResponse,
     EXISTS,
     FlushCommand,
+    KeyListCommand,
+    KeyListResponse,
     GetCommand,
     GetResponse,
     IncrCommand,
@@ -79,6 +83,10 @@ def command_label(command) -> str:
         return "flush_all"
     if isinstance(command, StatsCommand):
         return "stats"
+    if isinstance(command, DigestCommand):
+        return "digest"
+    if isinstance(command, KeyListCommand):
+        return "keys"
     if isinstance(command, QuitCommand):
         return "quit"
     return type(command).__name__.lower()
@@ -335,8 +343,15 @@ class StoreServer:
                 exptime = store.clock.now + exptime
             try:
                 if command.verb == "set":
-                    store.set(command.key, command.value, cost=command.cost,
-                              exptime=exptime, flags=command.flags)
+                    if command.version:
+                        store.set(command.key, command.value,
+                                  cost=command.cost, exptime=exptime,
+                                  flags=command.flags,
+                                  version=command.version)
+                    else:
+                        store.set(command.key, command.value,
+                                  cost=command.cost, exptime=exptime,
+                                  flags=command.flags)
                 elif command.verb == "add":
                     store.add(command.key, command.value, cost=command.cost,
                               exptime=exptime, flags=command.flags)
@@ -380,6 +395,18 @@ class StoreServer:
             if command.subcommand == "reset":
                 return self._stats_reset(), True
             return self._stats_response(command.subcommand), True
+        if isinstance(command, DigestCommand):
+            digest = getattr(store, "digest", None)
+            if digest is None:  # store-like wrapper without anti-entropy
+                return server_error("digest unsupported"), True
+            slots = tuple(digest(command.nslots))
+            return DigestResponse(nslots=command.nslots, slots=slots), True
+        if isinstance(command, KeyListCommand):
+            key_entries = getattr(store, "key_entries", None)
+            if key_entries is None:
+                return server_error("keys unsupported"), True
+            entries = tuple(key_entries(command.slot, command.nslots))
+            return KeyListResponse(entries=entries), True
         if isinstance(command, QuitCommand):
             return OK, False
         return client_error(f"unhandled command {type(command).__name__}"), True
@@ -388,9 +415,11 @@ class StoreServer:
         """Vectored write: one ``set_many`` call, per-item status words.
 
         Status vocabulary (single tokens, so the one-line ``MSET``
-        response stays splittable): ``STORED``, ``TOO_LARGE`` (object
-        larger than a slab), ``OOM`` (allocation failed under memory
-        pressure).
+        response stays splittable): ``STORED``, ``NOT_STORED`` (rejected
+        by last-writer-wins version resolution — the durable copy is
+        *newer*, so quorum accounting still counts it as an ack),
+        ``TOO_LARGE`` (object larger than a slab), ``OOM`` (allocation
+        failed under memory pressure).
         """
         store = self.store
         now = store.clock.now
@@ -399,16 +428,20 @@ class StoreServer:
             exptime = item.exptime
             if exptime and exptime != NEVER_EXPIRES:
                 exptime = now + exptime
-            entries.append((item.key, item.value, item.cost, exptime, item.flags))
+            entries.append(
+                (item.key, item.value, item.cost, exptime, item.flags,
+                 item.version)
+            )
         set_many = getattr(store, "set_many", None)
         if set_many is not None:
             results = set_many(entries)
         else:  # store-like wrapper without the vectored API
             results = []
-            for key, value, cost, exptime, flags in entries:
+            for key, value, cost, exptime, flags, version in entries:
                 try:
                     results.append(
-                        store.set(key, value, cost=cost, exptime=exptime, flags=flags)
+                        store.set(key, value, cost=cost, exptime=exptime,
+                                  flags=flags)
                     )
                 except (ObjectTooLargeError, OutOfMemoryError) as exc:
                     results.append(exc)
@@ -418,6 +451,8 @@ class StoreServer:
                 statuses.append(b"TOO_LARGE")
             elif isinstance(result, OutOfMemoryError):
                 statuses.append(b"OOM")
+            elif isinstance(result, NotStoredError):
+                statuses.append(b"NOT_STORED")
             elif isinstance(result, BaseException):  # defensive: unknown error
                 statuses.append(b"ERROR")
             else:

@@ -4,12 +4,14 @@ Wire format (request lines end with ``\\r\\n``; value blocks follow storage
 command lines)::
 
     get <key> [<key> ...]\r\n
-    set <key> <flags> <exptime> <bytes> [cost <cost>] [noreply]\r\n<data>\r\n
+    set <key> <flags> <exptime> <bytes> [cost <cost>] [version <v>] [noreply]\r\n<data>\r\n
     add/replace ...                                 (same shape as set)
     delete <key> [noreply]\r\n
     touch <key> <exptime> [noreply]\r\n
     flush_all [noreply]\r\n
     stats [slabs|items|settings|metrics|trace|reset]\r\n
+    digest <nslots>\r\n
+    keys <slot> <nslots>\r\n
     quit\r\n
 
 The paper modifies the SET protocol "so that clients are able to optionally
@@ -17,6 +19,13 @@ send cost information with each key-value pair" (Section 4.3).  We encode
 the extension as a ``cost <n>`` token pair before the optional ``noreply``;
 servers that don't know the token would reject it, and clients that omit it
 speak stock memcached — the same compatibility story as the paper's.
+
+The replication layer (:mod:`repro.replica`) adds a second optional token
+pair — ``version <v>``, a hybrid-logical-clock version used for
+last-writer-wins conflict resolution between replicas — and two
+anti-entropy commands: ``digest`` (per-slot key/version summary) and
+``keys`` (one slot's key metadata, for repair and bootstrap).  Both are
+gated behind the same ``accept_batch`` negotiation knob as MGET/MSET.
 
 :class:`RequestParser` is an incremental parser over a byte stream (framing
 included), suitable for feeding raw socket reads.
@@ -28,10 +37,14 @@ from typing import Iterator, List, Optional, Union
 
 from repro.protocol.commands import (
     DeleteCommand,
+    DigestCommand,
+    DigestResponse,
     FlushCommand,
     GetCommand,
     GetResponse,
     IncrCommand,
+    KeyListCommand,
+    KeyListResponse,
     MultiGetCommand,
     MultiSetCommand,
     MultiSetResponse,
@@ -51,6 +64,8 @@ MAX_KEY_LENGTH = 250
 MAX_LINE_LENGTH = 8192
 #: upper bound on items in one ``mset`` frame (bounds parser buffering)
 MAX_MSET_ITEMS = 4096
+#: upper bound on anti-entropy digest slot counts (bounds response size)
+MAX_DIGEST_SLOTS = 65536
 
 #: sentinel: the parsed line was an ``mset`` item absorbed into the
 #: pending batch — keep scanning, no command is ready yet
@@ -71,6 +86,8 @@ Command = Union[
     TouchCommand,
     FlushCommand,
     StatsCommand,
+    DigestCommand,
+    KeyListCommand,
     QuitCommand,
 ]
 
@@ -297,37 +314,66 @@ class RequestParser:
                            "metrics", "trace", "tier", "reset"):
                 raise ProtocolError(f"unknown stats subcommand {sub!r}")
             return StatsCommand(subcommand=sub)
+        if verb == b"digest" and self.accept_batch:
+            if len(parts) != 2:
+                raise ProtocolError("digest <nslots>")
+            nslots = _parse_int(parts[1], "nslots")
+            if nslots < 1 or nslots > MAX_DIGEST_SLOTS:
+                raise ProtocolError(f"nslots out of range: {nslots}")
+            return DigestCommand(nslots=nslots)
+        if verb == b"keys" and self.accept_batch:
+            if len(parts) != 3:
+                raise ProtocolError("keys <slot> <nslots>")
+            slot = _parse_int(parts[1], "slot")
+            nslots = _parse_int(parts[2], "nslots")
+            if nslots < 1 or nslots > MAX_DIGEST_SLOTS:
+                raise ProtocolError(f"nslots out of range: {nslots}")
+            if slot < 0 or slot >= nslots:
+                raise ProtocolError(f"slot out of range: {slot}")
+            return KeyListCommand(slot=slot, nslots=nslots)
         if verb == b"quit":
             return QuitCommand()
         raise ProtocolError(f"unknown command {verb!r}")
 
     def _parse_mset_item(self, parts: List[bytes]):
-        """One ``<key> <flags> <exptime> <bytes> [cost <n>]`` item line.
+        """One ``<key> <flags> <exptime> <bytes> [cost <n>] [version <v>]``
+        item line.
 
         The data chunk that follows completes through the same
         ``_pending`` path as a plain SET, then lands in the batch via
         :meth:`_absorb_mset_item`.
         """
-        if len(parts) not in (4, 6):
-            self._mset_items = None
-            self._mset_remaining = 0
-            raise ProtocolError(
-                "mset item: <key> <flags> <exptime> <bytes> [cost <cost>]"
-            )
         try:
+            if len(parts) < 4:
+                raise ProtocolError(
+                    "mset item: <key> <flags> <exptime> <bytes> "
+                    "[cost <cost>] [version <version>]"
+                )
             key = _validate_key(parts[0])
             flags = _parse_int(parts[1], "flags")
             exptime = float(_parse_int(parts[2], "exptime"))
             nbytes = _parse_int(parts[3], "bytes")
-            cost = 0
-            if len(parts) == 6:
-                if parts[4] != b"cost":
-                    raise ProtocolError(f"unexpected token {parts[4]!r}")
-                cost = _parse_int(parts[5], "cost")
-                if cost < 0:
-                    raise ProtocolError("negative cost")
             if nbytes < 0:
                 raise ProtocolError("negative byte count")
+            cost = 0
+            version = 0
+            rest = parts[4:]
+            while rest:
+                token = rest.pop(0)
+                if token == b"cost":
+                    if not rest:
+                        raise ProtocolError("cost token without a value")
+                    cost = _parse_int(rest.pop(0), "cost")
+                    if cost < 0:
+                        raise ProtocolError("negative cost")
+                elif token == b"version":
+                    if not rest:
+                        raise ProtocolError("version token without a value")
+                    version = _parse_int(rest.pop(0), "version")
+                    if version < 0:
+                        raise ProtocolError("negative version")
+                else:
+                    raise ProtocolError(f"unexpected token {token!r}")
         except ProtocolError:
             self._mset_items = None
             self._mset_remaining = 0
@@ -335,6 +381,7 @@ class RequestParser:
         self._pending = StoreCommand(
             verb="set", key=key, flags=flags, exptime=exptime,
             value=b"", cost=cost, noreply=False, cas_unique=None,
+            version=version,
         )
         self._pending_bytes = nbytes
         return self._finish_store()
@@ -352,6 +399,7 @@ class RequestParser:
         if nbytes < 0:
             raise ProtocolError("negative byte count")
         cost = 0
+        version = 0
         noreply = False
         cas_unique = None
         rest = parts[5:]
@@ -367,6 +415,12 @@ class RequestParser:
                 cost = _parse_int(rest.pop(0), "cost")
                 if cost < 0:
                     raise ProtocolError("negative cost")
+            elif token == b"version":
+                if not rest:
+                    raise ProtocolError("version token without a value")
+                version = _parse_int(rest.pop(0), "version")
+                if version < 0:
+                    raise ProtocolError("negative version")
             elif token == b"noreply":
                 noreply = True
             else:
@@ -380,6 +434,7 @@ class RequestParser:
             cost=cost,
             noreply=noreply,
             cas_unique=cas_unique,
+            version=version,
         )
         self._pending_bytes = nbytes
         return self._finish_store()
@@ -418,6 +473,8 @@ def encode_command_into(out: bytearray, command: Command) -> None:
             )
             if item.cost:
                 out += b" cost %d" % item.cost
+            if item.version:
+                out += b" version %d" % item.version
             out += CRLF
             out += item.value
             out += CRLF
@@ -434,11 +491,19 @@ def encode_command_into(out: bytearray, command: Command) -> None:
             out += b" %d" % (command.cas_unique or 0)
         if command.cost:
             out += b" cost %d" % command.cost
+        if command.version:
+            out += b" version %d" % command.version
         if command.noreply:
             out += b" noreply"
         out += CRLF
         out += command.value
         out += CRLF
+        return
+    if isinstance(command, DigestCommand):
+        out += b"digest %d\r\n" % command.nslots
+        return
+    if isinstance(command, KeyListCommand):
+        out += b"keys %d %d\r\n" % (command.slot, command.nslots)
         return
     if isinstance(command, IncrCommand):
         verb = b"decr" if command.negative else b"incr"
@@ -508,6 +573,18 @@ def encode_response_into(out: bytearray, response) -> None:
             out += b" "
             out += status
         out += CRLF
+    elif isinstance(response, DigestResponse):
+        out += b"DIGEST %d\r\n" % response.nslots
+        for slot, count, digest in response.slots:
+            out += b"SLOT %d %d %d\r\n" % (slot, count, digest)
+        out += b"END\r\n"
+    elif isinstance(response, KeyListResponse):
+        out += b"KEYS %d\r\n" % len(response.entries)
+        for key, version, cost, flags, exptime in response.entries:
+            out += b"KEY %s %d %d %d %s\r\n" % (
+                key, version, cost, flags, repr(exptime).encode()
+            )
+        out += b"END\r\n"
     elif isinstance(response, SimpleResponse):
         out += response.line
         out += CRLF
@@ -555,6 +632,10 @@ class ResponseParser:
             return self._try_parse_get()
         if first.startswith(b"STAT"):
             return self._try_parse_stats()
+        if first.startswith(b"DIGEST "):
+            return self._try_parse_digest(first, newline)
+        if first.startswith(b"KEYS "):
+            return self._try_parse_keys(first, newline)
         del buffer[: newline + 2]
         if first == b"MSET" or first.startswith(b"MSET "):
             return MultiSetResponse(statuses=tuple(first.split()[1:]))
@@ -596,6 +677,63 @@ class ResponseParser:
                     cas_unique=cas_unique,
                 )
             )
+
+    def _try_parse_digest(self, first: bytes, newline: int):
+        buffer = self._buffer
+        header = first.split()
+        if len(header) != 2:
+            raise ProtocolError(f"bad DIGEST header: {first!r}")
+        nslots = _parse_int(header[1], "nslots")
+        slots = []
+        pos = newline + 2
+        while True:
+            end = buffer.find(CRLF, pos)
+            if end < 0:
+                return None
+            line = bytes(buffer[pos:end])
+            pos = end + 2
+            if line == b"END":
+                del buffer[:pos]
+                return DigestResponse(nslots=nslots, slots=tuple(slots))
+            parts = line.split()
+            if len(parts) != 4 or parts[0] != b"SLOT":
+                raise ProtocolError(f"unexpected line in DIGEST response: {line!r}")
+            slots.append((
+                _parse_int(parts[1], "slot"),
+                _parse_int(parts[2], "count"),
+                _parse_int(parts[3], "hash"),
+            ))
+
+    def _try_parse_keys(self, first: bytes, newline: int):
+        buffer = self._buffer
+        header = first.split()
+        if len(header) != 2:
+            raise ProtocolError(f"bad KEYS header: {first!r}")
+        entries = []
+        pos = newline + 2
+        while True:
+            end = buffer.find(CRLF, pos)
+            if end < 0:
+                return None
+            line = bytes(buffer[pos:end])
+            pos = end + 2
+            if line == b"END":
+                del buffer[:pos]
+                return KeyListResponse(entries=tuple(entries))
+            parts = line.split()
+            if len(parts) != 6 or parts[0] != b"KEY":
+                raise ProtocolError(f"unexpected line in KEYS response: {line!r}")
+            try:
+                exptime = float(parts[5])
+            except ValueError:
+                raise ProtocolError(f"bad exptime: {parts[5]!r}") from None
+            entries.append((
+                parts[1],
+                _parse_int(parts[2], "version"),
+                _parse_int(parts[3], "cost"),
+                _parse_int(parts[4], "flags"),
+                exptime,
+            ))
 
     def _try_parse_stats(self):
         buffer = self._buffer

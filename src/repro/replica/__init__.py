@@ -1,0 +1,46 @@
+"""``repro.replica`` — per-shard replica groups over the serving stack.
+
+A single-copy shard that dies loses its keyspace until clients repopulate
+it; under GD-Wheel's cost model that is not a uniform tax but a
+recomputation storm concentrated on exactly the high-cost working set the
+policy was built to protect.  This package layers replication onto the
+existing supervisor/router machinery:
+
+* :class:`~repro.replica.hlc.HybridLogicalClock` — per-key versions that
+  order writes across processes without clock trust (last-writer-wins).
+* :class:`~repro.replica.router.ReplicaRouter` — the ketama ring maps a
+  key to a *replica group*; all R members hold the same key subset, so
+  digests between members are directly comparable.
+* :class:`~repro.replica.pool.ReplicatedStorePool` — quorum writes
+  (W=1 fire-and-forget async replication up to W=R synchronous), reads
+  that fail over past open breakers and dead members.
+* :class:`~repro.replica.antientropy.AntiEntropyRepairer` — per-slot
+  key→version digest exchange and repair (re-SET at original cost, so
+  GD-Wheel H-values stay honest).
+* :func:`~repro.replica.bootstrap.bootstrap_store` — a respawned worker
+  copies its key range from a live peer (streamed MGET) before serving.
+"""
+
+from repro.replica.antientropy import AntiEntropyRepairer, RepairReport
+from repro.replica.bootstrap import bootstrap_store
+from repro.replica.hlc import (
+    HybridLogicalClock,
+    logical_count,
+    pack_version,
+    physical_ms,
+)
+from repro.replica.pool import QuorumWriteError, ReplicatedStorePool
+from repro.replica.router import ReplicaRouter
+
+__all__ = [
+    "AntiEntropyRepairer",
+    "HybridLogicalClock",
+    "QuorumWriteError",
+    "RepairReport",
+    "ReplicaRouter",
+    "ReplicatedStorePool",
+    "bootstrap_store",
+    "logical_count",
+    "pack_version",
+    "physical_ms",
+]

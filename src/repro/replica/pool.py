@@ -1,0 +1,445 @@
+"""Quorum writes and read failover over replicated shard groups.
+
+:class:`ReplicatedStorePool` is the replication-aware sibling of
+:class:`repro.aio.pool.AsyncStorePool`.  The ketama ring maps each key to
+a *group* name; every member of that group holds the full key range the
+group owns, so any member can answer any of the group's keys.  Writes fan
+out to every member carrying a hybrid-logical-clock version
+(:mod:`repro.replica.hlc`) and return once ``write_quorum`` members have
+acknowledged — the remaining legs finish in the background (W=1 is
+fire-and-forget async replication, W=R is fully synchronous).  Reads hit
+the key's primary member and step along the group's other members when
+the primary's breaker is open or its request fails.
+
+Conflict resolution is last-writer-wins on the version: a replica that
+already holds a *newer* version answers ``NOT_STORED``, which counts as
+a quorum acknowledgement — the write is durably resolved, just not the
+winner.  Divergence that slips past quorum (a member down during the
+write) is closed by :class:`repro.replica.antientropy.AntiEntropyRepairer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aio.client import AsyncStoreClient
+from repro.aio.pool import MultiGetResult
+from repro.cluster.consistent import ConsistentHashRing
+from repro.kvstore.hashtable import fnv1a_64
+from repro.obs.aggregate import sum_numeric_stats
+from repro.replica.hlc import HybridLogicalClock
+
+#: statuses that durably resolve a write on a replica.  ``NOT_STORED`` is
+#: a last-writer-wins reject: the replica already holds something newer,
+#: so this write's outcome is decided — it lost.  Counting it as an ack
+#: keeps quorum math about *durability*, not about winning.
+ACK_STATUSES = (b"STORED", b"NOT_STORED")
+
+
+class QuorumWriteError(ConnectionError):
+    """A write could not reach its quorum of replica acknowledgements.
+
+    Subclasses :class:`ConnectionError` so existing retry policies and
+    partial-failure handling treat it like any other node failure.
+    """
+
+    def __init__(self, message: str, acks: int = 0, needed: int = 0) -> None:
+        super().__init__(message)
+        self.acks = acks
+        self.needed = needed
+
+
+class ReplicatedStorePool:
+    """One logical cache over replica groups behind a hash ring.
+
+    Args:
+        groups: group name -> {member name -> connected client}.  Member
+            order matters: it defines the rotation used to spread per-key
+            primaries across the group.
+        replicas: virtual ring points per *group* (ketama-style; routing
+            is by group name, so it agrees with any
+            :class:`~repro.shard.router.ShardRouter` built over the same
+            group names).
+        write_quorum: acknowledgements required before a write returns
+            (clamped to group size).  ``None`` = all members (synchronous
+            replication); ``1`` = primary-only with async fan-out.
+        hlc: the clock stamping write versions.  Share one instance per
+            process so versions issued by different pools interleave
+            correctly; defaults to a private clock.
+        registry: optional :class:`~repro.obs.registry.MetricsRegistry`
+            mirroring the pool's counters as ``replica_*`` metrics.
+    """
+
+    def __init__(
+        self,
+        groups: Dict[str, Dict[str, AsyncStoreClient]],
+        replicas: int = 100,
+        write_quorum: Optional[int] = None,
+        hlc: Optional[HybridLogicalClock] = None,
+        registry=None,
+    ) -> None:
+        if not groups:
+            raise ValueError("a replicated pool needs at least one group")
+        for group, members in groups.items():
+            if not members:
+                raise ValueError(f"group {group!r} has no members")
+        self._groups: Dict[str, Tuple[str, ...]] = {
+            group: tuple(members) for group, members in groups.items()
+        }
+        self._clients: Dict[str, AsyncStoreClient] = {}
+        for members in groups.values():
+            self._clients.update(members)
+        self._ring = ConsistentHashRing(list(self._groups), replicas=replicas)
+        sizes = {len(m) for m in self._groups.values()}
+        self.replication = max(sizes)
+        if write_quorum is not None and write_quorum < 1:
+            raise ValueError("write_quorum must be >= 1")
+        self.write_quorum = write_quorum
+        self.hlc = hlc if hlc is not None else HybridLogicalClock()
+        self._registry = registry
+        #: reads answered by a non-primary member after the primary was
+        #: skipped (breaker open) or failed
+        self.replica_failovers = 0
+        #: writes that raised :class:`QuorumWriteError`
+        self.quorum_failures = 0
+        #: replication legs of *acknowledged* writes that failed — whether
+        #: before quorum completed or in the background after it.  Each is
+        #: known divergence the anti-entropy loop will repair.
+        self.async_write_failures = 0
+        #: per-member operation counters, for balance diagnostics
+        self.member_ops: Dict[str, int] = {name: 0 for name in self._clients}
+        #: background replication legs still in flight
+        self._pending: Set[asyncio.Task] = set()
+
+    # -- routing ---------------------------------------------------------------
+
+    @property
+    def groups(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(self._groups)
+
+    @property
+    def clients(self) -> Dict[str, AsyncStoreClient]:
+        return dict(self._clients)
+
+    def group_for(self, key: bytes) -> str:
+        group = self._ring.node_for(key)
+        assert group is not None
+        return group
+
+    def replica_set(self, key: bytes) -> List[str]:
+        """The key's member preference list: primary first, then peers.
+
+        All members hold the group's full key range, so the "primary" is
+        purely a load-spreading choice: the group's member tuple rotated
+        by ``fnv1a_64(key) % R``, giving every member an equal share of
+        primaries without any extra routing state.
+        """
+        members = self._groups[self.group_for(key)]
+        start = fnv1a_64(key) % len(members)
+        return [members[(start + i) % len(members)] for i in range(len(members))]
+
+    def _breaker_open(self, member: str) -> bool:
+        # .state, never allow(): a routing pre-check must not consume the
+        # half-open probe that would have closed the breaker
+        breaker = self._clients[member].breaker
+        return breaker is not None and breaker.state == "open"
+
+    def _read_order(self, key: bytes) -> List[str]:
+        """Members to try for a read: healthy first, open-breaker last."""
+        order = self.replica_set(key)
+        healthy = [m for m in order if not self._breaker_open(m)]
+        condemned = [m for m in order if self._breaker_open(m)]
+        return healthy + condemned
+
+    def _count(self, name: str) -> None:
+        if self._registry is not None:
+            self._registry.counter(f"replica_{name}").inc()
+
+    # -- reads -----------------------------------------------------------------
+
+    async def get(self, key: bytes) -> Optional[bytes]:
+        """GET with replica failover.
+
+        Tries the primary, then each remaining member; a member whose
+        breaker is hard-open is demoted to last resort rather than
+        skipped outright, so a fully-condemned group still surfaces a
+        real error instead of an invented miss.
+        """
+        last_error: Optional[BaseException] = None
+        for index, member in enumerate(self._read_order(key)):
+            self.member_ops[member] += 1
+            try:
+                value = await self._clients[member].get(key)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                last_error = exc
+                continue
+            if index > 0:
+                self.replica_failovers += 1
+                self._count("failover_total")
+            return value
+        assert last_error is not None
+        raise last_error
+
+    async def multi_get(
+        self, keys: Sequence[bytes], partial: bool = False
+    ) -> MultiGetResult:
+        """Concurrent multi-key GET with per-group member failover.
+
+        Round 1 batches each key to its primary member (one MGET frame
+        per member).  Keys on a failed leg are re-batched to their next
+        untried member and the rounds repeat until every key is answered
+        or has exhausted its group.  The partial-failure contract matches
+        :meth:`AsyncStorePool.multi_get`: ``partial=False`` raises the
+        first surviving error, ``partial=True`` returns the merged hits
+        with ``result.errors`` attributing keys no member could answer.
+        """
+        merged = MultiGetResult()
+        if not keys:
+            return merged
+        tried: Dict[bytes, Set[str]] = {key: set() for key in keys}
+        pending: List[bytes] = list(dict.fromkeys(keys))
+        while pending:
+            batches: Dict[str, List[bytes]] = {}
+            unroutable: List[bytes] = []
+            for key in pending:
+                member = next(
+                    (m for m in self._read_order(key) if m not in tried[key]),
+                    None,
+                )
+                if member is None:
+                    unroutable.append(key)
+                    continue
+                tried[key].add(member)
+                batches.setdefault(member, []).append(key)
+            if not batches:
+                break
+            members = list(batches)
+            results = await asyncio.gather(
+                *(self._clients[m].get_many(batches[m]) for m in members),
+                return_exceptions=True,
+            )
+            pending = list(unroutable)
+            for member, found in zip(members, results):
+                self.member_ops[member] += 1
+                if isinstance(found, BaseException):
+                    for key in batches[member]:
+                        merged.errors[key] = found
+                        pending.append(key)
+                    continue
+                for key in batches[member]:
+                    merged.errors.pop(key, None)
+                merged.update(found)
+            if unroutable and len(unroutable) == len(pending):
+                break  # nothing left to try anywhere
+        failovers = sum(
+            1 for key, members in tried.items()
+            if len(members) > 1 and key not in merged.errors
+        )
+        if failovers:
+            self.replica_failovers += failovers
+            for _ in range(failovers):
+                self._count("failover_total")
+        if merged.errors and not partial:
+            raise next(iter(merged.errors.values()))
+        return merged
+
+    # -- writes ----------------------------------------------------------------
+
+    def _quorum_for(self, nmembers: int) -> int:
+        if self.write_quorum is None:
+            return nmembers
+        return min(self.write_quorum, nmembers)
+
+    def _track_background(self, tasks: Sequence[asyncio.Task]) -> None:
+        """Keep post-quorum legs alive and tally the ones that fail."""
+        for task in tasks:
+            self._pending.add(task)
+            task.add_done_callback(self._background_done)
+
+    def _background_done(self, task: asyncio.Task) -> None:
+        self._pending.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.async_write_failures += 1
+            self._count("async_write_failures")
+
+    async def set(
+        self,
+        key: bytes,
+        value: bytes,
+        cost: int = 0,
+        exptime: float = 0,
+        flags: int = 0,
+    ) -> bool:
+        """Quorum SET: stamp a version, fan out, return at W acks.
+
+        Every member receives the same versioned SET concurrently.  The
+        call returns as soon as ``write_quorum`` legs resolve (STORED or
+        a NOT_STORED last-writer-wins reject both count — see
+        :data:`ACK_STATUSES`); the rest continue in the background and
+        failures there are tallied in :attr:`async_write_failures` for
+        the anti-entropy loop to close.  Raises :class:`QuorumWriteError`
+        when too few members can acknowledge.
+
+        Returns True when at least one acknowledging member actually
+        stored the value (False = the write lost LWW everywhere).
+        """
+        members = self.replica_set(key)
+        needed = self._quorum_for(len(members))
+        version = self.hlc.tick()
+        tasks = {
+            asyncio.ensure_future(
+                self._clients[member].set(
+                    key, value, cost=cost, exptime=exptime,
+                    flags=flags, version=version,
+                )
+            ): member
+            for member in members
+        }
+        for member in members:
+            self.member_ops[member] += 1
+        acks = 0
+        stored = False
+        failures = 0
+        pending = set(tasks)
+        try:
+            while pending and acks < needed:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.exception() is not None:
+                        failures += 1
+                    else:
+                        acks += 1
+                        stored = stored or bool(task.result())
+        finally:
+            if pending:
+                self._track_background(list(pending))
+        if acks < needed:
+            self.quorum_failures += 1
+            self._count("quorum_failures")
+            raise QuorumWriteError(
+                f"write quorum not met for {key!r}: "
+                f"{acks}/{needed} acks ({failures} members failed)",
+                acks=acks, needed=needed,
+            )
+        if failures:
+            # the write is acknowledged but some member never took it:
+            # that is real divergence, tallied whether the leg failed
+            # before quorum resolved or in the background after it
+            self.async_write_failures += failures
+            for _ in range(failures):
+                self._count("async_write_failures")
+        return stored
+
+    async def multi_set(
+        self,
+        items: Sequence[Tuple[bytes, bytes, int]],
+        exptime: float = 0,
+    ) -> int:
+        """Quorum MSET: one versioned frame per member, per-item quorum.
+
+        Items are stamped and grouped per replica group; each member of a
+        group receives the full group batch concurrently.  An item is
+        acknowledged once ``write_quorum`` members answered STORED or
+        NOT_STORED for it.  Returns the number of items that achieved
+        quorum; raises :class:`QuorumWriteError` if any item did not
+        (after every leg resolved — batch legs are not left running).
+        """
+        if not items:
+            return 0
+        grouped: Dict[str, List[Tuple[bytes, bytes, int, int]]] = {}
+        for item in items:
+            key, value, cost = item[0], item[1], item[2]
+            stamped = (key, value, cost, self.hlc.tick())
+            grouped.setdefault(self.group_for(key), []).append(stamped)
+        legs: List[Tuple[str, str]] = []  # (group, member)
+        coros = []
+        for group, batch in grouped.items():
+            for member in self._groups[group]:
+                legs.append((group, member))
+                coros.append(
+                    self._clients[member].set_many_statuses(
+                        batch, exptime=exptime
+                    )
+                )
+        results = await asyncio.gather(*coros, return_exceptions=True)
+        acks: Dict[Tuple[str, int], int] = {}
+        for (group, member), statuses in zip(legs, results):
+            self.member_ops[member] += 1
+            if isinstance(statuses, BaseException):
+                continue
+            for index, status in enumerate(statuses):
+                if status in ACK_STATUSES:
+                    acks[(group, index)] = acks.get((group, index), 0) + 1
+        acked = 0
+        short = 0
+        for group, batch in grouped.items():
+            needed = self._quorum_for(len(self._groups[group]))
+            for index in range(len(batch)):
+                if acks.get((group, index), 0) >= needed:
+                    acked += 1
+                else:
+                    short += 1
+        if short:
+            self.quorum_failures += short
+            self._count("quorum_failures")
+            raise QuorumWriteError(
+                f"{short} of {len(items)} items missed their write quorum",
+                acks=acked, needed=len(items),
+            )
+        return acked
+
+    async def delete(self, key: bytes) -> bool:
+        """DELETE on every member; True if any member had the key.
+
+        Deletes are unversioned (memcached semantics): a member that was
+        down keeps a stale item until anti-entropy or its own expiry
+        removes it.
+        """
+        members = self.replica_set(key)
+        results = await asyncio.gather(
+            *(self._clients[m].delete(key) for m in members),
+            return_exceptions=True,
+        )
+        for member in members:
+            self.member_ops[member] += 1
+        deleted = [r for r in results if r is True]
+        if not deleted and all(isinstance(r, BaseException) for r in results):
+            raise next(r for r in results if isinstance(r, BaseException))
+        return bool(deleted)
+
+    # -- lifecycle / fleet -----------------------------------------------------
+
+    async def drain(self, timeout: Optional[float] = None) -> None:
+        """Wait for background replication legs to finish (tests, shutdown)."""
+        if not self._pending:
+            return
+        await asyncio.wait(set(self._pending), timeout=timeout)
+
+    async def aggregate_stats(self) -> Dict[str, int]:
+        members = list(self._clients)
+        snapshots = await asyncio.gather(
+            *(self._clients[m].stats() for m in members)
+        )
+        return sum_numeric_stats(snapshots)
+
+    async def flush_all(self) -> None:
+        await asyncio.gather(*(c.flush_all() for c in self._clients.values()))
+
+    async def aclose(self) -> None:
+        for task in list(self._pending):
+            task.cancel()
+        if self._pending:
+            await asyncio.gather(*self._pending, return_exceptions=True)
+        await asyncio.gather(*(c.aclose() for c in self._clients.values()))
+
+    async def __aenter__(self) -> "ReplicatedStorePool":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()

@@ -1,0 +1,140 @@
+"""Key→replica-group routing plus the address book for every member.
+
+:class:`ReplicaRouter` generalises :class:`repro.shard.router.ShardRouter`
+from one worker per shard to a *group* of workers per shard.  The ketama
+ring is keyed by group name — exactly the names a ShardRouter would use
+for an unreplicated fleet, so routing agrees byte-for-byte with R=1
+deployments — while each group fans out to R member endpoints.  Member
+names (``{group}.r{j}``) never enter the ring: a member that dies and
+respawns on a new port keeps its name and its group, and no key moves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.aio.backoff import RetryPolicy
+from repro.aio.client import AsyncStoreClient
+from repro.cluster.consistent import ConsistentHashRing
+from repro.replica.hlc import HybridLogicalClock
+from repro.replica.pool import ReplicatedStorePool
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
+
+Endpoint = Tuple[str, int]
+
+
+class ReplicaRouter:
+    """Key→group assignment plus member address books.
+
+    Args:
+        groups: group name -> {member name -> (host, port)}.  Member
+            order defines the primary rotation inside each group (see
+            :meth:`ReplicatedStorePool.replica_set`).
+        replicas: virtual ring points per group.
+    """
+
+    def __init__(
+        self,
+        groups: Dict[str, Dict[str, Endpoint]],
+        replicas: int = 100,
+    ) -> None:
+        if not groups:
+            raise ValueError("a replica router needs at least one group")
+        member_names = set()
+        for group, members in groups.items():
+            if not members:
+                raise ValueError(f"group {group!r} has no members")
+            for name in members:
+                if name in member_names:
+                    raise ValueError(f"duplicate member name {name!r}")
+                member_names.add(name)
+        self.replicas = replicas
+        self._groups: Dict[str, Dict[str, Endpoint]] = {
+            group: dict(members) for group, members in groups.items()
+        }
+        self._ring = ConsistentHashRing(list(self._groups), replicas=replicas)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    @property
+    def groups(self) -> Tuple[str, ...]:
+        return tuple(self._groups)
+
+    @property
+    def ring(self) -> ConsistentHashRing:
+        return self._ring
+
+    @property
+    def replication(self) -> int:
+        """R: the (largest) group size."""
+        return max(len(members) for members in self._groups.values())
+
+    def group_for(self, key: bytes) -> str:
+        """The replica group owning ``key`` (pure ring lookup)."""
+        group = self._ring.node_for(key)
+        assert group is not None  # the ring is never empty
+        return group
+
+    def members_of(self, group: str) -> Dict[str, Endpoint]:
+        """The group's member name -> (host, port) address book."""
+        return dict(self._groups[group])
+
+    def endpoints_for(self, key: bytes) -> List[Endpoint]:
+        """Member addresses for ``key``'s group, in member order."""
+        return list(self._groups[self.group_for(key)].values())
+
+    def update_endpoint(self, member: str, host: str, port: int) -> None:
+        """Repoint one member (post-respawn) — routing does not change."""
+        for members in self._groups.values():
+            if member in members:
+                members[member] = (host, port)
+                return
+        raise KeyError(f"unknown member {member!r}")
+
+    def connect_pool(
+        self,
+        pool_size: int = 4,
+        timeout: Optional[float] = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        registry=None,
+        trace=None,
+        tracer=None,
+        batching: str = "mget",
+        write_quorum: Optional[int] = None,
+        hlc: Optional[HybridLogicalClock] = None,
+    ) -> ReplicatedStorePool:
+        """A live :class:`ReplicatedStorePool` over the current endpoints.
+
+        Mirrors :meth:`ShardRouter.connect_pool` — same retry, breaker,
+        tracing, and batching plumbing, applied per *member* (each member
+        gets its own breaker named after it, so one dead replica opens
+        one breaker and its group's reads fail over without penalising
+        the healthy members).  ``write_quorum``/``hlc`` configure the
+        replication layer; see :class:`ReplicatedStorePool`.
+        """
+        group_clients: Dict[str, Dict[str, AsyncStoreClient]] = {}
+        for group, members in self._groups.items():
+            group_clients[group] = {
+                member: AsyncStoreClient(
+                    host, port, pool_size=pool_size, timeout=timeout,
+                    retry=retry, rng=rng,
+                    breaker=(
+                        CircuitBreaker(
+                            breaker_policy, name=member,
+                            registry=registry, trace=trace,
+                        )
+                        if breaker_policy is not None else None
+                    ),
+                    tracer=tracer,
+                    batching=batching,
+                )
+                for member, (host, port) in members.items()
+            }
+        return ReplicatedStorePool(
+            group_clients, replicas=self.replicas,
+            write_quorum=write_quorum, hlc=hlc, registry=registry,
+        )

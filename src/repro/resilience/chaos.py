@@ -137,6 +137,31 @@ class FaultSchedule:
         )
         return self
 
+    def partition(
+        self,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        direction: str = INBOUND,
+    ) -> "FaultSchedule":
+        """Black-hole one direction only — an *asymmetric* partition.
+
+        The nasty real-network failure symmetric blackholing can't model:
+        with ``direction="in"`` requests vanish before the server but the
+        server's half of TCP still flows, so the client's connection looks
+        alive while every request times out; ``direction="out"`` delivers
+        requests (the server *executes* writes) and drops only the
+        acknowledgements — the canonical acked-vs-applied divergence that
+        quorum accounting and anti-entropy must survive.  ``"both"`` is a
+        full partition.  Declared as a window (not :meth:`always`) so it
+        composes with a base spec instead of replacing it.
+        """
+        return self.window(
+            start,
+            end if end is not None else float("inf"),
+            blackhole=True,
+            direction=direction,
+        )
+
     # -- evaluation --------------------------------------------------------------
 
     def start(self) -> None:
@@ -328,7 +353,10 @@ class ChaosProxy:
                     await writer.drain()
                     continue
                 if spec.blackhole:
+                    # direction-tagged so asymmetric partitions are
+                    # observable: a one-way drop counts only its own pump
                     self._count("blackhole_chunk")
+                    self._count(f"blackhole_{direction}")
                     continue
                 delay = spec.latency
                 if spec.jitter:

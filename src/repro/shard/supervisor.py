@@ -76,6 +76,21 @@ class ShardSupervisor:
             per-worker :class:`~repro.obs.trace.EventTrace` ring that
             ``stats trace`` (and :meth:`aggregate_trace`) reads.
         replicas: ketama points per shard for routers/pools built here.
+        replication: workers per shard group (R).  The ring still routes
+            by *group* name, so R=1 (the default) is byte-for-byte the
+            old unreplicated fleet; R>1 runs ``num_shards`` groups of R
+            members named ``<group>.r<j>``, every member holding the
+            group's full key range (DESIGN.md §14).
+        write_quorum: default W for pools built by :meth:`connect_pool`
+            (None = all R members, synchronous; 1 = fire-and-forget
+            async replication).
+        anti_entropy_interval: seconds between background digest-compare
+            -and-repair sweeps over every group (0 = no background loop;
+            call :meth:`repair_replicas` manually).
+        replica_nslots: digest slots for anti-entropy and convergence
+            probes.
+        bootstrap_on_respawn: whether a respawned member copies its key
+            range from a live same-group peer before serving.
         start_method: multiprocessing start method; default prefers
             ``fork`` and falls back to ``spawn``.
         respawn: whether the monitor thread restarts dead workers.
@@ -110,11 +125,26 @@ class ShardSupervisor:
         trace_sample: int = 100,
         trace_events: int = 512,
         trace_capacity: int = 4096,
+        replication: int = 1,
+        write_quorum: Optional[int] = None,
+        anti_entropy_interval: float = 0.0,
+        replica_nslots: int = 64,
+        bootstrap_on_respawn: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
-        if ports is not None and len(ports) != num_shards:
-            raise ValueError("ports must list one port per shard")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if write_quorum is not None and not 1 <= write_quorum <= replication:
+            raise ValueError(
+                f"write_quorum must be in 1..{replication} (R), "
+                f"got {write_quorum}"
+            )
+        if ports is not None and len(ports) != num_shards * replication:
+            raise ValueError(
+                "ports must list one port per worker "
+                f"(num_shards*replication = {num_shards * replication})"
+            )
         self.num_shards = num_shards
         self.host = host
         self.policy = policy
@@ -129,19 +159,50 @@ class ShardSupervisor:
         self.trace_events = trace_events
         self.trace_capacity = trace_capacity
         self.replicas = replicas
+        self.replication = replication
+        self.write_quorum = write_quorum
+        self.anti_entropy_interval = anti_entropy_interval
+        self.replica_nslots = replica_nslots
+        self.bootstrap_on_respawn = bootstrap_on_respawn
         self.respawn = respawn
         self.max_respawns = max_respawns
         self.monitor_interval = monitor_interval
         self.startup_timeout = startup_timeout
         self._requested_ports = ports
-        self._names = [f"{name_prefix}-{i}" for i in range(num_shards)]
+        # group names define the ring; member names are the processes.
+        # With R=1 member name == group name, so every existing caller
+        # (and every on-disk tier path) sees exactly the old fleet.
+        self._group_names = [f"{name_prefix}-{i}" for i in range(num_shards)]
+        self._group_members: Dict[str, List[str]] = {
+            group: (
+                [group] if replication == 1
+                else [f"{group}.r{j}" for j in range(replication)]
+            )
+            for group in self._group_names
+        }
+        self._member_group: Dict[str, str] = {
+            member: group
+            for group, members in self._group_members.items()
+            for member in members
+        }
+        self._names = [
+            member
+            for group in self._group_names
+            for member in self._group_members[group]
+        ]
         self._ctx = multiprocessing.get_context(
             start_method if start_method is not None else _default_start_method()
         )
         self._handles: Dict[str, _WorkerHandle] = {}
         self._lock = threading.Lock()
         self._monitor: Optional[threading.Thread] = None
+        self._anti_entropy: Optional[threading.Thread] = None
         self._stopping = threading.Event()
+        # serializes _respawn against stop(): a respawn in flight when
+        # shutdown begins either finishes (and its fresh worker is then
+        # terminated with the rest) or never starts — no worker can be
+        # (re)spawned after stop() has swept the fleet
+        self._respawn_lock = threading.Lock()
         self._started = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -166,8 +227,20 @@ class ShardSupervisor:
             target=self._monitor_loop, name="shard-supervisor-monitor", daemon=True
         )
         self._monitor.start()
+        if self.anti_entropy_interval > 0 and self.replication > 1:
+            self._anti_entropy = threading.Thread(
+                target=self._anti_entropy_loop,
+                name="shard-supervisor-anti-entropy",
+                daemon=True,
+            )
+            self._anti_entropy.start()
 
-    def _spawn(self, name: str, port: int) -> _WorkerHandle:
+    def _spawn(
+        self,
+        name: str,
+        port: int,
+        bootstrap_peers: Tuple[Tuple[str, int], ...] = (),
+    ) -> _WorkerHandle:
         """Start one worker and wait for its ready report."""
         config = ShardConfig(
             name=name,
@@ -184,6 +257,10 @@ class ShardSupervisor:
             trace_sample=self.trace_sample,
             trace_events=self.trace_events,
             trace_capacity=self.trace_capacity,
+            replica_group=self._member_group[name],
+            replica_versions=self.replication > 1,
+            bootstrap_peers=bootstrap_peers,
+            bootstrap_nslots=self.replica_nslots,
         )
         parent_end, child_end = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
@@ -209,9 +286,17 @@ class ShardSupervisor:
     def stop(self, timeout: float = 5.0) -> None:
         """Graceful fleet shutdown: SIGTERM, join, then kill stragglers."""
         self._stopping.set()
+        # wait out any respawn already in flight: after this, _respawn's
+        # entry check sees _stopping and refuses, so the handle list we
+        # sweep below is complete — no worker can appear after the sweep
+        if self._respawn_lock.acquire(timeout=timeout):
+            self._respawn_lock.release()
         if self._monitor is not None:
             self._monitor.join(timeout=timeout)
             self._monitor = None
+        if self._anti_entropy is not None:
+            self._anti_entropy.join(timeout=timeout)
+            self._anti_entropy = None
         with self._lock:
             handles = list(self._handles.values())
         for handle in handles:
@@ -247,41 +332,89 @@ class ShardSupervisor:
                 self._respawn(handle)
 
     def _respawn(self, handle: _WorkerHandle) -> None:
-        handle.process.join(timeout=1.0)  # reap the corpse
-        if not self.respawn or handle.restarts >= self.max_respawns:
-            return
-        restarts = handle.restarts + 1
-        try:
-            # rebind the dead worker's port so existing clients recover by
-            # plain retry; a new ready report confirms the listener is live
-            fresh = self._spawn(handle.name, handle.port)
-        except ShardStartupError:
+        with self._respawn_lock:
+            # checked *inside* the lock: a worker that dies while stop()
+            # is sweeping the fleet must not be resurrected after its
+            # SIGTERM — the old entry-less path could spawn a fresh
+            # process that outlived the supervisor
+            if self._stopping.is_set():
+                return
+            handle.process.join(timeout=1.0)  # reap the corpse
+            if not self.respawn or handle.restarts >= self.max_respawns:
+                return
+            restarts = handle.restarts + 1
+            peers = self._bootstrap_peers_for(handle.name)
             try:
-                # port may be briefly unavailable — fall back to ephemeral
-                fresh = self._spawn(handle.name, 0)
-            except ShardStartupError:  # pragma: no cover - startup storm
-                return
-        fresh.restarts = restarts
+                # rebind the dead worker's port so existing clients
+                # recover by plain retry; a new ready report confirms the
+                # listener is live (and, with peers, already warmed)
+                fresh = self._spawn(handle.name, handle.port,
+                                    bootstrap_peers=peers)
+            except ShardStartupError:
+                try:
+                    # port may be briefly unavailable — fall back to ephemeral
+                    fresh = self._spawn(handle.name, 0, bootstrap_peers=peers)
+                except ShardStartupError:  # pragma: no cover - startup storm
+                    return
+            fresh.restarts = restarts
+            with self._lock:
+                if self._stopping.is_set():  # lost the race with stop()
+                    fresh.process.terminate()
+                    fresh.process.join(timeout=1.0)
+                    return
+                self._handles[handle.name] = fresh
+
+    def _bootstrap_peers_for(
+        self, member: str
+    ) -> Tuple[Tuple[str, int], ...]:
+        """Live same-group endpoints a respawning ``member`` can copy from."""
+        if not self.bootstrap_on_respawn or self.replication < 2:
+            return ()
+        group = self._member_group[member]
         with self._lock:
-            if self._stopping.is_set():  # lost the race with stop()
-                fresh.process.terminate()
-                fresh.process.join(timeout=1.0)
-                return
-            self._handles[handle.name] = fresh
+            return tuple(
+                (h.host, h.port)
+                for name in self._group_members[group]
+                if name != member
+                for h in (self._handles.get(name),)
+                if h is not None and h.process.is_alive()
+            )
 
     # -- introspection ----------------------------------------------------------
 
     @property
     def shard_names(self) -> List[str]:
+        """Every worker (member) name; == group names when R=1."""
         return list(self._names)
 
+    @property
+    def group_names(self) -> List[str]:
+        """Replica group names — the identities on the hash ring."""
+        return list(self._group_names)
+
+    def members_of(self, group: str) -> List[str]:
+        """Member names of one replica group, in rotation order."""
+        return list(self._group_members[group])
+
     def endpoints(self) -> Dict[str, Endpoint]:
-        """Shard name -> (host, port) for every live worker."""
+        """Worker name -> (host, port) for every worker."""
         with self._lock:
             return {
                 name: (handle.host, handle.port)
                 for name, handle in self._handles.items()
             }
+
+    def group_endpoints(self) -> Dict[str, Dict[str, Endpoint]]:
+        """Group name -> {member name -> (host, port)}."""
+        endpoints = self.endpoints()
+        return {
+            group: {
+                member: endpoints[member]
+                for member in members
+                if member in endpoints
+            }
+            for group, members in self._group_members.items()
+        }
 
     def pids(self) -> Dict[str, Optional[int]]:
         with self._lock:
@@ -331,12 +464,71 @@ class ShardSupervisor:
     # -- client-side views ------------------------------------------------------
 
     def router(self) -> ShardRouter:
-        """A :class:`ShardRouter` over the current endpoints."""
+        """A :class:`ShardRouter` over the current endpoints (R=1 only —
+        with replica groups a flat member ring would split each group's
+        keyspace; use :meth:`replica_router`)."""
+        if self.replication > 1:
+            raise RuntimeError(
+                "router() is for unreplicated fleets; use replica_router()"
+            )
         return ShardRouter(self.endpoints(), replicas=self.replicas)
 
+    def replica_router(self):
+        """A :class:`~repro.replica.router.ReplicaRouter` over the groups.
+
+        Works at any R (R=1 groups are groups of one), and routes by the
+        same group names :meth:`router` would use, so the key→group
+        assignment is identical to the unreplicated fleet's key→shard.
+        """
+        from repro.replica.router import ReplicaRouter
+
+        return ReplicaRouter(self.group_endpoints(), replicas=self.replicas)
+
     def connect_pool(self, **kwargs):
-        """A live :class:`~repro.aio.pool.AsyncStorePool` over the fleet."""
-        return self.router().connect_pool(**kwargs)
+        """A live pool over the fleet.
+
+        R=1: an :class:`~repro.aio.pool.AsyncStorePool` (exactly the old
+        behaviour, same kwargs).  R>1: a
+        :class:`~repro.replica.pool.ReplicatedStorePool` with this
+        supervisor's default ``write_quorum`` (overridable per call).
+        """
+        if self.replication == 1:
+            return self.router().connect_pool(**kwargs)
+        kwargs.setdefault("write_quorum", self.write_quorum)
+        return self.replica_router().connect_pool(**kwargs)
+
+    # -- anti-entropy -----------------------------------------------------------
+
+    def _repairer(self):
+        from repro.replica.antientropy import AntiEntropyRepairer
+
+        return AntiEntropyRepairer(
+            self.group_endpoints(), nslots=self.replica_nslots
+        )
+
+    def repair_replicas(self):
+        """One digest-compare-and-repair sweep over every replica group.
+
+        Returns the sweep's
+        :class:`~repro.replica.antientropy.RepairReport`.  Safe to call
+        with members down (their groups are skipped this sweep).
+        """
+        return self._repairer().run_once()
+
+    def replicas_converged(self) -> bool:
+        """Do all members of every group hold identical digests right now?"""
+        if self.replication < 2:
+            return True
+        return self._repairer().converged()
+
+    def _anti_entropy_loop(self) -> None:
+        while not self._stopping.wait(self.anti_entropy_interval):
+            try:
+                self.repair_replicas()
+            except Exception:  # pragma: no cover - workers mid-respawn
+                # a sweep racing a dying/respawning member can fail in
+                # arbitrary connection-shaped ways; the next sweep repairs
+                continue
 
     # -- fleet telemetry --------------------------------------------------------
 
@@ -374,8 +566,15 @@ class ShardSupervisor:
         Samples every shard's default + metrics stats twice, ``seconds``
         apart, and renders per-shard ops/s, GET p99, hit rate, evictions,
         tier hit/spill rates, shed counts, and item counts (see
-        :mod:`repro.obs.top`).
+        :mod:`repro.obs.top`).  Replicated fleets add a ``group`` column
+        with members of the same group rendered adjacent.
         """
         from repro.obs.top import top_table
 
-        return top_table(self.per_shard_stats, seconds=seconds)
+        return top_table(
+            self.per_shard_stats,
+            seconds=seconds,
+            replica_groups=(
+                dict(self._member_group) if self.replication > 1 else None
+            ),
+        )

@@ -23,7 +23,7 @@ import asyncio
 import os
 import signal
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.aio.server import AsyncTCPStoreServer
 from repro.core import (
@@ -90,6 +90,19 @@ class ShardConfig:
     trace_sample: int = 100
     #: span-ring capacity when tracing is enabled
     trace_capacity: int = 4096
+    #: replica group this worker serves (None = unreplicated; a member's
+    #: group decides which peers it bootstraps from and repairs against)
+    replica_group: Optional[str] = None
+    #: arm a :class:`~repro.replica.hlc.HybridLogicalClock` in the store —
+    #: server-stamped versions plus last-writer-wins resolution, the
+    #: storage half of replication (required for every group member)
+    replica_versions: bool = False
+    #: same-group (host, port) peers to copy the key range from *before*
+    #: the listener opens; () = start cold (initial spawn)
+    bootstrap_peers: Tuple[Tuple[str, int], ...] = ()
+    #: listing granularity / MGET batch for the bootstrap stream
+    bootstrap_nslots: int = 64
+    bootstrap_batch: int = 256
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_FACTORIES:
@@ -111,6 +124,19 @@ class ShardConfig:
         if self.trace_sample < 1:
             raise ValueError(
                 f"trace_sample must be >= 1, got {self.trace_sample}"
+            )
+        if self.bootstrap_nslots < 1:
+            raise ValueError(
+                f"bootstrap_nslots must be >= 1, got {self.bootstrap_nslots}"
+            )
+        if self.bootstrap_batch < 1:
+            raise ValueError(
+                f"bootstrap_batch must be >= 1, got {self.bootstrap_batch}"
+            )
+        if self.bootstrap_peers and not self.replica_versions:
+            raise ValueError(
+                "bootstrap_peers requires replica_versions (bootstrapped "
+                "items carry versions the store must understand)"
             )
 
 
@@ -137,6 +163,11 @@ def build_store(config: ShardConfig) -> KVStore:
             ),
         )
     trace = EventTrace(capacity=config.trace_events) if config.trace_events else None
+    hlc = None
+    if config.replica_versions:
+        from repro.replica.hlc import HybridLogicalClock
+
+        hlc = HybridLogicalClock()
     return KVStore(
         memory_limit=config.memory_limit,
         policy_factory=POLICY_FACTORIES[config.policy],
@@ -146,6 +177,7 @@ def build_store(config: ShardConfig) -> KVStore:
         hash_power=config.hash_power,
         trace=trace,
         tier=tier,
+        hlc=hlc,
     )
 
 
@@ -165,6 +197,20 @@ async def _serve(config: ShardConfig, ready) -> None:
         # store ops under a traced dispatch record store.* spans (one
         # ContextVar read per op otherwise; nothing at all without a tracer)
         tracer.instrument_store(store)
+    if config.bootstrap_peers:
+        # warm the store from a live same-group peer BEFORE the listener
+        # opens: a respawned replica never serves its group's keys cold,
+        # and clients that reconnect on the stable endpoint see data, not
+        # a miss storm.  Best-effort — a peer dying mid-stream leaves a
+        # partial warm-up for anti-entropy to finish.
+        from repro.replica.bootstrap import bootstrap_store
+
+        bootstrap_store(
+            store,
+            config.bootstrap_peers,
+            nslots=config.bootstrap_nslots,
+            batch=config.bootstrap_batch,
+        )
     server = AsyncTCPStoreServer(
         store,
         host=config.host,

@@ -1,0 +1,139 @@
+"""Pool retry/breaker interplay: open-breaker keys reroute, not retry.
+
+A ``multi_get`` must not spend its retry budget dialing a node whose
+circuit breaker is already open — those keys should ride a healthy node's
+frame instead (an honest miss beats a guaranteed error), and keys whose
+owner fails mid-call get one fallback round on a different node.  All of
+it opt-in (``read_fallback=True``): the default pool keeps the PR 4
+partial-failure contract byte-for-byte.
+"""
+
+import asyncio
+import contextlib
+
+from repro.aio import AsyncStoreClient, AsyncStorePool, AsyncTCPStoreServer
+from repro.aio.backoff import NO_RETRY
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
+
+
+def fresh_store():
+    return KVStore(
+        memory_limit=1024 * 1024, slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+
+
+@contextlib.asynccontextmanager
+async def breaker_pool(read_fallback=True):
+    servers, stores, breakers, clients = {}, {}, {}, {}
+    for i in range(3):
+        name = f"node{i}"
+        stores[name] = fresh_store()
+        server = AsyncTCPStoreServer(stores[name])
+        await server.start()
+        servers[name] = server
+        breakers[name] = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, recovery_time=60.0),
+            name=name,
+        )
+        clients[name] = AsyncStoreClient(
+            *server.address, pool_size=2, retry=NO_RETRY,
+            breaker=breakers[name],
+        )
+    pool = AsyncStorePool(clients, read_fallback=read_fallback)
+    try:
+        yield pool, stores, servers, breakers
+    finally:
+        await pool.aclose()
+        for server in servers.values():
+            await server.stop()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOpenBreakerRerouting:
+    def test_open_breaker_keys_ride_healthy_nodes(self):
+        async def main():
+            async with breaker_pool() as (pool, stores, servers, breakers):
+                keys = [b"key-%d" % i for i in range(60)]
+                await pool.multi_set([(k, b"v", 1) for k in keys])
+                victim = pool.node_for(keys[0])
+                for _ in range(1):
+                    breakers[victim].record_failure()
+                found = await pool.multi_get(keys)
+                # no exception, no retry storm: victim's keys were
+                # rerouted pre-fan-out and answered (as misses or hits)
+                # by healthy nodes
+                assert pool.node_fallbacks.get(victim, 0) > 0
+                # keys NOT owned by the victim still answered normally
+                for key in keys:
+                    if pool.node_for(key) != victim:
+                        assert found[key] == b"v"
+
+        run(main())
+
+    def test_reroute_consumes_no_half_open_probe(self):
+        async def main():
+            async with breaker_pool() as (pool, stores, servers, breakers):
+                keys = [b"key-%d" % i for i in range(30)]
+                victim = pool.node_for(keys[0])
+                for _ in range(1):
+                    breakers[victim].record_failure()
+                before = breakers[victim].state
+                await pool.multi_get(keys, partial=True)
+                # the pre-check reads .state, never allow(): the breaker
+                # is exactly as it was, probe budget intact
+                assert breakers[victim].state == before
+                assert pool.node_ops.get(victim, 0) == 0
+
+        run(main())
+
+    def test_all_breakers_open_still_fails_fast(self):
+        async def main():
+            async with breaker_pool() as (pool, stores, servers, breakers):
+                for breaker in breakers.values():
+                    breaker.record_failure()
+                result = await pool.multi_get([b"key-1"], partial=True)
+                assert not result.complete  # fast error, not a hang
+
+        run(main())
+
+
+class TestFallbackRound:
+    def test_failed_node_keys_get_one_round_elsewhere(self):
+        async def main():
+            async with breaker_pool() as (pool, stores, servers, breakers):
+                keys = [b"key-%d" % i for i in range(60)]
+                await pool.multi_set([(k, b"v", 1) for k in keys])
+                victim = pool.node_for(keys[0])
+                await servers[victim].stop()
+                result = await pool.multi_get(keys, partial=True)
+                # every key answered: victim's keys fell back to healthy
+                # nodes (miss or hit), none left attributed to the error
+                assert result.complete
+                fallback_total = sum(pool.node_fallbacks.values())
+                assert fallback_total > 0
+
+        run(main())
+
+    def test_default_pool_contract_unchanged(self):
+        # read_fallback=False (the default): a down node still raises /
+        # attributes errors exactly as PR 4 specified
+        async def main():
+            async with breaker_pool(read_fallback=False) as (
+                pool, stores, servers, breakers
+            ):
+                keys = [b"key-%d" % i for i in range(30)]
+                await pool.multi_set([(k, b"v", 1) for k in keys])
+                victim = pool.node_for(keys[0])
+                await servers[victim].stop()
+                result = await pool.multi_get(keys, partial=True)
+                assert not result.complete
+                owned = [k for k in keys if pool.node_for(k) == victim]
+                assert set(result.errors) == set(owned)
+
+        run(main())

@@ -1,0 +1,89 @@
+"""HybridLogicalClock: monotonicity, tie-breaking, and merge semantics."""
+
+import threading
+
+from repro.replica.hlc import (
+    HybridLogicalClock,
+    LOGICAL_MASK,
+    logical_count,
+    pack_version,
+    physical_ms,
+)
+
+
+class TestPacking:
+    def test_round_trip(self):
+        v = pack_version(123_456_789, 42)
+        assert physical_ms(v) == 123_456_789
+        assert logical_count(v) == 42
+
+    def test_logical_overflow_masked(self):
+        v = pack_version(1, LOGICAL_MASK + 5)
+        assert logical_count(v) == 4
+        assert physical_ms(v) == 1
+
+    def test_ordering_is_physical_then_logical(self):
+        assert pack_version(10, 0) > pack_version(9, LOGICAL_MASK)
+        assert pack_version(10, 2) > pack_version(10, 1)
+
+
+class TestTick:
+    def test_strictly_monotonic_with_frozen_wall_clock(self):
+        clock = HybridLogicalClock(wall=lambda: 1.0)
+        versions = [clock.tick() for _ in range(1000)]
+        assert versions == sorted(set(versions))
+        # all share the frozen physical component, logical climbs
+        assert len({physical_ms(v) for v in versions}) == 1
+
+    def test_advancing_wall_clock_resets_logical(self):
+        now = [1.0]
+        clock = HybridLogicalClock(wall=lambda: now[0])
+        first = clock.tick()
+        now[0] = 2.0
+        second = clock.tick()
+        assert second > first
+        assert logical_count(second) == 0
+
+    def test_wall_clock_regression_does_not_go_backwards(self):
+        now = [5.0]
+        clock = HybridLogicalClock(wall=lambda: now[0])
+        before = clock.tick()
+        now[0] = 1.0  # NTP step backwards
+        after = clock.tick()
+        assert after > before
+        assert physical_ms(after) == physical_ms(before)
+
+    def test_logical_carry_overflows_into_physical(self):
+        clock = HybridLogicalClock(wall=lambda: 1.0)
+        clock.observe(pack_version(1000, LOGICAL_MASK))
+        carried = clock.tick()
+        assert physical_ms(carried) == 1001
+        assert logical_count(carried) == 0
+
+
+class TestObserve:
+    def test_adopts_remote_high_water(self):
+        clock = HybridLogicalClock(wall=lambda: 1.0)
+        remote = pack_version(999_999, 7)
+        assert clock.observe(remote) >= remote
+        assert clock.tick() > remote
+
+    def test_ignores_older_remote(self):
+        clock = HybridLogicalClock(wall=lambda: 100.0)
+        local = clock.tick()
+        clock.observe(pack_version(1, 0))
+        assert clock.tick() > local
+
+    def test_thread_safety_no_duplicates(self):
+        clock = HybridLogicalClock(wall=lambda: 1.0)
+        seen = []
+
+        def spin():
+            seen.extend(clock.tick() for _ in range(500))
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen))

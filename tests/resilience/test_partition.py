@@ -1,0 +1,104 @@
+"""Asymmetric partitions: one direction blackholed, the other alive."""
+
+import asyncio
+
+import pytest
+
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer
+from repro.aio.backoff import NO_RETRY
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.resilience import ChaosProxy, FaultSchedule
+
+
+def fresh_store():
+    return KVStore(
+        memory_limit=4 * 1024 * 1024, slab_size=64 * 1024,
+        policy_factory=GDWheelPolicy,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestInboundPartition:
+    def test_requests_vanish_before_the_server(self):
+        # direction="in": the client's connection looks alive (TCP
+        # handshake and the server's half still flow) but every request
+        # is swallowed before the server sees it
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                schedule = FaultSchedule(seed=7).partition(direction="in")
+                async with ChaosProxy(*server.address, schedule) as proxy:
+                    client = AsyncStoreClient(
+                        *proxy.address, timeout=0.15, retry=NO_RETRY
+                    )
+                    with pytest.raises(asyncio.TimeoutError):
+                        await client.set(b"k", b"v", cost=3)
+                    await client.aclose()
+                    # the server never executed anything
+                    assert store.get(b"k") is None
+                    assert store.stats.snapshot().get("sets", 0) == 0
+                    # and the drop is tagged by direction
+                    assert proxy.fault_counts["blackhole_in"] >= 1
+                    assert "blackhole_out" not in proxy.fault_counts
+
+        run(main())
+
+
+class TestOutboundPartition:
+    def test_server_executes_but_acks_vanish(self):
+        # direction="out": the request is DELIVERED — the server executes
+        # the write — and only the acknowledgement is dropped.  The
+        # canonical acked-vs-applied divergence replication must survive:
+        # the client believes the write failed, the store disagrees.
+        async def main():
+            store = fresh_store()
+            async with AsyncTCPStoreServer(store) as server:
+                schedule = FaultSchedule(seed=7).partition(direction="out")
+                async with ChaosProxy(*server.address, schedule) as proxy:
+                    client = AsyncStoreClient(
+                        *proxy.address, timeout=0.2, retry=NO_RETRY
+                    )
+                    with pytest.raises(asyncio.TimeoutError):
+                        await client.set(b"k", b"applied", cost=3)
+                    await client.aclose()
+                    # wait out the in-flight pump so the write has landed
+                    deadline = asyncio.get_event_loop().time() + 2
+                    while asyncio.get_event_loop().time() < deadline:
+                        if store.get(b"k") is not None:
+                            break
+                        await asyncio.sleep(0.02)
+                    item = store.get(b"k")
+                    assert item is not None and item.value == b"applied"
+                    assert proxy.fault_counts["blackhole_out"] >= 1
+                    assert "blackhole_in" not in proxy.fault_counts
+
+        run(main())
+
+
+class TestComposition:
+    def test_partition_window_composes_with_base_spec(self):
+        # partition() is a window, not always(): the untouched direction
+        # keeps the base spec instead of silently going clean
+        schedule = (
+            FaultSchedule(seed=3)
+            .always(latency=0.01)
+            .partition(direction="in")
+        )
+        assert schedule.spec_at(5.0, "in").blackhole is True
+        assert schedule.spec_at(5.0, "out").latency == 0.01
+        assert not schedule.spec_at(5.0, "out").blackhole
+
+    def test_partition_can_be_windowed_and_heal(self):
+        schedule = FaultSchedule().partition(start=1.0, end=2.0)
+        assert not schedule.spec_at(0.5, "in").blackhole
+        assert schedule.spec_at(1.5, "in").blackhole
+        assert not schedule.spec_at(2.0, "in").blackhole  # healed
+
+    def test_default_partition_never_ends(self):
+        schedule = FaultSchedule().partition(direction="both")
+        assert schedule.spec_at(10_000.0, "in").blackhole
+        assert schedule.spec_at(10_000.0, "out").blackhole
