@@ -1,0 +1,243 @@
+"""FROZEN pre-transport-overhaul serving stack — benchmark baseline only.
+
+This is the ``asyncio.start_server``/StreamReader/StreamWriter transport
+exactly as it shipped before the BufferedProtocol overhaul: the server's
+per-connection handler task reads chunks, feeds the parser, and drains
+on a cork threshold; the client writes a batch and awaits each response
+under a per-response ``asyncio.wait_for``.  The live code moved to
+low-level transports; this copy exists so the transport A/B in
+``run_net_bench.py`` always measures against the identical old wire
+path, the same way PR 5/6/9 froze their baselines.
+
+Do not "fix" or modernize this file — its value is that it does not
+change.  Retry/breaker/tracing machinery that is disabled in benchmark
+runs is elided; the hot path (read loop, parser feed, cork/drain logic,
+pool semantics) is verbatim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.kvstore.store import KVStore
+from repro.obs.registry import MetricsRegistry
+from repro.protocol.commands import GetResponse, MultiGetCommand, ProtocolError
+from repro.protocol.server import StoreConnection, StoreServer
+from repro.protocol.text import ResponseParser, encode_command_into
+
+READ_SIZE = 65536
+CORK_BYTES = 64 * 1024
+
+
+class FrozenStreamsServer:
+    """The old streams server's unprotected fast path, verbatim."""
+
+    def __init__(self, store: KVStore, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.engine = StoreServer(store)
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        # same accounting the old server paid per read/write
+        self.metrics = MetricsRegistry()
+        self._bytes_in = self.metrics.counter(
+            "server_bytes_in_total", help="request bytes received",
+            transport="frozen-streams",
+        )
+        self._bytes_out = self.metrics.counter(
+            "server_bytes_out_total", help="response bytes sent",
+            transport="frozen-streams",
+        )
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+        self._writers.clear()
+
+    async def __aenter__(self) -> "FrozenStreamsServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self._writers.add(writer)
+        connection = StoreConnection(self.engine)
+        try:
+            undrained = 0
+            while connection.open:
+                data = await reader.read(READ_SIZE)
+                if not data:
+                    break
+                self._bytes_in.inc(len(data))
+                response = connection.feed(data)
+                if response:
+                    self._bytes_out.inc(len(response))
+                    writer.write(response)
+                    undrained += len(response)
+                    if undrained >= CORK_BYTES:
+                        await writer.drain()
+                        undrained = 0
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+class _FrozenConnection:
+    """The old ``_Connection``: streams + per-response wait_for."""
+
+    __slots__ = ("reader", "writer", "parser", "scratch")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.parser = ResponseParser()
+        self.scratch = bytearray()
+
+    async def execute(self, commands: Sequence[object], timeout: Optional[float]) -> List[object]:
+        scratch = self.scratch
+        del scratch[:]
+        for command in commands:
+            encode_command_into(scratch, command)
+        self.writer.write(bytes(scratch))
+        if len(scratch) >= CORK_BYTES:
+            await self.writer.drain()
+        responses = []
+        for _ in commands:
+            responses.append(
+                await asyncio.wait_for(self._next_response(), timeout)
+            )
+        return responses
+
+    async def _next_response(self):
+        while True:
+            response = self.parser.try_parse()
+            if response is not None:
+                return response
+            data = await self.reader.read(READ_SIZE)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self.parser.feed(data)
+
+    async def aclose(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class FrozenStreamsClient:
+    """The old pooled client's hot path: semaphore-bounded idle deque,
+    one pipelined batch per checkout, MGET framing for ``get_many``."""
+
+    def __init__(self, host: str, port: int, pool_size: int = 4,
+                 timeout: Optional[float] = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self._idle: Deque[_FrozenConnection] = deque()
+        self._slots: Optional[asyncio.Semaphore] = None
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.pool_size)
+        return self._slots
+
+    async def _dial(self) -> _FrozenConnection:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        return _FrozenConnection(reader, writer)
+
+    async def execute(self, commands: Sequence[object]) -> List[object]:
+        slots = self._semaphore()
+        await slots.acquire()
+        connection: Optional[_FrozenConnection] = None
+        try:
+            connection = self._idle.popleft() if self._idle else await self._dial()
+            responses = await connection.execute(commands, self.timeout)
+            self._idle.append(connection)
+            return responses
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            if connection is not None:
+                await connection.aclose()
+            raise
+        finally:
+            slots.release()
+
+    async def get_many(self, keys: Sequence[bytes]) -> Dict[bytes, bytes]:
+        if not keys:
+            return {}
+        result = await self.execute([MultiGetCommand(keys=tuple(keys))])
+        response = result[0]
+        if not isinstance(response, GetResponse):
+            raise ProtocolError(f"unexpected MGET response: {response!r}")
+        return {v.key: v.value for v in response.values}
+
+    async def set_many(self, items) -> int:
+        from repro.protocol.commands import (
+            MultiSetCommand,
+            MultiSetResponse,
+            StoreCommand,
+        )
+
+        command = MultiSetCommand(
+            items=tuple(
+                StoreCommand(verb="set", key=key, flags=0, exptime=0,
+                             value=value, cost=cost)
+                for key, value, cost in items
+            )
+        )
+        result = await self.execute([command])
+        response = result[0]
+        if not isinstance(response, MultiSetResponse):
+            raise ProtocolError(f"unexpected MSET response: {response!r}")
+        return sum(1 for s in response.statuses if s == b"STORED")
+
+    async def aclose(self) -> None:
+        while self._idle:
+            await self._idle.popleft().aclose()
+
+    async def __aenter__(self) -> "FrozenStreamsClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()

@@ -1,15 +1,19 @@
-"""Resilience overhead guard: shipping server vs the pre-resilience loop.
+"""Resilience overhead guard: shipping server vs the unprotected protocol.
 
-PR 4 threads overload protection through the asyncio connection handler.
-The contract is that a server built *without* an ``OverloadPolicy`` keeps
-the unprotected fast path — the per-connection loop must stay
-byte-for-byte the old code, with the only added cost a single
-``self.overload is not None`` branch per connection (not per batch).
+PR 4 threads overload protection through the serving path.  On the
+BufferedProtocol transport the contract is structural: a server built
+*without* an ``OverloadPolicy`` serves connections with a protocol class
+that contains **zero** overload code — the only resilience artifact left
+on the disabled path is one ``self.overload is not None`` branch at
+protocol-construction time (per connection, not per batch).
 
-This benchmark holds it to that: a frozen inline copy of the pre-PR 4
-connection loop serves as the baseline arm, the shipping server with
-resilience disabled is the candidate arm, and the candidate's pipelined
-GET throughput must stay within 3% of the baseline.  The arms are
+This benchmark holds it to that: a frozen inline copy of the plain
+(no-overload) connection protocol serves as the baseline arm, the
+shipping server with resilience disabled is the candidate arm, and the
+candidate's pipelined GET throughput must stay within 3% of the
+baseline.  The frozen copy is deliberately NOT kept in sync with the
+shipping class — if overload (or anything else) creeps into the disabled
+path's per-read code, this guard is what catches it.  The arms are
 interleaved and best-of-N compared so host-load drift hits both
 symmetrically.
 
@@ -30,6 +34,7 @@ from repro.aio.server import READ_SIZE
 from repro.core import GDWheelPolicy
 from repro.kvstore import KVStore
 from repro.protocol.server import StoreConnection
+from repro.protocol.sockopt import tune_socket
 from repro.workloads import SINGLE_SIZE_WORKLOADS
 
 pytestmark = pytest.mark.slow
@@ -39,57 +44,98 @@ ROUNDS = int(os.environ.get("RESILIENCE_OVERHEAD_ROUNDS", "5"))
 NUM_KEYS = 1_000
 CONCURRENCY = 4
 BATCH = 16
-#: disabled-resilience throughput must stay within this fraction of PR 3
+#: disabled-resilience throughput must stay within this fraction
 MAX_OVERHEAD = 0.03
 
 
-class _FrozenPreResilienceServer(AsyncTCPStoreServer):
-    """The PR 3 connection handler, frozen verbatim as the baseline arm.
+class _FrozenPlainProtocol(asyncio.BufferedProtocol):
+    """The unprotected connection protocol, frozen verbatim as baseline.
 
-    Deliberately NOT kept in sync with the shipping handler: it preserves
-    the loop as it was before overload protection existed, so the guard
-    measures exactly what this PR added to the disabled path.
+    A copy, not an import of the live class — it preserves the fast path
+    with no overload machinery at all, so the guard measures exactly what
+    resilience adds to the disabled path.
     """
 
-    async def _handle_connection(self, reader, writer):
-        task = asyncio.current_task()
-        if task is not None:
-            self._handlers.add(task)
-            task.add_done_callback(self._handlers.discard)
+    __slots__ = (
+        "server", "connection", "transport", "closed", "write_paused",
+        "_recv", "_recv_view", "_rejected", "_loop",
+    )
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self.connection = StoreConnection(server.engine)
+        self.transport = None
+        self.closed = None
+        self.write_paused = False
+        self._recv = bytearray(READ_SIZE)
+        self._recv_view = memoryview(self._recv)
+        self._rejected = False
+        self._loop = None
+
+    def connection_made(self, transport) -> None:
+        server = self.server
+        self._loop = asyncio.get_event_loop()
+        self.closed = self._loop.create_future()
+        self.transport = transport
+        tune_socket(transport.get_extra_info("socket"))
+        if server.write_high_water is not None:
+            transport.set_write_buffer_limits(high=server.write_high_water)
         if (
-            self.max_connections is not None
-            and self.current_connections >= self.max_connections
+            server.max_connections is not None
+            and server.current_connections >= server.max_connections
         ):
-            self._rejected.inc()
-            try:
-                writer.write(b"SERVER_ERROR too many connections\r\n")
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass
-            await self._close_writer(writer)
+            self._rejected = True
+            server._note_rejected()
+            transport.write(b"SERVER_ERROR too many connections\r\n")
+            transport.close()
             return
-        self._writers.add(writer)
-        self._current.inc()
-        self._total.inc()
-        self._peak.set(max(self._peak.value, self._current.value))
-        connection = StoreConnection(self.engine)
+        server._register(self)
+
+    def connection_lost(self, exc) -> None:
+        if not self._rejected:
+            self.server._unregister(self)
+        if self.closed is not None and not self.closed.done():
+            self.closed.set_result(None)
+
+    def eof_received(self) -> bool:
+        return False
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        return self._recv_view
+
+    def buffer_updated(self, nbytes: int) -> None:
+        if self._rejected:
+            return
+        server = self.server
+        server._bytes_in.inc(nbytes)
         try:
-            while connection.open:
-                data = await reader.read(READ_SIZE)
-                if not data:
-                    break
-                self._bytes_in.inc(len(data))
-                response = connection.feed(data)
-                if response:
-                    self._bytes_out.inc(len(response))
-                    writer.write(response)
-                    await writer.drain()
-        except (ConnectionError, OSError, asyncio.CancelledError):
-            pass
-        finally:
-            self._current.dec()
-            self._writers.discard(writer)
-            await self._close_writer(writer)
+            response = self.connection.feed(self._recv_view[:nbytes])
+        except ConnectionError:
+            self.transport.close()
+            return
+        if response:
+            server._bytes_out.inc(len(response))
+            self.transport.write(response)
+        if not self.connection.open:
+            self.transport.close()
+
+    def pause_writing(self) -> None:
+        self.write_paused = True
+        self.server._write_pauses.inc()
+        if not self.transport.is_closing():
+            self.transport.pause_reading()
+
+    def resume_writing(self) -> None:
+        self.write_paused = False
+        if not self.transport.is_closing():
+            self.transport.resume_reading()
+
+
+class _FrozenBaselineServer(AsyncTCPStoreServer):
+    """Serves every connection with the frozen no-overload protocol."""
+
+    def _make_protocol(self):
+        return _FrozenPlainProtocol(self)
 
 
 def make_store() -> KVStore:
@@ -129,7 +175,7 @@ def test_disabled_resilience_overhead_under_three_percent(emit):
 
     baseline_runs, shipping_runs = [], []
     for _ in range(ROUNDS):
-        baseline_runs.append(measure(_FrozenPreResilienceServer))
+        baseline_runs.append(measure(_FrozenBaselineServer))
         shipping_runs.append(measure(AsyncTCPStoreServer))
     baseline = max(baseline_runs)
     shipping = max(shipping_runs)
@@ -138,11 +184,12 @@ def test_disabled_resilience_overhead_under_three_percent(emit):
         "resilience_overhead",
         "== resilience-disabled overhead guard ==\n"
         f"ops per run         {TOTAL_OPS}  (best of {ROUNDS})\n"
-        f"frozen PR3 loop     {baseline:12,.0f} ops/s\n"
+        f"frozen plain proto  {baseline:12,.0f} ops/s\n"
         f"shipping (off)      {shipping:12,.0f} ops/s\n"
         f"overhead            {overhead:+.1%}  (budget {MAX_OVERHEAD:.0%})",
     )
     assert shipping >= (1.0 - MAX_OVERHEAD) * baseline, (
         f"disabled-resilience throughput {shipping:,.0f} ops/s is more than "
-        f"{MAX_OVERHEAD:.0%} below the frozen PR 3 baseline {baseline:,.0f}"
+        f"{MAX_OVERHEAD:.0%} below the frozen no-overload baseline "
+        f"{baseline:,.0f}"
     )

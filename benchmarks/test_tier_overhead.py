@@ -77,7 +77,10 @@ class _FrozenPreTierStore(KVStore):
         policy.touch(item)
         return item
 
-    def _store_item(self, key, value, cost, exptime, flags, count_set=True):
+    def _store_item(self, key, value, cost, exptime, flags, count_set=True,
+                    version=0):
+        # ``version`` arrived with the replication LWW work; the frozen
+        # pre-tier baseline predates it and ignores it.
         old = self.hashtable.find(key)
         if old is not None:
             self._unlink_item(old, old.slab.owner)

@@ -1,0 +1,84 @@
+"""A/B guard for the transport overhaul (BufferedProtocol tentpole).
+
+Runs the transport A/B at reduced scale and asserts the claim that
+justifies the low-level transport rewrite: at batch=1 / pipeline depth 4
+over loopback — the shape where batching cannot amortize anything and
+per-request transport constant factors are the whole story — the
+BufferedProtocol stack must deliver >= 1.15x the ops/s of the frozen
+pre-overhaul streams stack (the full-scale run recorded in
+BENCH_net.json clears 1.3x; the CI floor leaves headroom for noisy
+shared runners).  Correctness is asserted unconditionally: before any
+clock starts the harness sends identical pipelined request bytes to both
+servers and compares the raw response bytes for equality
+(``run_net_bench._verify_transports_identical``), so a fast wrong answer
+can never pass.
+
+Like the batching guard, the ratio does not need spare cores: both arms
+run server + clients on one event loop on one core, and the streams arm
+burns strictly more cycles per delivered response (StreamReader
+buffering, a reader task wakeup per chunk, a wait_for timer per
+response).  The floor is applied whenever at least one CPU is available
+— i.e. always — keeping the cpu-gate shape of the other bench guards.
+
+Marked ``slow``; deselect with ``-m 'not slow'``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from bench_env import available_cpus
+from run_net_bench import TRANSPORT_BATCH, TRANSPORT_DEPTH, run_transport_ab
+
+pytestmark = pytest.mark.slow
+
+OPS_PER_ROUND = int(os.environ.get("TRANSPORT_BENCH_OPS", 8_000))
+ROUNDS = int(os.environ.get("TRANSPORT_BENCH_ROUNDS", 3))
+NUM_KEYS = 1_000
+REQUIRED_SPEEDUP = 1.15
+
+
+@pytest.fixture(scope="module")
+def entry():
+    return run_transport_ab(
+        ops=OPS_PER_ROUND, rounds=ROUNDS, num_keys=NUM_KEYS
+    )
+
+
+def test_entry_shape(entry):
+    assert entry["batch"] == TRANSPORT_BATCH == 1
+    assert entry["pipeline_depth"] == TRANSPORT_DEPTH == 4
+    assert entry["rounds"] == ROUNDS
+    # the byte-identical gate ran before timing (it raises on divergence)
+    assert entry["verified_byte_identical"] is True
+
+
+def test_both_transports_served_the_full_load(entry):
+    for mode in ("frozen_streams", "protocol"):
+        measured = entry["modes"][mode]
+        assert measured["operations"] >= OPS_PER_ROUND
+        assert measured["ops_per_sec"] > 0
+        # warmed universe, pure GETs: every response is a hit
+        assert measured["hit_rate"] > 0.99
+        assert measured["batch_latency_us"]["p50"] > 0
+
+
+def test_protocol_beats_frozen_streams(entry, emit):
+    old = entry["modes"]["frozen_streams"]["ops_per_sec"]
+    new = entry["modes"]["protocol"]["ops_per_sec"]
+    speedup = entry["transport_speedup"]
+    emit(
+        "transport_throughput",
+        "Transport A/B at batch 1, pipeline depth "
+        f"{TRANSPORT_DEPTH} ({available_cpus()} CPU(s)):\n\n"
+        f"  frozen streams stack   {old:>12,.0f} ops/s\n"
+        f"  BufferedProtocol stack {new:>12,.0f} ops/s\n"
+        f"  speedup                {speedup:>12.2f}x",
+    )
+    if available_cpus() >= 1:  # see module docstring: always meaningful
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"transport speedup {speedup} < {REQUIRED_SPEEDUP} "
+            f"at batch 1 depth {TRANSPORT_DEPTH}"
+        )

@@ -7,10 +7,21 @@ reads the matching responses back, and returns the connection to the pool.
 count — the client-side half of the throughput story memcached deployments
 rely on.
 
-Failure handling mirrors production clients: per-request timeouts
-(``asyncio.wait_for`` around each response), and transparent retry with
-exponential backoff + jitter on connect failures, timeouts, and dropped
-connections.  A connection that failed is discarded, never pooled again.
+Each pooled connection is a low-level :class:`asyncio.BufferedProtocol`:
+received bytes land in a preallocated buffer and feed the incremental
+:class:`~repro.protocol.text.ResponseParser` straight from the event
+loop's reader callback — no ``StreamReader``, no per-response read
+coroutine.  Completion is a *future per pipeline slot*: ``execute()``
+registers one future for its whole batch, writes the batch in one
+transport send, and the protocol resolves the future when the last
+response of the batch parses.  Deadlines are a single lazily re-armed
+timer per connection (progress on the wire pushes it out) instead of an
+``asyncio.wait_for`` timer per response.
+
+Failure handling mirrors production clients: per-batch timeouts, and
+transparent retry with exponential backoff + jitter on connect failures,
+timeouts, and dropped connections.  A connection that failed is
+discarded, never pooled again.
 """
 
 from __future__ import annotations
@@ -47,6 +58,7 @@ from repro.protocol.commands import (
     TouchCommand,
 )
 from repro.resilience.breaker import BreakerOpenError, CircuitBreaker
+from repro.protocol.sockopt import tune_socket
 from repro.protocol.text import ResponseParser, encode_command_into
 
 READ_SIZE = 65536
@@ -131,15 +143,196 @@ class BatchResult:
         return iter(self.responses)
 
 
-class _Connection:
-    """One live TCP connection with its incremental response parser."""
+class _ClientProtocol(asyncio.BufferedProtocol):
+    """The wire side of one pooled connection.
 
-    __slots__ = ("reader", "writer", "parser", "scratch")
+    Receive path: the kernel writes into a preallocated buffer
+    (``get_buffer``), ``buffer_updated`` feeds the incremental parser and
+    walks completed responses into the head pipeline slot — all inside
+    the loop's reader callback, with no task wakeup per response.
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-        self.reader = reader
-        self.writer = writer
+    Completion: ``expect(n)`` registers ``[remaining, responses, future]``
+    in a FIFO deque (one slot per pipelined batch) and returns the
+    future; the slot's future resolves with the response list when its
+    ``n``-th response parses.  Responses arriving with no slot registered
+    belong to a batch that already timed out — the owner is discarding
+    this connection, so they are dropped.
+
+    Deadline: one lazily re-armed ``call_later`` per connection.  Every
+    chunk of received bytes (and every new batch) refreshes
+    ``_last_activity``; when the timer fires it either re-arms for the
+    remainder or fails every pending slot with ``asyncio.TimeoutError``
+    (exactly what ``wait_for`` raised, so retry accounting is unchanged)
+    and aborts the transport.  Progress-based rather than per-response,
+    which is both cheaper and *stricter* for stalled peers.
+    """
+
+    __slots__ = (
+        "parser",
+        "transport",
+        "closed",
+        "_loop",
+        "_recv",
+        "_recv_view",
+        "_pending",
+        "_timeout",
+        "_timer",
+        "_last_activity",
+        "_write_paused",
+        "_drain_waiters",
+        "_closed_waiter",
+    )
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
         self.parser = ResponseParser()
+        self.transport: Optional[asyncio.Transport] = None
+        self.closed = False
+        self._loop = loop
+        self._recv = bytearray(READ_SIZE)
+        self._recv_view = memoryview(self._recv)
+        # FIFO of [remaining, responses, future] — one slot per batch
+        self._pending: Deque[list] = deque()
+        self._timeout: Optional[float] = None
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._last_activity = 0.0
+        self._write_paused = False
+        self._drain_waiters: Deque[asyncio.Future] = deque()
+        self._closed_waiter = loop.create_future()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        tune_socket(transport.get_extra_info("socket"))
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        self.closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        error = exc if exc is not None else ConnectionError(
+            "server closed the connection"
+        )
+        self._fail_pending(error)
+        if not self._closed_waiter.done():
+            self._closed_waiter.set_result(None)
+
+    def eof_received(self) -> bool:
+        return False  # server half-close = dead connection
+
+    async def wait_closed(self) -> None:
+        await self._closed_waiter
+
+    # -- zero-copy receive path ------------------------------------------------
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        return self._recv_view
+
+    def buffer_updated(self, nbytes: int) -> None:
+        parser = self.parser
+        parser.feed(self._recv_view[:nbytes])
+        if self._timer is not None:
+            self._last_activity = self._loop.time()
+        pending = self._pending
+        while True:
+            try:
+                response = parser.try_parse()
+            except ProtocolError as exc:
+                self._fail_pending(exc)
+                if self.transport is not None:
+                    self.transport.abort()
+                return
+            if response is None:
+                return
+            if not pending:
+                # late reply for a batch that already timed out; the
+                # owner discards this connection — drop it
+                continue
+            slot = pending[0]
+            slot[1].append(response)
+            slot[0] -= 1
+            if slot[0] == 0:
+                pending.popleft()
+                future = slot[2]
+                if not future.done():
+                    future.set_result(slot[1])
+
+    # -- batch registration / deadline ----------------------------------------
+
+    def expect(self, count: int, timeout: Optional[float]) -> asyncio.Future:
+        """One future for a batch of ``count`` pipelined responses."""
+        if self.closed:
+            raise ConnectionError("connection is closed")
+        future = self._loop.create_future()
+        self._pending.append([count, [], future])
+        if timeout is not None:
+            self._timeout = timeout
+            self._last_activity = self._loop.time()
+            if self._timer is None:
+                self._timer = self._loop.call_later(timeout, self._check_deadline)
+        return future
+
+    def _check_deadline(self) -> None:
+        if not self._pending:
+            # idle between batches: disarm; the next expect() re-arms
+            self._timer = None
+            return
+        idle = self._loop.time() - self._last_activity
+        if idle < self._timeout:
+            self._timer = self._loop.call_later(
+                self._timeout - idle, self._check_deadline
+            )
+            return
+        self._timer = None
+        # same exception type wait_for raised, so the retry loop's
+        # RETRYABLE/timeouts accounting is unchanged (asyncio.TimeoutError
+        # is not builtin TimeoutError on py3.9/3.10)
+        self._fail_pending(asyncio.TimeoutError())
+        if self.transport is not None:
+            self.transport.abort()
+
+    def _fail_pending(self, error: BaseException) -> None:
+        while self._pending:
+            slot = self._pending.popleft()
+            future = slot[2]
+            if not future.done():
+                future.set_exception(error)
+        while self._drain_waiters:
+            waiter = self._drain_waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(ConnectionError("connection is closed"))
+
+    # -- write backpressure ----------------------------------------------------
+
+    def pause_writing(self) -> None:
+        self._write_paused = True
+
+    def resume_writing(self) -> None:
+        self._write_paused = False
+        while self._drain_waiters:
+            waiter = self._drain_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def drain(self) -> None:
+        """Wait out write backpressure — only huge batches ever block."""
+        if self.closed:
+            raise ConnectionError("connection is closed")
+        if not self._write_paused:
+            return
+        waiter = self._loop.create_future()
+        self._drain_waiters.append(waiter)
+        await waiter
+
+
+class _Connection:
+    """One live TCP connection: transport + protocol + encode scratch."""
+
+    __slots__ = ("transport", "protocol", "scratch")
+
+    def __init__(self, transport: asyncio.Transport, protocol: _ClientProtocol) -> None:
+        self.transport = transport
+        self.protocol = protocol
         # reusable encode buffer: the whole pipelined batch serializes into
         # it (scatter-gather style) and goes out in ONE transport write
         self.scratch = bytearray()
@@ -149,35 +342,22 @@ class _Connection:
         del scratch[:]
         for command in commands:
             encode_command_into(scratch, command)
-        self.writer.write(bytes(scratch))
+        # register before writing so a same-callback response can't race
+        # the slot; the transport corks/coalesces the actual send
+        future = self.protocol.expect(len(commands), timeout)
+        self.transport.write(bytes(scratch))
         if len(scratch) >= CORK_BYTES:
             # only a payload that can cross the transport's high-water
-            # mark needs the drain handshake; small frames stay corked
-            # and flush while we await the first response
-            await self.writer.drain()
-        responses = []
-        for _ in commands:
-            responses.append(
-                await asyncio.wait_for(self._next_response(), timeout)
-            )
-        return responses
-
-    async def _next_response(self):
-        while True:
-            response = self.parser.try_parse()
-            if response is not None:
-                return response
-            data = await self.reader.read(READ_SIZE)
-            if not data:
-                raise ConnectionError("server closed the connection")
-            self.parser.feed(data)
+            # mark can pause the transport; small frames never block
+            await self.protocol.drain()
+        return await future
 
     async def aclose(self) -> None:
         try:
-            self.writer.close()
-            await self.writer.wait_closed()
+            self.transport.close()
         except (ConnectionError, OSError):
             pass
+        await self.protocol.wait_closed()
 
 
 class AsyncStoreClient:
@@ -268,11 +448,15 @@ class AsyncStoreClient:
 
     async def _dial(self) -> _Connection:
         # single attempt; the execute() loop owns retry + backoff
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port), self.timeout
+        loop = asyncio.get_event_loop()
+        transport, protocol = await asyncio.wait_for(
+            loop.create_connection(
+                lambda: _ClientProtocol(loop), self.host, self.port
+            ),
+            self.timeout,
         )
         self.connects += 1
-        return _Connection(reader, writer)
+        return _Connection(transport, protocol)
 
     async def execute(self, commands: Sequence[object]) -> BatchResult:
         """Run a pipelined batch; one response per command, in order.

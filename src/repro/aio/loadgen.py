@@ -158,15 +158,31 @@ async def run_closed_loop(
         get_hits=0, get_misses=0, sets=0, errors=0, retries=0,
     )
     ops_per_worker = -(-total_ops // concurrency)  # ceil
+    batches_per_worker = -(-ops_per_worker // batch_size)  # ceil
 
-    async def worker(worker_id: int) -> LoadReport:
-        local = LoadReport(
-            operations=0, batches=0, duration_seconds=0.0,
-            get_hits=0, get_misses=0, sets=0, errors=0, retries=0,
-        )
+    async def worker(worker_id: int):
+        """One closed-loop worker; returns raw counters + latency array.
+
+        The timed loop does no histogram bucketing and no attribute
+        writes: per-batch latencies land in a preallocated list-backed
+        array by index, counters are local ints, and ``perf_counter`` is
+        bound once — the PR 5 sim-driver treatment, so the generator's
+        own bookkeeping never under-reports server gains.  The histogram
+        is filled in after the run, outside the timed window.
+        """
+        perf_counter = time.perf_counter  # bound: no attr lookup per batch
         rng = np.random.default_rng(seed * 1009 + worker_id)
         key_ids = workload.sample_requests(ops_per_worker)
         reads = rng.random(ops_per_worker) < read_fraction
+        # preallocated per-batch arrays, indexed — never appended to —
+        # inside the timed loop
+        latencies = [0.0] * batches_per_worker
+        operations = 0
+        nbatches = 0
+        get_hits = 0
+        get_misses = 0
+        sets = 0
+        errors = 0
         pending_sets = []  # key ids missed last batch (cache-aside refill)
         issued = 0
         while issued < ops_per_worker:
@@ -184,15 +200,18 @@ async def run_closed_loop(
             issued += len(window)
             set_items.extend(pending_sets)
             pending_sets = []
-            started = time.perf_counter()
+            started = perf_counter()
             try:
                 if get_keys:
                     found = await client.get_many(get_keys)
-                    for key in get_keys:  # per requested key: Zipf repeats count
-                        if key in found:
-                            local.get_hits += 1
-                        else:
-                            local.get_misses += 1
+                    # per requested key: Zipf repeats count
+                    missing = [
+                        key_id
+                        for key_id, key in zip(get_ids, get_keys)
+                        if key not in found
+                    ]
+                    get_misses += len(missing)
+                    get_hits += len(get_keys) - len(missing)
                 if set_items:
                     stored = await client.set_many(
                         [
@@ -204,21 +223,19 @@ async def run_closed_loop(
                             for k in set_items
                         ]
                     )
-                    local.sets += stored
+                    sets += stored
                 if set_on_miss and get_keys:
-                    pending_sets = [
-                        key_id
-                        for key_id, key in zip(get_ids, get_keys)
-                        if key not in found
-                    ]
+                    pending_sets = missing
             except (ConnectionError, OSError, asyncio.TimeoutError):
-                local.errors += 1
+                errors += 1
                 continue
-            elapsed_us = (time.perf_counter() - started) * 1e6
-            local.latency.record(elapsed_us)
-            local.operations += len(window)
-            local.batches += 1
-        return local
+            latencies[nbatches] = (perf_counter() - started) * 1e6
+            operations += len(window)
+            nbatches += 1
+        return (
+            operations, nbatches, get_hits, get_misses, sets, errors,
+            latencies,
+        )
 
     report_stop: Optional[asyncio.Event] = None
     report_task: Optional[asyncio.Task] = None
@@ -237,14 +254,18 @@ async def run_closed_loop(
             report_stop.set()
             await report_task
     report.duration_seconds = time.perf_counter() - started
-    for local in locals_:
-        report.operations += local.operations
-        report.batches += local.batches
-        report.get_hits += local.get_hits
-        report.get_misses += local.get_misses
-        report.sets += local.sets
-        report.errors += local.errors
-        report.latency.merge(local.latency)
+    # histogram bucketing happens here, after the clock stopped — the
+    # timed loop only stamped raw floats into preallocated arrays
+    record = report.latency.record
+    for operations, nbatches, hits, misses, sets, errors, latencies in locals_:
+        report.operations += operations
+        report.batches += nbatches
+        report.get_hits += hits
+        report.get_misses += misses
+        report.sets += sets
+        report.errors += errors
+        for index in range(nbatches):
+            record(latencies[index])
     report.retries = client.request_retries + client.connect_retries
     if own_client:
         await client.aclose()

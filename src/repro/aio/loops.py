@@ -1,0 +1,57 @@
+"""Optional uvloop acceleration with a graceful stdlib fallback.
+
+uvloop's libuv-based event loop implements the same ``BufferedProtocol``
+and flow-control callbacks the transport layer targets, typically 2-4×
+faster on the syscall-heavy paths — but it is an *optional* accelerant:
+nothing in this package requires it, imports it at module scope, or
+fails without it.  Benchmarks and examples opt in via::
+
+    asyncio.set_event_loop_policy(loop_policy())
+
+which returns uvloop's policy when the package is importable and the
+stdlib default policy otherwise.  :func:`install` is the one-line
+variant; :func:`uvloop_available` answers which branch you got.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+def _import_uvloop():
+    """The single import point, split out so tests can cover both
+    branches by planting/poisoning ``sys.modules['uvloop']``."""
+    try:
+        import uvloop
+    except ImportError:
+        return None
+    return uvloop
+
+
+def uvloop_available() -> bool:
+    """Is the uvloop accelerant importable in this environment?"""
+    return _import_uvloop() is not None
+
+
+def loop_policy() -> asyncio.AbstractEventLoopPolicy:
+    """The best available event-loop policy: uvloop's if importable,
+    the stdlib default otherwise.  Never raises on a missing uvloop."""
+    uvloop = _import_uvloop()
+    if uvloop is not None:
+        return uvloop.EventLoopPolicy()
+    return asyncio.DefaultEventLoopPolicy()
+
+
+def install() -> bool:
+    """Set the process-wide policy from :func:`loop_policy`.
+
+    Returns ``True`` when uvloop was installed, ``False`` on the stdlib
+    fallback — callers that want to report which engine a benchmark ran
+    on (``bench_env``) use the return value.
+    """
+    uvloop = _import_uvloop()
+    asyncio.set_event_loop_policy(
+        uvloop.EventLoopPolicy() if uvloop is not None
+        else asyncio.DefaultEventLoopPolicy()
+    )
+    return uvloop is not None

@@ -6,6 +6,11 @@ owning node per key, but node requests run *concurrently* — a
 ``multi_get`` over N nodes costs one slowest-node round trip, not the sum.
 That scatter/gather shape is exactly how memcached web tiers issue the
 hundreds of gets behind one page load.
+
+The pool holds no wire code of its own: every node leg rides
+:class:`AsyncStoreClient`, so the BufferedProtocol transport — tuned
+sockets, future-per-batch completion, single lazy deadline timer — is
+what each fan-out arm actually runs on.
 """
 
 from __future__ import annotations

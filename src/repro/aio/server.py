@@ -1,14 +1,23 @@
-"""Asyncio TCP server over the transport-agnostic ``StoreServer`` engine.
+"""Asyncio TCP server on a low-level zero-copy transport.
 
-One event loop multiplexes every connection; each connection carries its
-own :class:`~repro.protocol.server.StoreConnection` (incremental parser +
-dispatcher), so a single read that contains many pipelined commands is
-answered with one coalesced write.  Backpressure comes from
-``StreamWriter.drain()``: a client that stops reading suspends only its
-own coroutine, never the loop.
+One event loop multiplexes every connection; each connection is an
+:class:`asyncio.BufferedProtocol` whose ``get_buffer()`` hands the kernel
+a preallocated per-connection receive buffer.  Bytes land there and feed
+the offset-cursor :class:`~repro.protocol.server.StoreConnection` parser
+directly — no ``StreamReader``, no intermediate ``bytes`` object, no task
+wakeup between ``recv`` and dispatch.  A read that contains many
+pipelined commands is answered with one coalesced ``transport.write``;
+the transport corks small writes at its own layer.
 
-Shutdown is graceful: stop accepting, nudge in-flight connections closed,
-and wait for their handler tasks to finish.
+Backpressure is callback-driven instead of ``await writer.drain()``: when
+a peer stops reading and the write buffer crosses the transport's
+high-water mark, ``pause_writing`` fires and the connection suspends its
+*own* reads (``pause_reading``), so a slow client stalls only itself —
+request inflow stops, the write buffer stops growing, and ``resume_writing``
+re-opens the tap once the peer drains.
+
+Shutdown is graceful: stop accepting, close live transports, and wait for
+their ``connection_lost`` callbacks.
 """
 
 from __future__ import annotations
@@ -21,19 +30,245 @@ from repro.kvstore.store import KVStore
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import ConnectionRejectedEvent, IdleDisconnectEvent
 from repro.protocol.server import StoreConnection, StoreServer
+from repro.protocol.sockopt import tune_socket
 from repro.resilience.overload import OverloadPolicy
 
-#: Per-read chunk; large enough that a deep pipeline arrives in few reads.
+#: Per-connection receive buffer handed to the kernel via ``get_buffer``;
+#: large enough that a deep pipeline arrives in few reads.
 READ_SIZE = 65536
 
-#: Adaptive write coalescing: responses below this skip the ``drain()``
-#: handshake (it only ever blocks above the transport's high-water mark),
-#: saving one coroutine hop per pipelined batch.  Undrained bytes are
-#: tracked cumulatively so a client that stops reading still backpressures
-#: within one cork window.
-CORK_BYTES = 64 * 1024
+#: Default transport write high-water mark: above this many buffered
+#: response bytes the connection pauses its own reads until the peer
+#: drains (``pause_writing``/``resume_writing``).
+WRITE_HIGH_WATER = 256 * 1024
 
 TOO_MANY_CONNECTIONS = b"SERVER_ERROR too many connections\r\n"
+
+
+class _StoreProtocol(asyncio.BufferedProtocol):
+    """The unprotected fast path: recv buffer -> parser -> one write.
+
+    Every callback here runs directly from the event loop's reader/writer
+    machinery — there is no per-connection task, no coroutine scheduling
+    between a ``recv`` and its dispatch, and no per-batch ``drain()``
+    handshake.  That is the entire point of this class.
+    """
+
+    __slots__ = (
+        "server",
+        "connection",
+        "transport",
+        "closed",
+        "write_paused",
+        "_recv",
+        "_recv_view",
+        "_rejected",
+        "_loop",
+    )
+
+    def __init__(self, server: "AsyncTCPStoreServer") -> None:
+        self.server = server
+        self.connection = StoreConnection(server.engine)
+        self.transport: Optional[asyncio.Transport] = None
+        self.closed: Optional[asyncio.Future] = None
+        self.write_paused = False
+        self._recv = bytearray(READ_SIZE)
+        self._recv_view = memoryview(self._recv)
+        self._rejected = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def connection_made(self, transport) -> None:
+        server = self.server
+        self._loop = asyncio.get_event_loop()
+        self.closed = self._loop.create_future()
+        self.transport = transport
+        tune_socket(transport.get_extra_info("socket"))
+        if server.write_high_water is not None:
+            transport.set_write_buffer_limits(high=server.write_high_water)
+        if (
+            server.max_connections is not None
+            and server.current_connections >= server.max_connections
+        ):
+            # refused connections never enter the accounting: the reply
+            # flushes from the transport buffer, then the FIN goes out
+            self._rejected = True
+            server._note_rejected()
+            transport.write(TOO_MANY_CONNECTIONS)
+            transport.close()
+            return
+        server._register(self)
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        if not self._rejected:
+            self.server._unregister(self)
+        if self.closed is not None and not self.closed.done():
+            self.closed.set_result(None)
+
+    def eof_received(self) -> bool:
+        return False  # half-close = close; connection_lost follows
+
+    # -- zero-copy receive path ------------------------------------------------
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        return self._recv_view
+
+    def buffer_updated(self, nbytes: int) -> None:
+        if self._rejected:
+            return
+        server = self.server
+        server._bytes_in.inc(nbytes)
+        try:
+            # one feed may dispatch many pipelined commands; the responses
+            # come back as one coalesced buffer for one transport.write
+            response = self.connection.feed(self._recv_view[:nbytes])
+        except ConnectionError:
+            self.transport.close()
+            return
+        if response:
+            server._bytes_out.inc(len(response))
+            self.transport.write(response)
+        if not self.connection.open:
+            self.transport.close()
+
+    # -- write backpressure ----------------------------------------------------
+
+    def pause_writing(self) -> None:
+        # the peer stopped reading and the write buffer crossed the
+        # high-water mark: stop feeding it new requests.  Request inflow
+        # halts, so the buffered backlog is bounded by what one recv's
+        # worth of commands can produce plus the high-water mark itself.
+        self.write_paused = True
+        self.server._write_pauses.inc()
+        if not self.transport.is_closing():
+            self.transport.pause_reading()
+
+    def resume_writing(self) -> None:
+        self.write_paused = False
+        if not self.transport.is_closing():
+            self.transport.resume_reading()
+
+
+class _ProtectedStoreProtocol(_StoreProtocol):
+    """The overload-armed connection (``server.overload`` is set).
+
+    Mirrors the fast path, adding: a lazily re-armed idle-timeout timer
+    (one ``call_later`` outstanding per connection, re-armed on fire, not
+    per read), queue-depth/latency shed decisions before dispatch (whole
+    batch answered busy via ``budget=0``), a per-batch deadline budget,
+    and EWMA latency tracking over the dispatch time.
+
+    A batch counts as in-flight from the read that carried it until its
+    reply is *accepted by the peer*: if the response write pauses this
+    connection, the inflight slot stays held until ``resume_writing`` —
+    the transport-level equivalent of the old per-batch ``drain()``, and
+    what lets the queue-depth gate see clients that stop reading.
+    """
+
+    __slots__ = ("_idle_handle", "_last_activity", "_held_inflight")
+
+    def __init__(self, server: "AsyncTCPStoreServer") -> None:
+        super().__init__(server)
+        self._idle_handle: Optional[asyncio.TimerHandle] = None
+        self._last_activity = 0.0
+        self._held_inflight = False
+
+    def connection_made(self, transport) -> None:
+        super().connection_made(transport)
+        if self._rejected:
+            return
+        policy = self.server.overload
+        if policy.idle_timeout is not None:
+            self._last_activity = self._loop.time()
+            self._idle_handle = self._loop.call_later(
+                policy.idle_timeout, self._check_idle
+            )
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        if self._idle_handle is not None:
+            self._idle_handle.cancel()
+            self._idle_handle = None
+        if self._held_inflight:
+            self._held_inflight = False
+            self.server._inflight -= 1
+        super().connection_lost(exc)
+
+    def _check_idle(self) -> None:
+        server = self.server
+        idle_timeout = server.overload.idle_timeout
+        idle = self._loop.time() - self._last_activity
+        if idle < idle_timeout:
+            # activity since arming: sleep out the remainder instead of
+            # re-arming on every read (lazy timer, zero per-read cost)
+            self._idle_handle = self._loop.call_later(
+                idle_timeout - idle, self._check_idle
+            )
+            return
+        self._idle_handle = None
+        server._idle_closed.inc()
+        if server.engine.trace is not None:
+            server.engine.trace.record(
+                IdleDisconnectEvent(idle_timeout=idle_timeout)
+            )
+        self.transport.close()
+
+    def buffer_updated(self, nbytes: int) -> None:
+        if self._rejected:
+            return
+        server = self.server
+        policy = server.overload
+        if self._idle_handle is not None:
+            self._last_activity = self._loop.time()
+        server._bytes_in.inc(nbytes)
+        budget = policy.request_deadline
+        shed_reason = "deadline"
+        if (
+            policy.max_inflight is not None
+            and server._inflight >= policy.max_inflight
+        ):
+            budget, shed_reason = 0.0, "queue_depth"
+        elif (
+            policy.shed_latency_us is not None
+            and server._latency_ewma_us > policy.shed_latency_us
+        ):
+            budget, shed_reason = 0.0, "latency"
+        server._inflight += 1
+        release = True
+        try:
+            started = time.perf_counter()
+            try:
+                response = self.connection.feed(
+                    self._recv_view[:nbytes],
+                    budget=budget,
+                    shed_reason=shed_reason,
+                )
+            except ConnectionError:
+                self.transport.close()
+                return
+            elapsed_us = (time.perf_counter() - started) * 1e6
+            server._latency_ewma_us += policy.latency_alpha * (
+                elapsed_us - server._latency_ewma_us
+            )
+            if response:
+                server._bytes_out.inc(len(response))
+                self.transport.write(response)
+                if self.write_paused:
+                    # peer is not accepting the reply: the batch stays
+                    # in-flight until resume_writing (or connection_lost)
+                    self._held_inflight = True
+                    release = False
+        finally:
+            if release:
+                server._inflight -= 1
+        if not self.connection.open:
+            self.transport.close()
+
+    def resume_writing(self) -> None:
+        if self._held_inflight:
+            self._held_inflight = False
+            self.server._inflight -= 1
+        super().resume_writing()
 
 
 class AsyncTCPStoreServer:
@@ -56,6 +291,9 @@ class AsyncTCPStoreServer:
             spans (see :meth:`StoreServer.dispatch`).
         accept_batch: forwarded to :class:`StoreServer` — ``False``
             emulates a pre-MGET build (compat-matrix tests).
+        write_high_water: transport write-buffer high-water mark per
+            connection; crossing it pauses that connection's reads until
+            the peer drains.  ``None`` keeps asyncio's default limits.
     """
 
     def __init__(
@@ -69,6 +307,7 @@ class AsyncTCPStoreServer:
         overload: Optional[OverloadPolicy] = None,
         tracer=None,
         accept_batch: bool = True,
+        write_high_water: Optional[int] = WRITE_HIGH_WATER,
     ) -> None:
         if engine is None:
             if store is None:
@@ -80,14 +319,14 @@ class AsyncTCPStoreServer:
         self._host = host
         self._port = port
         self.max_connections = max_connections
+        self.write_high_water = write_high_water
         self.overload = (
             overload if overload is not None and overload.enabled else None
         )
         self._inflight = 0          # batches between read and fully-sent reply
         self._latency_ewma_us = 0.0  # smoothed per-batch dispatch latency
         self._server: Optional[asyncio.AbstractServer] = None
-        self._handlers: Set[asyncio.Task] = set()
-        self._writers: Set[asyncio.StreamWriter] = set()
+        self._connections: Set[_StoreProtocol] = set()
         # -- observability -----------------------------------------------------
         # Connection/byte accounting lives in a metrics registry (labeled
         # transport="async").  The max_connections gate reads the current-
@@ -125,6 +364,11 @@ class AsyncTCPStoreServer:
             "server_bytes_out_total", help="response bytes sent",
             transport="async",
         )
+        self._write_pauses = self.metrics.counter(
+            "server_write_pauses_total",
+            help="times a connection paused reads on write backpressure",
+            transport="async",
+        )
 
     # -- registry-backed views (the historical attribute API) -------------------
 
@@ -157,17 +401,54 @@ class AsyncTCPStoreServer:
         return self._idle_closed.value
 
     @property
+    def write_pauses(self) -> int:
+        """Times any connection hit write backpressure and paused reads."""
+        return self._write_pauses.value
+
+    @property
     def dispatch_latency_ewma_us(self) -> float:
         """Smoothed per-batch dispatch latency (overload-protected mode)."""
         return self._latency_ewma_us
+
+    # -- connection accounting (protocol callbacks) -----------------------------
+
+    def _register(self, protocol: _StoreProtocol) -> None:
+        self._connections.add(protocol)
+        self._current.inc()
+        self._total.inc()
+        self._peak.set(max(self._peak.value, self._current.value))
+
+    def _unregister(self, protocol: _StoreProtocol) -> None:
+        if protocol in self._connections:
+            self._connections.discard(protocol)
+            self._current.dec()
+
+    def _note_rejected(self) -> None:
+        self._rejected.inc()
+        if self.engine.trace is not None:
+            self.engine.trace.record(
+                ConnectionRejectedEvent(
+                    current=self.current_connections,
+                    limit=self.max_connections,
+                )
+            )
+
+    def _make_protocol(self) -> _StoreProtocol:
+        """Protocol factory — the overload decision is made per class, so
+        the unprotected fast path carries zero overload code.  Benchmarks
+        override this to freeze a baseline protocol."""
+        if self.overload is not None:
+            return _ProtectedStoreProtocol(self)
+        return _StoreProtocol(self)
 
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port
+        loop = asyncio.get_event_loop()
+        self._server = await loop.create_server(
+            self._make_protocol, self._host, self._port
         )
 
     @property
@@ -189,12 +470,17 @@ class AsyncTCPStoreServer:
         server, self._server = self._server, None
         server.close()
         await server.wait_closed()
-        for writer in list(self._writers):
-            writer.close()
-        if self._handlers:
-            await asyncio.gather(*self._handlers, return_exceptions=True)
-        self._handlers.clear()
-        self._writers.clear()
+        waiters = []
+        for protocol in list(self._connections):
+            if protocol.transport is not None:
+                # abort, not close: a peer that stopped reading would
+                # otherwise pin shutdown on its unflushed write buffer
+                protocol.transport.abort()
+            if protocol.closed is not None:
+                waiters.append(protocol.closed)
+        if waiters:
+            await asyncio.gather(*waiters, return_exceptions=True)
+        self._connections.clear()
 
     async def __aenter__(self) -> "AsyncTCPStoreServer":
         await self.start()
@@ -202,139 +488,3 @@ class AsyncTCPStoreServer:
 
     async def __aexit__(self, *exc) -> None:
         await self.stop()
-
-    # -- per-connection loop ---------------------------------------------------
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._handlers.add(task)
-            task.add_done_callback(self._handlers.discard)
-        if (
-            self.max_connections is not None
-            and self.current_connections >= self.max_connections
-        ):
-            self._rejected.inc()
-            if self.engine.trace is not None:
-                self.engine.trace.record(
-                    ConnectionRejectedEvent(
-                        current=self.current_connections,
-                        limit=self.max_connections,
-                    )
-                )
-            try:
-                writer.write(TOO_MANY_CONNECTIONS)
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass
-            await self._close_writer(writer)
-            return
-        self._writers.add(writer)
-        self._current.inc()
-        self._total.inc()
-        self._peak.set(max(self._peak.value, self._current.value))
-        connection = StoreConnection(self.engine)
-        try:
-            if self.overload is not None:
-                await self._serve_protected(reader, writer, connection)
-            else:
-                undrained = 0
-                while connection.open:
-                    data = await reader.read(READ_SIZE)
-                    if not data:
-                        break
-                    self._bytes_in.inc(len(data))
-                    # one feed may dispatch many pipelined commands; the
-                    # responses come back as one coalesced buffer
-                    response = connection.feed(data)
-                    if response:
-                        self._bytes_out.inc(len(response))
-                        writer.write(response)
-                        # adaptive cork: small replies skip the drain
-                        # handshake; backpressure (suspending only this
-                        # connection) still kicks in within one cork
-                        # window of unread bytes
-                        undrained += len(response)
-                        if undrained >= CORK_BYTES:
-                            await writer.drain()
-                            undrained = 0
-        except (ConnectionError, OSError, asyncio.CancelledError):
-            pass
-        finally:
-            self._current.dec()
-            self._writers.discard(writer)
-            await self._close_writer(writer)
-
-    async def _serve_protected(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-        connection: StoreConnection,
-    ) -> None:
-        """The overload-armed connection loop (self.overload is not None).
-
-        Mirrors the fast path, adding: ``wait_for`` idle timeout around the
-        read, queue-depth/latency shed decisions before dispatch (whole
-        batch answered busy via ``budget=0``), a per-batch deadline budget,
-        and EWMA latency tracking over the dispatch time.
-        """
-        policy = self.overload
-        alpha = policy.latency_alpha
-        while connection.open:
-            if policy.idle_timeout is not None:
-                try:
-                    data = await asyncio.wait_for(
-                        reader.read(READ_SIZE), policy.idle_timeout
-                    )
-                except asyncio.TimeoutError:
-                    self._idle_closed.inc()
-                    if self.engine.trace is not None:
-                        self.engine.trace.record(
-                            IdleDisconnectEvent(
-                                idle_timeout=policy.idle_timeout
-                            )
-                        )
-                    break
-            else:
-                data = await reader.read(READ_SIZE)
-            if not data:
-                break
-            self._bytes_in.inc(len(data))
-            budget = policy.request_deadline
-            shed_reason = "deadline"
-            if (
-                policy.max_inflight is not None
-                and self._inflight >= policy.max_inflight
-            ):
-                budget, shed_reason = 0.0, "queue_depth"
-            elif (
-                policy.shed_latency_us is not None
-                and self._latency_ewma_us > policy.shed_latency_us
-            ):
-                budget, shed_reason = 0.0, "latency"
-            self._inflight += 1
-            try:
-                started = time.perf_counter()
-                response = connection.feed(
-                    data, budget=budget, shed_reason=shed_reason
-                )
-                elapsed_us = (time.perf_counter() - started) * 1e6
-                self._latency_ewma_us += alpha * (
-                    elapsed_us - self._latency_ewma_us
-                )
-                if response:
-                    self._bytes_out.inc(len(response))
-                    writer.write(response)
-                    await writer.drain()
-            finally:
-                self._inflight -= 1
-
-    @staticmethod
-    async def _close_writer(writer: asyncio.StreamWriter) -> None:
-        try:
-            writer.close()
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass

@@ -47,6 +47,7 @@ from repro.protocol.server import (
     StoreServer,
     TCPStoreServer,
 )
+from repro.protocol.sockopt import SOCKET_BUFFER, tune_socket
 from repro.protocol.text import (
     RequestParser,
     ResponseParser,
@@ -78,6 +79,7 @@ __all__ = [
     "QuitCommand",
     "RequestParser",
     "ResponseParser",
+    "SOCKET_BUFFER",
     "STORED",
     "ServerBusyError",
     "SimpleResponse",
@@ -92,6 +94,7 @@ __all__ = [
     "TouchCommand",
     "Transport",
     "ValueResponse",
+    "tune_socket",
     "encode_command",
     "encode_response",
 ]

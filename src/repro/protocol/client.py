@@ -35,6 +35,7 @@ from repro.protocol.commands import (
     TouchCommand,
 )
 from repro.protocol.server import LoopbackConnection
+from repro.protocol.sockopt import tune_socket
 from repro.protocol.text import ResponseParser, encode_command
 
 
@@ -79,6 +80,7 @@ class TCPTransport(Transport):
 
     def __init__(self, host: str, port: int, timeout: float = 5.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        tune_socket(self._sock)
 
     def send(self, data: bytes) -> None:
         self._sock.sendall(data)

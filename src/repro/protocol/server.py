@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from repro.obs import tracing
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import IdleDisconnectEvent, OverloadShedEvent
+from repro.protocol.sockopt import tune_socket
 from repro.kvstore.errors import (
     CasMismatchError,
     NotStoredError,
@@ -627,6 +628,7 @@ class LoopbackConnection(StoreConnection):
 
 class _TCPHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        tune_socket(self.request)
         engine: StoreServer = self.server.engine  # type: ignore[attr-defined]
         overload = getattr(self.server, "overload", None)
         metrics = engine.metrics

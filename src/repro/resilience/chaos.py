@@ -35,6 +35,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry
+from repro.protocol.sockopt import tune_socket
 
 #: per-read chunk size for both pump directions
 CHUNK_SIZE = 65536
@@ -314,6 +315,10 @@ class ChaosProxy:
             self._count("upstream_refused")
             self._abort(client_writer)
             return
+        # both legs get the shared wire tuning: the proxy must not add
+        # Nagle stalls the direct path doesn't have
+        tune_socket(client_writer.get_extra_info("socket"))
+        tune_socket(upstream_writer.get_extra_info("socket"))
         self._writers.add(client_writer)
         self._writers.add(upstream_writer)
         inbound = asyncio.ensure_future(

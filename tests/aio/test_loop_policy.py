@@ -1,0 +1,71 @@
+"""loop_policy(): optional uvloop detection, both branches covered.
+
+uvloop is not a dependency of this repo — these tests fake its presence
+(and its absence) through ``sys.modules`` so both branches run on any
+machine, installed or not.
+"""
+
+import asyncio
+import sys
+import types
+
+import pytest
+
+from repro.aio import loop_policy, uvloop_available
+from repro.aio.loops import install
+
+
+class _FakePolicy(asyncio.DefaultEventLoopPolicy):
+    """Stands in for uvloop.EventLoopPolicy; must still be a real policy
+    so set_event_loop_policy accepts it."""
+
+
+@pytest.fixture
+def fake_uvloop(monkeypatch):
+    module = types.ModuleType("uvloop")
+    module.EventLoopPolicy = _FakePolicy
+    monkeypatch.setitem(sys.modules, "uvloop", module)
+    return module
+
+
+@pytest.fixture
+def no_uvloop(monkeypatch):
+    # None in sys.modules makes `import uvloop` raise ImportError even
+    # when the real package is installed
+    monkeypatch.setitem(sys.modules, "uvloop", None)
+
+
+@pytest.fixture
+def restore_policy():
+    yield
+    asyncio.set_event_loop_policy(None)
+
+
+class TestLoopPolicy:
+    def test_fallback_without_uvloop(self, no_uvloop):
+        assert uvloop_available() is False
+        policy = loop_policy()
+        assert isinstance(policy, asyncio.DefaultEventLoopPolicy)
+        assert not isinstance(policy, _FakePolicy)
+
+    def test_uvloop_policy_when_importable(self, fake_uvloop):
+        assert uvloop_available() is True
+        assert isinstance(loop_policy(), _FakePolicy)
+
+    def test_install_reports_engine(self, fake_uvloop, restore_policy):
+        assert install() is True
+        assert isinstance(asyncio.get_event_loop_policy(), _FakePolicy)
+
+    def test_install_fallback(self, no_uvloop, restore_policy):
+        assert install() is False
+        assert isinstance(
+            asyncio.get_event_loop_policy(), asyncio.DefaultEventLoopPolicy
+        )
+
+    def test_fallback_policy_serves_a_loop(self, no_uvloop):
+        # the policy the fallback hands out must actually run coroutines
+        loop = loop_policy().new_event_loop()
+        try:
+            assert loop.run_until_complete(asyncio.sleep(0, result=42)) == 42
+        finally:
+            loop.close()

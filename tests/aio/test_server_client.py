@@ -279,8 +279,8 @@ class TestTimeoutsAndRetries:
                 )
                 await client.set(b"k", b"v")
                 # kill the server side of the pooled connection
-                for writer in list(server._writers):
-                    writer.close()
+                for protocol in list(server._connections):
+                    protocol.transport.close()
                 await asyncio.sleep(0.05)
                 assert await client.get(b"k") == b"v"
                 assert client.connects == 2

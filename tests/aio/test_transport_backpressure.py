@@ -1,0 +1,132 @@
+"""Transport backpressure: slow peers pause writes without buffer blowup.
+
+The server answers from ``buffer_updated`` with plain ``transport.write``
+calls — no ``drain()`` — so the only thing standing between a
+stop-reading client and unbounded memory is the flow-control contract:
+crossing the write high-water mark must fire ``pause_writing``, which
+pauses that connection's *reads*, which halts request inflow, which
+bounds the write buffer at (high-water + one read's worth of responses).
+These tests drive that contract with a raw slow-reader socket and with a
+bandwidth-capped ChaosProxy leg, and assert that no pipelined response is
+lost across pause/resume cycles.
+"""
+
+import asyncio
+import socket
+
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+from repro.resilience import ChaosProxy, FaultSchedule
+
+
+def fresh_store(limit=64 * 1024 * 1024):
+    return KVStore(
+        memory_limit=limit, slab_size=1024 * 1024, policy_factory=GDWheelPolicy
+    )
+
+
+def _slow_socket(host, port, rcvbuf=4096):
+    """A connected socket whose tiny receive buffer backpressures fast."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+    sock.connect((host, port))
+    sock.setblocking(False)
+    return sock
+
+
+NKEYS = 200
+VALUE = b"x" * 4096
+
+
+async def _warm(store):
+    for i in range(NKEYS):
+        store.set(f"k{i:04d}".encode(), VALUE, cost=1)
+
+
+class TestSlowReader:
+    def test_pause_fires_and_buffer_growth_stops(self):
+        async def main():
+            store = fresh_store()
+            await _warm(store)
+            # small high-water so ~800 KiB of responses trip it instantly
+            async with AsyncTCPStoreServer(
+                store, write_high_water=32 * 1024
+            ) as server:
+                host, port = server.address
+                loop = asyncio.get_event_loop()
+                sock = _slow_socket(host, port)
+                try:
+                    requests = b"".join(
+                        b"get k%04d\r\n" % i for i in range(NKEYS)
+                    )
+                    await loop.sock_sendall(sock, requests)
+                    # let the server read + dispatch until it pauses
+                    for _ in range(100):
+                        await asyncio.sleep(0.01)
+                        if server.write_pauses > 0:
+                            break
+                    assert server.write_pauses >= 1
+                    protocol = next(iter(server._connections))
+                    assert protocol.write_paused is True
+                    buffered = protocol.transport.get_write_buffer_size()
+                    # bounded: the backlog can never exceed what the reads
+                    # that happened before the pause produced — far less
+                    # than the full response set would be with no pausing
+                    assert buffered <= NKEYS * (len(VALUE) + 64)
+                    # and it must STOP growing: inflow is paused
+                    await asyncio.sleep(0.15)
+                    assert protocol.transport.get_write_buffer_size() == buffered
+                    # now drain everything; every pipelined response must
+                    # arrive intact (no drops across pause/resume)
+                    expected_terminators = NKEYS
+                    received = bytearray()
+                    while received.count(b"END\r\n") < expected_terminators:
+                        chunk = await asyncio.wait_for(
+                            loop.sock_recv(sock, 65536), 5.0
+                        )
+                        assert chunk, "server closed before all responses"
+                        received.extend(chunk)
+                    assert received.count(b"VALUE ") == NKEYS
+                    assert protocol.transport.get_write_buffer_size() == 0
+                    assert protocol.write_paused is False
+                finally:
+                    sock.close()
+
+        asyncio.run(main())
+
+
+class TestBandwidthCappedProxy:
+    def test_throttled_peer_paces_server_without_losses(self):
+        async def main():
+            store = fresh_store()
+            await _warm(store)
+            async with AsyncTCPStoreServer(
+                store, write_high_water=16 * 1024
+            ) as server:
+                host, port = server.address
+                # cap the server->client leg: the proxy stops reading from
+                # the server while it paces chunks out, so the server's
+                # write buffer fills and pause_writing must fire
+                schedule = FaultSchedule(seed=7).always(
+                    bandwidth=2_000_000, direction="out"
+                )
+                proxy = ChaosProxy(host, port, schedule=schedule)
+                await proxy.start()
+                try:
+                    phost, pport = proxy.address
+                    client = AsyncStoreClient(
+                        phost, pport, pool_size=1, timeout=30.0
+                    )
+                    keys = [f"k{i:04d}".encode() for i in range(NKEYS)]
+                    found = await client.get_many(keys)
+                    # every response survived the pause/resume cycles
+                    assert len(found) == NKEYS
+                    assert all(found[key] == VALUE for key in keys)
+                    assert proxy.fault_counts.get("bandwidth", 0) >= 1
+                    assert server.write_pauses >= 1
+                    await client.aclose()
+                finally:
+                    await proxy.stop()
+
+        asyncio.run(main())

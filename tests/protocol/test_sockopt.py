@@ -1,0 +1,112 @@
+"""tune_socket: the shared TCP tuning policy and its graceful skips."""
+
+import asyncio
+import socket
+
+from repro.protocol.sockopt import SOCKET_BUFFER, tune_socket
+from repro.aio import AsyncStoreClient, AsyncTCPStoreServer
+from repro.core import GDWheelPolicy
+from repro.kvstore import KVStore
+
+
+def _tcp_pair():
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client = socket.create_connection(listener.getsockname())
+    server, _ = listener.accept()
+    listener.close()
+    return client, server
+
+
+class TestTuneSocket:
+    def test_applies_nodelay_and_buffers(self):
+        client, server = _tcp_pair()
+        try:
+            assert tune_socket(client) is True
+            assert client.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+            # Linux doubles the requested size for bookkeeping; only the
+            # lower bound is portable to assert
+            assert (
+                client.getsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF)
+                >= SOCKET_BUFFER
+            )
+            assert (
+                client.getsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF)
+                >= SOCKET_BUFFER
+            )
+        finally:
+            client.close()
+            server.close()
+
+    def test_custom_sizes_and_skipped_knobs(self):
+        client, server = _tcp_pair()
+        try:
+            assert tune_socket(client, sndbuf=32 * 1024, rcvbuf=None) is True
+            assert (
+                client.getsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF)
+                >= 32 * 1024
+            )
+        finally:
+            client.close()
+            server.close()
+
+    def test_none_and_non_socket_are_skipped(self):
+        assert tune_socket(None) is False
+        assert tune_socket(object()) is False
+        assert tune_socket("not a socket") is False
+
+    def test_non_tcp_socket_is_skipped(self):
+        udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            assert tune_socket(udp) is False
+        finally:
+            udp.close()
+        if hasattr(socket, "AF_UNIX"):
+            unix = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                assert tune_socket(unix) is False
+            finally:
+                unix.close()
+
+    def test_closed_socket_reports_false(self):
+        client, server = _tcp_pair()
+        client.close()
+        server.close()
+        assert tune_socket(client) is False
+
+
+class TestTuningAppliedOnWire:
+    def test_async_server_and_client_sockets_are_tuned(self):
+        # both ends of a live async connection carry the shared policy
+        async def main():
+            store = KVStore(
+                memory_limit=1024 * 1024,
+                slab_size=64 * 1024,
+                policy_factory=GDWheelPolicy,
+            )
+            async with AsyncTCPStoreServer(store) as server:
+                host, port = server.address
+                client = AsyncStoreClient(host, port, pool_size=1)
+                await client.set(b"k", b"v")
+                connection = client._idle[0]
+                sock = connection.transport.get_extra_info("socket")
+                assert (
+                    sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY)
+                    != 0
+                )
+                server_protocol = next(iter(server._connections))
+                server_sock = server_protocol.transport.get_extra_info("socket")
+                assert (
+                    server_sock.getsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY
+                    )
+                    != 0
+                )
+                assert (
+                    server_sock.getsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF)
+                    >= SOCKET_BUFFER
+                )
+                await client.aclose()
+
+        asyncio.run(main())
